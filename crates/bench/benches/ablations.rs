@@ -1,0 +1,107 @@
+//! Criterion ablation benches for CPU-measurable design choices:
+//! Edge-Group width, index width (u8 vs u16 via dim 256 vs 512), selection
+//! algorithm, and the outer-product vs row-gather SSpMM orders.
+//!
+//! Run with `cargo bench -p maxk-bench --bench ablations`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxk_core::maxk::maxk_forward;
+use maxk_core::spgemm::spgemm_forward;
+use maxk_core::sspmm::{sspmm_backward, sspmm_backward_outer};
+use maxk_graph::datasets::{DatasetSpec, Scale};
+use maxk_graph::WarpPartition;
+use maxk_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph() -> maxk_graph::Csr {
+    DatasetSpec::find("ogbn-arxiv")
+        .expect("catalog entry")
+        .load(Scale::Test, 0xab)
+        .expect("generator output is valid")
+        .csr
+}
+
+fn bench_eg_width(c: &mut Criterion) {
+    let adj = graph();
+    let n = adj.num_nodes();
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Matrix::xavier(n, 256, &mut rng);
+    let xs = maxk_forward(&x, 32).expect("k <= dim");
+
+    let mut g = c.benchmark_group("ablation_eg_width");
+    for w in [4usize, 16, 32, 128] {
+        let part = WarpPartition::build(&adj, w);
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| std::hint::black_box(spgemm_forward(&adj, &xs, &part)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_index_width(c: &mut Criterion) {
+    let adj = graph();
+    let n = adj.num_nodes();
+    let mut rng = StdRng::seed_from_u64(2);
+    let part = WarpPartition::build(&adj, 32);
+
+    let mut g = c.benchmark_group("ablation_index_width");
+    // dim 256 -> u8 indices; dim 512 -> u16 indices; same k.
+    for dim in [256usize, 512] {
+        let x = Matrix::xavier(n, dim, &mut rng);
+        let xs = maxk_forward(&x, 32).expect("k <= dim");
+        assert_eq!(xs.sp_index().bytes_per_element(), if dim == 256 { 1 } else { 2 });
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| std::hint::black_box(spgemm_forward(&adj, &xs, &part)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_esc_vs_dense_output(c: &mut Criterion) {
+    // §3.2: the dense-output assumption "obviates the costly ESC
+    // overhead". Compare the ESC pipeline against the paper's kernel.
+    let adj = graph();
+    let n = adj.num_nodes();
+    let mut rng = StdRng::seed_from_u64(4);
+    let x = Matrix::xavier(n, 256, &mut rng);
+    let xs = maxk_forward(&x, 32).expect("k <= dim");
+    let part = WarpPartition::build(&adj, 32);
+
+    let mut g = c.benchmark_group("ablation_esc");
+    g.bench_function("dense_output_spgemm", |b| {
+        b.iter(|| std::hint::black_box(spgemm_forward(&adj, &xs, &part)));
+    });
+    g.bench_function("esc_sparse_output", |b| {
+        b.iter(|| std::hint::black_box(maxk_core::esc::spgemm_esc(&adj, &xs)));
+    });
+    g.finish();
+}
+
+fn bench_sspmm_orders(c: &mut Criterion) {
+    let adj = graph();
+    let adj_t = adj.transpose();
+    let n = adj.num_nodes();
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Matrix::xavier(n, 256, &mut rng);
+    let dxl = Matrix::xavier(n, 256, &mut rng);
+    let pattern = maxk_forward(&x, 32).expect("k <= dim");
+
+    let mut g = c.benchmark_group("ablation_sspmm_order");
+    g.bench_function("row_gather_parallel", |b| {
+        b.iter(|| std::hint::black_box(sspmm_backward(&adj_t, &dxl, &pattern)));
+    });
+    g.bench_function("outer_product_sequential", |b| {
+        b.iter(|| std::hint::black_box(sspmm_backward_outer(&adj_t, &dxl, &pattern)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_eg_width,
+    bench_index_width,
+    bench_esc_vs_dense_output,
+    bench_sspmm_orders
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches for end-to-end training epochs (the Fig. 9 system
+//! measurement in microcosm): ReLU baseline vs MaxK at several k.
+//!
+//! Run with `cargo bench -p maxk-bench --bench training`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxk_graph::datasets::{Scale, TrainingDataset};
+use maxk_nn::{Activation, Arch, GnnModel, ModelConfig};
+use maxk_tensor::{loss, Adam, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn one_epoch(
+    model: &mut GnnModel,
+    x: &Matrix,
+    labels: &[u32],
+    mask: &[bool],
+    opt: &mut Adam,
+    rng: &mut StdRng,
+) {
+    model.zero_grad();
+    let logits = model.forward(x, true, rng);
+    let (_, dlogits) = loss::softmax_cross_entropy(&logits, labels, mask);
+    model.backward(&dlogits);
+    model.step(opt);
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let data = TrainingDataset::Reddit
+        .generate(Scale::Test, 0xbe11)
+        .expect("dataset generation succeeds");
+    let labels = match &data.labels {
+        maxk_graph::datasets::Labels::Single(l) => l.clone(),
+        maxk_graph::datasets::Labels::Multi(_) => unreachable!("Reddit is single-label"),
+    };
+    let x = Matrix::from_vec(data.csr.num_nodes(), data.in_dim, data.features.clone())
+        .expect("rectangular features");
+
+    let mut g = c.benchmark_group("full_batch_epoch_reddit_sim");
+    g.sample_size(10);
+
+    let variants: [(&str, Activation); 4] = [
+        ("relu", Activation::Relu),
+        ("maxk8", Activation::MaxK(8)),
+        ("maxk32", Activation::MaxK(32)),
+        ("maxk64", Activation::MaxK(64)),
+    ];
+    for (label, act) in variants {
+        let mut cfg = ModelConfig::new(Arch::Sage, act, data.in_dim, data.num_classes);
+        cfg.hidden_dim = 128;
+        cfg.dropout = 0.0;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
+        let mut opt = Adam::new(0.01);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| one_epoch(&mut model, &x, &labels, &data.train_mask, &mut opt, &mut rng));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

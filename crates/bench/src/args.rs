@@ -1,0 +1,113 @@
+//! Tiny `--key value` argument parsing for experiment binaries.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags (later occurrences win). Bare `--flag`s get
+/// the value `"true"`.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut map = HashMap::new();
+        let mut key: Option<String> = None;
+        for arg in iter {
+            if let Some(stripped) = arg.strip_prefix("--") {
+                if let Some(k) = key.take() {
+                    map.insert(k, "true".to_owned());
+                }
+                key = Some(stripped.to_owned());
+            } else if let Some(k) = key.take() {
+                map.insert(k, arg);
+            }
+        }
+        if let Some(k) = key {
+            map.insert(k, "true".to_owned());
+        }
+        Args { map }
+    }
+
+    /// String flag with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.map.get(key).cloned().unwrap_or_else(|| default.to_owned())
+    }
+
+    /// Parsed numeric flag with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the provided value does not parse.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.map.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|e| panic!("bad --{key} value {v:?}: {e:?}")),
+            None => default,
+        }
+    }
+
+    /// Comma-separated list flag (empty segments dropped).
+    pub fn get_list(&self, key: &str, default: &[&str]) -> Vec<String> {
+        match self.map.get(key) {
+            Some(v) => v
+                .split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect(),
+            None => default.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    /// Boolean presence flag.
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.map.get(key).map(String::as_str), Some("true") | Some("1") | Some("yes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = parse("--scale bench --reps 5 --sim");
+        assert_eq!(a.get_str("scale", "test"), "bench");
+        assert_eq!(a.get("reps", 1usize), 5);
+        assert!(a.flag("sim"));
+        assert!(!a.flag("missing"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("");
+        assert_eq!(a.get_str("scale", "test"), "test");
+        assert_eq!(a.get("epochs", 7u32), 7);
+        assert_eq!(a.get_list("ks", &["2", "4"]), vec!["2", "4"]);
+    }
+
+    #[test]
+    fn lists_split_on_commas() {
+        let a = parse("--datasets Reddit,ddi, ppa");
+        assert_eq!(a.get_list("datasets", &[]), vec!["Reddit", "ddi"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad --reps")]
+    fn bad_numeric_panics() {
+        let a = parse("--reps abc");
+        let _: usize = a.get("reps", 1);
+    }
+}

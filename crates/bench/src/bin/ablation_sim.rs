@@ -1,0 +1,95 @@
+//! Ablation study on the two kernel design choices the paper highlights:
+//!
+//! * contribution (b) — the shared-memory sparse accumulation buffer in
+//!   the forward SpGEMM (vs. scattering atomics straight to global);
+//! * contribution (c) — the dense-row prefetch in the backward SSpMM
+//!   (vs. uncoalesced global gathers through `sp_index`).
+//!
+//! Also sweeps the Edge-Group width `w` (the workload/atomics trade-off of
+//! §4.3's `N · dim · avg_deg / w` term).
+//!
+//! Usage: `cargo run --release -p maxk-bench --bin ablation_sim
+//!         [--dataset Reddit] [--dim 256] [--k 32]`
+
+use maxk_bench::{report, Args, Table};
+use maxk_core::sim_kernels::{
+    SpgemmForwardSim, SpgemmNoSharedSim, SspmmBackwardSim, SspmmNoPrefetchSim,
+};
+use maxk_gpu_sim::{GpuConfig, SimEngine};
+use maxk_graph::datasets::{DatasetSpec, Scale};
+use maxk_graph::WarpPartition;
+
+fn main() {
+    let args = Args::from_env();
+    let name = args.get_str("dataset", "Reddit");
+    let dim: usize = args.get("dim", 256);
+    let k: usize = args.get("k", 32);
+
+    let scale = match args.get_str("scale", "bench").as_str() {
+        "test" => Scale::Test,
+        _ => Scale::Bench,
+    };
+    let spec = DatasetSpec::find(&name).unwrap_or_else(|| panic!("unknown dataset {name}"));
+    let ds = spec.load(scale, 0xab1).expect("generator output is valid");
+    let adj = &ds.csr;
+    let factor = (spec.paper_nodes as f64 / adj.num_nodes() as f64).max(1.0);
+    let cfg = GpuConfig::a100().scaled(factor);
+    let engine = SimEngine::new(cfg.clone());
+
+    println!("# Kernel design ablations ({name} stand-in, dim {dim}, k {k})\n");
+
+    // Ablation 1: shared-memory accumulation buffer.
+    let part = WarpPartition::build(adj, 32);
+    let with_buf = engine.run(&SpgemmForwardSim::new(adj, &part, dim, k));
+    let no_buf = engine.run(&SpgemmNoSharedSim::new(adj, &part, dim, k));
+    let mut t1 = Table::new(vec!["SpGEMM variant", "latency", "atomic sectors", "DRAM traffic"]);
+    for (label, p) in [("shared-buffer (paper)", &with_buf), ("no shared buffer", &no_buf)] {
+        t1.row(vec![
+            label.to_owned(),
+            report::fmt_time(p.latency(&cfg)),
+            p.atomic_sectors.to_string(),
+            report::fmt_bytes(p.dram_traffic_bytes()),
+        ]);
+    }
+    println!("## (b) shared-memory sparse accumulation\n");
+    t1.print();
+    println!(
+        "\nbuffer win: {:.2}x latency\n",
+        no_buf.latency(&cfg) / with_buf.latency(&cfg)
+    );
+
+    // Ablation 2: dense-row prefetch.
+    let with_pref = engine.run(&SspmmBackwardSim::new(adj, dim, k));
+    let no_pref = engine.run(&SspmmNoPrefetchSim::new(adj, dim, k));
+    let mut t2 = Table::new(vec!["SSpMM variant", "latency", "issued reads", "DRAM traffic"]);
+    for (label, p) in [("row prefetch (paper)", &with_pref), ("no prefetch", &no_pref)] {
+        t2.row(vec![
+            label.to_owned(),
+            report::fmt_time(p.latency(&cfg)),
+            report::fmt_bytes((p.l1_hits + p.l1_misses) * 32),
+            report::fmt_bytes(p.dram_traffic_bytes()),
+        ]);
+    }
+    println!("## (c) dense-row prefetching\n");
+    t2.print();
+    println!(
+        "\nprefetch win: {:.2}x latency\n",
+        no_pref.latency(&cfg) / with_pref.latency(&cfg)
+    );
+
+    // Ablation 3: Edge-Group width sweep.
+    println!("## Edge-Group width w sweep (SpGEMM)\n");
+    let mut t3 = Table::new(vec!["w", "edge groups", "latency", "atomic sectors"]);
+    for w in [4usize, 8, 16, 32, 64, 128] {
+        let part = WarpPartition::build(adj, w);
+        let p = engine.run(&SpgemmForwardSim::new(adj, &part, dim, k));
+        t3.row(vec![
+            w.to_string(),
+            part.num_groups().to_string(),
+            report::fmt_time(p.latency(&cfg)),
+            p.atomic_sectors.to_string(),
+        ]);
+    }
+    t3.print();
+    println!("\nlarger w = fewer buffer flushes (fewer atomics) but coarser balance.");
+}

@@ -1,0 +1,80 @@
+//! Regenerates Fig. 1(c): the latency breakdown of full-batch GraphSAGE
+//! (ReLU baseline) training, showing SpMM dominance.
+//!
+//! Paper (ogbn-proteins, dim 256, A100): SpMM 3.267 s, Linear1 71.8 ms,
+//! Linear2 71.9 ms, Others 492.6 ms over 30 epochs — SpMM is 83.6% of the
+//! pipeline.
+//!
+//! Usage: `cargo run --release -p maxk-bench --bin fig01_breakdown
+//!         [--epochs 30] [--hidden 256]`
+
+use maxk_bench::{report, Args, Table};
+use maxk_graph::datasets::{Scale, TrainingDataset};
+use maxk_nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let epochs: usize = args.get("epochs", 30);
+    let hidden: usize = args.get("hidden", 256);
+
+    println!("# Fig. 1(c): GraphSAGE (ReLU baseline) training-time breakdown\n");
+    // Bench scale keeps the proteins stand-in dense enough (avg degree
+    // ~271) that aggregation dominates; Train scale would collapse the
+    // degree and with it the phenomenon being measured.
+    let data = TrainingDataset::OgbnProteins
+        .generate(Scale::Bench, 0xf19)
+        .expect("dataset generation succeeds");
+    println!(
+        "dataset: ogbn-proteins stand-in, {} nodes, {} edges (paper: 132,534 / 79.1M)\n",
+        data.csr.num_nodes(),
+        data.csr.num_edges()
+    );
+
+    let mut cfg = ModelConfig::paper_preset(
+        "ogbn-proteins",
+        Arch::Sage,
+        Activation::Relu,
+        data.in_dim,
+        data.num_classes,
+    );
+    cfg.hidden_dim = hidden;
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
+    let tc = TrainConfig { epochs, lr: 0.01, seed: 2, eval_every: epochs };
+    let result = train_full_batch(&mut model, &data, &tc);
+
+    let p = &result.phases;
+    let total = p.total().as_secs_f64();
+    let mut table = Table::new(vec!["phase", "time", "share", "paper share"]);
+    let rows = [
+        ("SpMM (aggregation)", p.agg.as_secs_f64(), "83.6%"),
+        ("Linear layers", p.linear.as_secs_f64(), "3.7%"),
+        ("MaxK/activation", p.maxk.as_secs_f64(), "-"),
+        ("Others", p.other.as_secs_f64(), "12.6%"),
+    ];
+    for (name, secs, paper) in rows {
+        table.row(vec![
+            name.to_owned(),
+            report::fmt_time(secs),
+            format!("{:.1}%", 100.0 * secs / total),
+            paper.to_owned(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\ntotal accounted {} over {epochs} epochs | p_SpMM = {:.3} | Amdahl limit {:.2}x \
+         (paper Reddit: 5.52x vs cuSPARSE)",
+        report::fmt_time(total),
+        p.agg_fraction(),
+        p.amdahl_limit()
+    );
+    println!(
+        "\nSubstrate note: on the CPU the dense linears do not enjoy the GPU's \
+         tensor-core GEMM efficiency, so the aggregation share is lower than the \
+         paper's 83.6% at equal FLOP ratios; Fig. 9's Amdahl limits use the share \
+         measured on this substrate, keeping speedup-vs-limit comparisons \
+         internally consistent."
+    );
+}

@@ -1,0 +1,37 @@
+//! Regenerates Fig. 4: `y = x²` approximation error vs. hidden width for
+//! MaxK (k = ⌈r/4⌉) and ReLU MLPs.
+//!
+//! Usage: `cargo run --release -p maxk-bench --bin fig04_approx
+//!         [--widths 4,8,16,32,64,128] [--steps 3000]`
+
+use maxk_bench::{Args, Table};
+use maxk_nn::mlp::{approximate_square, MlpConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let widths: Vec<usize> = args
+        .get_list("widths", &["4", "8", "16", "32", "64", "128"])
+        .iter()
+        .map(|s| s.parse().expect("width must be an integer"))
+        .collect();
+    let steps: usize = args.get("steps", 3_000);
+
+    println!("# Fig. 4: MLP approximation of y = x^2 (MaxK vs ReLU)\n");
+    println!("Paper: error decreases with hidden units; MaxK ~= ReLU in quality.\n");
+    let mut table = Table::new(vec!["hidden r", "k", "MaxK test MSE", "ReLU test MSE"]);
+    for &r in &widths {
+        let mut maxk_cfg = MlpConfig::paper_maxk(r);
+        maxk_cfg.steps = steps;
+        let mut relu_cfg = MlpConfig::paper_relu(r);
+        relu_cfg.steps = steps;
+        let maxk = approximate_square(&maxk_cfg);
+        let relu = approximate_square(&relu_cfg);
+        table.row(vec![
+            r.to_string(),
+            r.div_ceil(4).to_string(),
+            format!("{:.2e}", maxk.test_mse),
+            format!("{:.2e}", relu.test_mse),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,105 @@
+//! Regenerates Fig. 8: forward SpGEMM and backward SSpMM speedups over the
+//! cuSPARSE-style and GNNAdvisor-style SpMM baselines, across the Table 1
+//! catalog and the paper's k sweep.
+//!
+//! Default runs the measured-CPU variant (the functional kernels, threaded)
+//! at bench scale; `--sim` adds the simulated-GPU latency model.
+//!
+//! Usage: `cargo run --release -p maxk-bench --bin fig08_kernel_speedup
+//!         [--scale test|bench] [--datasets Reddit,ddi,...] [--ks 2,4,...]
+//!         [--dim 256] [--reps 3] [--sim] [--csv]`
+
+use maxk_bench::kernels::{measure_baselines, measure_sparse};
+use maxk_bench::{Args, Table};
+use maxk_core::sim_kernels::profile_kernel_suite;
+use maxk_gpu_sim::GpuConfig;
+use maxk_graph::datasets::{Scale, CATALOG};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = match args.get_str("scale", "bench").as_str() {
+        "test" => Scale::Test,
+        _ => Scale::Bench,
+    };
+    let dim: usize = args.get("dim", 256);
+    let reps: usize = args.get("reps", 3);
+    let w: usize = args.get("w", 32);
+    let use_sim = args.flag("sim");
+    let ks: Vec<usize> = args
+        .get_list("ks", &["2", "4", "8", "16", "32", "64", "96", "128", "192"])
+        .iter()
+        .map(|s| s.parse().expect("k must be an integer"))
+        .collect();
+    let wanted = args.get_list("datasets", &[]);
+
+    println!("# Fig. 8: kernel speedup over SpMM baselines (dim_origin = {dim})\n");
+    println!(
+        "mode: {} | scale: {scale:?} | EG width w = {w}\n",
+        if use_sim { "simulated-GPU latency" } else { "measured CPU wall-clock" }
+    );
+
+    let mut table = Table::new(vec![
+        "graph",
+        "avg-deg",
+        "k",
+        "SpGEMM/cuSP",
+        "SSpMM/cuSP",
+        "SpGEMM/GNNA",
+        "SSpMM/GNNA",
+    ]);
+
+    for spec in CATALOG {
+        if !wanted.is_empty() && !wanted.iter().any(|n| n.eq_ignore_ascii_case(spec.name)) {
+            continue;
+        }
+        let ds = spec.load(scale, 0xf18).expect("generator output is valid");
+        let adj = &ds.csr;
+        eprintln!("[fig08] {} (n={}, nnz={})", spec.name, adj.num_nodes(), adj.num_edges());
+        // Dense baselines are independent of k: measure once per graph.
+        let cpu_base = if use_sim { None } else { Some(measure_baselines(adj, dim, w, reps, 0xbe5)) };
+        for &k in &ks {
+            if k > dim {
+                continue;
+            }
+            let (s_cusp_f, s_cusp_b, s_gnna_f, s_gnna_b) = if use_sim {
+                let factor = (spec.paper_nodes as f64 / adj.num_nodes() as f64).max(1.0);
+                let cfg = GpuConfig::a100().scaled(factor);
+                let suite = profile_kernel_suite(adj, dim, k, w, 6, &cfg);
+                let t_spmm = suite.spmm.latency(&cfg);
+                let t_gnna = suite.gnnadvisor.latency(&cfg);
+                let t_f = suite.spgemm.latency(&cfg);
+                let t_b = suite.sspmm.latency(&cfg);
+                (t_spmm / t_f, t_spmm / t_b, t_gnna / t_f, t_gnna / t_b)
+            } else {
+                let base = cpu_base.expect("measured above");
+                let t = measure_sparse(adj, dim, k, w, reps, 0xbe5 + k as u64);
+                (
+                    base.spmm_s / t.spgemm_s,
+                    base.spmm_s / t.sspmm_s,
+                    base.gnnadvisor_s / t.spgemm_s,
+                    base.gnnadvisor_s / t.sspmm_s,
+                )
+            };
+            table.row(vec![
+                spec.name.to_owned(),
+                format!("{:.0}", adj.avg_degree()),
+                k.to_string(),
+                format!("{s_cusp_f:.2}x"),
+                format!("{s_cusp_b:.2}x"),
+                format!("{s_gnna_f:.2}x"),
+                format!("{s_gnna_b:.2}x"),
+            ]);
+        }
+    }
+
+    if args.flag("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        table.print();
+    }
+    println!(
+        "\nPaper shape: speedup grows as k shrinks, saturating below k=8 (accumulation \
+         stage bound); avg-degree > 50 graphs see the largest wins \
+         (paper k=16 avg 4.15x/5.71x vs cuSP/GNNA on high-degree graphs)."
+    );
+}

@@ -1,0 +1,69 @@
+//! Regenerates Fig. 10: convergence curves of full-batch training on the
+//! ogbn-products stand-in for the ReLU baseline and MaxK k ∈ {64, 32, 8}.
+//!
+//! Paper: all MaxK variants converge like (or slightly faster than) the
+//! baseline; lower k converges slightly faster early.
+//!
+//! Usage: `cargo run --release -p maxk-bench --bin fig10_convergence
+//!         [--epochs 120] [--eval-every 5] [--csv]`
+
+use maxk_bench::{Args, Table};
+use maxk_graph::datasets::{Scale, TrainingDataset};
+use maxk_nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let epochs: usize = args.get("epochs", 120);
+    let eval_every: usize = args.get("eval-every", 5);
+
+    println!("# Fig. 10: convergence on ogbn-products stand-in (SAGE)\n");
+    let data = TrainingDataset::OgbnProducts
+        .generate(Scale::Train, 0xf10)
+        .expect("dataset generation succeeds");
+    println!("graph: {} nodes, {} edges | epochs {epochs}\n", data.csr.num_nodes(), data.csr.num_edges());
+
+    let variants: [(&str, Activation); 4] = [
+        ("relu", Activation::Relu),
+        ("maxk64", Activation::MaxK(64)),
+        ("maxk32", Activation::MaxK(32)),
+        ("maxk8", Activation::MaxK(8)),
+    ];
+
+    let mut histories = Vec::new();
+    for (label, act) in variants {
+        eprintln!("[fig10] training {label}");
+        let cfg = ModelConfig::paper_preset(
+            "ogbn-products",
+            Arch::Sage,
+            act,
+            data.in_dim,
+            data.num_classes,
+        );
+        let mut rng = StdRng::seed_from_u64(0xf10);
+        let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
+        let tc = TrainConfig { epochs, lr: 0.003, seed: 3, eval_every };
+        let run = train_full_batch(&mut model, &data, &tc);
+        histories.push((label, run));
+    }
+
+    let mut table = Table::new(vec!["epoch", "relu", "maxk64", "maxk32", "maxk8"]);
+    let points = histories[0].1.history.len();
+    for i in 0..points {
+        let epoch = histories[0].1.history[i].epoch;
+        let mut row = vec![epoch.to_string()];
+        for (_, run) in &histories {
+            row.push(format!("{:.4}", run.history[i].test_metric));
+        }
+        table.row(row);
+    }
+    if args.flag("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        table.print();
+    }
+    for (label, run) in &histories {
+        println!("final {label}: {:.4}", run.final_test_metric);
+    }
+}

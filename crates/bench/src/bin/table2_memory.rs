@@ -1,0 +1,125 @@
+//! Regenerates Table 2: memory-system profiling of SpMM vs SpGEMM vs
+//! SSpMM on the Reddit stand-in (dim_origin 256, k 32) under the scaled
+//! A100 model.
+//!
+//! Paper values (Reddit, A100, Nsight Compute):
+//!
+//! | counter               | SpMM   | SpGEMM | SSpMM |
+//! |-----------------------|--------|--------|-------|
+//! | Total traffic (GB)    | 138.05 | 13.13  | 14.02 |
+//! | L1 hit rate (%)       | 1.53   | 22.16  | 28.27 |
+//! | L2 hit rate (%)       | 51.75  | 75.44  | 89.43 |
+//! | Bandwidth util (%)    | 60.90  | 33.60  | 48.08 |
+//!
+//! Usage: `cargo run --release -p maxk-bench --bin table2_memory
+//!         [--dataset Reddit] [--dim 256] [--k 32] [--scale bench|test]`
+
+use maxk_bench::{report, Args, Table};
+use maxk_core::sim_kernels::profile_kernel_suite;
+use maxk_gpu_sim::{GpuConfig, KernelProfile};
+use maxk_graph::datasets::{DatasetSpec, Scale};
+
+fn main() {
+    let args = Args::from_env();
+    let name = args.get_str("dataset", "Reddit");
+    let dim: usize = args.get("dim", 256);
+    let k: usize = args.get("k", 32);
+    let w: usize = args.get("w", 32);
+    let scale = match args.get_str("scale", "bench").as_str() {
+        "test" => Scale::Test,
+        _ => Scale::Bench,
+    };
+
+    let spec = DatasetSpec::find(&name).unwrap_or_else(|| panic!("unknown dataset {name}"));
+    let ds = spec.load(scale, 0x7ab2).expect("generator output is valid");
+    let adj = &ds.csr;
+    let factor = (spec.paper_nodes as f64 / adj.num_nodes() as f64).max(1.0);
+    let cfg = GpuConfig::a100().scaled(factor);
+
+    println!("# Table 2: memory-system profiling ({name} stand-in, dim {dim}, k {k})\n");
+    println!(
+        "graph: {} nodes, {} edges | machine: A100 scaled by {factor:.0}x \
+         (L2 {}, L1 {}/SM)\n",
+        adj.num_nodes(),
+        adj.num_edges(),
+        report::fmt_bytes(cfg.l2_bytes),
+        report::fmt_bytes(cfg.l1_bytes),
+    );
+
+    let suite = profile_kernel_suite(adj, dim, k, w, 6, &cfg);
+    let cols: [(&str, &KernelProfile, [f64; 4]); 3] = [
+        ("SpMM", &suite.spmm, [138.05, 1.53, 51.75, 60.90]),
+        ("SpGEMM", &suite.spgemm, [13.13, 22.16, 75.44, 33.60]),
+        ("SSpMM", &suite.sspmm, [14.02, 28.27, 89.43, 48.08]),
+    ];
+
+    let mut table = Table::new(vec![
+        "counter",
+        "SpMM",
+        "SpGEMM",
+        "SSpMM",
+        "paper SpMM",
+        "paper SpGEMM",
+        "paper SSpMM",
+    ]);
+    table.row(vec![
+        "L1<->L2 traffic".into(),
+        report::fmt_bytes(cols[0].1.l2_traffic_bytes()),
+        report::fmt_bytes(cols[1].1.l2_traffic_bytes()),
+        report::fmt_bytes(cols[2].1.l2_traffic_bytes()),
+        "138.05GB".into(),
+        "13.13GB".into(),
+        "14.02GB".into(),
+    ]);
+    table.row(vec![
+        "DRAM traffic".into(),
+        report::fmt_bytes(cols[0].1.dram_traffic_bytes()),
+        report::fmt_bytes(cols[1].1.dram_traffic_bytes()),
+        report::fmt_bytes(cols[2].1.dram_traffic_bytes()),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    table.row(vec![
+        "L1 hit rate".into(),
+        format!("{:.2}%", 100.0 * cols[0].1.l1_hit_rate()),
+        format!("{:.2}%", 100.0 * cols[1].1.l1_hit_rate()),
+        format!("{:.2}%", 100.0 * cols[2].1.l1_hit_rate()),
+        "1.53%".into(),
+        "22.16%".into(),
+        "28.27%".into(),
+    ]);
+    table.row(vec![
+        "L2 hit rate".into(),
+        format!("{:.2}%", 100.0 * cols[0].1.l2_hit_rate()),
+        format!("{:.2}%", 100.0 * cols[1].1.l2_hit_rate()),
+        format!("{:.2}%", 100.0 * cols[2].1.l2_hit_rate()),
+        "51.75%".into(),
+        "75.44%".into(),
+        "89.43%".into(),
+    ]);
+    table.row(vec![
+        "bandwidth util".into(),
+        format!("{:.2}%", 100.0 * cols[0].1.bandwidth_utilization(&cfg)),
+        format!("{:.2}%", 100.0 * cols[1].1.bandwidth_utilization(&cfg)),
+        format!("{:.2}%", 100.0 * cols[2].1.bandwidth_utilization(&cfg)),
+        "60.90%".into(),
+        "33.60%".into(),
+        "48.08%".into(),
+    ]);
+    table.print();
+
+    let red_f = 1.0
+        - cols[1].1.l2_traffic_bytes() as f64 / cols[0].1.l2_traffic_bytes() as f64;
+    let red_b = 1.0
+        - cols[2].1.l2_traffic_bytes() as f64 / cols[0].1.l2_traffic_bytes() as f64;
+    println!(
+        "\ntraffic reduction: SpGEMM {:.1}% / SSpMM {:.1}% (paper: 90.5% / 89.8%)\n\
+         bottlenecks: SpMM={}, SpGEMM={}, SSpMM={}",
+        100.0 * red_f,
+        100.0 * red_b,
+        cols[0].1.bottleneck(&cfg),
+        cols[1].1.bottleneck(&cfg),
+        cols[2].1.bottleneck(&cfg),
+    );
+}

@@ -1,0 +1,133 @@
+//! Regenerates Table 5: best-k accuracy and speedup vs. the ReLU/DGL
+//! baseline, at the paper's chosen k per (model, dataset).
+//!
+//! Usage: `cargo run --release -p maxk-bench --bin table5_accuracy
+//!         [--epochs 60] [--models SAGE,GCN,GIN] [--datasets ...]`
+
+use maxk_bench::{report, Args, Table};
+use maxk_graph::datasets::{Scale, TRAINING_DATASETS};
+use maxk_nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's Table 5 rows: (model, dataset, k-high, k-low, paper
+/// baseline metric, paper maxk-high metric, paper speedup-high as
+/// "cuSP" factor).
+const PAPER_ROWS: &[(&str, &str, usize, usize, f64, f64, f64)] = &[
+    ("SAGE", "Reddit", 32, 16, 0.9651, 0.9665, 2.16),
+    ("SAGE", "ogbn-proteins", 64, 32, 0.7976, 0.7928, 1.25),
+    ("SAGE", "ogbn-products", 32, 16, 0.8039, 0.8059, 1.53),
+    ("SAGE", "Yelp", 96, 32, 0.6376, 0.6339, 1.07),
+    ("SAGE", "Flickr", 32, 8, 0.5331, 0.5360, 1.05),
+    ("GCN", "Reddit", 16, 8, 0.9502, 0.9542, 3.27),
+    ("GCN", "ogbn-proteins", 16, 2, 0.6460, 0.6236, 2.75),
+    ("GCN", "ogbn-products", 32, 8, 0.7658, 0.7634, 1.56),
+    ("GCN", "Yelp", 96, 32, 0.4718, 0.4819, 1.07),
+    ("GCN", "Flickr", 8, 4, 0.4978, 0.5345, 1.08),
+    ("GIN", "Reddit", 16, 8, 0.9507, 0.9511, 3.27),
+    ("GIN", "ogbn-proteins", 4, 2, 0.5830, 0.6277, 2.98),
+    ("GIN", "ogbn-products", 8, 4, 0.7779, 0.7769, 1.80),
+    ("GIN", "Yelp", 96, 32, 0.4578, 0.4640, 1.07),
+    ("GIN", "Flickr", 8, 4, 0.5078, 0.5311, 1.08),
+];
+
+fn arch_of(name: &str) -> Arch {
+    match name {
+        "GCN" => Arch::Gcn,
+        "GIN" => Arch::Gin,
+        _ => Arch::Sage,
+    }
+}
+
+fn paper_lr(dataset: &str) -> f32 {
+    match dataset {
+        "Flickr" | "Yelp" => 0.001,
+        "ogbn-products" => 0.003,
+        _ => 0.01,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let epochs: usize = args.get("epochs", 60);
+    let models = args.get_list("models", &["SAGE", "GCN", "GIN"]);
+    let datasets = args.get_list(
+        "datasets",
+        &["Reddit", "ogbn-proteins", "ogbn-products", "Yelp", "Flickr"],
+    );
+
+    println!("# Table 5: best-k accuracy & speedup vs ReLU baseline\n");
+    println!("epochs per run: {epochs} | scale: Train\n");
+
+    let mut table = Table::new(vec![
+        "model",
+        "dataset",
+        "k",
+        "metric",
+        "baseline",
+        "maxk",
+        "speedup",
+        "paper base",
+        "paper maxk",
+        "paper spd",
+    ]);
+
+    for &(model_name, ds_name, k, _k_low, paper_base, paper_maxk, paper_spd) in PAPER_ROWS {
+        if !models.iter().any(|m| m.eq_ignore_ascii_case(model_name))
+            || !datasets.iter().any(|d| d.eq_ignore_ascii_case(ds_name))
+        {
+            continue;
+        }
+        let ds = TRAINING_DATASETS
+            .iter()
+            .copied()
+            .find(|d| d.name() == ds_name)
+            .expect("paper rows name real datasets");
+        let data = ds.generate(Scale::Train, 0x519).expect("dataset generation succeeds");
+        let lr = paper_lr(ds_name);
+        let tc = TrainConfig { epochs, lr, seed: 7, eval_every: (epochs / 5).max(1) };
+        eprintln!("[table5] {model_name}/{ds_name} k={k}");
+
+        let run = |activation: Activation| {
+            let cfg = ModelConfig::paper_preset(
+                ds_name,
+                arch_of(model_name),
+                activation,
+                data.in_dim,
+                data.num_classes,
+            );
+            let mut rng = StdRng::seed_from_u64(0xba5e);
+            let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
+            train_full_batch(&mut model, &data, &tc)
+        };
+        let base = run(Activation::Relu);
+        let hidden = ModelConfig::paper_preset(
+            ds_name,
+            arch_of(model_name),
+            Activation::Relu,
+            data.in_dim,
+            data.num_classes,
+        )
+        .hidden_dim;
+        let k_eff = k.min(hidden - 1);
+        let maxk = run(Activation::MaxK(k_eff));
+
+        table.row(vec![
+            model_name.to_owned(),
+            ds_name.to_owned(),
+            k_eff.to_string(),
+            base.metric_name.to_owned(),
+            format!("{:.4}", base.best_test_metric),
+            format!("{:.4}", maxk.best_test_metric),
+            report::fmt_speedup(base.epoch_time_s / maxk.epoch_time_s),
+            format!("{paper_base:.4}"),
+            format!("{paper_maxk:.4}"),
+            report::fmt_speedup(paper_spd),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nShape target: maxk metric within ~1 point of baseline at the paper's k, \
+         speedup ordering Reddit/proteins > products > Yelp/Flickr."
+    );
+}

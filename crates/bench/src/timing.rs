@@ -1,0 +1,64 @@
+//! Wall-clock measurement helpers.
+
+use std::time::Instant;
+
+/// Runs `f` once for warmup, then `reps` timed repetitions; returns the
+/// mean seconds per repetition.
+///
+/// The paper averages kernel latency over 1000 runs (§5.1); experiment
+/// binaries use smaller `reps` scaled to the CPU substrate.
+pub fn time_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    assert!(reps > 0, "need at least one repetition");
+    f(); // warmup
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Like [`time_secs`] but returns the minimum over `reps` single-run
+/// timings (less noise-sensitive for very short kernels).
+pub fn time_secs_min<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    assert!(reps > 0, "need at least one repetition");
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_timing_positive() {
+        let t = time_secs(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn min_le_mean_for_same_work() {
+        let mut xs = vec![0u64; 20_000];
+        let work = |xs: &mut Vec<u64>| {
+            for (i, v) in xs.iter_mut().enumerate() {
+                *v = v.wrapping_add(i as u64);
+            }
+        };
+        let mean = time_secs(5, || work(&mut xs));
+        let min = time_secs_min(5, || work(&mut xs));
+        assert!(min <= mean * 1.5 + 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_reps_rejected() {
+        let _ = time_secs(0, || {});
+    }
+}

@@ -1,0 +1,351 @@
+//! Compressed Balanced Sparse Row (CBSR) feature format.
+//!
+//! After the MaxK nonlinearity every node embedding has exactly `k`
+//! nonzeros out of `dim_origin` — *balanced* row sparsity. CBSR stores the
+//! surviving values (`sp_data`, `N × k` floats) and their column positions
+//! (`sp_index`, `N × k` integers) in two contiguous arrays, giving the
+//! kernels fully coalesced row fetches (§3.2 of the paper).
+//!
+//! When `dim_origin <= 256` the indices fit in `u8`, which is what the
+//! paper's 5-bytes-per-element traffic term assumes; wider feature maps
+//! fall back to `u16`.
+
+use crate::{KernelError, Result};
+use maxk_tensor::Matrix;
+
+/// Index storage for CBSR: one byte per element when the original hidden
+/// dimension allows it, two otherwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpIndex {
+    /// `dim_origin <= 256`.
+    U8(Vec<u8>),
+    /// `dim_origin <= 65536`.
+    U16(Vec<u16>),
+}
+
+impl SpIndex {
+    fn with_capacity(dim_origin: usize, len: usize) -> Self {
+        if dim_origin <= 256 {
+            SpIndex::U8(vec![0u8; len])
+        } else {
+            SpIndex::U16(vec![0u16; len])
+        }
+    }
+
+    /// Number of stored indices.
+    pub fn len(&self) -> usize {
+        match self {
+            SpIndex::U8(v) => v.len(),
+            SpIndex::U16(v) => v.len(),
+        }
+    }
+
+    /// True when no indices are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes used per stored index (the `1` in the paper's `5 × dim_k ×
+    /// nnz` traffic formula, or `2` for wide feature maps).
+    pub fn bytes_per_element(&self) -> usize {
+        match self {
+            SpIndex::U8(_) => 1,
+            SpIndex::U16(_) => 2,
+        }
+    }
+
+    /// Index at flat position `p`.
+    #[inline]
+    pub fn get(&self, p: usize) -> usize {
+        match self {
+            SpIndex::U8(v) => v[p] as usize,
+            SpIndex::U16(v) => v[p] as usize,
+        }
+    }
+
+    /// Sets flat position `p` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit the index width.
+    #[inline]
+    pub fn set(&mut self, p: usize, value: usize) {
+        match self {
+            SpIndex::U8(v) => {
+                v[p] = u8::try_from(value).expect("index exceeds u8 range");
+            }
+            SpIndex::U16(v) => {
+                v[p] = u16::try_from(value).expect("index exceeds u16 range");
+            }
+        }
+    }
+}
+
+/// A `N × dim_origin` feature matrix with exactly `k` stored entries per
+/// row.
+///
+/// Invariants (enforced by [`Cbsr::validate`]):
+///
+/// * `sp_data.len() == sp_index.len() == num_rows * k`;
+/// * indices within each row are strictly increasing and `< dim_origin`.
+///
+/// # Example
+///
+/// ```
+/// use maxk_core::Cbsr;
+///
+/// let mut c = Cbsr::zeros(2, 8, 2);
+/// c.set_entry(0, 0, 3, 1.5); // row 0, slot 0 -> column 3, value 1.5
+/// c.set_entry(0, 1, 6, -2.0);
+/// let dense = c.to_dense();
+/// assert_eq!(dense.get(0, 3), 1.5);
+/// assert_eq!(dense.get(0, 6), -2.0);
+/// assert_eq!(dense.get(1, 0), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cbsr {
+    num_rows: usize,
+    dim_origin: usize,
+    k: usize,
+    sp_data: Vec<f32>,
+    sp_index: SpIndex,
+}
+
+impl Cbsr {
+    /// An all-zero CBSR matrix (all indices 0; call [`Cbsr::set_entry`] or
+    /// let the MaxK kernel fill it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`, `k > dim_origin`, or `dim_origin > 65536`.
+    pub fn zeros(num_rows: usize, dim_origin: usize, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(k <= dim_origin, "k must not exceed dim_origin");
+        assert!(dim_origin <= 65_536, "dim_origin above u16 index range");
+        let mut c = Cbsr {
+            num_rows,
+            dim_origin,
+            k,
+            sp_data: vec![0.0; num_rows * k],
+            sp_index: SpIndex::with_capacity(dim_origin, num_rows * k),
+        };
+        // Default indices 0,1,..,k-1 keep rows structurally valid.
+        for r in 0..num_rows {
+            for t in 0..k {
+                c.sp_index.set(r * k + t, t);
+            }
+        }
+        c
+    }
+
+    /// Number of rows (nodes).
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Original (dense) hidden dimension.
+    pub fn dim_origin(&self) -> usize {
+        self.dim_origin
+    }
+
+    /// Stored nonzeros per row (the MaxK `k`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The `sp_data` array, row-major `N × k`.
+    pub fn sp_data(&self) -> &[f32] {
+        &self.sp_data
+    }
+
+    /// Mutable `sp_data` (the backward SSpMM kernel writes it in place).
+    pub fn sp_data_mut(&mut self) -> &mut [f32] {
+        &mut self.sp_data
+    }
+
+    /// The `sp_index` array.
+    pub fn sp_index(&self) -> &SpIndex {
+        &self.sp_index
+    }
+
+    /// Values of row `r` (`k` floats).
+    pub fn row_data(&self, r: usize) -> &[f32] {
+        &self.sp_data[r * self.k..(r + 1) * self.k]
+    }
+
+    /// Column index of slot `t` in row `r`.
+    #[inline]
+    pub fn index_at(&self, r: usize, t: usize) -> usize {
+        debug_assert!(t < self.k);
+        self.sp_index.get(r * self.k + t)
+    }
+
+    /// Sets slot `t` of row `r` to `(column, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds or when `column >= dim_origin`.
+    pub fn set_entry(&mut self, r: usize, t: usize, column: usize, value: f32) {
+        assert!(r < self.num_rows && t < self.k, "entry ({r},{t}) out of bounds");
+        assert!(column < self.dim_origin, "column {column} out of range");
+        self.sp_data[r * self.k + t] = value;
+        self.sp_index.set(r * self.k + t, column);
+    }
+
+    /// Internal: simultaneous mutable access to `sp_data` and `sp_index`
+    /// (used by the selection kernels, which fill both in one pass).
+    pub(crate) fn data_and_index_mut(&mut self) -> (&mut [f32], &mut SpIndex) {
+        (&mut self.sp_data, &mut self.sp_index)
+    }
+
+    /// Bytes one row occupies in memory: `k * (4 + index_width)` — the
+    /// per-`nnz` fetch cost in the §4.3 traffic analysis.
+    pub fn row_bytes(&self) -> usize {
+        self.k * (4 + self.sp_index.bytes_per_element())
+    }
+
+    /// Checks the format invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidIndex`] naming the first bad row.
+    pub fn validate(&self) -> Result<()> {
+        for r in 0..self.num_rows {
+            let mut prev: Option<usize> = None;
+            for t in 0..self.k {
+                let idx = self.index_at(r, t);
+                if idx >= self.dim_origin {
+                    return Err(KernelError::InvalidIndex { row: r });
+                }
+                if let Some(p) = prev {
+                    if idx <= p {
+                        return Err(KernelError::InvalidIndex { row: r });
+                    }
+                }
+                prev = Some(idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands to a dense `N × dim_origin` matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.num_rows, self.dim_origin);
+        for r in 0..self.num_rows {
+            let row = out.row_mut(r);
+            for t in 0..self.k {
+                row[self.index_at(r, t)] = self.sp_data[r * self.k + t];
+            }
+        }
+        out
+    }
+
+    /// A zero-valued CBSR sharing this matrix's sparsity pattern — the
+    /// container the backward SSpMM fills (`sp_index` is inherited from
+    /// the forward pass, §4.2).
+    #[must_use]
+    pub fn zeros_like_pattern(&self) -> Cbsr {
+        Cbsr {
+            num_rows: self.num_rows,
+            dim_origin: self.dim_origin,
+            k: self.k,
+            sp_data: vec![0.0; self.sp_data.len()],
+            sp_index: self.sp_index.clone(),
+        }
+    }
+
+    /// Density `k / dim_origin` (the paper's `k = 32, dim = 256` setting
+    /// is 12.5% density / 87.5% sparsity).
+    pub fn density(&self) -> f64 {
+        self.k as f64 / self.dim_origin as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_valid_and_sized() {
+        let c = Cbsr::zeros(4, 16, 3);
+        assert_eq!(c.num_rows(), 4);
+        assert_eq!(c.k(), 3);
+        assert_eq!(c.dim_origin(), 16);
+        assert_eq!(c.sp_data().len(), 12);
+        assert_eq!(c.sp_index().len(), 12);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn index_width_switches_at_256() {
+        let narrow = Cbsr::zeros(1, 256, 4);
+        assert_eq!(narrow.sp_index().bytes_per_element(), 1);
+        assert_eq!(narrow.row_bytes(), 4 * 5);
+        let wide = Cbsr::zeros(1, 257, 4);
+        assert_eq!(wide.sp_index().bytes_per_element(), 2);
+        assert_eq!(wide.row_bytes(), 4 * 6);
+    }
+
+    #[test]
+    fn set_entry_and_to_dense() {
+        let mut c = Cbsr::zeros(2, 8, 2);
+        c.set_entry(0, 0, 1, 0.5);
+        c.set_entry(0, 1, 7, -1.0);
+        c.set_entry(1, 0, 0, 2.0);
+        c.set_entry(1, 1, 3, 3.0);
+        let d = c.to_dense();
+        assert_eq!(d.get(0, 1), 0.5);
+        assert_eq!(d.get(0, 7), -1.0);
+        assert_eq!(d.get(1, 0), 2.0);
+        assert_eq!(d.get(1, 3), 3.0);
+        assert_eq!(d.get(0, 0), 0.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_unsorted_indices() {
+        let mut c = Cbsr::zeros(1, 8, 2);
+        c.set_entry(0, 0, 5, 1.0);
+        c.set_entry(0, 1, 2, 1.0);
+        assert_eq!(c.validate().unwrap_err(), KernelError::InvalidIndex { row: 0 });
+    }
+
+    #[test]
+    fn validate_catches_duplicate_indices() {
+        let mut c = Cbsr::zeros(1, 8, 2);
+        c.set_entry(0, 0, 3, 1.0);
+        c.set_entry(0, 1, 3, 1.0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zeros_like_pattern_shares_indices() {
+        let mut c = Cbsr::zeros(2, 10, 2);
+        c.set_entry(0, 0, 4, 9.0);
+        c.set_entry(0, 1, 9, 8.0);
+        let z = c.zeros_like_pattern();
+        assert_eq!(z.index_at(0, 0), 4);
+        assert_eq!(z.index_at(0, 1), 9);
+        assert!(z.sp_data().iter().all(|&v| v == 0.0));
+        z.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "k must not exceed")]
+    fn zeros_rejects_k_above_dim() {
+        let _ = Cbsr::zeros(1, 4, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "column")]
+    fn set_entry_rejects_bad_column() {
+        let mut c = Cbsr::zeros(1, 4, 1);
+        c.set_entry(0, 0, 4, 1.0);
+    }
+
+    #[test]
+    fn density_matches_paper_setting() {
+        let c = Cbsr::zeros(1, 256, 32);
+        assert!((c.density() - 0.125).abs() < 1e-12);
+    }
+}

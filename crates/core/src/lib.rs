@@ -1,0 +1,120 @@
+//! MaxK-GNN core: the paper's contribution.
+//!
+//! This crate implements, from scratch:
+//!
+//! * the **CBSR** (Compressed Balanced Sparse Row) feature format
+//!   ([`cbsr`]) — `sp_data` + `sp_index` stored per node, §3.2;
+//! * the **MaxK nonlinearity** ([`maxk`]) — top-`k` selection per node
+//!   embedding with the paper's pivot-bisection kernel and its gradient
+//!   (scatter through the forward sparsity pattern);
+//! * the **forward row-wise-product SpGEMM kernel** ([`spgemm`]) —
+//!   Algorithm 1: Edge-Group partitioning, shared-memory sparse
+//!   accumulation buffer, coalesced atomic write-back;
+//! * the **backward outer-product SSpMM kernel** ([`sspmm`]) —
+//!   Algorithm 2: dense-row prefetch, `sp_index`-directed gather, atomic
+//!   accumulation into `sp_data`;
+//! * the **SpMM baselines** it is compared against ([`spmm`]) — a
+//!   cuSPARSE-style row-wise kernel and a GNNAdvisor-style
+//!   neighbor-grouped kernel;
+//! * the §4.3 closed-form **traffic model** ([`traffic`]);
+//! * **simulated GPU versions** of all kernels ([`sim_kernels`]) that
+//!   replay each kernel's memory-access trace through
+//!   [`maxk_gpu_sim`]'s cache hierarchy, producing the
+//!   Table 2 counters.
+//!
+//! CPU kernels are the functional engine (used for real training in
+//! `maxk-nn`) and are verified against dense references; simulated kernels
+//! reproduce the memory-system behaviour and are cross-checked against the
+//! closed-form traffic model.
+//!
+//! # Example
+//!
+//! ```
+//! use maxk_core::maxk::maxk_forward;
+//! use maxk_core::spgemm::spgemm_forward;
+//! use maxk_graph::{generate, normalize, Aggregator, WarpPartition};
+//! use maxk_tensor::Matrix;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let csr = generate::chung_lu_power_law(200, 8.0, 2.3, 1).to_csr()?;
+//! let adj = normalize::normalized(&csr, Aggregator::GcnSym);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let x = Matrix::xavier(200, 32, &mut rng);
+//!
+//! let sparse = maxk_forward(&x, 8)?;       // MaxK nonlinearity -> CBSR
+//! let part = WarpPartition::build(&adj, 32);
+//! let y = spgemm_forward(&adj, &sparse, &part); // feature aggregation
+//! assert_eq!(y.shape(), (200, 32));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cbsr;
+pub mod esc;
+pub mod maxk;
+pub mod sim_kernels;
+pub mod spgemm;
+pub mod spmm;
+pub mod sspmm;
+pub mod traffic;
+
+pub use cbsr::{Cbsr, SpIndex};
+pub use maxk::{maxk_backward, maxk_forward, maxk_forward_pivot};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the MaxK kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// Requested `k` exceeds the feature dimension.
+    KTooLarge {
+        /// Requested sparsity level.
+        k: usize,
+        /// Hidden dimension of the feature map.
+        dim: usize,
+    },
+    /// `k` must be positive.
+    KZero,
+    /// Operand dimensions disagree.
+    DimMismatch {
+        /// Description of the operation.
+        op: &'static str,
+        /// Expected value.
+        expected: usize,
+        /// Actual value.
+        actual: usize,
+    },
+    /// A CBSR index was out of range or unsorted.
+    InvalidIndex {
+        /// Row where the problem was detected.
+        row: usize,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::KTooLarge { k, dim } => {
+                write!(f, "k = {k} exceeds feature dimension {dim}")
+            }
+            KernelError::KZero => write!(f, "k must be positive"),
+            KernelError::DimMismatch { op, expected, actual } => {
+                write!(f, "dimension mismatch in {op}: expected {expected}, got {actual}")
+            }
+            KernelError::InvalidIndex { row } => {
+                write!(f, "invalid CBSR index in row {row}")
+            }
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = KernelError> = std::result::Result<T, E>;

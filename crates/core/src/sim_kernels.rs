@@ -1,0 +1,668 @@
+//! Simulated-GPU twins of the kernels: memory-access traces replayed
+//! through the [`maxk_gpu_sim`] cache hierarchy.
+//!
+//! Each type here lowers one kernel's §4 dataflow to the warp-level
+//! memory operations the CUDA implementation would issue, without
+//! computing any feature values (functional correctness is established by
+//! the CPU kernels in [`crate::spmm`]/[`crate::spgemm`]/[`crate::sspmm`]).
+//! Running them under [`SimEngine`] yields the Nsight-style counters of
+//! the paper's Table 2 and the modelled latencies behind Fig. 8.
+//!
+//! Buffer placement follows the paper's memory system (§4.3): the
+//! CSR adjacency, the dense embedding (or CBSR `sp_data`/`sp_index`) and
+//! the output all live in global memory; per-EG accumulation buffers and
+//! prefetched rows live in shared memory.
+
+use maxk_gpu_sim::{BufferLayout, GpuConfig, KernelProfile, SimEngine, WarpCtx, WarpKernel};
+use maxk_graph::{Csr, WarpPartition};
+
+/// Common buffer addresses for one kernel launch.
+#[derive(Debug, Clone)]
+struct Buffers {
+    col_idx: u64,
+    edge_val: u64,
+    x_dense: u64,
+    sp_data: u64,
+    sp_index: u64,
+    y_out: u64,
+}
+
+fn layout(n: usize, nnz: usize, dim: usize, k: usize, iw: usize) -> Buffers {
+    let mut l = BufferLayout::new();
+    let col_idx = l.alloc("col_idx", 4 * nnz as u64);
+    let edge_val = l.alloc("edge_val", 4 * nnz as u64);
+    let x_dense = l.alloc("x_dense", (n * dim * 4) as u64);
+    let sp_data = l.alloc("sp_data", (n * k * 4) as u64);
+    let sp_index = l.alloc("sp_index", (n * k * iw) as u64);
+    let y_out = l.alloc("y_out", (n * dim * 4) as u64);
+    Buffers { col_idx, edge_val, x_dense, sp_data, sp_index, y_out }
+}
+
+/// Row-wise-product SpMM with dense features (the cuSPARSE-style
+/// baseline): one warp per output row, streaming `X[j,:]` per nonzero.
+#[derive(Debug)]
+pub struct SpmmRowWiseSim<'a> {
+    adj: &'a Csr,
+    dim: usize,
+    bufs: Buffers,
+}
+
+impl<'a> SpmmRowWiseSim<'a> {
+    /// Creates the simulation for `Y = A · X`, `X: N × dim`.
+    pub fn new(adj: &'a Csr, dim: usize) -> Self {
+        let bufs = layout(adj.num_nodes(), adj.num_edges(), dim, 1, 1);
+        SpmmRowWiseSim { adj, dim, bufs }
+    }
+}
+
+impl WarpKernel for SpmmRowWiseSim<'_> {
+    fn name(&self) -> &str {
+        "spmm-rowwise"
+    }
+
+    fn num_warps(&self) -> usize {
+        self.adj.num_nodes()
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx<'_>) {
+        let i = warp_id;
+        let (cols, _) = self.adj.row(i);
+        let deg = cols.len() as u64;
+        if deg == 0 {
+            return;
+        }
+        let dim_bytes = (self.dim * 4) as u64;
+        let row_ptr_i = self.adj.row_ptr()[i] as u64;
+        // Adjacency segment: col indices + edge values, coalesced.
+        ctx.global_read_range(self.bufs.col_idx + 4 * row_ptr_i, 4 * deg);
+        ctx.global_read_range(self.bufs.edge_val + 4 * row_ptr_i, 4 * deg);
+        for &j in cols {
+            // Dense feature row fetch: 4·dim bytes per nonzero — the
+            // linear-in-dim traffic term the paper attacks.
+            ctx.global_read_range(self.bufs.x_dense + j as u64 * dim_bytes, dim_bytes);
+            ctx.compute(2 * self.dim as u64);
+        }
+        // One coalesced output-row write (the warp owns the row).
+        ctx.global_write_range(self.bufs.y_out + i as u64 * dim_bytes, dim_bytes);
+    }
+}
+
+/// GNNAdvisor-style neighbor-grouped SpMM: one warp per Edge Group,
+/// accumulating in shared memory, then atomically merging into the output
+/// row.
+#[derive(Debug)]
+pub struct SpmmGnnAdvisorSim<'a> {
+    adj: &'a Csr,
+    part: &'a WarpPartition,
+    dim: usize,
+    bufs: Buffers,
+}
+
+impl<'a> SpmmGnnAdvisorSim<'a> {
+    /// Creates the simulation for the neighbor-grouped baseline.
+    pub fn new(adj: &'a Csr, part: &'a WarpPartition, dim: usize) -> Self {
+        let bufs = layout(adj.num_nodes(), adj.num_edges(), dim, 1, 1);
+        SpmmGnnAdvisorSim { adj, part, dim, bufs }
+    }
+}
+
+impl WarpKernel for SpmmGnnAdvisorSim<'_> {
+    fn name(&self) -> &str {
+        "spmm-gnnadvisor"
+    }
+
+    fn num_warps(&self) -> usize {
+        self.part.num_groups()
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx<'_>) {
+        let eg = self.part.groups()[warp_id];
+        let dim_bytes = (self.dim * 4) as u64;
+        let len = eg.len as u64;
+        ctx.global_read_range(self.bufs.col_idx + 4 * eg.start as u64, 4 * len);
+        ctx.global_read_range(self.bufs.edge_val + 4 * eg.start as u64, 4 * len);
+        let cols = &self.adj.col_idx()[eg.start..eg.start + eg.len as usize];
+        for &j in cols {
+            ctx.global_read_range(self.bufs.x_dense + j as u64 * dim_bytes, dim_bytes);
+            ctx.shared_write(self.dim as u64); // dense accumulate in shared
+            ctx.compute(2 * self.dim as u64);
+        }
+        // Flush: read the staging buffer, atomically add to the output.
+        ctx.shared_read(self.dim as u64);
+        ctx.global_atomic_range(self.bufs.y_out + eg.row as u64 * dim_bytes, dim_bytes);
+    }
+}
+
+/// Forward row-wise SpGEMM with CBSR features (Algorithm 1): one warp per
+/// Edge Group; `sp_data`/`sp_index` fetches are `k`-wide; sparse
+/// accumulation happens in shared memory; the `dim_origin`-wide buffer is
+/// flushed once per EG with coalesced atomics.
+#[derive(Debug)]
+pub struct SpgemmForwardSim<'a> {
+    adj: &'a Csr,
+    part: &'a WarpPartition,
+    dim_origin: usize,
+    k: usize,
+    index_width: usize,
+    bufs: Buffers,
+}
+
+impl<'a> SpgemmForwardSim<'a> {
+    /// Creates the simulation for `Y = A · Xs` with `Xs` in CBSR.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k > dim_origin`.
+    pub fn new(adj: &'a Csr, part: &'a WarpPartition, dim_origin: usize, k: usize) -> Self {
+        assert!(k <= dim_origin, "k must not exceed dim_origin");
+        let index_width = if dim_origin <= 256 { 1 } else { 2 };
+        let bufs = layout(adj.num_nodes(), adj.num_edges(), dim_origin, k, index_width);
+        SpgemmForwardSim { adj, part, dim_origin, k, index_width, bufs }
+    }
+}
+
+impl WarpKernel for SpgemmForwardSim<'_> {
+    fn name(&self) -> &str {
+        "spgemm-forward"
+    }
+
+    fn num_warps(&self) -> usize {
+        self.part.num_groups()
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx<'_>) {
+        let eg = self.part.groups()[warp_id];
+        let len = eg.len as u64;
+        let k = self.k as u64;
+        let kb_data = k * 4;
+        let kb_index = k * self.index_width as u64;
+        ctx.global_read_range(self.bufs.col_idx + 4 * eg.start as u64, 4 * len);
+        ctx.global_read_range(self.bufs.edge_val + 4 * eg.start as u64, 4 * len);
+        let cols = &self.adj.col_idx()[eg.start..eg.start + eg.len as usize];
+        let mut offsets = Vec::with_capacity(self.k);
+        for &j in cols {
+            // CBSR row fetch: (4 + iw)·k bytes instead of 4·dim.
+            ctx.global_read_range(self.bufs.sp_data + j as u64 * kb_data, kb_data);
+            ctx.global_read_range(self.bufs.sp_index + j as u64 * kb_index, kb_index);
+            // Sparse accumulation into Buf_w, indexed by sp_index —
+            // scattered within the buffer, so bank conflicts apply.
+            offsets.clear();
+            for t in 0..k {
+                offsets.push(synth_index(j as u64, t, self.dim_origin as u64));
+            }
+            ctx.shared_write_lanes(&offsets);
+            ctx.compute(2 * k);
+        }
+        // Stage 2 write-back: coalesced atomic accumulation of the
+        // dim_origin-wide buffer into the output row.
+        let dim_bytes = (self.dim_origin * 4) as u64;
+        ctx.shared_read(self.dim_origin as u64);
+        ctx.global_atomic_range(self.bufs.y_out + eg.row as u64 * dim_bytes, dim_bytes);
+    }
+}
+
+/// Backward outer-product SSpMM (Algorithm 2): one warp per source row,
+/// prefetching the dense gradient row to shared memory, then scattering
+/// `k`-wide coalesced atomic updates into each neighbor's `sp_data` row.
+#[derive(Debug)]
+pub struct SspmmBackwardSim<'a> {
+    adj: &'a Csr,
+    dim_origin: usize,
+    k: usize,
+    index_width: usize,
+    bufs: Buffers,
+}
+
+impl<'a> SspmmBackwardSim<'a> {
+    /// Creates the simulation for `dXs = mask(Aᵀ · dXl)`.
+    ///
+    /// `adj` is passed in its forward CSR form; the backward kernel walks
+    /// it as the CSC of `Aᵀ` (same storage, §4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k > dim_origin`.
+    pub fn new(adj: &'a Csr, dim_origin: usize, k: usize) -> Self {
+        assert!(k <= dim_origin, "k must not exceed dim_origin");
+        let index_width = if dim_origin <= 256 { 1 } else { 2 };
+        let bufs = layout(adj.num_nodes(), adj.num_edges(), dim_origin, k, index_width);
+        SspmmBackwardSim { adj, dim_origin, k, index_width, bufs }
+    }
+}
+
+impl WarpKernel for SspmmBackwardSim<'_> {
+    fn name(&self) -> &str {
+        "sspmm-backward"
+    }
+
+    fn num_warps(&self) -> usize {
+        self.adj.num_nodes()
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx<'_>) {
+        let j = warp_id;
+        let (cols, _) = self.adj.row(j);
+        if cols.is_empty() {
+            return;
+        }
+        let dim_bytes = (self.dim_origin * 4) as u64;
+        let k = self.k as u64;
+        let kb_data = k * 4;
+        let kb_index = k * self.index_width as u64;
+        // Stage 1: on-chip buffering of the dense row dXl[j,:] — one
+        // coalesced read of 4·dim bytes per source row (the 4·N·dim term).
+        ctx.global_read_range(self.bufs.x_dense + j as u64 * dim_bytes, dim_bytes);
+        ctx.shared_write(self.dim_origin as u64);
+        // Stage 2: compute and accumulate per nonzero.
+        let row_ptr_j = self.adj.row_ptr()[j] as u64;
+        let deg = cols.len() as u64;
+        ctx.global_read_range(self.bufs.col_idx + 4 * row_ptr_j, 4 * deg);
+        ctx.global_read_range(self.bufs.edge_val + 4 * row_ptr_j, 4 * deg);
+        let mut offsets = Vec::with_capacity(self.k);
+        for &i in cols {
+            // sp_index fetch (coalesced), irregular gather in shared
+            // (bank conflicts possible), coalesced atomic accumulation
+            // into sp_data[i,:].
+            ctx.global_read_range(self.bufs.sp_index + i as u64 * kb_index, kb_index);
+            offsets.clear();
+            for t in 0..k {
+                offsets.push(synth_index(i as u64, t, self.dim_origin as u64));
+            }
+            ctx.shared_read_lanes(&offsets);
+            ctx.global_atomic_range(self.bufs.sp_data + i as u64 * kb_data, kb_data);
+            ctx.compute(2 * k);
+        }
+    }
+}
+
+/// The MaxK nonlinearity kernel (§5.3): per node, buffer the embedding in
+/// shared memory, run pivot bisection, emit the CBSR row.
+#[derive(Debug)]
+pub struct MaxKSim {
+    n: usize,
+    dim_origin: usize,
+    k: usize,
+    index_width: usize,
+    pivot_iters: usize,
+    bufs: Buffers,
+}
+
+impl MaxKSim {
+    /// Creates the simulation for the selection kernel with an assumed
+    /// `pivot_iters` bisection iterations per row (the paper observes
+    /// < 10 on normally-distributed feature maps).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k > dim_origin`.
+    pub fn new(n: usize, dim_origin: usize, k: usize, pivot_iters: usize) -> Self {
+        assert!(k <= dim_origin, "k must not exceed dim_origin");
+        let index_width = if dim_origin <= 256 { 1 } else { 2 };
+        let bufs = layout(n, 1, dim_origin, k, index_width);
+        MaxKSim { n, dim_origin, k, index_width, pivot_iters, bufs }
+    }
+}
+
+impl WarpKernel for MaxKSim {
+    fn name(&self) -> &str {
+        "maxk-select"
+    }
+
+    fn num_warps(&self) -> usize {
+        self.n
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx<'_>) {
+        let dim_bytes = (self.dim_origin * 4) as u64;
+        let k = self.k as u64;
+        // Read the dense row once, keep it in shared memory for the
+        // bisection passes — global traffic is elementwise, like ReLU.
+        ctx.global_read_range(self.bufs.x_dense + warp_id as u64 * dim_bytes, dim_bytes);
+        ctx.shared_write(self.dim_origin as u64);
+        for _ in 0..self.pivot_iters {
+            ctx.shared_read(self.dim_origin as u64);
+            ctx.compute(self.dim_origin as u64);
+        }
+        // Emit the CBSR row.
+        ctx.global_write_range(self.bufs.sp_data + warp_id as u64 * k * 4, k * 4);
+        ctx.global_write_range(
+            self.bufs.sp_index + warp_id as u64 * k * self.index_width as u64,
+            k * self.index_width as u64,
+        );
+    }
+}
+
+/// Ablation: forward SpGEMM *without* the shared-memory accumulation
+/// buffer (contribution b of the paper removed). Every multiply scatters
+/// straight into the output row in global memory through `sp_index`,
+/// producing uncoalesced per-lane atomics instead of one coalesced
+/// `dim_origin`-wide flush per Edge Group.
+///
+/// Since the simulator carries no feature values, the scatter offsets are
+/// synthesized from a deterministic hash of `(source row, slot)` — the
+/// memory behaviour (random within the row) matches a real MaxK pattern.
+#[derive(Debug)]
+pub struct SpgemmNoSharedSim<'a> {
+    adj: &'a Csr,
+    part: &'a WarpPartition,
+    dim_origin: usize,
+    k: usize,
+    index_width: usize,
+    bufs: Buffers,
+}
+
+impl<'a> SpgemmNoSharedSim<'a> {
+    /// Creates the no-shared-buffer ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k > dim_origin`.
+    pub fn new(adj: &'a Csr, part: &'a WarpPartition, dim_origin: usize, k: usize) -> Self {
+        assert!(k <= dim_origin, "k must not exceed dim_origin");
+        let index_width = if dim_origin <= 256 { 1 } else { 2 };
+        let bufs = layout(adj.num_nodes(), adj.num_edges(), dim_origin, k, index_width);
+        SpgemmNoSharedSim { adj, part, dim_origin, k, index_width, bufs }
+    }
+}
+
+/// Deterministic pseudo-random column for `(row, slot)` scatter synthesis.
+fn synth_index(j: u64, t: u64, dim: u64) -> u64 {
+    (j.wrapping_mul(2_654_435_761).wrapping_add(t.wrapping_mul(40_503))) % dim
+}
+
+impl WarpKernel for SpgemmNoSharedSim<'_> {
+    fn name(&self) -> &str {
+        "spgemm-no-shared"
+    }
+
+    fn num_warps(&self) -> usize {
+        self.part.num_groups()
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx<'_>) {
+        let eg = self.part.groups()[warp_id];
+        let len = eg.len as u64;
+        let k = self.k as u64;
+        ctx.global_read_range(self.bufs.col_idx + 4 * eg.start as u64, 4 * len);
+        ctx.global_read_range(self.bufs.edge_val + 4 * eg.start as u64, 4 * len);
+        let cols = &self.adj.col_idx()[eg.start..eg.start + eg.len as usize];
+        let row_base = self.bufs.y_out + eg.row as u64 * (self.dim_origin * 4) as u64;
+        let mut lane_addrs = Vec::with_capacity(self.k);
+        for &j in cols {
+            ctx.global_read_range(self.bufs.sp_data + j as u64 * k * 4, k * 4);
+            ctx.global_read_range(
+                self.bufs.sp_index + j as u64 * k * self.index_width as u64,
+                k * self.index_width as u64,
+            );
+            ctx.compute(2 * k);
+            // Scattered atomics into the output row — no staging buffer.
+            lane_addrs.clear();
+            for t in 0..k {
+                lane_addrs.push(row_base + 4 * synth_index(j as u64, t, self.dim_origin as u64));
+            }
+            ctx.global_atomic_lanes(&lane_addrs);
+        }
+    }
+}
+
+/// Ablation: backward SSpMM *without* the dense-row prefetch (contribution
+/// c removed). The `sp_index` gather reads scattered global addresses from
+/// `dX_l` directly instead of staging the row in shared memory first.
+#[derive(Debug)]
+pub struct SspmmNoPrefetchSim<'a> {
+    adj: &'a Csr,
+    dim_origin: usize,
+    k: usize,
+    index_width: usize,
+    bufs: Buffers,
+}
+
+impl<'a> SspmmNoPrefetchSim<'a> {
+    /// Creates the no-prefetch ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k > dim_origin`.
+    pub fn new(adj: &'a Csr, dim_origin: usize, k: usize) -> Self {
+        assert!(k <= dim_origin, "k must not exceed dim_origin");
+        let index_width = if dim_origin <= 256 { 1 } else { 2 };
+        let bufs = layout(adj.num_nodes(), adj.num_edges(), dim_origin, k, index_width);
+        SspmmNoPrefetchSim { adj, dim_origin, k, index_width, bufs }
+    }
+}
+
+impl WarpKernel for SspmmNoPrefetchSim<'_> {
+    fn name(&self) -> &str {
+        "sspmm-no-prefetch"
+    }
+
+    fn num_warps(&self) -> usize {
+        self.adj.num_nodes()
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx<'_>) {
+        let j = warp_id;
+        let (cols, _) = self.adj.row(j);
+        if cols.is_empty() {
+            return;
+        }
+        let k = self.k as u64;
+        let row_ptr_j = self.adj.row_ptr()[j] as u64;
+        let deg = cols.len() as u64;
+        ctx.global_read_range(self.bufs.col_idx + 4 * row_ptr_j, 4 * deg);
+        ctx.global_read_range(self.bufs.edge_val + 4 * row_ptr_j, 4 * deg);
+        let src_base = self.bufs.x_dense + j as u64 * (self.dim_origin * 4) as u64;
+        let mut lane_addrs = Vec::with_capacity(self.k);
+        for &i in cols {
+            ctx.global_read_range(
+                self.bufs.sp_index + i as u64 * k * self.index_width as u64,
+                k * self.index_width as u64,
+            );
+            // Uncoalesced global gather from dXl[j,:] at sp_index[i,:].
+            lane_addrs.clear();
+            for t in 0..k {
+                lane_addrs.push(src_base + 4 * synth_index(i as u64, t, self.dim_origin as u64));
+            }
+            ctx.global_read_lanes(&lane_addrs);
+            ctx.global_atomic_range(self.bufs.sp_data + i as u64 * k * 4, k * 4);
+            ctx.compute(2 * k);
+        }
+    }
+}
+
+/// Profiles of the four kernels on one graph (the Table 2 / Table 4 rows).
+#[derive(Debug, Clone)]
+pub struct KernelSuiteProfile {
+    /// cuSPARSE-style row-wise SpMM with dense `dim_origin` features.
+    pub spmm: KernelProfile,
+    /// GNNAdvisor-style SpMM with dense `dim_origin` features.
+    pub gnnadvisor: KernelProfile,
+    /// Forward SpGEMM with CBSR `k`-sparse features.
+    pub spgemm: KernelProfile,
+    /// Backward SSpMM producing the CBSR gradient.
+    pub sspmm: KernelProfile,
+    /// The MaxK selection kernel.
+    pub maxk: KernelProfile,
+}
+
+/// Runs the full kernel suite on a graph under one GPU configuration.
+///
+/// `w` is the Edge-Group width hyperparameter; `pivot_iters` the assumed
+/// MaxK bisection count (use the measured
+/// [`SelectionStats::avg_iterations`](crate::maxk::SelectionStats) when
+/// available).
+pub fn profile_kernel_suite(
+    adj: &Csr,
+    dim_origin: usize,
+    k: usize,
+    w: usize,
+    pivot_iters: usize,
+    cfg: &GpuConfig,
+) -> KernelSuiteProfile {
+    let part = WarpPartition::build(adj, w);
+    let engine = SimEngine::new(cfg.clone());
+    let spmm = engine.run(&SpmmRowWiseSim::new(adj, dim_origin));
+    let gnnadvisor = engine.run(&SpmmGnnAdvisorSim::new(adj, &part, dim_origin));
+    let spgemm = engine.run(&SpgemmForwardSim::new(adj, &part, dim_origin, k));
+    let sspmm = engine.run(&SspmmBackwardSim::new(adj, dim_origin, k));
+    let maxk = engine.run(&MaxKSim::new(adj.num_nodes(), dim_origin, k, pivot_iters));
+    KernelSuiteProfile { spmm, gnnadvisor, spgemm, sspmm, maxk }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic;
+    use maxk_graph::generate;
+
+    fn test_graph() -> Csr {
+        generate::chung_lu_power_law(800, 24.0, 2.2, 7).to_csr().unwrap()
+    }
+
+    fn tiny_cache_cfg() -> GpuConfig {
+        // Caches far smaller than the working set => L1-miss traffic ≈
+        // issued traffic, so counters are comparable with the closed-form
+        // model.
+        let mut cfg = GpuConfig::a100();
+        cfg.l1_bytes = 4 * 1024;
+        cfg.l2_bytes = 32 * 1024;
+        cfg.num_sms = 8;
+        cfg
+    }
+
+    #[test]
+    fn spmm_issued_traffic_matches_formula() {
+        let adj = test_graph();
+        let dim = 64;
+        let engine = SimEngine::new(tiny_cache_cfg());
+        let p = engine.run(&SpmmRowWiseSim::new(&adj, dim));
+        // L1-level issued read bytes = feature reads + adjacency reads +
+        // (output writes are separate). Compare the dominant term.
+        let issued = (p.l1_hits + p.l1_misses) * 32;
+        let expect =
+            traffic::spmm_feature_read_bytes(dim, adj.num_edges()) + traffic::adjacency_read_bytes(adj.num_edges());
+        let ratio = issued as f64 / expect as f64;
+        assert!((0.9..1.2).contains(&ratio), "issued {issued} vs model {expect}");
+    }
+
+    #[test]
+    fn spgemm_issued_traffic_matches_formula() {
+        let adj = test_graph();
+        let (dim, k, w) = (64, 8, 16);
+        let part = WarpPartition::build(&adj, w);
+        let engine = SimEngine::new(tiny_cache_cfg());
+        let p = engine.run(&SpgemmForwardSim::new(&adj, &part, dim, k));
+        let issued = (p.l1_hits + p.l1_misses) * 32;
+        let expect = traffic::spgemm_feature_read_bytes(k, adj.num_edges(), 1)
+            + traffic::adjacency_read_bytes(adj.num_edges());
+        let ratio = issued as f64 / expect as f64;
+        // Sector rounding on k·5-byte rows inflates small fetches.
+        assert!((0.9..2.0).contains(&ratio), "issued {issued} vs model {expect}");
+        // Atomic write-back count: dim_origin-wide flush per EG, in 32 B
+        // sectors.
+        let expected_atomics = part.num_groups() as u64 * (dim as u64 * 4 / 32);
+        assert_eq!(p.atomic_sectors, expected_atomics);
+    }
+
+    #[test]
+    fn sspmm_read_traffic_matches_formula() {
+        let adj = test_graph();
+        let (dim, k) = (64, 8);
+        let engine = SimEngine::new(tiny_cache_cfg());
+        let p = engine.run(&SspmmBackwardSim::new(&adj, dim, k));
+        let issued_reads = (p.l1_hits + p.l1_misses) * 32;
+        let expect = traffic::sspmm_read_bytes(adj.num_nodes(), dim, k, adj.num_edges(), 1)
+            + traffic::adjacency_read_bytes(adj.num_edges());
+        let ratio = issued_reads as f64 / expect as f64;
+        assert!((0.8..2.0).contains(&ratio), "issued {issued_reads} vs model {expect}");
+    }
+
+    #[test]
+    fn spgemm_moves_less_dram_than_spmm() {
+        let adj = test_graph();
+        let suite = profile_kernel_suite(&adj, 64, 8, 16, 6, &tiny_cache_cfg());
+        assert!(
+            suite.spgemm.dram_traffic_bytes() < suite.spmm.dram_traffic_bytes() / 2,
+            "spgemm {} vs spmm {}",
+            suite.spgemm.dram_traffic_bytes(),
+            suite.spmm.dram_traffic_bytes()
+        );
+        assert!(suite.sspmm.dram_traffic_bytes() < suite.spmm.dram_traffic_bytes() / 2);
+    }
+
+    #[test]
+    fn maxk_kernel_traffic_is_elementwise_scale() {
+        let adj = test_graph();
+        let suite = profile_kernel_suite(&adj, 64, 8, 16, 6, &tiny_cache_cfg());
+        // MaxK touches each feature once: ~4·N·dim read + small writes —
+        // orders of magnitude below SpMM's nnz·dim.
+        assert!(suite.maxk.dram_traffic_bytes() * 4 < suite.spmm.dram_traffic_bytes());
+    }
+
+    #[test]
+    fn latency_ordering_matches_paper() {
+        // Table 4: SpMM slowest; SpGEMM and SSpMM comparable; MaxK ~2% of
+        // SpGEMM.
+        let adj = test_graph();
+        let cfg = tiny_cache_cfg();
+        let suite = profile_kernel_suite(&adj, 256, 32, 16, 6, &cfg);
+        let t_spmm = suite.spmm.latency(&cfg);
+        let t_spgemm = suite.spgemm.latency(&cfg);
+        let t_sspmm = suite.sspmm.latency(&cfg);
+        let t_maxk = suite.maxk.latency(&cfg);
+        assert!(t_spgemm < t_spmm, "spgemm {t_spgemm} vs spmm {t_spmm}");
+        assert!(t_sspmm < t_spmm, "sspmm {t_sspmm} vs spmm {t_spmm}");
+        assert!(t_maxk < t_spgemm, "maxk {t_maxk} vs spgemm {t_spgemm}");
+    }
+
+    #[test]
+    fn ablation_no_shared_buffer_costs_atomics() {
+        // Removing the shared accumulation buffer multiplies atomic
+        // sectors: per-nonzero scattered lanes instead of one coalesced
+        // flush per EG.
+        let adj = test_graph();
+        let part = WarpPartition::build(&adj, 16);
+        let cfg = tiny_cache_cfg();
+        let engine = SimEngine::new(cfg.clone());
+        let with_buf = engine.run(&SpgemmForwardSim::new(&adj, &part, 64, 8));
+        let without = engine.run(&SpgemmNoSharedSim::new(&adj, &part, 64, 8));
+        assert!(
+            without.atomic_sectors > 2 * with_buf.atomic_sectors,
+            "no-shared {} vs buffered {}",
+            without.atomic_sectors,
+            with_buf.atomic_sectors
+        );
+        assert!(without.latency(&cfg) > with_buf.latency(&cfg));
+    }
+
+    #[test]
+    fn ablation_no_prefetch_costs_read_traffic() {
+        // Without the staged row, gathers hit global memory one sector per
+        // lane; with avg degree ≫ 1 this exceeds the single staged read.
+        let adj = test_graph();
+        let cfg = tiny_cache_cfg();
+        let engine = SimEngine::new(cfg.clone());
+        let with_prefetch = engine.run(&SspmmBackwardSim::new(&adj, 64, 8));
+        let without = engine.run(&SspmmNoPrefetchSim::new(&adj, 64, 8));
+        let issued_with = (with_prefetch.l1_hits + with_prefetch.l1_misses) * 32;
+        let issued_without = (without.l1_hits + without.l1_misses) * 32;
+        assert!(
+            issued_without > issued_with,
+            "no-prefetch issued {issued_without} vs prefetch {issued_with}"
+        );
+    }
+
+    #[test]
+    fn l1_hit_rate_ordering_matches_table2() {
+        // Table 2: L1 hit rates SpMM < SpGEMM (dense rows thrash the L1;
+        // 5-byte CBSR rows keep more of the working set resident).
+        let adj = test_graph();
+        let suite = profile_kernel_suite(&adj, 256, 32, 16, 6, &tiny_cache_cfg());
+        assert!(
+            suite.spgemm.l1_hit_rate() > suite.spmm.l1_hit_rate(),
+            "spgemm l1 {} vs spmm l1 {}",
+            suite.spgemm.l1_hit_rate(),
+            suite.spmm.l1_hit_rate()
+        );
+    }
+}

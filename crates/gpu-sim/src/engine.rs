@@ -1,0 +1,468 @@
+//! The warp-program execution engine.
+//!
+//! A kernel is expressed as a [`WarpKernel`]: a number of warps, each of
+//! which issues memory operations and FLOP counts through a [`WarpCtx`].
+//! The engine walks warps in launch order, routes their global accesses
+//! through per-SM L1 caches and a unified L2, and accumulates a
+//! [`KernelProfile`].
+//!
+//! The model is transaction-level, not cycle-level: it captures *how many
+//! bytes move at each level of the hierarchy and how well requests
+//! coalesce* — the quantities the paper's §4.3 analysis and Table 2 are
+//! about — and feeds them to the roofline latency model in
+//! [`KernelProfile::latency`].
+
+use crate::cache::SetAssocCache;
+use crate::config::GpuConfig;
+use crate::memory;
+use crate::profile::KernelProfile;
+
+/// A kernel expressed as per-warp work.
+///
+/// Implementations must be deterministic: the engine may be re-run to
+/// compare configurations.
+pub trait WarpKernel {
+    /// Kernel name used in profiles and reports.
+    fn name(&self) -> &str;
+
+    /// Total number of warps launched.
+    fn num_warps(&self) -> usize;
+
+    /// Executes warp `warp_id`'s memory/compute trace against the context.
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx<'_>);
+}
+
+/// Per-warp handle through which a kernel issues operations.
+#[derive(Debug)]
+pub struct WarpCtx<'a> {
+    cfg: &'a GpuConfig,
+    l1: &'a mut SetAssocCache,
+    l2: &'a mut SetAssocCache,
+    profile: &'a mut KernelProfile,
+    scratch: &'a mut Vec<u64>,
+}
+
+impl WarpCtx<'_> {
+    /// The machine configuration (for kernels that size buffers off it).
+    pub fn config(&self) -> &GpuConfig {
+        self.cfg
+    }
+
+    /// Reads arbitrary per-lane byte addresses from global memory
+    /// (a gather). Lane addresses are coalesced into sectors first.
+    pub fn global_read_lanes(&mut self, lane_addrs: &[u64]) {
+        memory::coalesce_sectors(lane_addrs, self.cfg.sector_bytes, self.scratch);
+        for i in 0..self.scratch.len() {
+            let sector = self.scratch[i];
+            self.read_sector(sector);
+        }
+    }
+
+    /// Reads a contiguous byte range from global memory (fully-coalesced
+    /// streaming access, e.g. a warp loading a dense embedding row).
+    pub fn global_read_range(&mut self, base: u64, bytes: u64) {
+        let sb = self.cfg.sector_bytes;
+        if bytes == 0 {
+            return;
+        }
+        let first = base / sb;
+        let last = (base + bytes - 1) / sb;
+        for s in first..=last {
+            self.read_sector(s * sb);
+        }
+    }
+
+    /// Writes a contiguous byte range to global memory.
+    ///
+    /// Writes bypass L1 (NVIDIA L1 is write-through for global data) and
+    /// allocate in L2; DRAM write bytes are charged on L2 miss, which
+    /// under-counts eventual write-backs slightly but keeps repeated
+    /// accumulator write-back cheap, matching hardware behaviour.
+    pub fn global_write_range(&mut self, base: u64, bytes: u64) {
+        let sb = self.cfg.sector_bytes;
+        if bytes == 0 {
+            return;
+        }
+        let first = base / sb;
+        let last = (base + bytes - 1) / sb;
+        for s in first..=last {
+            self.write_sector(s * sb);
+        }
+    }
+
+    /// Issues atomic read-modify-writes at per-lane addresses. Atomics
+    /// resolve at L2; the sector count after coalescing is the unit the
+    /// latency model charges.
+    pub fn global_atomic_lanes(&mut self, lane_addrs: &[u64]) {
+        memory::coalesce_sectors(lane_addrs, self.cfg.sector_bytes, self.scratch);
+        for i in 0..self.scratch.len() {
+            let sector = self.scratch[i];
+            self.profile.atomic_sectors += 1;
+            if self.l2.access(sector) {
+                self.profile.l2_hits += 1;
+            } else {
+                self.profile.l2_misses += 1;
+                self.profile.dram_write_bytes += self.cfg.sector_bytes;
+            }
+        }
+    }
+
+    /// Atomically accumulates a contiguous range (e.g. a shared-memory
+    /// buffer flushed to the output row with coalesced atomics).
+    pub fn global_atomic_range(&mut self, base: u64, bytes: u64) {
+        let sb = self.cfg.sector_bytes;
+        if bytes == 0 {
+            return;
+        }
+        let first = base / sb;
+        let last = (base + bytes - 1) / sb;
+        for s in first..=last {
+            self.profile.atomic_sectors += 1;
+            if self.l2.access(s * sb) {
+                self.profile.l2_hits += 1;
+            } else {
+                self.profile.l2_misses += 1;
+                self.profile.dram_write_bytes += self.cfg.sector_bytes;
+            }
+        }
+    }
+
+    /// Counts `words` 4-byte shared-memory reads (conflict-free, e.g. a
+    /// contiguous warp-wide sweep).
+    pub fn shared_read(&mut self, words: u64) {
+        self.profile.shared_reads += words;
+    }
+
+    /// Counts `words` 4-byte shared-memory writes (conflict-free).
+    pub fn shared_write(&mut self, words: u64) {
+        self.profile.shared_writes += words;
+    }
+
+    /// A warp-wide shared-memory *read* at arbitrary word offsets, with
+    /// bank-conflict accounting: NVIDIA shared memory has 32 four-byte
+    /// banks; lanes hitting the same bank at different words serialize.
+    pub fn shared_read_lanes(&mut self, word_offsets: &[u64]) {
+        self.profile.shared_reads += word_offsets.len() as u64;
+        self.profile.shared_bank_conflicts += bank_conflicts(word_offsets);
+    }
+
+    /// A warp-wide shared-memory *write* at arbitrary word offsets, with
+    /// bank-conflict accounting.
+    pub fn shared_write_lanes(&mut self, word_offsets: &[u64]) {
+        self.profile.shared_writes += word_offsets.len() as u64;
+        self.profile.shared_bank_conflicts += bank_conflicts(word_offsets);
+    }
+
+    /// Counts floating-point work.
+    pub fn compute(&mut self, flops: u64) {
+        self.profile.flops += flops;
+    }
+
+    fn read_sector(&mut self, sector: u64) {
+        if self.l1.access(sector) {
+            self.profile.l1_hits += 1;
+            return;
+        }
+        self.profile.l1_misses += 1;
+        if self.l2.access(sector) {
+            self.profile.l2_hits += 1;
+        } else {
+            self.profile.l2_misses += 1;
+            self.profile.dram_read_bytes += self.cfg.sector_bytes;
+        }
+    }
+
+    fn write_sector(&mut self, sector: u64) {
+        if self.l2.access(sector) {
+            self.profile.l2_hits += 1;
+        } else {
+            self.profile.l2_misses += 1;
+            self.profile.dram_write_bytes += self.cfg.sector_bytes;
+        }
+    }
+}
+
+/// Extra serialized cycles for one warp access at the given word offsets:
+/// `max lanes on any one bank − 1` (broadcasts of the *same* word do not
+/// conflict).
+fn bank_conflicts(word_offsets: &[u64]) -> u64 {
+    // Distinct words per bank; max over banks minus one is the number of
+    // extra serialized cycles.
+    let mut pairs: Vec<(u8, u64)> = word_offsets.iter().map(|&w| ((w % 32) as u8, w)).collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut counts = [0u32; 32];
+    for (b, _) in pairs {
+        counts[b as usize] += 1;
+    }
+    u64::from(counts.iter().copied().max().unwrap_or(0).saturating_sub(1))
+}
+
+/// Executes [`WarpKernel`]s against a configured machine.
+///
+/// # Example
+///
+/// ```
+/// use maxk_gpu_sim::{GpuConfig, SimEngine, WarpCtx, WarpKernel};
+///
+/// struct Stream;
+/// impl WarpKernel for Stream {
+///     fn name(&self) -> &str { "stream" }
+///     fn num_warps(&self) -> usize { 4 }
+///     fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx<'_>) {
+///         ctx.global_read_range(warp_id as u64 * 128, 128);
+///     }
+/// }
+///
+/// let engine = SimEngine::new(GpuConfig::a100());
+/// let profile = engine.run(&Stream);
+/// assert_eq!(profile.dram_read_bytes, 4 * 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimEngine {
+    cfg: GpuConfig,
+}
+
+impl SimEngine {
+    /// Creates an engine for the given machine.
+    pub fn new(cfg: GpuConfig) -> Self {
+        SimEngine { cfg }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Runs a kernel from cold caches and returns its profile.
+    ///
+    /// Warps are distributed round-robin over SMs (each SM owns a private
+    /// L1); the unified L2 is shared by all warps.
+    pub fn run(&self, kernel: &dyn WarpKernel) -> KernelProfile {
+        // NVIDIA L1/L2 are sectored: tags cover 128 B lines but fills and
+        // hit/miss accounting happen per 32 B sector. Modelling the caches
+        // at sector granularity reproduces that traffic behaviour.
+        let mut l1s: Vec<SetAssocCache> = (0..self.cfg.num_sms)
+            .map(|_| SetAssocCache::new(self.cfg.l1_bytes, self.cfg.sector_bytes, self.cfg.l1_ways))
+            .collect();
+        let mut l2 = SetAssocCache::new(self.cfg.l2_bytes, self.cfg.sector_bytes, self.cfg.l2_ways);
+        let mut profile = KernelProfile::new(kernel.name());
+        let mut scratch: Vec<u64> = Vec::with_capacity(self.cfg.warp_size);
+        let num_warps = kernel.num_warps();
+        profile.warps = num_warps as u64;
+        for warp_id in 0..num_warps {
+            let sm = warp_id % self.cfg.num_sms;
+            let mut ctx = WarpCtx {
+                cfg: &self.cfg,
+                l1: &mut l1s[sm],
+                l2: &mut l2,
+                profile: &mut profile,
+                scratch: &mut scratch,
+            };
+            kernel.run_warp(warp_id, &mut ctx);
+        }
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Streams `rows` rows of `row_bytes` each, every warp reading one row.
+    struct StreamKernel {
+        rows: usize,
+        row_bytes: u64,
+    }
+
+    impl WarpKernel for StreamKernel {
+        fn name(&self) -> &str {
+            "stream"
+        }
+        fn num_warps(&self) -> usize {
+            self.rows
+        }
+        fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx<'_>) {
+            ctx.global_read_range(warp_id as u64 * self.row_bytes, self.row_bytes);
+        }
+    }
+
+    /// Every warp re-reads the same row: after the first warp per SM it
+    /// should hit in cache.
+    struct ReuseKernel {
+        warps: usize,
+    }
+
+    impl WarpKernel for ReuseKernel {
+        fn name(&self) -> &str {
+            "reuse"
+        }
+        fn num_warps(&self) -> usize {
+            self.warps
+        }
+        fn run_warp(&self, _warp_id: usize, ctx: &mut WarpCtx<'_>) {
+            ctx.global_read_range(0, 128);
+        }
+    }
+
+    #[test]
+    fn streaming_kernel_misses_everywhere() {
+        let engine = SimEngine::new(GpuConfig::a100());
+        let p = engine.run(&StreamKernel { rows: 1000, row_bytes: 1024 });
+        assert_eq!(p.dram_read_bytes, 1000 * 1024);
+        assert_eq!(p.l1_hit_rate(), 0.0);
+        assert_eq!(p.l2_hit_rate(), 0.0);
+        assert_eq!(p.warps, 1000);
+    }
+
+    #[test]
+    fn reuse_kernel_hits_in_l2_across_sms() {
+        let engine = SimEngine::new(GpuConfig::a100());
+        let p = engine.run(&ReuseKernel { warps: 10_000 });
+        // One DRAM fill of 128 B; everything else cached.
+        assert_eq!(p.dram_read_bytes, 128);
+        assert!(p.l1_hit_rate() > 0.9, "l1 {}", p.l1_hit_rate());
+    }
+
+    #[test]
+    fn atomics_counted_and_resolved_at_l2() {
+        struct AtomicKernel;
+        impl WarpKernel for AtomicKernel {
+            fn name(&self) -> &str {
+                "atomic"
+            }
+            fn num_warps(&self) -> usize {
+                10
+            }
+            fn run_warp(&self, _w: usize, ctx: &mut WarpCtx<'_>) {
+                ctx.global_atomic_range(0, 128); // 4 sectors, same lines
+            }
+        }
+        let engine = SimEngine::new(GpuConfig::a100());
+        let p = engine.run(&AtomicKernel);
+        assert_eq!(p.atomic_sectors, 40);
+        // First warp misses 4 sectors, rest hit.
+        assert_eq!(p.dram_write_bytes, 4 * 32);
+        assert_eq!(p.l2_hits, 36);
+    }
+
+    #[test]
+    fn gather_coalescing_affects_sector_count() {
+        struct Gather {
+            stride: u64,
+        }
+        impl WarpKernel for Gather {
+            fn name(&self) -> &str {
+                "gather"
+            }
+            fn num_warps(&self) -> usize {
+                1
+            }
+            fn run_warp(&self, _w: usize, ctx: &mut WarpCtx<'_>) {
+                let addrs: Vec<u64> = (0..32).map(|l| l * self.stride).collect();
+                ctx.global_read_lanes(&addrs);
+            }
+        }
+        let engine = SimEngine::new(GpuConfig::a100());
+        let coalesced = engine.run(&Gather { stride: 4 });
+        let scattered = engine.run(&Gather { stride: 4096 });
+        assert_eq!(coalesced.dram_read_bytes, 4 * 32);
+        assert_eq!(scattered.dram_read_bytes, 32 * 32);
+    }
+
+    #[test]
+    fn shared_and_compute_counters() {
+        struct Mixed;
+        impl WarpKernel for Mixed {
+            fn name(&self) -> &str {
+                "mixed"
+            }
+            fn num_warps(&self) -> usize {
+                3
+            }
+            fn run_warp(&self, _w: usize, ctx: &mut WarpCtx<'_>) {
+                ctx.shared_write(64);
+                ctx.shared_read(32);
+                ctx.compute(1000);
+            }
+        }
+        let engine = SimEngine::new(GpuConfig::a100());
+        let p = engine.run(&Mixed);
+        assert_eq!(p.shared_writes, 192);
+        assert_eq!(p.shared_reads, 96);
+        assert_eq!(p.flops, 3000);
+    }
+
+    #[test]
+    fn bank_conflict_accounting() {
+        struct SharedPatterns;
+        impl WarpKernel for SharedPatterns {
+            fn name(&self) -> &str {
+                "shared-patterns"
+            }
+            fn num_warps(&self) -> usize {
+                1
+            }
+            fn run_warp(&self, _w: usize, ctx: &mut WarpCtx<'_>) {
+                // Conflict-free: 32 consecutive words, one per bank.
+                let seq: Vec<u64> = (0..32).collect();
+                ctx.shared_read_lanes(&seq);
+                // Broadcast: all lanes same word -> free.
+                ctx.shared_read_lanes(&[7u64; 32]);
+                // Worst case: stride 32 -> all lanes on bank 0.
+                let stride: Vec<u64> = (0..32).map(|l| l * 32).collect();
+                ctx.shared_write_lanes(&stride);
+            }
+        }
+        let engine = SimEngine::new(GpuConfig::a100());
+        let p = engine.run(&SharedPatterns);
+        assert_eq!(p.shared_bank_conflicts, 31);
+        assert_eq!(p.shared_reads, 64);
+        assert_eq!(p.shared_writes, 32);
+    }
+
+    #[test]
+    fn two_way_conflict_counts_one_extra_cycle() {
+        struct TwoWay;
+        impl WarpKernel for TwoWay {
+            fn name(&self) -> &str {
+                "two-way"
+            }
+            fn num_warps(&self) -> usize {
+                1
+            }
+            fn run_warp(&self, _w: usize, ctx: &mut WarpCtx<'_>) {
+                // Words 0 and 32 share bank 0; everything else distinct.
+                ctx.shared_read_lanes(&[0, 32, 1, 2, 3]);
+            }
+        }
+        let engine = SimEngine::new(GpuConfig::a100());
+        let p = engine.run(&TwoWay);
+        assert_eq!(p.shared_bank_conflicts, 1);
+    }
+
+    #[test]
+    fn smaller_l2_lowers_hit_rate() {
+        // Working set of 1 MB cycled twice: fits in 40 MB L2, thrashes a
+        // 64 KB one.
+        struct Sweep;
+        impl WarpKernel for Sweep {
+            fn name(&self) -> &str {
+                "sweep"
+            }
+            fn num_warps(&self) -> usize {
+                2 * 8192
+            }
+            fn run_warp(&self, w: usize, ctx: &mut WarpCtx<'_>) {
+                let row = (w % 8192) as u64;
+                ctx.global_read_range(row * 128, 128);
+            }
+        }
+        let big = SimEngine::new(GpuConfig::a100()).run(&Sweep);
+        let mut small_cfg = GpuConfig::a100();
+        small_cfg.l2_bytes = 64 * 1024;
+        let small = SimEngine::new(small_cfg).run(&Sweep);
+        assert!(big.l2_hit_rate() > 0.4, "big {}", big.l2_hit_rate());
+        assert!(small.l2_hit_rate() < 0.05, "small {}", small.l2_hit_rate());
+    }
+}

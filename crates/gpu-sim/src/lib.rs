@@ -1,0 +1,43 @@
+//! GPU memory-system simulator: the reproduction's stand-in for the
+//! paper's NVIDIA A100.
+//!
+//! The MaxK-GNN paper's kernel results are *memory-system* results: §4.3
+//! derives closed-form global-memory traffic, Table 2 reports Nsight
+//! Compute counters (L2↔HBM traffic, L1/L2 hit rates, bandwidth
+//! utilization) and the speedups of Fig. 8 follow from them. This crate
+//! reproduces those counters in software:
+//!
+//! * [`GpuConfig`] — an A100-like machine description (SM count, cache
+//!   geometry, bandwidths), including [`GpuConfig::scaled`] which shrinks
+//!   cache capacities in proportion to dataset downscaling so hit-rate
+//!   behaviour is preserved;
+//! * [`cache::SetAssocCache`] — set-associative LRU cache model used for
+//!   per-SM L1 and the unified L2;
+//! * [`memory`] — warp-level coalescing of lane addresses into 32 B
+//!   sectors, plus a bump allocator assigning buffers disjoint address
+//!   ranges;
+//! * [`engine::SimEngine`] — executes [`engine::WarpKernel`]s: kernels
+//!   issue global/shared memory operations and FLOP counts through a
+//!   [`engine::WarpCtx`], the engine drives the cache hierarchy and
+//!   accumulates a [`KernelProfile`];
+//! * [`KernelProfile`] — the Nsight-shaped counter record with a
+//!   calibrated latency model.
+//!
+//! Functional correctness of simulated kernels is established in
+//! `maxk-core`, which runs the same algorithms on the CPU and asserts
+//! bit-equality; this crate only accounts for the memory behaviour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod memory;
+pub mod profile;
+
+pub use cache::SetAssocCache;
+pub use config::GpuConfig;
+pub use engine::{SimEngine, WarpCtx, WarpKernel};
+pub use memory::{coalesce_sectors, BufferLayout};
+pub use profile::KernelProfile;

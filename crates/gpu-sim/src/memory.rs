@@ -1,0 +1,130 @@
+//! Warp-level coalescing and address-space layout.
+
+/// Collapses the byte addresses touched by a warp's lanes into the set of
+/// unique 32 B (or `sector_bytes`) sector addresses — the unit of DRAM
+/// transfer on NVIDIA GPUs.
+///
+/// A fully-coalesced warp read of 32 consecutive `f32`s maps to 4 sectors;
+/// a fully-scattered gather maps to up to 32. Sector addresses are returned
+/// sorted and deduplicated (aligned to `sector_bytes`).
+///
+/// # Panics
+///
+/// Panics if `sector_bytes == 0`.
+pub fn coalesce_sectors(lane_addrs: &[u64], sector_bytes: u64, out: &mut Vec<u64>) {
+    assert!(sector_bytes > 0, "sector size must be positive");
+    out.clear();
+    out.extend(lane_addrs.iter().map(|a| (a / sector_bytes) * sector_bytes));
+    out.sort_unstable();
+    out.dedup();
+}
+
+/// Number of sectors an aligned contiguous byte range occupies.
+pub fn sectors_in_range(base: u64, bytes: u64, sector_bytes: u64) -> u64 {
+    if bytes == 0 {
+        return 0;
+    }
+    let first = base / sector_bytes;
+    let last = (base + bytes - 1) / sector_bytes;
+    last - first + 1
+}
+
+/// Bump allocator assigning named buffers disjoint global-memory address
+/// ranges (aligned to 256 B, matching `cudaMalloc` behaviour).
+///
+/// # Example
+///
+/// ```
+/// use maxk_gpu_sim::BufferLayout;
+///
+/// let mut layout = BufferLayout::new();
+/// let a = layout.alloc("features", 1000);
+/// let b = layout.alloc("adjacency", 4096);
+/// assert!(b >= a + 1000);
+/// assert_eq!(b % 256, 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BufferLayout {
+    cursor: u64,
+    buffers: Vec<(String, u64, u64)>, // name, base, bytes
+}
+
+impl BufferLayout {
+    /// An empty layout starting at address 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves `bytes` for `name`, returning the base address.
+    pub fn alloc(&mut self, name: &str, bytes: u64) -> u64 {
+        let base = self.cursor;
+        self.buffers.push((name.to_owned(), base, bytes));
+        self.cursor = (self.cursor + bytes).div_ceil(256) * 256;
+        base
+    }
+
+    /// Total bytes reserved (including alignment padding).
+    pub fn total_bytes(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Looks up a buffer's `(base, bytes)` by name.
+    pub fn get(&self, name: &str) -> Option<(u64, u64)> {
+        self.buffers
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, base, bytes)| (base, bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_warp_read_is_four_sectors() {
+        // 32 lanes × 4 B consecutive = 128 B = 4 × 32 B sectors.
+        let addrs: Vec<u64> = (0..32).map(|l| 1024 + l * 4).collect();
+        let mut out = Vec::new();
+        coalesce_sectors(&addrs, 32, &mut out);
+        assert_eq!(out, vec![1024, 1056, 1088, 1120]);
+    }
+
+    #[test]
+    fn scattered_gather_is_one_sector_per_lane() {
+        let addrs: Vec<u64> = (0..32).map(|l| l * 4096).collect();
+        let mut out = Vec::new();
+        coalesce_sectors(&addrs, 32, &mut out);
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn duplicate_lane_addresses_merge() {
+        let addrs = vec![64, 64, 65, 90];
+        let mut out = Vec::new();
+        coalesce_sectors(&addrs, 32, &mut out);
+        assert_eq!(out, vec![64]);
+    }
+
+    #[test]
+    fn sectors_in_range_counts_straddles() {
+        assert_eq!(sectors_in_range(0, 32, 32), 1);
+        assert_eq!(sectors_in_range(0, 33, 32), 2);
+        assert_eq!(sectors_in_range(16, 32, 32), 2); // straddles boundary
+        assert_eq!(sectors_in_range(100, 0, 32), 0);
+    }
+
+    #[test]
+    fn layout_is_disjoint_and_aligned() {
+        let mut layout = BufferLayout::new();
+        let a = layout.alloc("a", 100);
+        let b = layout.alloc("b", 300);
+        let c = layout.alloc("c", 1);
+        assert_eq!(a, 0);
+        assert_eq!(b, 256);
+        assert_eq!(c, 256 + 512);
+        assert_eq!(layout.get("b"), Some((256, 300)));
+        assert_eq!(layout.get("missing"), None);
+        assert!(layout.total_bytes() >= 256 + 512 + 1);
+    }
+}

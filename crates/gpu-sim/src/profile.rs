@@ -1,0 +1,223 @@
+//! Kernel performance counters and the latency model.
+
+use crate::config::GpuConfig;
+
+/// Nsight-Compute-shaped counter record for one simulated kernel launch.
+///
+/// Counters are accumulated by [`SimEngine`](crate::SimEngine) as the
+/// kernel's warps issue memory operations; [`KernelProfile::latency`]
+/// converts them to a modelled execution time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelProfile {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// Warps executed.
+    pub warps: u64,
+    /// L1 sector accesses that hit.
+    pub l1_hits: u64,
+    /// L1 sector accesses that missed (forwarded to L2).
+    pub l1_misses: u64,
+    /// L2 sector accesses that hit.
+    pub l2_hits: u64,
+    /// L2 sector accesses that missed (forwarded to DRAM).
+    pub l2_misses: u64,
+    /// Bytes read from DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM (write-through accounting).
+    pub dram_write_bytes: u64,
+    /// Global atomic operations, in 32 B sectors after warp coalescing.
+    pub atomic_sectors: u64,
+    /// Shared-memory words read.
+    pub shared_reads: u64,
+    /// Shared-memory words written.
+    pub shared_writes: u64,
+    /// Extra serialized shared-memory cycles caused by bank conflicts
+    /// (lanes of one warp hitting the same bank with different words).
+    pub shared_bank_conflicts: u64,
+    /// Floating-point operations executed.
+    pub flops: u64,
+}
+
+impl KernelProfile {
+    /// Creates an empty profile with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelProfile { name: name.into(), ..Default::default() }
+    }
+
+    /// L1 hit rate over sector accesses (0 when idle).
+    pub fn l1_hit_rate(&self) -> f64 {
+        ratio(self.l1_hits, self.l1_hits + self.l1_misses)
+    }
+
+    /// L2 hit rate over sector accesses (0 when idle).
+    pub fn l2_hit_rate(&self) -> f64 {
+        ratio(self.l2_hits, self.l2_hits + self.l2_misses)
+    }
+
+    /// Bytes moved between L1 and L2 (the paper's Table 2 "total traffic"
+    /// is measured at this boundary: L1-miss sectors).
+    pub fn l2_traffic_bytes(&self) -> u64 {
+        (self.l2_hits + self.l2_misses) * 32
+    }
+
+    /// Bytes moved between L2 and DRAM.
+    pub fn dram_traffic_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Modelled kernel latency in seconds.
+    ///
+    /// The kernel is modelled as bandwidth-bound on whichever resource is
+    /// most loaded — DRAM, L2, shared memory, the FP pipes, or the global
+    /// atomic unit — plus a fixed launch overhead. This is the standard
+    /// roofline treatment; the paper's own analysis (§4.3, Table 2)
+    /// reasons the same way, attributing the SpGEMM/SSpMM win to DRAM
+    /// traffic reduction and the residual cost to the atomic accumulation
+    /// and prefetch stages.
+    pub fn latency(&self, cfg: &GpuConfig) -> f64 {
+        let t_dram = self.dram_traffic_bytes() as f64 / cfg.dram_bandwidth;
+        let t_l2 = self.l2_traffic_bytes() as f64 / cfg.l2_bandwidth;
+        // Bank conflicts serialize: each extra cycle costs a warp-width of
+        // shared bandwidth.
+        let shared_ops =
+            self.shared_reads + self.shared_writes + 32 * self.shared_bank_conflicts;
+        let t_shared = shared_ops as f64 * 4.0 / cfg.shared_bandwidth;
+        let t_flop = self.flops as f64 / cfg.flop_rate;
+        let t_atomic = self.atomic_sectors as f64 / cfg.atomic_sector_rate;
+        cfg.launch_overhead + t_dram.max(t_l2).max(t_shared).max(t_flop).max(t_atomic)
+    }
+
+    /// Achieved DRAM bandwidth as a fraction of peak, given the modelled
+    /// latency (the paper's "memory bandwidth utilization" row).
+    pub fn bandwidth_utilization(&self, cfg: &GpuConfig) -> f64 {
+        let lat = self.latency(cfg);
+        if lat <= 0.0 {
+            return 0.0;
+        }
+        (self.dram_traffic_bytes() as f64 / lat) / cfg.dram_bandwidth
+    }
+
+    /// Name of the resource the latency model says dominates.
+    pub fn bottleneck(&self, cfg: &GpuConfig) -> &'static str {
+        let t_dram = self.dram_traffic_bytes() as f64 / cfg.dram_bandwidth;
+        let t_l2 = self.l2_traffic_bytes() as f64 / cfg.l2_bandwidth;
+        let shared_ops =
+            self.shared_reads + self.shared_writes + 32 * self.shared_bank_conflicts;
+        let t_shared = shared_ops as f64 * 4.0 / cfg.shared_bandwidth;
+        let t_flop = self.flops as f64 / cfg.flop_rate;
+        let t_atomic = self.atomic_sectors as f64 / cfg.atomic_sector_rate;
+        let mx = t_dram.max(t_l2).max(t_shared).max(t_flop).max(t_atomic);
+        if mx == t_dram {
+            "dram"
+        } else if mx == t_atomic {
+            "atomics"
+        } else if mx == t_l2 {
+            "l2"
+        } else if mx == t_shared {
+            "shared"
+        } else {
+            "compute"
+        }
+    }
+
+    /// Merges another profile's counters into this one (multi-launch
+    /// aggregation).
+    pub fn merge(&mut self, other: &KernelProfile) {
+        self.warps += other.warps;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.atomic_sectors += other.atomic_sectors;
+        self.shared_reads += other.shared_reads;
+        self.shared_writes += other.shared_writes;
+        self.shared_bank_conflicts += other.shared_bank_conflicts;
+        self.flops += other.flops;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KernelProfile {
+        KernelProfile {
+            name: "sample".into(),
+            warps: 10,
+            l1_hits: 60,
+            l1_misses: 40,
+            l2_hits: 30,
+            l2_misses: 10,
+            dram_read_bytes: 320,
+            dram_write_bytes: 0,
+            atomic_sectors: 5,
+            shared_reads: 100,
+            shared_writes: 50,
+            flops: 1_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hit_rates() {
+        let p = sample();
+        assert!((p.l1_hit_rate() - 0.6).abs() < 1e-12);
+        assert!((p.l2_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(KernelProfile::new("idle").l1_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let p = sample();
+        assert_eq!(p.l2_traffic_bytes(), 40 * 32);
+        assert_eq!(p.dram_traffic_bytes(), 320);
+    }
+
+    #[test]
+    fn latency_includes_launch_overhead() {
+        let cfg = GpuConfig::a100();
+        let p = KernelProfile::new("empty");
+        assert!((p.latency(&cfg) - cfg.launch_overhead).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_is_bandwidth_bound_for_dram_heavy_kernel() {
+        let cfg = GpuConfig::a100();
+        let mut p = KernelProfile::new("dram");
+        p.dram_read_bytes = (cfg.dram_bandwidth * 0.01) as u64; // ~10 ms worth
+        let lat = p.latency(&cfg);
+        assert!((lat - (0.01 + cfg.launch_overhead)).abs() < 1e-4);
+        assert_eq!(p.bottleneck(&cfg), "dram");
+        assert!(p.bandwidth_utilization(&cfg) > 0.99);
+    }
+
+    #[test]
+    fn atomic_bound_kernel_reports_atomics() {
+        let cfg = GpuConfig::a100();
+        let mut p = KernelProfile::new("atomics");
+        p.atomic_sectors = (cfg.atomic_sector_rate * 0.02) as u64;
+        p.dram_read_bytes = 1024;
+        assert_eq!(p.bottleneck(&cfg), "atomics");
+        assert!(p.bandwidth_utilization(&cfg) < 0.01);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.l1_hits, 120);
+        assert_eq!(a.flops, 2_000);
+        assert_eq!(a.warps, 20);
+    }
+}

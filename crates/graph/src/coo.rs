@@ -1,0 +1,238 @@
+//! Coordinate-format (edge list) graph representation.
+//!
+//! [`Coo`] is the construction-time format: generators emit edge lists,
+//! which are then deduplicated, sorted and converted to [`Csr`] for
+//! kernel consumption.
+//!
+//! [`Csr`]: crate::Csr
+
+use crate::{Csr, GraphError, Result};
+
+/// An edge list with a fixed node count.
+///
+/// Edges are directed `(src, dst)` pairs; use [`Coo::symmetrize`] to make
+/// the adjacency symmetric (undirected), which is what all the paper's
+/// datasets use.
+///
+/// # Example
+///
+/// ```
+/// use maxk_graph::Coo;
+///
+/// # fn main() -> Result<(), maxk_graph::GraphError> {
+/// let mut coo = Coo::new(4);
+/// coo.push(0, 1);
+/// coo.push(1, 2);
+/// coo.push(3, 0);
+/// let csr = coo.symmetrize().to_csr()?;
+/// assert_eq!(csr.num_edges(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coo {
+    num_nodes: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl Coo {
+    /// Creates an empty edge list over `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Coo { num_nodes, edges: Vec::new() }
+    }
+
+    /// Creates an edge list from raw pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if an endpoint is `>=
+    /// num_nodes`, and [`GraphError::EmptyGraph`] if `num_nodes == 0`.
+    pub fn from_edges(num_nodes: usize, edges: Vec<(u32, u32)>) -> Result<Self> {
+        if num_nodes == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        for &(s, d) in &edges {
+            let bad = if (s as usize) >= num_nodes {
+                Some(s)
+            } else if (d as usize) >= num_nodes {
+                Some(d)
+            } else {
+                None
+            };
+            if let Some(node) = bad {
+                return Err(GraphError::NodeOutOfBounds { node, num_nodes });
+            }
+        }
+        Ok(Coo { num_nodes, edges })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of (directed) edges currently stored, including duplicates.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Appends a directed edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds; generators are expected
+    /// to produce valid ids (use [`Coo::from_edges`] for fallible bulk
+    /// construction).
+    pub fn push(&mut self, src: u32, dst: u32) {
+        assert!(
+            (src as usize) < self.num_nodes && (dst as usize) < self.num_nodes,
+            "edge ({src}, {dst}) out of bounds for {} nodes",
+            self.num_nodes
+        );
+        self.edges.push((src, dst));
+    }
+
+    /// Borrowed view of the raw edge pairs.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Adds the reverse of every edge, making the adjacency symmetric.
+    ///
+    /// Duplicates introduced by symmetrization are removed by
+    /// [`Coo::to_csr`].
+    #[must_use]
+    pub fn symmetrize(mut self) -> Self {
+        let rev: Vec<(u32, u32)> = self.edges.iter().map(|&(s, d)| (d, s)).collect();
+        self.edges.extend(rev);
+        self
+    }
+
+    /// Adds a self-loop `(i, i)` for every node (used by GCN normalization).
+    #[must_use]
+    pub fn with_self_loops(mut self) -> Self {
+        for i in 0..self.num_nodes as u32 {
+            self.edges.push((i, i));
+        }
+        self
+    }
+
+    /// Converts to CSR, sorting rows and removing duplicate edges.
+    ///
+    /// All edge values are initialised to `1.0`; apply
+    /// [`normalize::normalized`](crate::normalize::normalized) to obtain
+    /// aggregator-specific weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyGraph`] for zero-node graphs.
+    pub fn to_csr(&self) -> Result<Csr> {
+        if self.num_nodes == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        let n = self.num_nodes;
+        // Counting sort by source node: O(V + E).
+        let mut counts = vec![0usize; n + 1];
+        for &(s, _) in &self.edges {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut bucket: Vec<u32> = vec![0; self.edges.len()];
+        let mut cursor = counts.clone();
+        for &(s, d) in &self.edges {
+            bucket[cursor[s as usize]] = d;
+            cursor[s as usize] += 1;
+        }
+        // Sort + dedup each row.
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(self.edges.len());
+        row_ptr.push(0usize);
+        for i in 0..n {
+            let row = &mut bucket[counts[i]..counts[i + 1]];
+            row.sort_unstable();
+            let mut prev: Option<u32> = None;
+            for &d in row.iter() {
+                if prev != Some(d) {
+                    col_idx.push(d);
+                    prev = Some(d);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let values = vec![1.0f32; col_idx.len()];
+        Csr::from_parts(n, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut coo = Coo::new(3);
+        coo.push(0, 1);
+        coo.push(2, 0);
+        assert_eq!(coo.num_edges(), 2);
+        assert_eq!(coo.num_nodes(), 3);
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_bounds() {
+        let err = Coo::from_edges(2, vec![(0, 5)]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfBounds { node: 5, num_nodes: 2 });
+    }
+
+    #[test]
+    fn from_edges_rejects_empty_graph() {
+        assert_eq!(Coo::from_edges(0, vec![]).unwrap_err(), GraphError::EmptyGraph);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_panics_out_of_bounds() {
+        let mut coo = Coo::new(1);
+        coo.push(0, 1);
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let mut coo = Coo::new(3);
+        coo.push(0, 1);
+        coo.push(1, 2);
+        let sym = coo.symmetrize();
+        assert_eq!(sym.num_edges(), 4);
+        assert!(sym.edges().contains(&(1, 0)));
+        assert!(sym.edges().contains(&(2, 1)));
+    }
+
+    #[test]
+    fn to_csr_sorts_and_dedups() {
+        let coo = Coo::from_edges(4, vec![(1, 3), (1, 0), (1, 3), (0, 2)]).unwrap();
+        let csr = coo.to_csr().unwrap();
+        assert_eq!(csr.num_edges(), 3);
+        assert_eq!(csr.row(1).0, &[0, 3]);
+        assert_eq!(csr.row(0).0, &[2]);
+        assert_eq!(csr.row(2).0, &[] as &[u32]);
+    }
+
+    #[test]
+    fn self_loops_added_once_per_node() {
+        let coo = Coo::new(3).with_self_loops();
+        let csr = coo.to_csr().unwrap();
+        assert_eq!(csr.num_edges(), 3);
+        for i in 0..3 {
+            assert_eq!(csr.row(i).0, &[i as u32]);
+        }
+    }
+
+    #[test]
+    fn empty_rows_are_preserved() {
+        let coo = Coo::from_edges(5, vec![(4, 0)]).unwrap();
+        let csr = coo.to_csr().unwrap();
+        assert_eq!(csr.degree(0), 0);
+        assert_eq!(csr.degree(4), 1);
+    }
+}

@@ -1,0 +1,350 @@
+//! Compressed Sparse Row adjacency storage.
+//!
+//! The MaxK-GNN kernels consume the adjacency matrix in CSR. The backward
+//! pass needs `Aᵀ` in CSC — which, as the paper notes in Fig. 5/7, is the
+//! *same buffers* as `A` in CSR, so no extra storage is required. When the
+//! adjacency is asymmetric (or edge values are asymmetric after SAGE mean
+//! normalization), [`Csr::transpose`] materializes the transpose explicitly.
+
+use crate::{GraphError, Result};
+
+/// A sparse matrix in CSR format with `f32` edge values.
+///
+/// Invariants (checked by [`Csr::from_parts`] / [`Csr::validate`]):
+///
+/// * `row_ptr.len() == num_nodes + 1`, `row_ptr[0] == 0`, non-decreasing;
+/// * column indices within each row are strictly increasing (sorted, no
+///   duplicates) and `< num_nodes`;
+/// * `values.len() == col_idx.len()`.
+///
+/// # Example
+///
+/// ```
+/// use maxk_graph::Csr;
+///
+/// # fn main() -> Result<(), maxk_graph::GraphError> {
+/// let csr = Csr::from_parts(3, vec![0, 2, 2, 3], vec![1, 2, 0], vec![1.0, 0.5, 2.0])?;
+/// assert_eq!(csr.degree(0), 2);
+/// let (cols, vals) = csr.row(0);
+/// assert_eq!(cols, &[1, 2]);
+/// assert_eq!(vals, &[1.0, 0.5]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    num_nodes: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from raw parts, validating all invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] describing the first violated invariant.
+    pub fn from_parts(
+        num_nodes: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self> {
+        let csr = Csr { num_nodes, row_ptr, col_idx, values };
+        csr.validate()?;
+        Ok(csr)
+    }
+
+    /// Re-checks all structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_nodes == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if self.row_ptr.len() != self.num_nodes + 1 {
+            return Err(GraphError::MalformedRowPtr { at: self.row_ptr.len() });
+        }
+        if self.row_ptr[0] != 0 {
+            return Err(GraphError::MalformedRowPtr { at: 0 });
+        }
+        for i in 0..self.num_nodes {
+            if self.row_ptr[i + 1] < self.row_ptr[i] {
+                return Err(GraphError::MalformedRowPtr { at: i + 1 });
+            }
+        }
+        if *self.row_ptr.last().expect("non-empty row_ptr") != self.col_idx.len() {
+            return Err(GraphError::MalformedRowPtr { at: self.num_nodes });
+        }
+        if self.values.len() != self.col_idx.len() {
+            return Err(GraphError::ValueLengthMismatch {
+                values: self.values.len(),
+                edges: self.col_idx.len(),
+            });
+        }
+        for i in 0..self.num_nodes {
+            let row = &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(GraphError::UnsortedRow { row: i });
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last as usize >= self.num_nodes {
+                    return Err(GraphError::NodeOutOfBounds {
+                        node: last,
+                        num_nodes: self.num_nodes,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of nodes (rows/columns of the square adjacency).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of stored nonzeros (directed edges), `nnz` in the paper.
+    pub fn num_edges(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Out-degree of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_nodes`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Average degree `nnz / N`, the quantity the paper's kernel speedups
+    /// correlate with (§5.2: graphs with average degree > 50 see the
+    /// largest wins).
+    pub fn avg_degree(&self) -> f64 {
+        self.num_edges() as f64 / self.num_nodes as f64
+    }
+
+    /// Maximum out-degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes).map(|i| self.degree(i)).max().unwrap_or(0)
+    }
+
+    /// Borrowed `(columns, values)` view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_nodes`.
+    pub fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        (&self.col_idx[span.clone()], &self.values[span])
+    }
+
+    /// The raw row-pointer array (length `num_nodes + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The raw column-index array (length `nnz`).
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The raw edge-value array (length `nnz`).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable access to edge values (used by normalization).
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Returns `true` if `A[i][j]` is structurally symmetric (ignoring
+    /// values).
+    pub fn is_structurally_symmetric(&self) -> bool {
+        for i in 0..self.num_nodes {
+            let (cols, _) = self.row(i);
+            for &j in cols {
+                let (jcols, _) = self.row(j as usize);
+                if jcols.binary_search(&(i as u32)).is_err() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Materializes the transpose `Aᵀ` as a new CSR matrix.
+    ///
+    /// For a structurally symmetric adjacency this only permutes values;
+    /// the paper's backward SSpMM uses the identity CSC(Aᵀ) == CSR(A) and
+    /// needs no copy, but value-asymmetric normalizations (SAGE mean) do
+    /// need the real transpose for the gradient.
+    #[must_use]
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_nodes;
+        let mut counts = vec![0usize; n + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_idx = vec![0u32; self.col_idx.len()];
+        let mut values = vec![0f32; self.values.len()];
+        let mut cursor = counts.clone();
+        for i in 0..n {
+            let span = self.row_ptr[i]..self.row_ptr[i + 1];
+            for (c, v) in self.col_idx[span.clone()].iter().zip(&self.values[span]) {
+                let pos = cursor[*c as usize];
+                col_idx[pos] = i as u32;
+                values[pos] = *v;
+                cursor[*c as usize] += 1;
+            }
+        }
+        // Rows come out sorted because we scan source rows in order.
+        Csr { num_nodes: n, row_ptr: counts, col_idx, values }
+    }
+
+    /// Looks up the value of entry `(i, j)`, if present.
+    pub fn get(&self, i: usize, j: u32) -> Option<f32> {
+        let (cols, vals) = self.row(i);
+        cols.binary_search(&j).ok().map(|p| vals[p])
+    }
+
+    /// Converts to a dense row-major matrix (testing helper; O(N²)).
+    pub fn to_dense(&self) -> Vec<f32> {
+        let n = self.num_nodes;
+        let mut out = vec![0f32; n * n];
+        for i in 0..n {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                out[i * n + *c as usize] = *v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample() -> Csr {
+        // 0 -> {1, 2}, 1 -> {0}, 2 -> {0, 1}
+        Csr::from_parts(
+            3,
+            vec![0, 2, 3, 5],
+            vec![1, 2, 0, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let csr = sample();
+        assert_eq!(csr.num_nodes(), 3);
+        assert_eq!(csr.num_edges(), 5);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(1), 1);
+        assert_eq!(csr.max_degree(), 2);
+        assert!((csr.avg_degree() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(csr.get(0, 2), Some(2.0));
+        assert_eq!(csr.get(1, 2), None);
+    }
+
+    #[test]
+    fn validate_rejects_bad_row_ptr() {
+        let err = Csr::from_parts(2, vec![0, 3, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, GraphError::MalformedRowPtr { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_row_ptr_not_starting_at_zero() {
+        let err = Csr::from_parts(1, vec![1, 1], vec![], vec![]).unwrap_err();
+        assert_eq!(err, GraphError::MalformedRowPtr { at: 0 });
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_rows() {
+        let err =
+            Csr::from_parts(2, vec![0, 2, 2], vec![1, 0], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(err, GraphError::UnsortedRow { row: 0 });
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_columns() {
+        let err =
+            Csr::from_parts(2, vec![0, 2, 2], vec![1, 1], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(err, GraphError::UnsortedRow { row: 0 });
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds_column() {
+        let err = Csr::from_parts(2, vec![0, 1, 1], vec![7], vec![1.0]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfBounds { node: 7, num_nodes: 2 });
+    }
+
+    #[test]
+    fn validate_rejects_value_length_mismatch() {
+        let err = Csr::from_parts(2, vec![0, 1, 1], vec![0], vec![]).unwrap_err();
+        assert_eq!(err, GraphError::ValueLengthMismatch { values: 0, edges: 1 });
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let csr = sample();
+        let t = csr.transpose();
+        let tt = t.transpose();
+        assert_eq!(csr, tt);
+    }
+
+    #[test]
+    fn transpose_moves_values() {
+        let csr = sample();
+        let t = csr.transpose();
+        // A[0][1] = 1.0 must become Aᵀ[1][0] = 1.0.
+        assert_eq!(t.get(1, 0), Some(1.0));
+        assert_eq!(t.get(0, 1), Some(3.0));
+        assert_eq!(t.get(0, 2), Some(4.0));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn symmetric_graph_detected() {
+        let coo = Coo::from_edges(4, vec![(0, 1), (2, 3)]).unwrap().symmetrize();
+        let csr = coo.to_csr().unwrap();
+        assert!(csr.is_structurally_symmetric());
+
+        let asym = Coo::from_edges(4, vec![(0, 1)]).unwrap().to_csr().unwrap();
+        assert!(!asym.is_structurally_symmetric());
+    }
+
+    #[test]
+    fn to_dense_matches_entries() {
+        let csr = sample();
+        let d = csr.to_dense();
+        assert_eq!(d[0 * 3 + 1], 1.0);
+        assert_eq!(d[0 * 3 + 2], 2.0);
+        assert_eq!(d[1 * 3 + 0], 3.0);
+        assert_eq!(d[2 * 3 + 0], 4.0);
+        assert_eq!(d[2 * 3 + 1], 5.0);
+        assert_eq!(d[1 * 3 + 2], 0.0);
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(
+            Csr::from_parts(0, vec![0], vec![], vec![]).unwrap_err(),
+            GraphError::EmptyGraph
+        );
+    }
+}

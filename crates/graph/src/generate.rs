@@ -1,0 +1,322 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on 24 real graphs (Table 1). Those datasets are not
+//! available offline, so the catalog in [`crate::datasets`] substitutes
+//! synthetic graphs that preserve the properties the MaxK-GNN kernels are
+//! sensitive to: node count, average degree (`nnz/N`), and a heavy-tailed
+//! ("power-law", §1) degree distribution that produces the workload
+//! imbalance the Edge-Group partitioner exists to fix.
+//!
+//! All generators are deterministic given a seed.
+
+use crate::Coo;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi G(n, m) graph: `n * avg_degree / 2` undirected edges chosen
+/// uniformly at random (then symmetrized).
+///
+/// Degree distribution is binomial (flat), modelling the paper's
+/// low-variance molecule/biology datasets.
+pub fn erdos_renyi(n: usize, avg_degree: f64, seed: u64) -> Coo {
+    assert!(n > 0, "graph must have at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = ((n as f64 * avg_degree) / 2.0).round() as usize;
+    let mut coo = Coo::new(n);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n) as u32;
+        let d = rng.gen_range(0..n) as u32;
+        if s != d {
+            coo.push(s, d);
+        }
+    }
+    coo.symmetrize()
+}
+
+/// Chung–Lu expected-degree power-law graph.
+///
+/// Node `i` receives weight `(i + i0)^(-1/(gamma-1))`; endpoints of each of
+/// the `n * avg_degree / 2` edges are sampled proportionally to weight.
+/// This matches the degree exponent `gamma` of scale-free social networks
+/// (the paper's Reddit / Yelp / ogbn-products class of graphs).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `gamma <= 1.0`.
+pub fn chung_lu_power_law(n: usize, avg_degree: f64, gamma: f64, seed: u64) -> Coo {
+    assert!(n > 0, "graph must have at least one node");
+    assert!(gamma > 1.0, "power-law exponent must be > 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let alpha = 1.0 / (gamma - 1.0);
+    // i0 shifts the head of the distribution so the max expected degree
+    // stays bounded relative to n.
+    let i0 = (n as f64).powf(0.25).max(1.0);
+    let weights: Vec<f64> = (0..n).map(|i| (i as f64 + i0).powf(-alpha)).collect();
+    let sampler = CumulativeSampler::new(&weights);
+    let m = ((n as f64 * avg_degree) / 2.0).round() as usize;
+    let mut coo = Coo::new(n);
+    for _ in 0..m {
+        let s = sampler.sample(&mut rng) as u32;
+        let d = sampler.sample(&mut rng) as u32;
+        if s != d {
+            coo.push(s, d);
+        }
+    }
+    coo.symmetrize()
+}
+
+/// R-MAT recursive-matrix generator (Chakrabarti et al.), the standard
+/// synthetic stand-in for web/social graphs with community structure.
+///
+/// `scale` gives `n = 2^scale` nodes. Probabilities `(a, b, c)` control the
+/// quadrant recursion (`d = 1 - a - b - c`).
+///
+/// # Panics
+///
+/// Panics if the probabilities are not a sub-distribution.
+pub fn rmat(scale: u32, avg_degree: f64, a: f64, b: f64, c: f64, seed: u64) -> Coo {
+    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "invalid R-MAT probabilities");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = ((n as f64 * avg_degree) / 2.0).round() as usize;
+    let mut coo = Coo::new(n);
+    for _ in 0..m {
+        let (mut lo_r, mut hi_r) = (0usize, n);
+        let (mut lo_c, mut hi_c) = (0usize, n);
+        while hi_r - lo_r > 1 {
+            let p: f64 = rng.gen();
+            let (top, left) = if p < a {
+                (true, true)
+            } else if p < a + b {
+                (true, false)
+            } else if p < a + b + c {
+                (false, true)
+            } else {
+                (false, false)
+            };
+            let mid_r = (lo_r + hi_r) / 2;
+            let mid_c = (lo_c + hi_c) / 2;
+            if top {
+                hi_r = mid_r;
+            } else {
+                lo_r = mid_r;
+            }
+            if left {
+                hi_c = mid_c;
+            } else {
+                lo_c = mid_c;
+            }
+        }
+        if lo_r != lo_c {
+            coo.push(lo_r as u32, lo_c as u32);
+        }
+    }
+    coo.symmetrize()
+}
+
+/// Planted-partition power-law graph used for the training datasets.
+///
+/// Nodes are split into `communities` groups round-robin. Each edge keeps
+/// both endpoints in the same community with probability `homophily`,
+/// otherwise the destination is drawn from the global weight distribution.
+/// Degrees remain heavy-tailed (Chung–Lu weights); the community structure
+/// is what makes the synthetic node-classification task graph-learnable.
+pub fn planted_partition(
+    n: usize,
+    avg_degree: f64,
+    communities: usize,
+    homophily: f64,
+    gamma: f64,
+    seed: u64,
+) -> Coo {
+    assert!(n > 0, "graph must have at least one node");
+    assert!(communities > 0 && communities <= n, "invalid community count");
+    assert!((0.0..=1.0).contains(&homophily), "homophily must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let alpha = 1.0 / (gamma - 1.0);
+    let i0 = (n as f64).powf(0.25).max(1.0);
+    let weights: Vec<f64> = (0..n).map(|i| (i as f64 + i0).powf(-alpha)).collect();
+    let global = CumulativeSampler::new(&weights);
+    // Per-community samplers over the members of each community.
+    // Community of node i is i % communities (keeps hubs spread evenly).
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); communities];
+    for i in 0..n {
+        members[i % communities].push(i);
+    }
+    let per_comm: Vec<CumulativeSampler> = members
+        .iter()
+        .map(|ms| CumulativeSampler::new(&ms.iter().map(|&i| weights[i]).collect::<Vec<_>>()))
+        .collect();
+
+    let m = ((n as f64 * avg_degree) / 2.0).round() as usize;
+    let mut coo = Coo::new(n);
+    for _ in 0..m {
+        let s = global.sample(&mut rng);
+        let d = if rng.gen::<f64>() < homophily {
+            let c = s % communities;
+            members[c][per_comm[c].sample(&mut rng)]
+        } else {
+            global.sample(&mut rng)
+        };
+        if s != d {
+            coo.push(s as u32, d as u32);
+        }
+    }
+    coo.symmetrize()
+}
+
+/// Community id assigned to each node by [`planted_partition`]
+/// (round-robin: `i % communities`).
+pub fn planted_community_of(node: usize, communities: usize) -> usize {
+    node % communities
+}
+
+/// O(log n) weighted sampler over a fixed weight vector, via cumulative
+/// sums and binary search. Deterministic given the RNG stream.
+#[derive(Debug, Clone)]
+pub struct CumulativeSampler {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl CumulativeSampler {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            debug_assert!(w >= 0.0, "negative weight");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        CumulativeSampler { cumulative, total: acc }
+    }
+
+    /// Draws an index proportionally to its weight.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let x = rng.gen::<f64>() * self.total;
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).expect("no NaN")) {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_hits_target_degree() {
+        let coo = erdos_renyi(2_000, 12.0, 7);
+        let csr = coo.to_csr().unwrap();
+        let avg = csr.avg_degree();
+        // dedup + self-loop rejection lose a few edges.
+        assert!(avg > 9.0 && avg < 13.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = chung_lu_power_law(500, 8.0, 2.3, 99);
+        let b = chung_lu_power_law(500, 8.0, 2.3, 99);
+        assert_eq!(a.edges(), b.edges());
+        let c = chung_lu_power_law(500, 8.0, 2.3, 100);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn power_law_has_heavy_tail() {
+        let csr = chung_lu_power_law(4_000, 16.0, 2.1, 3).to_csr().unwrap();
+        let avg = csr.avg_degree();
+        let max = csr.max_degree() as f64;
+        // Hubs should far exceed the mean (flat graphs have max ≈ 2-3x avg).
+        assert!(max > 8.0 * avg, "max {max} avg {avg}");
+    }
+
+    #[test]
+    fn rmat_produces_connected_ish_graph() {
+        let csr = rmat(10, 8.0, 0.57, 0.19, 0.19, 11).to_csr().unwrap();
+        assert_eq!(csr.num_nodes(), 1024);
+        assert!(csr.num_edges() > 1024);
+        assert!(csr.is_structurally_symmetric());
+    }
+
+    #[test]
+    fn planted_partition_is_homophilous() {
+        let communities = 8;
+        let coo = planted_partition(2_000, 16.0, communities, 0.9, 2.3, 5);
+        let csr = coo.to_csr().unwrap();
+        let mut intra = 0usize;
+        let mut total = 0usize;
+        for i in 0..csr.num_nodes() {
+            for &j in csr.row(i).0 {
+                total += 1;
+                if planted_community_of(i, communities)
+                    == planted_community_of(j as usize, communities)
+                {
+                    intra += 1;
+                }
+            }
+        }
+        let frac = intra as f64 / total as f64;
+        // Random baseline would be 1/8 = 0.125; homophily 0.9 should push
+        // this way up.
+        assert!(frac > 0.6, "intra-community fraction {frac}");
+    }
+
+    #[test]
+    fn planted_partition_zero_homophily_is_random() {
+        let communities = 4;
+        let csr = planted_partition(2_000, 16.0, communities, 0.0, 2.3, 5).to_csr().unwrap();
+        let mut intra = 0usize;
+        let mut total = 0usize;
+        for i in 0..csr.num_nodes() {
+            for &j in csr.row(i).0 {
+                total += 1;
+                if i % communities == (j as usize) % communities {
+                    intra += 1;
+                }
+            }
+        }
+        let frac = intra as f64 / total as f64;
+        assert!((frac - 0.25).abs() < 0.08, "intra fraction {frac} should be near 1/4");
+    }
+
+    #[test]
+    fn cumulative_sampler_respects_weights() {
+        let sampler = CumulativeSampler::new(&[0.0, 10.0, 0.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn cumulative_sampler_covers_support() {
+        let sampler = CumulativeSampler::new(&[1.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[sampler.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn cumulative_sampler_rejects_empty() {
+        let _ = CumulativeSampler::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-law exponent")]
+    fn power_law_rejects_bad_gamma() {
+        let _ = chung_lu_power_law(10, 2.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Edge-list text I/O.
+//!
+//! The paper's artifact downloads graphs as whitespace-separated edge
+//! lists (`src dst` per line, `#` comments) — the SNAP convention. This
+//! module parses and emits that format so users can bring their own
+//! graphs instead of the synthetic stand-ins.
+
+use crate::{Coo, GraphError, Result};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors raised while parsing an edge-list stream.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseEdgeListError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment nor `src dst`.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// Structural error while assembling the graph.
+    Graph(GraphError),
+}
+
+impl fmt::Display for ParseEdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseEdgeListError::Io(e) => write!(f, "i/o error reading edge list: {e}"),
+            ParseEdgeListError::BadLine { line, content } => {
+                write!(f, "malformed edge list line {line}: {content:?}")
+            }
+            ParseEdgeListError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl Error for ParseEdgeListError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseEdgeListError::Io(e) => Some(e),
+            ParseEdgeListError::Graph(e) => Some(e),
+            ParseEdgeListError::BadLine { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseEdgeListError {
+    fn from(e: std::io::Error) -> Self {
+        ParseEdgeListError::Io(e)
+    }
+}
+
+impl From<GraphError> for ParseEdgeListError {
+    fn from(e: GraphError) -> Self {
+        ParseEdgeListError::Graph(e)
+    }
+}
+
+/// Parses a SNAP-style edge list: one `src dst` pair per line, `#`
+/// comments and blank lines ignored. Node count is `max id + 1` unless a
+/// larger `min_nodes` is given.
+///
+/// A `&mut` reference can be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`ParseEdgeListError`] on I/O failure or malformed lines.
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    min_nodes: usize,
+) -> Result<Coo, ParseEdgeListError> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_node = 0u32;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(ParseEdgeListError::BadLine { line: idx + 1, content: line.clone() });
+        };
+        let (Ok(src), Ok(dst)) = (a.parse::<u32>(), b.parse::<u32>()) else {
+            return Err(ParseEdgeListError::BadLine { line: idx + 1, content: line.clone() });
+        };
+        max_node = max_node.max(src).max(dst);
+        edges.push((src, dst));
+    }
+    let n = if edges.is_empty() {
+        min_nodes.max(1)
+    } else {
+        (max_node as usize + 1).max(min_nodes)
+    };
+    Ok(Coo::from_edges(n, edges)?)
+}
+
+/// Writes a graph back out as an edge list (one directed edge per line).
+///
+/// A `&mut` reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_edge_list<W: Write>(mut writer: W, csr: &crate::Csr) -> std::io::Result<()> {
+    writeln!(writer, "# {} nodes, {} edges", csr.num_nodes(), csr.num_edges())?;
+    for i in 0..csr.num_nodes() {
+        for &j in csr.row(i).0 {
+            writeln!(writer, "{i} {j}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_snap_format() {
+        let text = "# comment\n0 1\n1 2\n\n% alt comment\n2 0\n";
+        let coo = read_edge_list(Cursor::new(text), 0).unwrap();
+        assert_eq!(coo.num_nodes(), 3);
+        assert_eq!(coo.num_edges(), 3);
+        assert!(coo.edges().contains(&(2, 0)));
+    }
+
+    #[test]
+    fn min_nodes_pads_isolated_tail() {
+        let coo = read_edge_list(Cursor::new("0 1\n"), 10).unwrap();
+        assert_eq!(coo.num_nodes(), 10);
+    }
+
+    #[test]
+    fn empty_input_yields_min_nodes() {
+        let coo = read_edge_list(Cursor::new("# nothing\n"), 4).unwrap();
+        assert_eq!(coo.num_nodes(), 4);
+        assert_eq!(coo.num_edges(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = read_edge_list(Cursor::new("0 1\nbroken\n"), 0).unwrap_err();
+        match err {
+            ParseEdgeListError::BadLine { line, content } => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "broken");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_numeric_ids() {
+        let err = read_edge_list(Cursor::new("a b\n"), 0).unwrap_err();
+        assert!(matches!(err, ParseEdgeListError::BadLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let coo = crate::generate::erdos_renyi(50, 4.0, 9);
+        let csr = coo.to_csr().unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &csr).unwrap();
+        let back = read_edge_list(Cursor::new(buf), csr.num_nodes()).unwrap();
+        assert_eq!(back.to_csr().unwrap(), csr);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = ParseEdgeListError::BadLine { line: 3, content: "x".into() };
+        assert!(err.to_string().contains("line 3"));
+    }
+}

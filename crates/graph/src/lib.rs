@@ -1,0 +1,110 @@
+//! Graph substrate for the MaxK-GNN reproduction.
+//!
+//! This crate provides everything the MaxK-GNN kernels and training stack
+//! need to know about graphs:
+//!
+//! * [`Coo`] and [`Csr`] sparse adjacency storage (the paper stores the
+//!   adjacency in CSR for the forward pass and reuses the same buffers as a
+//!   CSC view of the transpose in the backward pass, §3.2 of the paper),
+//! * deterministic graph [`generate`]ors used to synthesize stand-ins for
+//!   the paper's datasets (Table 1),
+//! * the dataset [`datasets`] catalog itself, including feature/label
+//!   synthesis for the five training datasets,
+//! * degree-based edge [`normalize`]ation for GCN / GraphSAGE / GIN
+//!   aggregators (Fig. 5),
+//! * the O(n) warp-level Edge-Group [`partition`] mapper of §4.1/§4.2.
+//!
+//! # Example
+//!
+//! ```
+//! use maxk_graph::{generate, normalize, Aggregator};
+//!
+//! # fn main() -> Result<(), maxk_graph::GraphError> {
+//! let coo = generate::chung_lu_power_law(1_000, 16.0, 2.3, 42);
+//! let csr = coo.to_csr()?;
+//! let adj = normalize::normalized(&csr, Aggregator::GcnSym);
+//! assert_eq!(adj.num_nodes(), 1_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csr;
+pub mod datasets;
+pub mod generate;
+pub mod io;
+pub mod normalize;
+pub mod partition;
+pub mod reorder;
+pub mod sampling;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use datasets::{Dataset, DatasetSpec, GraphKind, Scale, TrainingData};
+pub use normalize::Aggregator;
+pub use partition::{EdgeGroup, WarpAssignment, WarpPartition};
+pub use reorder::Permutation;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating graph structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The graph has zero nodes.
+    EmptyGraph,
+    /// An edge endpoint referenced a node id that is out of range.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A CSR row pointer array was malformed (wrong length or not
+    /// monotonically non-decreasing).
+    MalformedRowPtr {
+        /// Index in `row_ptr` where the problem was detected.
+        at: usize,
+    },
+    /// Column indices within a CSR row were not strictly increasing.
+    UnsortedRow {
+        /// The row where the problem was detected.
+        row: usize,
+    },
+    /// The `values` array length disagrees with the number of edges.
+    ValueLengthMismatch {
+        /// Number of stored values.
+        values: usize,
+        /// Number of edges implied by the structure.
+        edges: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptyGraph => write!(f, "graph has zero nodes"),
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node id {node} out of bounds for graph with {num_nodes} nodes")
+            }
+            GraphError::MalformedRowPtr { at } => {
+                write!(f, "malformed CSR row_ptr at index {at}")
+            }
+            GraphError::UnsortedRow { row } => {
+                write!(f, "CSR row {row} has unsorted or duplicate column indices")
+            }
+            GraphError::ValueLengthMismatch { values, edges } => {
+                write!(f, "value array has {values} entries but structure has {edges} edges")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = GraphError> = std::result::Result<T, E>;

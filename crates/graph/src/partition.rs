@@ -1,0 +1,254 @@
+//! Warp-level Edge-Group workload partitioning (§4.1 / §4.2 of the paper).
+//!
+//! Each nonzero of the adjacency is a *workload unit* (one edge value ×
+//! one CBSR row multiply-accumulate). The paper segments every adjacency
+//! row into **Edge Groups (EGs)** of at most `w` units, then maps EGs to
+//! warps:
+//!
+//! * **Case 1** (`dim_k <= 16`): a 32-lane warp hosts `⌊32 / dim_k⌋` EGs
+//!   side by side, each confined to one warp so the shared-memory
+//!   accumulation never straddles warps;
+//! * **Case 2** (`dim_k > 16`): one EG per warp, the warp iterating over
+//!   the `dim_k` lanes in chunks of 32.
+//!
+//! The mapper is a single O(n) pass over the row-pointer array, matching
+//! the paper's claim of a "light-weight warp-level partition mapper that
+//! operates at O(n) complexity".
+
+use crate::Csr;
+
+/// Default maximum workload units per Edge Group (the paper's
+/// hyperparameter `w`).
+pub const DEFAULT_EG_WIDTH: usize = 32;
+
+/// Number of threads in a warp on all modern NVIDIA parts.
+pub const WARP_SIZE: usize = 32;
+
+/// A contiguous chunk of one adjacency row, at most `w` nonzeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeGroup {
+    /// The adjacency row this group belongs to (output node in forward).
+    pub row: u32,
+    /// First nonzero index (into the CSR `col_idx`/`values` arrays).
+    pub start: usize,
+    /// Number of nonzeros in this group (`1..=w`).
+    pub len: u32,
+}
+
+/// The set of EGs a single warp executes, plus its lane geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpAssignment {
+    /// Indices into [`WarpPartition::groups`] executed by this warp.
+    pub group_indices: Vec<usize>,
+    /// Lanes each EG owns within the warp (Case 1: `dim_k`; Case 2: the
+    /// full warp iterates).
+    pub lanes_per_group: usize,
+    /// Whether the warp iterates over the feature dimension (Case 2).
+    pub iterates: bool,
+}
+
+/// Edge-Group partition of a CSR adjacency.
+///
+/// # Example
+///
+/// ```
+/// use maxk_graph::{Coo, WarpPartition};
+///
+/// # fn main() -> Result<(), maxk_graph::GraphError> {
+/// let csr = Coo::from_edges(3, vec![(0, 1), (0, 2), (1, 0)])?.to_csr()?;
+/// let part = WarpPartition::build(&csr, 2);
+/// assert_eq!(part.num_groups(), 2); // row 0 -> 1 EG of 2, row 1 -> 1 EG of 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpPartition {
+    w: usize,
+    groups: Vec<EdgeGroup>,
+}
+
+impl WarpPartition {
+    /// Partitions every row of `csr` into EGs of at most `w` nonzeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`.
+    pub fn build(csr: &Csr, w: usize) -> Self {
+        assert!(w > 0, "edge-group width must be positive");
+        let mut groups = Vec::with_capacity(csr.num_edges() / w + csr.num_nodes());
+        let row_ptr = csr.row_ptr();
+        for row in 0..csr.num_nodes() {
+            let (mut start, end) = (row_ptr[row], row_ptr[row + 1]);
+            while start < end {
+                let len = (end - start).min(w);
+                groups.push(EdgeGroup { row: row as u32, start, len: len as u32 });
+                start += len;
+            }
+        }
+        WarpPartition { w, groups }
+    }
+
+    /// The maximum workload units per EG this partition was built with.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// All edge groups, ordered by row then offset.
+    pub fn groups(&self) -> &[EdgeGroup] {
+        &self.groups
+    }
+
+    /// Number of edge groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Maps EGs onto warps for a given effective feature width `dim_k`.
+    ///
+    /// `dim_k` is the MaxK `k` in the forward/backward sparse kernels, or
+    /// the full hidden dimension for the SpMM baselines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim_k == 0`.
+    pub fn assign_warps(&self, dim_k: usize) -> Vec<WarpAssignment> {
+        assert!(dim_k > 0, "feature width must be positive");
+        let mut out = Vec::new();
+        if dim_k <= WARP_SIZE / 2 {
+            // Case 1: several EGs share a warp.
+            let egs_per_warp = (WARP_SIZE / dim_k).max(1);
+            let mut i = 0;
+            while i < self.groups.len() {
+                let hi = (i + egs_per_warp).min(self.groups.len());
+                out.push(WarpAssignment {
+                    group_indices: (i..hi).collect(),
+                    lanes_per_group: dim_k,
+                    iterates: false,
+                });
+                i = hi;
+            }
+        } else {
+            // Case 2: one EG per warp; the warp loops over the feature dim.
+            for i in 0..self.groups.len() {
+                out.push(WarpAssignment {
+                    group_indices: vec![i],
+                    lanes_per_group: WARP_SIZE,
+                    iterates: true,
+                });
+            }
+        }
+        out
+    }
+
+    /// Largest imbalance ratio across EGs: `w / smallest group length`.
+    ///
+    /// A perfectly balanced partition of a regular graph returns 1.0;
+    /// heavy-tailed graphs produce trailing sub-`w` groups.
+    pub fn imbalance(&self) -> f64 {
+        let min = self.groups.iter().map(|g| g.len).min().unwrap_or(1).max(1);
+        self.w as f64 / min as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    fn sample_csr() -> Csr {
+        generate::chung_lu_power_law(500, 12.0, 2.2, 17).to_csr().unwrap()
+    }
+
+    #[test]
+    fn partition_covers_every_nonzero_exactly_once() {
+        let csr = sample_csr();
+        let part = WarpPartition::build(&csr, 8);
+        let mut seen = vec![false; csr.num_edges()];
+        for g in part.groups() {
+            for e in g.start..g.start + g.len as usize {
+                assert!(!seen[e], "nonzero {e} covered twice");
+                seen[e] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some nonzeros uncovered");
+    }
+
+    #[test]
+    fn groups_respect_width_and_rows() {
+        let csr = sample_csr();
+        let w = 8;
+        let part = WarpPartition::build(&csr, w);
+        let row_ptr = csr.row_ptr();
+        for g in part.groups() {
+            assert!(g.len as usize <= w);
+            assert!(g.len > 0);
+            let r = g.row as usize;
+            assert!(g.start >= row_ptr[r] && g.start + g.len as usize <= row_ptr[r + 1]);
+        }
+    }
+
+    #[test]
+    fn group_count_matches_ceiling_formula() {
+        let csr = sample_csr();
+        let w = 8;
+        let part = WarpPartition::build(&csr, w);
+        let expected: usize = (0..csr.num_nodes()).map(|i| csr.degree(i).div_ceil(w)).sum();
+        assert_eq!(part.num_groups(), expected);
+    }
+
+    #[test]
+    fn case1_packs_multiple_egs_per_warp() {
+        let csr = sample_csr();
+        let part = WarpPartition::build(&csr, 8);
+        let warps = part.assign_warps(8); // 32/8 = 4 EGs per warp
+        for wa in &warps[..warps.len() - 1] {
+            assert_eq!(wa.group_indices.len(), 4);
+            assert_eq!(wa.lanes_per_group, 8);
+            assert!(!wa.iterates);
+        }
+        let covered: usize = warps.iter().map(|w| w.group_indices.len()).sum();
+        assert_eq!(covered, part.num_groups());
+    }
+
+    #[test]
+    fn case2_one_eg_per_warp() {
+        let csr = sample_csr();
+        let part = WarpPartition::build(&csr, 8);
+        let warps = part.assign_warps(32);
+        assert_eq!(warps.len(), part.num_groups());
+        for wa in &warps {
+            assert_eq!(wa.group_indices.len(), 1);
+            assert!(wa.iterates);
+        }
+    }
+
+    #[test]
+    fn case_boundary_at_16() {
+        let csr = sample_csr();
+        let part = WarpPartition::build(&csr, 4);
+        let at16 = part.assign_warps(16);
+        assert!(!at16[0].iterates, "dim_k = 16 is Case 1 per the paper");
+        assert_eq!(at16[0].group_indices.len(), 2);
+        let at17 = part.assign_warps(17);
+        assert!(at17[0].iterates, "dim_k = 17 is Case 2");
+    }
+
+    #[test]
+    fn imbalance_of_regular_partition() {
+        // Row degrees all equal to w -> perfectly balanced.
+        let coo = crate::Coo::from_edges(
+            4,
+            vec![(0, 1), (0, 2), (1, 0), (1, 3), (2, 0), (2, 3), (3, 1), (3, 2)],
+        )
+        .unwrap();
+        let csr = coo.to_csr().unwrap();
+        let part = WarpPartition::build(&csr, 2);
+        assert_eq!(part.imbalance(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        let _ = WarpPartition::build(&sample_csr(), 0);
+    }
+}

@@ -1,0 +1,511 @@
+//! Graph convolution layers with explicit backward passes.
+
+use maxk_core::maxk::{gather_with_pattern, maxk_backward, maxk_forward};
+use maxk_core::spgemm::spgemm_forward;
+use maxk_core::spmm::spmm_rowwise;
+use maxk_core::sspmm::sspmm_backward;
+use maxk_core::Cbsr;
+use maxk_graph::{normalize, Aggregator, Csr, WarpPartition};
+use maxk_tensor::{ops, Linear, Matrix};
+use rand::Rng;
+
+use crate::model::PhaseTimers;
+
+/// Model architecture (the paper evaluates all three, Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// GCN: symmetric normalization with self-loops.
+    Gcn,
+    /// GraphSAGE with mean aggregator and a separate self linear path.
+    Sage,
+    /// GIN: sum aggregation plus `(1 + ε)`-scaled self term.
+    Gin,
+}
+
+impl Arch {
+    /// Name as printed in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arch::Gcn => "GCN",
+            Arch::Sage => "SAGE",
+            Arch::Gin => "GIN",
+        }
+    }
+}
+
+/// The layer nonlinearity: the baseline ReLU or the paper's MaxK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Element-wise ReLU; aggregation runs dense (SpMM).
+    Relu,
+    /// MaxK with the given `k`; aggregation runs sparse (SpGEMM/SSpMM).
+    MaxK(usize),
+}
+
+impl Activation {
+    /// Short label, e.g. `relu` or `maxk16`.
+    pub fn label(self) -> String {
+        match self {
+            Activation::Relu => "relu".to_owned(),
+            Activation::MaxK(k) => format!("maxk{k}"),
+        }
+    }
+}
+
+/// Pre-normalized adjacency bundle shared by every layer of a model.
+#[derive(Debug, Clone)]
+pub struct GraphContext {
+    /// Normalized adjacency (forward aggregation operand).
+    pub adj: Csr,
+    /// Its transpose (backward operand; same values for symmetric
+    /// normalizations, materialized for SAGE's row-mean weights).
+    pub adj_t: Csr,
+    /// Edge-Group partition used by SpGEMM and the grouped baselines.
+    pub part: WarpPartition,
+}
+
+impl GraphContext {
+    /// Normalizes `graph` per the architecture's aggregator and builds the
+    /// Edge-Group partition with width `w`.
+    pub fn build(graph: &Csr, arch: Arch, w: usize) -> Self {
+        let adj = match arch {
+            Arch::Gcn => {
+                // GCN convention: add self-loops, then 1/√(d_i d_j).
+                let with_loops = add_self_loops(graph);
+                normalize::normalized(&with_loops, Aggregator::GcnSym)
+            }
+            Arch::Sage => normalize::normalized(graph, Aggregator::SageMean),
+            Arch::Gin => normalize::normalized(graph, Aggregator::GinSum),
+        };
+        let adj_t = adj.transpose();
+        let part = WarpPartition::build(&adj, w);
+        GraphContext { adj, adj_t, part }
+    }
+}
+
+fn add_self_loops(graph: &Csr) -> Csr {
+    let n = graph.num_nodes();
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::with_capacity(graph.num_edges() + n);
+    row_ptr.push(0usize);
+    for i in 0..n {
+        let (cols, _) = graph.row(i);
+        let mut inserted = false;
+        for &c in cols {
+            if !inserted && c as usize >= i {
+                if c as usize != i {
+                    col_idx.push(i as u32);
+                }
+                inserted = true;
+            }
+            col_idx.push(c);
+        }
+        if !inserted {
+            col_idx.push(i as u32);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    let values = vec![1.0; col_idx.len()];
+    Csr::from_parts(n, row_ptr, col_idx, values).expect("self-loop insertion keeps rows sorted")
+}
+
+/// One graph convolution layer.
+///
+/// Holds the learnable linears, the architecture/activation configuration
+/// and the forward-pass caches needed by `backward`.
+#[derive(Debug, Clone)]
+pub struct Conv {
+    arch: Arch,
+    activation: Option<Activation>,
+    dropout: f32,
+    eps: f32,
+    lin_neigh: Linear,
+    lin_self: Option<Linear>,
+    // Forward caches.
+    cache_input: Option<Matrix>,
+    cache_z: Option<Matrix>,
+    cache_pattern: Option<Cbsr>,
+    cache_dropout: Option<Vec<bool>>,
+}
+
+impl Conv {
+    /// Creates a layer mapping `in_dim -> out_dim`.
+    ///
+    /// `activation` is `None` for the output layer (logits are aggregated
+    /// densely in both modes).
+    pub fn new<R: Rng>(
+        arch: Arch,
+        activation: Option<Activation>,
+        in_dim: usize,
+        out_dim: usize,
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
+        let lin_self = match arch {
+            Arch::Sage => Some(Linear::new(in_dim, out_dim, rng)),
+            _ => None,
+        };
+        Conv {
+            arch,
+            activation,
+            dropout,
+            eps: 0.0,
+            lin_neigh: Linear::new(in_dim, out_dim, rng),
+            lin_self,
+            cache_input: None,
+            cache_z: None,
+            cache_pattern: None,
+            cache_dropout: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.lin_neigh.in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.lin_neigh.out_dim()
+    }
+
+    /// The layer's activation (`None` on the output layer).
+    pub fn activation(&self) -> Option<Activation> {
+        self.activation
+    }
+
+    /// Forward pass. `train` enables dropout; `timers` accumulates
+    /// per-phase wall-clock.
+    pub fn forward<R: Rng>(
+        &mut self,
+        ctx: &GraphContext,
+        x: &Matrix,
+        train: bool,
+        rng: &mut R,
+        timers: &mut PhaseTimers,
+    ) -> Matrix {
+        // Dropout on the layer input (Table 3's per-dataset rates).
+        let (x_in, mask) = if train && self.dropout > 0.0 {
+            let (d, m) = timers.time_other(|| ops::dropout_forward(x, self.dropout, rng));
+            (d, Some(m))
+        } else {
+            (x.clone(), None)
+        };
+        self.cache_dropout = mask;
+
+        // Linear transform (the Linear1 of Fig. 1(b)).
+        let z = timers.time_linear(|| self.lin_neigh.forward(&x_in));
+
+        let mut y = match self.activation {
+            Some(Activation::MaxK(k)) => {
+                // MaxK nonlinearity -> CBSR -> SpGEMM aggregation.
+                let hs = timers.time_maxk(|| {
+                    maxk_forward(&z, k).expect("k validated at model construction")
+                });
+                let y = timers.time_agg(|| spgemm_forward(&ctx.adj, &hs, &ctx.part));
+                self.cache_pattern = Some(hs);
+                y
+            }
+            Some(Activation::Relu) => {
+                let h = timers.time_other(|| ops::relu(&z));
+                timers.time_agg(|| spmm_rowwise(&ctx.adj, &h))
+            }
+            None => timers.time_agg(|| spmm_rowwise(&ctx.adj, &z)),
+        };
+
+        match self.arch {
+            Arch::Sage => {
+                let self_y = timers.time_linear(|| {
+                    self.lin_self.as_ref().expect("SAGE has a self linear").forward(&x_in)
+                });
+                timers.time_other(|| ops::add_assign(&mut y, &self_y));
+            }
+            Arch::Gin => {
+                // (1 + ε) · h(Z) self term; h is the layer nonlinearity
+                // (identity on the output layer).
+                timers.time_other(|| {
+                    let scale = 1.0 + self.eps;
+                    match (&self.activation, &self.cache_pattern) {
+                        (Some(Activation::MaxK(_)), Some(hs)) => {
+                            let mut d = maxk_backward(hs); // scatter hs to dense
+                            ops::scale_assign(&mut d, scale);
+                            ops::add_assign(&mut y, &d);
+                        }
+                        (Some(Activation::Relu), _) => {
+                            let mut h = ops::relu(&z);
+                            ops::scale_assign(&mut h, scale);
+                            ops::add_assign(&mut y, &h);
+                        }
+                        _ => {
+                            let mut zz = z.clone();
+                            ops::scale_assign(&mut zz, scale);
+                            ops::add_assign(&mut y, &zz);
+                        }
+                    }
+                });
+            }
+            Arch::Gcn => {}
+        }
+
+        self.cache_input = Some(x_in);
+        self.cache_z = Some(z);
+        y
+    }
+
+    /// Backward pass: consumes the forward caches, accumulates parameter
+    /// gradients, returns the gradient w.r.t. the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(
+        &mut self,
+        ctx: &GraphContext,
+        dy: &Matrix,
+        timers: &mut PhaseTimers,
+    ) -> Matrix {
+        let x_in = self.cache_input.take().expect("backward before forward");
+        let z = self.cache_z.take().expect("backward before forward");
+
+        let scale = 1.0 + self.eps;
+        let dz = match self.activation {
+            Some(Activation::MaxK(_)) => {
+                let pattern = self.cache_pattern.take().expect("MaxK pattern cached");
+                // dHs = SSpMM(Aᵀ, dY) with the forward sparsity pattern.
+                let mut dhs = timers.time_agg(|| sspmm_backward(&ctx.adj_t, dy, &pattern));
+                if self.arch == Arch::Gin {
+                    // Self-path gradient flows through the same mask.
+                    timers.time_other(|| {
+                        let extra = gather_with_pattern(dy, &pattern);
+                        for (d, &e) in dhs.sp_data_mut().iter_mut().zip(extra.sp_data()) {
+                            *d += scale * e;
+                        }
+                    });
+                }
+                // Scatter back to the dense pre-activation gradient.
+                timers.time_maxk(|| maxk_backward(&dhs))
+            }
+            Some(Activation::Relu) => {
+                let mut dh = timers.time_agg(|| spmm_rowwise(&ctx.adj_t, dy));
+                if self.arch == Arch::Gin {
+                    timers.time_other(|| {
+                        let mut extra = dy.clone();
+                        ops::scale_assign(&mut extra, scale);
+                        ops::add_assign(&mut dh, &extra);
+                    });
+                }
+                timers.time_other(|| ops::relu_backward(&z, &dh))
+            }
+            None => {
+                let mut dz = timers.time_agg(|| spmm_rowwise(&ctx.adj_t, dy));
+                if self.arch == Arch::Gin {
+                    timers.time_other(|| {
+                        let mut extra = dy.clone();
+                        ops::scale_assign(&mut extra, scale);
+                        ops::add_assign(&mut dz, &extra);
+                    });
+                }
+                dz
+            }
+        };
+
+        let mut dx = timers.time_linear(|| self.lin_neigh.backward(&x_in, &dz));
+        if let Some(lin_self) = self.lin_self.as_mut() {
+            let dx_self = timers.time_linear(|| lin_self.backward(&x_in, dy));
+            timers.time_other(|| ops::add_assign(&mut dx, &dx_self));
+        }
+
+        if let Some(mask) = self.cache_dropout.take() {
+            return timers.time_other(|| ops::dropout_backward(&dx, &mask, self.dropout));
+        }
+        dx
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.lin_neigh.zero_grad();
+        if let Some(l) = self.lin_self.as_mut() {
+            l.zero_grad();
+        }
+    }
+
+    /// Applies one optimizer step to this layer's parameters.
+    ///
+    /// `base_id` namespaces the layer's tensors within the optimizer.
+    pub fn apply_step<O: maxk_tensor::Optimizer>(&mut self, opt: &mut O, base_id: usize) {
+        for (slot, (params, grads)) in self.lin_neigh.params_and_grads().into_iter().enumerate() {
+            opt.step(base_id * 8 + slot, params, grads);
+        }
+        if let Some(l) = self.lin_self.as_mut() {
+            for (slot, (params, grads)) in l.params_and_grads().into_iter().enumerate() {
+                opt.step(base_id * 8 + 4 + slot, params, grads);
+            }
+        }
+    }
+
+    /// Total learnable parameters in this layer.
+    pub fn num_params(&self) -> usize {
+        self.lin_neigh.num_params() + self.lin_self.as_ref().map_or(0, Linear::num_params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxk_graph::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph(n: usize, seed: u64) -> Csr {
+        generate::chung_lu_power_law(n, 8.0, 2.3, seed).to_csr().unwrap()
+    }
+
+    fn forward_backward(
+        arch: Arch,
+        activation: Option<Activation>,
+    ) -> (Matrix, Matrix) {
+        let g = graph(80, 3);
+        let ctx = GraphContext::build(&g, arch, 16);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut conv = Conv::new(arch, activation, 12, 6, 0.0, &mut rng);
+        let x = Matrix::xavier(80, 12, &mut rng);
+        let mut timers = PhaseTimers::default();
+        let y = conv.forward(&ctx, &x, false, &mut rng, &mut timers);
+        let dy = Matrix::filled(80, 6, 1.0);
+        let dx = conv.backward(&ctx, &dy, &mut timers);
+        (y, dx)
+    }
+
+    #[test]
+    fn shapes_for_all_arch_activation_combos() {
+        for arch in [Arch::Gcn, Arch::Sage, Arch::Gin] {
+            for act in [None, Some(Activation::Relu), Some(Activation::MaxK(3))] {
+                let (y, dx) = forward_backward(arch, act);
+                assert_eq!(y.shape(), (80, 6), "{arch:?} {act:?}");
+                assert_eq!(dx.shape(), (80, 12), "{arch:?} {act:?}");
+                assert!(y.is_finite() && dx.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn gcn_context_has_self_loops() {
+        let g = graph(30, 5);
+        let ctx = GraphContext::build(&g, Arch::Gcn, 8);
+        for i in 0..30 {
+            assert!(
+                ctx.adj.get(i, i as u32).is_some(),
+                "GCN adjacency missing self-loop at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn sage_context_uses_row_mean() {
+        let g = graph(30, 6);
+        let ctx = GraphContext::build(&g, Arch::Sage, 8);
+        for i in 0..30 {
+            let (_, vals) = ctx.adj.row(i);
+            if !vals.is_empty() {
+                let s: f32 = vals.iter().sum();
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn gin_context_unit_weights() {
+        let g = graph(30, 7);
+        let ctx = GraphContext::build(&g, Arch::Gin, 8);
+        assert!(ctx.adj.values().iter().all(|&v| v == 1.0));
+    }
+
+    /// Finite-difference check of the full layer gradient for every
+    /// architecture/activation combination.
+    #[test]
+    fn layer_gradient_matches_finite_difference() {
+        let g = graph(24, 11);
+        for arch in [Arch::Gcn, Arch::Sage, Arch::Gin] {
+            for act in [Some(Activation::Relu), Some(Activation::MaxK(4))] {
+                let ctx = GraphContext::build(&g, arch, 8);
+                let mut rng = StdRng::seed_from_u64(13);
+                let mut conv = Conv::new(arch, act, 6, 4, 0.0, &mut rng);
+                let x = Matrix::xavier(24, 6, &mut rng);
+                let mut timers = PhaseTimers::default();
+                // Objective: sum(Y). dY = ones.
+                let _ = conv.forward(&ctx, &x, false, &mut rng, &mut timers);
+                let dy = Matrix::filled(24, 4, 1.0);
+                let dx = conv.backward(&ctx, &dy, &mut timers);
+                let h = 3e-3f32;
+                // Spot-check a handful of coordinates.
+                for &(r, c) in &[(0usize, 0usize), (3, 2), (10, 5), (23, 1)] {
+                    let mut xp = x.clone();
+                    xp.set(r, c, x.get(r, c) + h);
+                    let mut xm = x.clone();
+                    xm.set(r, c, x.get(r, c) - h);
+                    let fp: f32 = conv
+                        .forward(&ctx, &xp, false, &mut rng, &mut timers)
+                        .data()
+                        .iter()
+                        .sum();
+                    let fm: f32 = conv
+                        .forward(&ctx, &xm, false, &mut rng, &mut timers)
+                        .data()
+                        .iter()
+                        .sum();
+                    let fd = (fp - fm) / (2.0 * h);
+                    let got = dx.get(r, c);
+                    // MaxK's selection boundary makes the function only
+                    // piecewise-linear; tolerate modest error.
+                    assert!(
+                        (fd - got).abs() < 0.05 * (1.0 + fd.abs().max(got.abs())),
+                        "{arch:?} {act:?} at ({r},{c}): fd {fd} vs analytic {got}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_only_active_in_training() {
+        let g = graph(40, 17);
+        let ctx = GraphContext::build(&g, Arch::Gcn, 8);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut conv = Conv::new(Arch::Gcn, Some(Activation::Relu), 8, 4, 0.5, &mut rng);
+        let x = Matrix::filled(40, 8, 1.0);
+        let mut timers = PhaseTimers::default();
+        let eval1 = conv.forward(&ctx, &x, false, &mut rng, &mut timers);
+        let eval2 = conv.forward(&ctx, &x, false, &mut rng, &mut timers);
+        assert_eq!(eval1, eval2, "eval mode must be deterministic");
+        let tr1 = conv.forward(&ctx, &x, true, &mut rng, &mut timers);
+        let tr2 = conv.forward(&ctx, &x, true, &mut rng, &mut timers);
+        assert_ne!(tr1, tr2, "dropout must randomize training forward");
+    }
+
+    #[test]
+    fn zero_grad_resets_accumulation() {
+        let g = graph(30, 19);
+        let ctx = GraphContext::build(&g, Arch::Sage, 8);
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut conv = Conv::new(Arch::Sage, Some(Activation::MaxK(2)), 6, 3, 0.0, &mut rng);
+        let x = Matrix::xavier(30, 6, &mut rng);
+        let mut timers = PhaseTimers::default();
+        let _ = conv.forward(&ctx, &x, false, &mut rng, &mut timers);
+        let _ = conv.backward(&ctx, &Matrix::filled(30, 3, 1.0), &mut timers);
+        conv.zero_grad();
+        // After zero_grad, an optimizer step must be a no-op.
+        let before = conv.lin_neigh.weight().clone();
+        let mut opt = maxk_tensor::Sgd::new(1.0);
+        conv.apply_step(&mut opt, 0);
+        assert_eq!(conv.lin_neigh.weight(), &before);
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let gcn = Conv::new(Arch::Gcn, None, 10, 4, 0.0, &mut rng);
+        assert_eq!(gcn.num_params(), 10 * 4 + 4);
+        let sage = Conv::new(Arch::Sage, None, 10, 4, 0.0, &mut rng);
+        assert_eq!(sage.num_params(), 2 * (10 * 4 + 4));
+    }
+}

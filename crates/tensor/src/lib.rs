@@ -1,0 +1,82 @@
+//! Dense tensor substrate for the MaxK-GNN reproduction.
+//!
+//! The paper's training stack is PyTorch + custom CUDA kernels; this crate
+//! is the PyTorch-shaped part: a row-major `f32` [`Matrix`], threaded dense
+//! [`ops`] (the `Linear1`/`Linear2` of Fig. 1(b)), [`Linear`] layers with
+//! gradients, [`optim`]izers, [`loss`] functions, and evaluation
+//! [`metrics`] (accuracy, micro-F1, ROC-AUC — Table 5's three metrics).
+//!
+//! # Example
+//!
+//! ```
+//! use maxk_tensor::{Matrix, ops};
+//!
+//! let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+//! let b = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+//! let c = ops::matmul(&a, &b);
+//! assert_eq!(c.row(0), &[4.0, 5.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linear;
+pub mod loss;
+pub mod matrix;
+pub mod metrics;
+pub mod ops;
+pub mod optim;
+pub mod parallel;
+
+pub use linear::Linear;
+pub use matrix::Matrix;
+pub use optim::{Adam, Optimizer, Sgd};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by dense tensor construction and shape checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Data length does not match the requested shape.
+    LengthMismatch {
+        /// Rows requested.
+        rows: usize,
+        /// Columns requested.
+        cols: usize,
+        /// Length of the provided buffer.
+        len: usize,
+    },
+    /// Two operands have incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Left-hand shape.
+        lhs: (usize, usize),
+        /// Right-hand shape.
+        rhs: (usize, usize),
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { rows, cols, len } => {
+                write!(f, "buffer of length {len} cannot form a {rows}x{cols} matrix")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(
+                    f,
+                    "shape mismatch in {op}: {}x{} vs {}x{}",
+                    lhs.0, lhs.1, rhs.0, rhs.1
+                )
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = TensorError> = std::result::Result<T, E>;

@@ -1,0 +1,212 @@
+//! Evaluation metrics: accuracy, micro-F1 and ROC-AUC.
+//!
+//! Table 5 of the paper reports accuracy for Reddit/products/Flickr,
+//! micro-F1 for Yelp and ROC-AUC for ogbn-proteins; all three are
+//! implemented here over masked node subsets.
+
+use crate::matrix::Matrix;
+
+/// Fraction of masked rows whose argmax logit equals the label.
+///
+/// Returns 0.0 for an empty mask.
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn accuracy(logits: &Matrix, labels: &[u32], mask: &[bool]) -> f64 {
+    let (n, _) = logits.shape();
+    assert_eq!(labels.len(), n, "label count mismatch");
+    assert_eq!(mask.len(), n, "mask length mismatch");
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        if !mask[i] {
+            continue;
+        }
+        total += 1;
+        if argmax(logits.row(i)) == labels[i] as usize {
+            correct += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// Micro-averaged F1 over multi-hot targets, thresholding logits at 0
+/// (sigmoid 0.5).
+///
+/// Returns 0.0 for an empty mask or when no positives exist anywhere.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn micro_f1(logits: &Matrix, targets: &[u8], mask: &[bool]) -> f64 {
+    let (n, c) = logits.shape();
+    assert_eq!(targets.len(), n * c, "target matrix shape mismatch");
+    assert_eq!(mask.len(), n, "mask length mismatch");
+    let (mut tp, mut fp, mut fne) = (0usize, 0usize, 0usize);
+    for i in 0..n {
+        if !mask[i] {
+            continue;
+        }
+        let row = logits.row(i);
+        for j in 0..c {
+            let pred = row[j] > 0.0;
+            let truth = targets[i * c + j] == 1;
+            match (pred, truth) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fne += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    let denom = 2 * tp + fp + fne;
+    if denom == 0 {
+        0.0
+    } else {
+        2.0 * tp as f64 / denom as f64
+    }
+}
+
+/// Mean per-class ROC-AUC (the OGB "proteins" protocol), computed with the
+/// rank-statistic formulation; classes that are all-positive or
+/// all-negative on the masked subset are skipped.
+///
+/// Returns 0.0 when every class is degenerate.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn roc_auc(logits: &Matrix, targets: &[u8], mask: &[bool]) -> f64 {
+    let (n, c) = logits.shape();
+    assert_eq!(targets.len(), n * c, "target matrix shape mismatch");
+    assert_eq!(mask.len(), n, "mask length mismatch");
+    let rows: Vec<usize> = (0..n).filter(|&i| mask[i]).collect();
+    let mut sum = 0.0f64;
+    let mut classes = 0usize;
+    let mut scored: Vec<(f32, bool)> = Vec::with_capacity(rows.len());
+    for j in 0..c {
+        scored.clear();
+        for &i in &rows {
+            scored.push((logits.get(i, j), targets[i * c + j] == 1));
+        }
+        let pos = scored.iter().filter(|(_, t)| *t).count();
+        let neg = scored.len() - pos;
+        if pos == 0 || neg == 0 {
+            continue;
+        }
+        // AUC = (rank-sum of positives - pos(pos+1)/2) / (pos * neg),
+        // with midranks for ties.
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN scores"));
+        let mut rank_sum = 0.0f64;
+        let mut i = 0;
+        while i < scored.len() {
+            let mut k = i + 1;
+            while k < scored.len() && scored[k].0 == scored[i].0 {
+                k += 1;
+            }
+            let midrank = (i + 1 + k) as f64 / 2.0; // average of ranks i+1..=k
+            for item in &scored[i..k] {
+                if item.1 {
+                    rank_sum += midrank;
+                }
+            }
+            i = k;
+        }
+        let auc = (rank_sum - (pos * (pos + 1)) as f64 / 2.0) / (pos as f64 * neg as f64);
+        sum += auc;
+        classes += 1;
+    }
+    if classes == 0 {
+        0.0
+    } else {
+        sum / classes as f64
+    }
+}
+
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_masked_rows_only() {
+        let logits =
+            Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
+        let labels = [0u32, 1, 1];
+        let all = accuracy(&logits, &labels, &[true, true, true]);
+        assert!((all - 2.0 / 3.0).abs() < 1e-12);
+        let masked = accuracy(&logits, &labels, &[true, true, false]);
+        assert_eq!(masked, 1.0);
+        assert_eq!(accuracy(&logits, &labels, &[false, false, false]), 0.0);
+    }
+
+    #[test]
+    fn micro_f1_perfect_and_worst() {
+        let logits = Matrix::from_vec(2, 2, vec![5.0, -5.0, -5.0, 5.0]).unwrap();
+        let perfect = [1u8, 0, 0, 1];
+        assert_eq!(micro_f1(&logits, &perfect, &[true, true]), 1.0);
+        let inverted = [0u8, 1, 1, 0];
+        assert_eq!(micro_f1(&logits, &inverted, &[true, true]), 0.0);
+    }
+
+    #[test]
+    fn micro_f1_partial() {
+        // Predictions: [+,-], truth: [+,+] -> tp=1, fp=0, fn=1 -> F1 = 2/3.
+        let logits = Matrix::from_vec(1, 2, vec![1.0, -1.0]).unwrap();
+        let targets = [1u8, 1];
+        assert!((micro_f1(&logits, &targets, &[true]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_perfect_separation_is_one() {
+        let logits = Matrix::from_vec(4, 1, vec![0.9, 0.8, 0.2, 0.1]).unwrap();
+        let targets = [1u8, 1, 0, 0];
+        assert!((roc_auc(&logits, &targets, &[true; 4]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_scores_is_half() {
+        // Symmetric construction: equal scores -> midrank AUC = 0.5.
+        let logits = Matrix::from_vec(4, 1, vec![0.5, 0.5, 0.5, 0.5]).unwrap();
+        let targets = [1u8, 0, 1, 0];
+        assert!((roc_auc(&logits, &targets, &[true; 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_inverted_is_zero() {
+        let logits = Matrix::from_vec(4, 1, vec![0.1, 0.2, 0.8, 0.9]).unwrap();
+        let targets = [1u8, 1, 0, 0];
+        assert!(roc_auc(&logits, &targets, &[true; 4]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_skips_degenerate_classes() {
+        // Class 0 all-positive (skipped), class 1 separable (AUC 1).
+        let logits = Matrix::from_vec(2, 2, vec![0.3, 0.9, 0.7, 0.1]).unwrap();
+        let targets = [1u8, 1, 1, 0];
+        assert!((roc_auc(&logits, &targets, &[true, true]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_all_degenerate_returns_zero() {
+        let logits = Matrix::zeros(2, 1);
+        let targets = [1u8, 1];
+        assert_eq!(roc_auc(&logits, &targets, &[true, true]), 0.0);
+    }
+}

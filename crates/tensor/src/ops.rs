@@ -1,0 +1,395 @@
+//! Threaded dense matrix operations.
+//!
+//! These implement the dense parts of a GNN layer (the linear transforms of
+//! Fig. 1(b) and their gradients). All entry points are shape-checked with
+//! panics (the layer code controls all shapes statically); the `try_`
+//! variants return [`TensorError`](crate::TensorError) for callers handling
+//! untrusted shapes.
+
+use crate::matrix::Matrix;
+use crate::parallel;
+
+/// `C = A · B` for `A: n×k`, `B: k×m`.
+///
+/// Row-parallel ikj loop: each output row accumulates scaled rows of `B`,
+/// keeping all accesses sequential in memory.
+///
+/// # Panics
+///
+/// Panics when `A.cols() != B.rows()`.
+#[must_use]
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dimensions differ");
+    let (n, k) = a.shape();
+    let m = b.cols();
+    let mut out = Matrix::zeros(n, m);
+    let a_data = a.data();
+    let b_data = b.data();
+    parallel::par_rows_mut(out.data_mut(), m, 8, |first_row, chunk| {
+        for (local, out_row) in chunk.chunks_mut(m).enumerate() {
+            let i = first_row + local;
+            let a_row = &a_data[i * k..(i + 1) * k];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[kk * m..(kk + 1) * m];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bv;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// `C = Aᵀ · B` for `A: n×k`, `B: n×m`, producing `k×m`.
+///
+/// This is the weight-gradient contraction `dW = Xᵀ · dY`. Parallelized by
+/// per-thread partial accumulators reduced at the end (the contraction axis
+/// is the long `n` axis).
+///
+/// # Panics
+///
+/// Panics when `A.rows() != B.rows()`.
+#[must_use]
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_at_b: row counts differ");
+    let (n, k) = a.shape();
+    let m = b.cols();
+    let a_data = a.data();
+    let b_data = b.data();
+    let partials = parallel::par_row_map(n, 64, |lo, hi| {
+        let mut acc = vec![0f32; k * m];
+        for i in lo..hi {
+            let a_row = &a_data[i * k..(i + 1) * k];
+            let b_row = &b_data[i * m..(i + 1) * m];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let dst = &mut acc[kk * m..(kk + 1) * m];
+                for (d, &bv) in dst.iter_mut().zip(b_row) {
+                    *d += av * bv;
+                }
+            }
+        }
+        acc
+    });
+    let mut out = vec![0f32; k * m];
+    for p in partials {
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += v;
+        }
+    }
+    Matrix::from_vec(k, m, out).expect("shape computed above")
+}
+
+/// `C = A · Bᵀ` for `A: n×m`, `B: k×m`, producing `n×k`.
+///
+/// This is the input-gradient contraction `dX = dY · Wᵀ`. Each output
+/// element is a dot product of two rows, so memory access is sequential on
+/// both operands.
+///
+/// # Panics
+///
+/// Panics when `A.cols() != B.cols()`.
+#[must_use]
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_a_bt: column counts differ");
+    let (n, m) = a.shape();
+    let k = b.rows();
+    let mut out = Matrix::zeros(n, k);
+    let a_data = a.data();
+    let b_data = b.data();
+    parallel::par_rows_mut(out.data_mut(), k, 8, |first_row, chunk| {
+        for (local, out_row) in chunk.chunks_mut(k).enumerate() {
+            let i = first_row + local;
+            let a_row = &a_data[i * m..(i + 1) * m];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b_data[j * m..(j + 1) * m];
+                let mut dot = 0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    dot += av * bv;
+                }
+                *o = dot;
+            }
+        }
+    });
+    out
+}
+
+/// Adds bias vector `b` (length `m`) to every row of `x` in place.
+///
+/// # Panics
+///
+/// Panics when `b.len() != x.cols()`.
+pub fn add_bias(x: &mut Matrix, b: &[f32]) {
+    assert_eq!(b.len(), x.cols(), "bias length mismatch");
+    let m = x.cols();
+    parallel::par_rows_mut(x.data_mut(), m, 64, |_, chunk| {
+        for row in chunk.chunks_mut(m) {
+            for (v, &bv) in row.iter_mut().zip(b) {
+                *v += bv;
+            }
+        }
+    });
+}
+
+/// Column-wise sum of `x` (the bias gradient `db = Σ_rows dY`).
+#[must_use]
+pub fn column_sums(x: &Matrix) -> Vec<f32> {
+    let m = x.cols();
+    let data = x.data();
+    let partials = parallel::par_row_map(x.rows(), 128, |lo, hi| {
+        let mut acc = vec![0f32; m];
+        for i in lo..hi {
+            for (a, &v) in acc.iter_mut().zip(&data[i * m..(i + 1) * m]) {
+                *a += v;
+            }
+        }
+        acc
+    });
+    let mut out = vec![0f32; m];
+    for p in partials {
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Element-wise `y = max(x, 0)` (a fresh matrix).
+#[must_use]
+pub fn relu(x: &Matrix) -> Matrix {
+    let mut y = x.clone();
+    y.data_mut().iter_mut().for_each(|v| {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    });
+    y
+}
+
+/// Backward of ReLU: `dx = dy ⊙ [x > 0]`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+#[must_use]
+pub fn relu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(x.shape(), dy.shape(), "relu_backward shape mismatch");
+    let mut dx = dy.clone();
+    for (d, &xv) in dx.data_mut().iter_mut().zip(x.data()) {
+        if xv <= 0.0 {
+            *d = 0.0;
+        }
+    }
+    dx
+}
+
+/// In-place `a += b`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn add_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "add_assign shape mismatch");
+    for (av, &bv) in a.data_mut().iter_mut().zip(b.data()) {
+        *av += bv;
+    }
+}
+
+/// In-place `a *= s`.
+pub fn scale_assign(a: &mut Matrix, s: f32) {
+    a.data_mut().iter_mut().for_each(|v| *v *= s);
+}
+
+/// Inverted-dropout forward: zeroes each element with probability `p` and
+/// scales survivors by `1/(1-p)`. Returns the kept-mask for backward.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= p < 1.0`.
+pub fn dropout_forward<R: rand::Rng>(x: &Matrix, p: f32, rng: &mut R) -> (Matrix, Vec<bool>) {
+    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    if p == 0.0 {
+        return (x.clone(), vec![true; x.data().len()]);
+    }
+    let keep_scale = 1.0 / (1.0 - p);
+    let mut y = x.clone();
+    let mut mask = vec![true; x.data().len()];
+    for (v, m) in y.data_mut().iter_mut().zip(mask.iter_mut()) {
+        if rng.gen::<f32>() < p {
+            *v = 0.0;
+            *m = false;
+        } else {
+            *v *= keep_scale;
+        }
+    }
+    (y, mask)
+}
+
+/// Inverted-dropout backward: `dx = dy ⊙ mask / (1-p)`.
+///
+/// # Panics
+///
+/// Panics if the mask length disagrees with `dy` or `p` is out of range.
+#[must_use]
+pub fn dropout_backward(dy: &Matrix, mask: &[bool], p: f32) -> Matrix {
+    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    assert_eq!(dy.data().len(), mask.len(), "dropout mask length mismatch");
+    let keep_scale = 1.0 / (1.0 - p);
+    let mut dx = dy.clone();
+    for (d, &keep) in dx.data_mut().iter_mut().zip(mask) {
+        if keep {
+            *d *= keep_scale;
+        } else {
+            *d = 0.0;
+        }
+    }
+    dx
+}
+
+/// Reference (naive, single-threaded) matmul for testing.
+#[must_use]
+pub fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows());
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0f32;
+            for kk in 0..a.cols() {
+                acc += a.get(i, kk) * b.get(kk, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::xavier(rows, cols, &mut rng)
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let a = random(17, 9, 1);
+        let b = random(9, 13, 2);
+        let fast = matmul(&a, &b);
+        let slow = matmul_reference(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_at_b_matches_transpose_matmul() {
+        let a = random(23, 7, 3);
+        let b = random(23, 11, 4);
+        let fast = matmul_at_b(&a, &b);
+        let slow = matmul_reference(&a.transposed(), &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_transpose_matmul() {
+        let a = random(19, 8, 5);
+        let b = random(12, 8, 6);
+        let fast = matmul_a_bt(&a, &b);
+        let slow = matmul_reference(&a, &b.transposed());
+        assert!(fast.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_checks_shapes() {
+        let _ = matmul(&Matrix::zeros(2, 3), &Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn bias_and_column_sums_roundtrip() {
+        let mut x = Matrix::zeros(4, 3);
+        add_bias(&mut x, &[1.0, 2.0, 3.0]);
+        assert_eq!(x.row(3), &[1.0, 2.0, 3.0]);
+        let sums = column_sums(&x);
+        assert_eq!(sums, vec![4.0, 8.0, 12.0]);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]).unwrap();
+        let y = relu(&x);
+        assert_eq!(y.row(0), &[0.0, 0.0, 2.0, 0.0]);
+        let dy = Matrix::filled(1, 4, 1.0);
+        let dx = relu_backward(&x, &dy);
+        assert_eq!(dx.row(0), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        add_assign(&mut a, &b);
+        scale_assign(&mut a, 0.5);
+        assert!(a.data().iter().all(|&v| (v - 1.5).abs() < 1e-7));
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        let x = random(5, 5, 7);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (y, mask) = dropout_forward(&x, 0.0, &mut rng);
+        assert_eq!(y, x);
+        assert!(mask.iter().all(|&m| m));
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let x = Matrix::filled(100, 100, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (y, mask) = dropout_forward(&x, 0.5, &mut rng);
+        let mean: f32 = y.data().iter().sum::<f32>() / y.data().len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout mean {mean}");
+        let kept = mask.iter().filter(|&&m| m).count() as f32 / mask.len() as f32;
+        assert!((kept - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn dropout_backward_masks_gradient() {
+        let x = Matrix::filled(10, 10, 1.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        let (y, mask) = dropout_forward(&x, 0.3, &mut rng);
+        let dy = Matrix::filled(10, 10, 1.0);
+        let dx = dropout_backward(&dy, &mask, 0.3);
+        // Gradient sparsity pattern must match the forward output.
+        for (yv, dv) in y.data().iter().zip(dx.data()) {
+            assert_eq!(*yv == 0.0, *dv == 0.0);
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = random(6, 6, 20);
+        let mut eye = Matrix::zeros(6, 6);
+        for i in 0..6 {
+            eye.set(i, i, 1.0);
+        }
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-7);
+    }
+
+    #[test]
+    fn big_matmul_parallel_path() {
+        // Large enough that the parallel path definitely engages.
+        let a = random(700, 40, 30);
+        let b = random(40, 50, 31);
+        let fast = matmul(&a, &b);
+        let slow = matmul_reference(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+}

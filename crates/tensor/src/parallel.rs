@@ -1,0 +1,193 @@
+//! Scoped-thread data parallelism helpers.
+//!
+//! All heavy kernels in this reproduction parallelize over contiguous row
+//! ranges. [`par_row_chunks`] is the single primitive they share: it splits
+//! `rows` into at most `num_threads()` contiguous chunks and runs the
+//! closure on each chunk from a crossbeam scoped thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by this process (cached).
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Runs `f(start, end)` over disjoint row ranges covering `0..rows` in
+/// parallel.
+///
+/// Chunks are contiguous and at least `min_chunk` rows (except possibly the
+/// last); when the work is too small for more than one chunk, `f` runs on
+/// the calling thread with no spawn overhead.
+pub fn par_row_chunks<F>(rows: usize, min_chunk: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if rows == 0 {
+        return;
+    }
+    let threads = num_threads();
+    let chunk = rows.div_ceil(threads).max(min_chunk.max(1));
+    if chunk >= rows {
+        f(0, rows);
+        return;
+    }
+    crossbeam::thread::scope(|s| {
+        let mut start = 0;
+        while start < rows {
+            let end = (start + chunk).min(rows);
+            let f = &f;
+            s.spawn(move |_| f(start, end));
+            start = end;
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Like [`par_row_chunks`] but each chunk produces a value; results are
+/// returned in chunk order (useful for partial-sum reductions).
+pub fn par_row_map<T, F>(rows: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    if rows == 0 {
+        return Vec::new();
+    }
+    let threads = num_threads();
+    let chunk = rows.div_ceil(threads).max(min_chunk.max(1));
+    if chunk >= rows {
+        return vec![f(0, rows)];
+    }
+    let mut ranges = Vec::new();
+    let mut start = 0;
+    while start < rows {
+        let end = (start + chunk).min(rows);
+        ranges.push((start, end));
+        start = end;
+    }
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(a, b)| {
+                let f = &f;
+                s.spawn(move |_| f(a, b))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    })
+    .expect("worker thread panicked")
+}
+
+/// Splits a mutable slice into row-chunks and processes them in parallel.
+///
+/// `row_width` is the stride of one logical row in the slice. The closure
+/// receives `(first_row, rows_chunk)` where `rows_chunk` is the mutable
+/// sub-slice for its rows.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `row_width`.
+pub fn par_rows_mut<F>(data: &mut [f32], row_width: usize, min_chunk: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(row_width > 0, "row width must be positive");
+    assert_eq!(data.len() % row_width, 0, "slice not a whole number of rows");
+    let rows = data.len() / row_width;
+    if rows == 0 {
+        return;
+    }
+    let threads = num_threads();
+    let chunk = rows.div_ceil(threads).max(min_chunk.max(1));
+    if chunk >= rows {
+        f(0, data);
+        return;
+    }
+    crossbeam::thread::scope(|s| {
+        let mut rest = data;
+        let mut start = 0;
+        while start < rows {
+            let end = (start + chunk).min(rows);
+            let (head, tail) = rest.split_at_mut((end - start) * row_width);
+            rest = tail;
+            let f = &f;
+            s.spawn(move |_| f(start, head));
+            start = end;
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_cover_all_rows_once() {
+        let counter = AtomicUsize::new(0);
+        par_row_chunks(1000, 1, |a, b| {
+            counter.fetch_add(b - a, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn zero_rows_is_noop() {
+        par_row_chunks(0, 1, |_, _| panic!("should not run"));
+    }
+
+    #[test]
+    fn small_work_runs_inline() {
+        // min_chunk larger than rows forces the inline path.
+        let counter = AtomicUsize::new(0);
+        par_row_chunks(5, 100, |a, b| {
+            assert_eq!((a, b), (0, 5));
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn par_row_map_collects_in_order() {
+        let sums = par_row_map(100, 10, |a, b| (a, b));
+        let mut expect = 0;
+        for (a, b) in sums {
+            assert_eq!(a, expect);
+            expect = b;
+        }
+        assert_eq!(expect, 100);
+    }
+
+    #[test]
+    fn par_rows_mut_writes_disjoint() {
+        let mut data = vec![0f32; 64 * 4];
+        par_rows_mut(&mut data, 4, 1, |first_row, chunk| {
+            for (i, row) in chunk.chunks_mut(4).enumerate() {
+                row.iter_mut().for_each(|v| *v = (first_row + i) as f32);
+            }
+        });
+        for r in 0..64 {
+            assert!(data[r * 4..(r + 1) * 4].iter().all(|&v| v == r as f32));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn par_rows_mut_checks_stride() {
+        let mut data = vec![0f32; 5];
+        par_rows_mut(&mut data, 2, 1, |_, _| {});
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Nsight-style kernel profiling on the simulated GPU: pick any Table 1
+//! graph and inspect traffic, cache hit rates and modelled latency for the
+//! whole kernel suite.
+//!
+//! Run with `cargo run --release --example kernel_profiler -- [dataset] [k]`
+//! e.g. `cargo run --release --example kernel_profiler -- ddi 16`.
+
+use maxk_gnn::core::sim_kernels::profile_kernel_suite;
+use maxk_gnn::gpu_sim::GpuConfig;
+use maxk_gnn::graph::datasets::{DatasetSpec, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset = args.get(1).map(String::as_str).unwrap_or("ddi");
+    let k: usize = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(32);
+    let dim = 256;
+
+    let spec = DatasetSpec::find(dataset)
+        .ok_or_else(|| format!("unknown dataset {dataset}; see Table 1 names"))?;
+    let ds = spec.load(Scale::Test, 0x9e0f)?;
+    let adj = &ds.csr;
+    let factor = (spec.paper_nodes as f64 / adj.num_nodes() as f64).max(1.0);
+    let cfg = GpuConfig::a100().scaled(factor);
+
+    println!(
+        "profiling {} stand-in: {} nodes, {} edges | dim {dim}, k {k} | A100/{factor:.0}",
+        spec.name,
+        adj.num_nodes(),
+        adj.num_edges()
+    );
+    let suite = profile_kernel_suite(adj, dim, k, 32, 6, &cfg);
+
+    println!(
+        "\n{:<18} {:>12} {:>10} {:>10} {:>12} {:>10}",
+        "kernel", "L2 traffic", "L1 hit", "L2 hit", "latency", "bottleneck"
+    );
+    for (name, p) in [
+        ("SpMM (cuSP-style)", &suite.spmm),
+        ("SpMM (GNNA-style)", &suite.gnnadvisor),
+        ("SpGEMM forward", &suite.spgemm),
+        ("SSpMM backward", &suite.sspmm),
+        ("MaxK select", &suite.maxk),
+    ] {
+        println!(
+            "{:<18} {:>10.2}MB {:>9.1}% {:>9.1}% {:>10.3}ms {:>10}",
+            name,
+            p.l2_traffic_bytes() as f64 / 1e6,
+            100.0 * p.l1_hit_rate(),
+            100.0 * p.l2_hit_rate(),
+            p.latency(&cfg) * 1e3,
+            p.bottleneck(&cfg),
+        );
+    }
+    println!(
+        "\nforward speedup {:.2}x, backward {:.2}x vs cuSPARSE-style SpMM",
+        suite.spmm.latency(&cfg) / suite.spgemm.latency(&cfg),
+        suite.spmm.latency(&cfg) / suite.sspmm.latency(&cfg),
+    );
+    Ok(())
+}

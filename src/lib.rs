@@ -1,0 +1,49 @@
+//! # MaxK-GNN
+//!
+//! A from-scratch Rust reproduction of **"MaxK-GNN: Extremely Fast GPU
+//! Kernel Design for Accelerating Graph Neural Networks Training"**
+//! (ASPLOS 2024): the MaxK nonlinearity, the CBSR sparse-feature format,
+//! the forward SpGEMM / backward SSpMM kernels, the SpMM baselines they
+//! are measured against, a GPU memory-system simulator standing in for
+//! the paper's A100, and a full GNN training stack (GCN / GraphSAGE /
+//! GIN) built on those kernels.
+//!
+//! This facade crate re-exports the workspace's public API; see the
+//! individual crates for details:
+//!
+//! * [`graph`] — adjacency storage, generators, datasets, partitioning;
+//! * [`tensor`] — dense matrices, linears, optimizers, losses, metrics;
+//! * [`gpu_sim`] — the simulated GPU memory system;
+//! * [`core`] — MaxK, CBSR, SpGEMM/SSpMM and the baselines;
+//! * [`nn`] — layers, models and the full-batch trainer.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use maxk_gnn::nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
+//! use maxk_gnn::graph::datasets::{Scale, TrainingDataset};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = TrainingDataset::Flickr.generate(Scale::Test, 42)?;
+//! let cfg = ModelConfig::new(Arch::Sage, Activation::MaxK(8), data.in_dim, data.num_classes);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
+//! let result = train_full_batch(
+//!     &mut model,
+//!     &data,
+//!     &TrainConfig { epochs: 5, lr: 0.01, seed: 1, eval_every: 5 },
+//! );
+//! assert!(result.history.last().is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use maxk_core as core;
+pub use maxk_gpu_sim as gpu_sim;
+pub use maxk_graph as graph;
+pub use maxk_nn as nn;
+pub use maxk_tensor as tensor;

@@ -1,0 +1,101 @@
+//! Smoke tests for the experiment machinery: every figure/table pipeline
+//! must run end-to-end at toy scale.
+
+use maxk_gnn::core::sim_kernels::profile_kernel_suite;
+use maxk_gnn::gpu_sim::GpuConfig;
+use maxk_gnn::graph::datasets::{DatasetSpec, Scale, TrainingDataset, CATALOG, TRAINING_DATASETS};
+use maxk_gnn::nn::mlp::{approximate_square, MlpConfig};
+use maxk_gnn::nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
+use rand::SeedableRng;
+
+#[test]
+fn table1_every_catalog_entry_loads_at_test_scale() {
+    for spec in CATALOG {
+        let ds = spec.load(Scale::Test, 1).unwrap_or_else(|e| {
+            panic!("{} failed to load: {e}", spec.name);
+        });
+        assert!(ds.csr.num_nodes() >= 256, "{} too small", spec.name);
+        assert!(ds.csr.num_edges() > 0, "{} empty", spec.name);
+        ds.csr.validate().expect("generated CSR valid");
+    }
+}
+
+#[test]
+fn fig04_pipeline_produces_decreasing_error() {
+    let small = approximate_square(&MlpConfig {
+        steps: 400,
+        samples: 64,
+        ..MlpConfig::paper_maxk(4)
+    });
+    let large = approximate_square(&MlpConfig {
+        steps: 400,
+        samples: 64,
+        ..MlpConfig::paper_maxk(64)
+    });
+    assert!(large.test_mse < small.test_mse);
+}
+
+#[test]
+fn fig08_sim_pipeline_runs_on_representative_graphs() {
+    let cfg = GpuConfig::a100().scaled(100.0);
+    for name in ["ddi", "Flickr", "pubmed"] {
+        let spec = DatasetSpec::find(name).expect("catalog entry");
+        let ds = spec.load(Scale::Test, 2).expect("loads");
+        let suite = profile_kernel_suite(&ds.csr, 64, 8, 16, 6, &cfg);
+        assert!(suite.spmm.latency(&cfg) > 0.0);
+        assert!(suite.spgemm.dram_traffic_bytes() < suite.spmm.dram_traffic_bytes());
+    }
+}
+
+#[test]
+fn table2_counters_have_paper_orderings() {
+    let spec = DatasetSpec::find("Reddit").expect("catalog entry");
+    let ds = spec.load(Scale::Test, 3).expect("loads");
+    let factor = (spec.paper_nodes as f64 / ds.csr.num_nodes() as f64).max(1.0);
+    let cfg = GpuConfig::a100().scaled(factor);
+    let suite = profile_kernel_suite(&ds.csr, 256, 32, 32, 6, &cfg);
+    // Traffic: SpGEMM and SSpMM below SpMM by a large factor.
+    assert!(suite.spgemm.l2_traffic_bytes() * 3 < suite.spmm.l2_traffic_bytes());
+    assert!(suite.sspmm.l2_traffic_bytes() * 3 < suite.spmm.l2_traffic_bytes());
+    // Hit-rate ordering of Table 2: SpMM lowest L1 hit rate.
+    assert!(suite.spgemm.l1_hit_rate() > suite.spmm.l1_hit_rate());
+}
+
+#[test]
+fn fig09_one_cell_runs() {
+    let data = TrainingDataset::Flickr.generate(Scale::Test, 4).expect("generation");
+    for act in [Activation::Relu, Activation::MaxK(8)] {
+        let mut cfg = ModelConfig::new(Arch::Sage, act, data.in_dim, data.num_classes);
+        cfg.hidden_dim = 32;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
+        let tc = TrainConfig { epochs: 5, lr: 0.01, seed: 6, eval_every: 5 };
+        let r = train_full_batch(&mut model, &data, &tc);
+        assert!(r.epoch_time_s > 0.0);
+        assert!(r.phases.amdahl_limit() >= 1.0);
+    }
+}
+
+#[test]
+fn fig10_histories_align_across_variants() {
+    let data = TrainingDataset::OgbnProducts.generate(Scale::Test, 7).expect("generation");
+    let mut lens = Vec::new();
+    for act in [Activation::Relu, Activation::MaxK(8)] {
+        let mut cfg = ModelConfig::new(Arch::Sage, act, data.in_dim, data.num_classes);
+        cfg.hidden_dim = 32;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
+        let tc = TrainConfig { epochs: 12, lr: 0.003, seed: 9, eval_every: 3 };
+        let r = train_full_batch(&mut model, &data, &tc);
+        lens.push(r.history.len());
+    }
+    assert_eq!(lens[0], lens[1], "curves must share evaluation points");
+}
+
+#[test]
+fn all_training_datasets_round_trip_at_test_scale() {
+    for &ds in TRAINING_DATASETS {
+        let data = ds.generate(Scale::Test, 10).expect("generation");
+        assert_eq!(data.features.len(), data.csr.num_nodes() * data.in_dim);
+    }
+}

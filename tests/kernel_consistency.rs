@@ -1,0 +1,127 @@
+//! Cross-crate kernel consistency: the sparse kernels, the dense
+//! references and the simulated-GPU twins must agree on semantics and
+//! traffic shape for realistic graphs.
+
+use maxk_gnn::core::maxk::{gather_with_pattern, maxk_backward, maxk_forward, maxk_forward_pivot};
+use maxk_gnn::core::sim_kernels::profile_kernel_suite;
+use maxk_gnn::core::spgemm::{spgemm_forward, spgemm_forward_reference};
+use maxk_gnn::core::spmm::{spmm_gnnadvisor, spmm_rowwise};
+use maxk_gnn::core::sspmm::{sspmm_backward, sspmm_backward_reference};
+use maxk_gnn::core::traffic;
+use maxk_gnn::gpu_sim::GpuConfig;
+use maxk_gnn::graph::{generate, normalize, Aggregator, WarpPartition};
+use maxk_gnn::tensor::Matrix;
+use rand::SeedableRng;
+
+fn setup(n: usize, deg: f64, seed: u64) -> maxk_gnn::graph::Csr {
+    let csr = generate::chung_lu_power_law(n, deg, 2.2, seed).to_csr().expect("valid graph");
+    normalize::normalized(&csr, Aggregator::GcnSym)
+}
+
+#[test]
+fn forward_backward_chain_consistency() {
+    // Full layer-boundary check on a mid-size power-law graph.
+    let adj = setup(500, 12.0, 1);
+    let adj_t = adj.transpose();
+    let n = adj.num_nodes();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let x = Matrix::xavier(n, 64, &mut rng);
+    let dy = Matrix::xavier(n, 64, &mut rng);
+    let part = WarpPartition::build(&adj, 32);
+
+    for k in [4usize, 16, 48, 64] {
+        let xs = maxk_forward(&x, k).expect("k <= dim");
+        xs.validate().expect("CBSR invariants hold");
+        // Forward: SpGEMM == SpMM over the densified operand.
+        let y_sparse = spgemm_forward(&adj, &xs, &part);
+        let y_dense = spgemm_forward_reference(&adj, &xs);
+        assert!(y_sparse.max_abs_diff(&y_dense) < 1e-4, "k={k} forward mismatch");
+        // Backward: SSpMM == gather(SpMM(Aᵀ, dy)).
+        let g_sparse = sspmm_backward(&adj_t, &dy, &xs);
+        let g_dense = sspmm_backward_reference(&adj_t, &dy, &xs);
+        let max_diff = g_sparse
+            .sp_data()
+            .iter()
+            .zip(g_dense.sp_data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0f32, f32::max);
+        assert!(max_diff < 1e-4, "k={k} backward mismatch {max_diff}");
+        // Scatter keeps the pattern.
+        let dense_grad = maxk_backward(&g_sparse);
+        let regathered = gather_with_pattern(&dense_grad, &xs);
+        let rt = regathered
+            .sp_data()
+            .iter()
+            .zip(g_sparse.sp_data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0f32, f32::max);
+        assert!(rt < 1e-6, "k={k} scatter/gather roundtrip {rt}");
+    }
+}
+
+#[test]
+fn pivot_and_exact_selection_agree_at_scale() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let x = Matrix::xavier(2_000, 256, &mut rng);
+    for k in [8usize, 32, 128] {
+        let exact = maxk_forward(&x, k).expect("k <= dim");
+        let (pivot, stats) = maxk_forward_pivot(&x, k).expect("k <= dim");
+        assert_eq!(exact, pivot, "k={k}");
+        assert!(stats.avg_iterations() < 10.0, "k={k}: {}", stats.avg_iterations());
+    }
+}
+
+#[test]
+fn baselines_agree_with_each_other() {
+    let adj = setup(400, 10.0, 5);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let x = Matrix::xavier(400, 48, &mut rng);
+    let part = WarpPartition::build(&adj, 16);
+    let a = spmm_rowwise(&adj, &x);
+    let b = spmm_gnnadvisor(&adj, &x, &part);
+    assert!(a.max_abs_diff(&b) < 1e-4);
+}
+
+#[test]
+fn simulated_traffic_tracks_closed_form_across_k() {
+    let adj = generate::chung_lu_power_law(600, 20.0, 2.2, 7).to_csr().expect("valid graph");
+    let mut cfg = GpuConfig::a100();
+    cfg.l1_bytes = 4 * 1024;
+    cfg.l2_bytes = 64 * 1024;
+    cfg.num_sms = 8;
+    let nnz = adj.num_edges();
+    let dim = 128;
+    let mut previous = 0u64;
+    for k in [8usize, 16, 32, 64] {
+        let suite = profile_kernel_suite(&adj, dim, k, 16, 6, &cfg);
+        let issued = (suite.spgemm.l1_hits + suite.spgemm.l1_misses) * 32;
+        let model = traffic::spgemm_feature_read_bytes(k, nnz, 1)
+            + traffic::adjacency_read_bytes(nnz);
+        let ratio = issued as f64 / model as f64;
+        assert!((0.8..2.2).contains(&ratio), "k={k}: ratio {ratio}");
+        // Traffic monotonically grows with k (the paper's "lower k yields
+        // greater reductions" read backwards).
+        assert!(issued > previous, "k={k} traffic not monotone");
+        previous = issued;
+    }
+}
+
+#[test]
+fn kernel_speedup_shape_high_vs_low_degree() {
+    // §5.2: graphs with average degree > 50 see larger SpGEMM wins than
+    // sparse-degree graphs. Verify with the simulated latency model.
+    let dense_deg = generate::chung_lu_power_law(800, 64.0, 2.2, 8).to_csr().expect("valid");
+    let sparse_deg = generate::chung_lu_power_law(800, 4.0, 2.2, 9).to_csr().expect("valid");
+    let mut cfg = GpuConfig::a100();
+    cfg.l1_bytes = 8 * 1024;
+    cfg.l2_bytes = 256 * 1024;
+    cfg.num_sms = 16;
+    let speedup = |adj: &maxk_gnn::graph::Csr| {
+        let suite = profile_kernel_suite(adj, 256, 16, 32, 6, &cfg);
+        suite.spmm.latency(&cfg) / suite.spgemm.latency(&cfg)
+    };
+    let hi = speedup(&dense_deg);
+    let lo = speedup(&sparse_deg);
+    assert!(hi > lo, "high-degree speedup {hi} should exceed low-degree {lo}");
+    assert!(hi > 2.0, "high-degree speedup only {hi}");
+}

@@ -1,0 +1,157 @@
+//! Property-based tests (proptest) on the core invariants, spanning
+//! crates: CBSR format laws, MaxK selection semantics, kernel equivalence
+//! over random graphs, partition coverage, transpose involution.
+
+use maxk_gnn::core::maxk::{maxk_backward, maxk_forward, maxk_forward_pivot};
+use maxk_gnn::core::spgemm::{spgemm_forward, spgemm_forward_reference};
+use maxk_gnn::core::spmm::spmm_rowwise;
+use maxk_gnn::core::sspmm::{sspmm_backward, sspmm_backward_reference};
+use maxk_gnn::graph::{Coo, Csr, WarpPartition};
+use maxk_gnn::tensor::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a random small graph as (n, edge list).
+fn graph_strategy() -> impl Strategy<Value = Csr> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..200).prop_map(move |edges| {
+            Coo::from_edges(n, edges).expect("endpoints in range").to_csr().expect("valid CSR")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_transpose_involution(csr in graph_strategy()) {
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn transpose_preserves_nnz_and_values_multiset(csr in graph_strategy()) {
+        let t = csr.transpose();
+        prop_assert_eq!(t.num_edges(), csr.num_edges());
+        t.validate().expect("transpose stays valid");
+        // Every entry (i,j,v) appears as (j,i,v).
+        for i in 0..csr.num_nodes() {
+            let (cols, vals) = csr.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                prop_assert_eq!(t.get(*c as usize, i as u32), Some(*v));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_exact_cover((csr, w) in (graph_strategy(), 1usize..40)) {
+        let part = WarpPartition::build(&csr, w);
+        let mut covered = vec![0u8; csr.num_edges()];
+        for g in part.groups() {
+            prop_assert!(g.len as usize <= w);
+            for e in g.start..g.start + g.len as usize {
+                covered[e] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn maxk_keeps_exactly_k_with_max_sum(
+        (rows, dim) in (1usize..12, 2usize..24)
+    ) {
+        let x = Matrix::xavier(rows, dim, &mut rand::rngs::StdRng::seed_from_u64(7));
+        let k = 1 + dim / 3;
+        let c = maxk_forward(&x, k).expect("k <= dim");
+        c.validate().expect("CBSR invariants");
+        for r in 0..rows {
+            // Selected sum dominates every other k-subset: compare against
+            // the sorted-descending tail.
+            let mut sorted: Vec<f32> = x.row(r).to_vec();
+            sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+            let best: f32 = sorted[..k].iter().sum();
+            let got: f32 = c.row_data(r).iter().sum();
+            prop_assert!((best - got).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pivot_equals_exact(
+        seed in 0u64..5000
+    ) {
+        let x = Matrix::xavier(20, 32, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        let exact = maxk_forward(&x, 8).expect("k <= dim");
+        let (pivot, _) = maxk_forward_pivot(&x, 8).expect("k <= dim");
+        prop_assert_eq!(exact, pivot);
+    }
+
+    #[test]
+    fn maxk_backward_is_partial_inverse(
+        seed in 0u64..2000
+    ) {
+        let x = Matrix::xavier(10, 16, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        let c = maxk_forward(&x, 4).expect("k <= dim");
+        let dense = maxk_backward(&c); // scatter of the selected values
+        prop_assert_eq!(&dense, &c.to_dense());
+        // Scatter then re-select with the same k returns the same values
+        // (top-k of the scattered matrix is the selected set itself,
+        // provided the selected values dominate zero-filled slots, which
+        // holds when all selected values are positive).
+    }
+
+    #[test]
+    fn spgemm_equals_densified_spmm(
+        (csr, seed) in (graph_strategy(), 0u64..1000)
+    ) {
+        let n = csr.num_nodes();
+        let x = Matrix::xavier(n, 12, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        let xs = maxk_forward(&x, 4).expect("k <= dim");
+        let part = WarpPartition::build(&csr, 4);
+        let sparse = spgemm_forward(&csr, &xs, &part);
+        let dense = spgemm_forward_reference(&csr, &xs);
+        prop_assert!(sparse.max_abs_diff(&dense) < 1e-4);
+    }
+
+    #[test]
+    fn sspmm_equals_masked_dense_product(
+        (csr, seed) in (graph_strategy(), 0u64..1000)
+    ) {
+        let n = csr.num_nodes();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Matrix::xavier(n, 10, &mut rng);
+        let dy = Matrix::xavier(n, 10, &mut rng);
+        let pattern = maxk_forward(&x, 3).expect("k <= dim");
+        let adj_t = csr.transpose();
+        let fast = sspmm_backward(&adj_t, &dy, &pattern);
+        let slow = sspmm_backward_reference(&adj_t, &dy, &pattern);
+        let diff = fast.sp_data().iter().zip(slow.sp_data())
+            .map(|(a, b)| (a - b).abs()).fold(0f32, f32::max);
+        prop_assert!(diff < 1e-4);
+    }
+
+    #[test]
+    fn spmm_is_linear_in_features(
+        (csr, seed) in (graph_strategy(), 0u64..500)
+    ) {
+        // SpMM(A, x + y) == SpMM(A, x) + SpMM(A, y)
+        let n = csr.num_nodes();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Matrix::xavier(n, 6, &mut rng);
+        let y = Matrix::xavier(n, 6, &mut rng);
+        let mut sum = x.clone();
+        maxk_gnn::tensor::ops::add_assign(&mut sum, &y);
+        let lhs = spmm_rowwise(&csr, &sum);
+        let mut rhs = spmm_rowwise(&csr, &x);
+        maxk_gnn::tensor::ops::add_assign(&mut rhs, &spmm_rowwise(&csr, &y));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn coo_to_csr_respects_structure(csr in graph_strategy()) {
+        csr.validate().expect("generator output valid");
+        // Row degrees sum to nnz.
+        let total: usize = (0..csr.num_nodes()).map(|i| csr.degree(i)).sum();
+        prop_assert_eq!(total, csr.num_edges());
+    }
+}
+
+use rand::SeedableRng;
