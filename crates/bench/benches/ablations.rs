@@ -50,7 +50,10 @@ fn bench_index_width(c: &mut Criterion) {
     for dim in [256usize, 512] {
         let x = Matrix::xavier(n, dim, &mut rng);
         let xs = maxk_forward(&x, 32).expect("k <= dim");
-        assert_eq!(xs.sp_index().bytes_per_element(), if dim == 256 { 1 } else { 2 });
+        assert_eq!(
+            xs.sp_index().bytes_per_element(),
+            if dim == 256 { 1 } else { 2 }
+        );
         g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
             b.iter(|| std::hint::black_box(spgemm_forward(&adj, &xs, &part)));
         });

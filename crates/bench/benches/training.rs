@@ -53,7 +53,16 @@ fn bench_epoch(c: &mut Criterion) {
         let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
         let mut opt = Adam::new(0.01);
         g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
-            b.iter(|| one_epoch(&mut model, &x, &labels, &data.train_mask, &mut opt, &mut rng));
+            b.iter(|| {
+                one_epoch(
+                    &mut model,
+                    &x,
+                    &labels,
+                    &data.train_mask,
+                    &mut opt,
+                    &mut rng,
+                )
+            });
         });
     }
     g.finish();

@@ -15,29 +15,12 @@ impl Args {
         Self::from_iter(std::env::args().skip(1))
     }
 
-    /// Parses an explicit iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
-        let mut map = HashMap::new();
-        let mut key: Option<String> = None;
-        for arg in iter {
-            if let Some(stripped) = arg.strip_prefix("--") {
-                if let Some(k) = key.take() {
-                    map.insert(k, "true".to_owned());
-                }
-                key = Some(stripped.to_owned());
-            } else if let Some(k) = key.take() {
-                map.insert(k, arg);
-            }
-        }
-        if let Some(k) = key {
-            map.insert(k, "true".to_owned());
-        }
-        Args { map }
-    }
-
     /// String flag with default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.map.get(key).cloned().unwrap_or_else(|| default.to_owned())
+        self.map
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
     }
 
     /// Parsed numeric flag with default.
@@ -50,7 +33,9 @@ impl Args {
         T::Err: std::fmt::Debug,
     {
         match self.map.get(key) {
-            Some(v) => v.parse().unwrap_or_else(|e| panic!("bad --{key} value {v:?}: {e:?}")),
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("bad --{key} value {v:?}: {e:?}")),
             None => default,
         }
     }
@@ -69,7 +54,32 @@ impl Args {
 
     /// Boolean presence flag.
     pub fn flag(&self, key: &str) -> bool {
-        matches!(self.map.get(key).map(String::as_str), Some("true") | Some("1") | Some("yes"))
+        matches!(
+            self.map.get(key).map(String::as_str),
+            Some("true") | Some("1") | Some("yes")
+        )
+    }
+}
+
+impl FromIterator<String> for Args {
+    /// Parses an explicit argument iterator (testable).
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut map = HashMap::new();
+        let mut key: Option<String> = None;
+        for arg in iter {
+            if let Some(stripped) = arg.strip_prefix("--") {
+                if let Some(k) = key.take() {
+                    map.insert(k, "true".to_owned());
+                }
+                key = Some(stripped.to_owned());
+            } else if let Some(k) = key.take() {
+                map.insert(k, arg);
+            }
+        }
+        if let Some(k) = key {
+            map.insert(k, "true".to_owned());
+        }
+        Args { map }
     }
 }
 

@@ -30,7 +30,9 @@ fn main() {
     let cfg = GpuConfig::a100().scaled(32.0);
     let engine = SimEngine::new(cfg.clone());
 
-    println!("# Reordering ablation (planted-community graph, n={n}, deg={deg}, dim {dim}, k {k})\n");
+    println!(
+        "# Reordering ablation (planted-community graph, n={n}, deg={deg}, dim {dim}, k {k})\n"
+    );
     let mut table = Table::new(vec![
         "ordering",
         "adj span",
@@ -42,9 +44,20 @@ fn main() {
 
     let orderings: Vec<(&str, Csr)> = vec![
         ("identity", base.clone()),
-        ("degree-sort", degree_sort(&base).apply(&base).expect("valid permutation")),
-        ("bfs", bfs_order(&base).apply(&base).expect("valid permutation")),
-        ("community", community_order(&base).apply(&base).expect("valid permutation")),
+        (
+            "degree-sort",
+            degree_sort(&base).apply(&base).expect("valid permutation"),
+        ),
+        (
+            "bfs",
+            bfs_order(&base).apply(&base).expect("valid permutation"),
+        ),
+        (
+            "community",
+            community_order(&base)
+                .apply(&base)
+                .expect("valid permutation"),
+        ),
     ];
 
     for (label, adj) in &orderings {

@@ -42,8 +42,16 @@ fn main() {
     let part = WarpPartition::build(adj, 32);
     let with_buf = engine.run(&SpgemmForwardSim::new(adj, &part, dim, k));
     let no_buf = engine.run(&SpgemmNoSharedSim::new(adj, &part, dim, k));
-    let mut t1 = Table::new(vec!["SpGEMM variant", "latency", "atomic sectors", "DRAM traffic"]);
-    for (label, p) in [("shared-buffer (paper)", &with_buf), ("no shared buffer", &no_buf)] {
+    let mut t1 = Table::new(vec![
+        "SpGEMM variant",
+        "latency",
+        "atomic sectors",
+        "DRAM traffic",
+    ]);
+    for (label, p) in [
+        ("shared-buffer (paper)", &with_buf),
+        ("no shared buffer", &no_buf),
+    ] {
         t1.row(vec![
             label.to_owned(),
             report::fmt_time(p.latency(&cfg)),
@@ -61,8 +69,16 @@ fn main() {
     // Ablation 2: dense-row prefetch.
     let with_pref = engine.run(&SspmmBackwardSim::new(adj, dim, k));
     let no_pref = engine.run(&SspmmNoPrefetchSim::new(adj, dim, k));
-    let mut t2 = Table::new(vec!["SSpMM variant", "latency", "issued reads", "DRAM traffic"]);
-    for (label, p) in [("row prefetch (paper)", &with_pref), ("no prefetch", &no_pref)] {
+    let mut t2 = Table::new(vec![
+        "SSpMM variant",
+        "latency",
+        "issued reads",
+        "DRAM traffic",
+    ]);
+    for (label, p) in [
+        ("row prefetch (paper)", &with_pref),
+        ("no prefetch", &no_pref),
+    ] {
         t2.row(vec![
             label.to_owned(),
             report::fmt_time(p.latency(&cfg)),

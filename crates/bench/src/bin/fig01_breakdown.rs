@@ -42,7 +42,12 @@ fn main() {
     cfg.hidden_dim = hidden;
     let mut rng = StdRng::seed_from_u64(1);
     let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
-    let tc = TrainConfig { epochs, lr: 0.01, seed: 2, eval_every: epochs };
+    let tc = TrainConfig {
+        epochs,
+        lr: 0.01,
+        seed: 2,
+        eval_every: epochs,
+    };
     let result = train_full_batch(&mut model, &data, &tc);
 
     let p = &result.phases;

@@ -35,7 +35,11 @@ fn main() {
     println!("# Fig. 8: kernel speedup over SpMM baselines (dim_origin = {dim})\n");
     println!(
         "mode: {} | scale: {scale:?} | EG width w = {w}\n",
-        if use_sim { "simulated-GPU latency" } else { "measured CPU wall-clock" }
+        if use_sim {
+            "simulated-GPU latency"
+        } else {
+            "measured CPU wall-clock"
+        }
     );
 
     let mut table = Table::new(vec![
@@ -54,9 +58,18 @@ fn main() {
         }
         let ds = spec.load(scale, 0xf18).expect("generator output is valid");
         let adj = &ds.csr;
-        eprintln!("[fig08] {} (n={}, nnz={})", spec.name, adj.num_nodes(), adj.num_edges());
+        eprintln!(
+            "[fig08] {} (n={}, nnz={})",
+            spec.name,
+            adj.num_nodes(),
+            adj.num_edges()
+        );
         // Dense baselines are independent of k: measure once per graph.
-        let cpu_base = if use_sim { None } else { Some(measure_baselines(adj, dim, w, reps, 0xbe5)) };
+        let cpu_base = if use_sim {
+            None
+        } else {
+            Some(measure_baselines(adj, dim, w, reps, 0xbe5))
+        };
         for &k in &ks {
             if k > dim {
                 continue;

@@ -51,12 +51,19 @@ fn main() {
             eprintln!("[fig09-sim] unknown dataset {name}, skipping");
             continue;
         };
-        let ds = spec.load(Scale::Bench, 0x519).expect("generator output is valid");
+        let ds = spec
+            .load(Scale::Bench, 0x519)
+            .expect("generator output is valid");
         let adj = &ds.csr;
         let factor = (spec.paper_nodes as f64 / adj.num_nodes() as f64).max(1.0);
         let model = EpochModel::new(GpuConfig::a100().scaled(factor));
         let plan = plan_for(spec.name);
-        eprintln!("[fig09-sim] {} (n={}, nnz={})", spec.name, adj.num_nodes(), adj.num_edges());
+        eprintln!(
+            "[fig09-sim] {} (n={}, nnz={})",
+            spec.name,
+            adj.num_nodes(),
+            adj.num_edges()
+        );
 
         let relu = model.relu_epoch(adj, &plan);
         table.row(vec![

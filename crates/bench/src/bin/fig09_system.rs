@@ -25,7 +25,10 @@ fn arch_of(name: &str) -> Arch {
 }
 
 fn dataset_of(name: &str) -> Option<TrainingDataset> {
-    TRAINING_DATASETS.iter().copied().find(|d| d.name().eq_ignore_ascii_case(name))
+    TRAINING_DATASETS
+        .iter()
+        .copied()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
 }
 
 /// Table 3 learning rates per dataset.
@@ -73,7 +76,9 @@ fn main() {
                 eprintln!("[fig09] unknown dataset {ds_name}, skipping");
                 continue;
             };
-            let data = ds.generate(Scale::Train, 0x519).expect("dataset generation succeeds");
+            let data = ds
+                .generate(Scale::Train, 0x519)
+                .expect("dataset generation succeeds");
             eprintln!(
                 "[fig09] {model_name}/{} (n={}, nnz={})",
                 ds.name(),
@@ -92,7 +97,12 @@ fn main() {
             );
             let mut rng = StdRng::seed_from_u64(0xba5e);
             let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
-            let tc = TrainConfig { epochs, lr, seed: 7, eval_every: (epochs / 4).max(1) };
+            let tc = TrainConfig {
+                epochs,
+                lr,
+                seed: 7,
+                eval_every: (epochs / 4).max(1),
+            };
             let base = train_full_batch(&mut model, &data, &tc);
             let amdahl = base.phases.amdahl_limit();
             table.row(vec![

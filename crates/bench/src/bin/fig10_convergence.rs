@@ -22,7 +22,11 @@ fn main() {
     let data = TrainingDataset::OgbnProducts
         .generate(Scale::Train, 0xf10)
         .expect("dataset generation succeeds");
-    println!("graph: {} nodes, {} edges | epochs {epochs}\n", data.csr.num_nodes(), data.csr.num_edges());
+    println!(
+        "graph: {} nodes, {} edges | epochs {epochs}\n",
+        data.csr.num_nodes(),
+        data.csr.num_edges()
+    );
 
     let variants: [(&str, Activation); 4] = [
         ("relu", Activation::Relu),
@@ -43,7 +47,12 @@ fn main() {
         );
         let mut rng = StdRng::seed_from_u64(0xf10);
         let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
-        let tc = TrainConfig { epochs, lr: 0.003, seed: 3, eval_every };
+        let tc = TrainConfig {
+            epochs,
+            lr: 0.003,
+            seed: 3,
+            eval_every,
+        };
         let run = train_full_batch(&mut model, &data, &tc);
         histories.push((label, run));
     }

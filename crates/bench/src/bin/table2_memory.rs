@@ -109,10 +109,8 @@ fn main() {
     ]);
     table.print();
 
-    let red_f = 1.0
-        - cols[1].1.l2_traffic_bytes() as f64 / cols[0].1.l2_traffic_bytes() as f64;
-    let red_b = 1.0
-        - cols[2].1.l2_traffic_bytes() as f64 / cols[0].1.l2_traffic_bytes() as f64;
+    let red_f = 1.0 - cols[1].1.l2_traffic_bytes() as f64 / cols[0].1.l2_traffic_bytes() as f64;
+    let red_b = 1.0 - cols[2].1.l2_traffic_bytes() as f64 / cols[0].1.l2_traffic_bytes() as f64;
     println!(
         "\ntraffic reduction: SpGEMM {:.1}% / SSpMM {:.1}% (paper: 90.5% / 89.8%)\n\
          bottlenecks: SpMM={}, SpGEMM={}, SSpMM={}",

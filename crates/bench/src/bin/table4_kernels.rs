@@ -26,7 +26,9 @@ fn main() {
     let reps: usize = args.get("reps", 5);
 
     let spec = DatasetSpec::find(&name).unwrap_or_else(|| panic!("unknown dataset {name}"));
-    let ds = spec.load(Scale::Bench, 0x7ab4).expect("generator output is valid");
+    let ds = spec
+        .load(Scale::Bench, 0x7ab4)
+        .expect("generator output is valid");
     let adj = &ds.csr;
 
     // Measure real pivot-iteration statistics to feed the simulator.
@@ -49,10 +51,20 @@ fn main() {
     let suite = profile_kernel_suite(adj, dim, k, w, pivot_iters.max(1), &cfg);
     let cpu = measure_cpu_kernels(adj, dim, k, w, reps, 0xab);
 
-    let mut table = Table::new(vec!["kernel", "sim-GPU latency", "measured CPU", "paper (A100)"]);
+    let mut table = Table::new(vec![
+        "kernel",
+        "sim-GPU latency",
+        "measured CPU",
+        "paper (A100)",
+    ]);
     let rows = [
         ("SpMM", suite.spmm.latency(&cfg), cpu.spmm_s, "44.98ms"),
-        ("SpGEMM", suite.spgemm.latency(&cfg), cpu.spgemm_s, "15.49ms"),
+        (
+            "SpGEMM",
+            suite.spgemm.latency(&cfg),
+            cpu.spgemm_s,
+            "15.49ms",
+        ),
         ("SSpMM", suite.sspmm.latency(&cfg), cpu.sspmm_s, "15.07ms"),
         ("MaxK", suite.maxk.latency(&cfg), cpu.maxk_s, "0.261ms"),
     ];

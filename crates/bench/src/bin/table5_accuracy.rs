@@ -83,9 +83,16 @@ fn main() {
             .copied()
             .find(|d| d.name() == ds_name)
             .expect("paper rows name real datasets");
-        let data = ds.generate(Scale::Train, 0x519).expect("dataset generation succeeds");
+        let data = ds
+            .generate(Scale::Train, 0x519)
+            .expect("dataset generation succeeds");
         let lr = paper_lr(ds_name);
-        let tc = TrainConfig { epochs, lr, seed: 7, eval_every: (epochs / 5).max(1) };
+        let tc = TrainConfig {
+            epochs,
+            lr,
+            seed: 7,
+            eval_every: (epochs / 5).max(1),
+        };
         eprintln!("[table5] {model_name}/{ds_name} k={k}");
 
         let run = |activation: Activation| {

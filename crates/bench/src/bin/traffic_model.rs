@@ -36,7 +36,9 @@ fn main() {
             eprintln!("[traffic] unknown dataset {name}, skipping");
             continue;
         };
-        let ds = spec.load(Scale::Test, 0x7af).expect("generator output is valid");
+        let ds = spec
+            .load(Scale::Test, 0x7af)
+            .expect("generator output is valid");
         let adj = &ds.csr;
         let (n, nnz) = (adj.num_nodes(), adj.num_edges());
         // Tiny caches so issued ≈ L1-level traffic is comparable.

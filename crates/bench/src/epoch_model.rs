@@ -16,9 +16,7 @@
 //! aggregation each way, plus the linear transforms (forward, `dW`, `dX`)
 //! and for SAGE the self-path linears.
 
-use maxk_core::sim_kernels::{
-    MaxKSim, SpgemmForwardSim, SpmmRowWiseSim, SspmmBackwardSim,
-};
+use maxk_core::sim_kernels::{MaxKSim, SpgemmForwardSim, SpmmRowWiseSim, SspmmBackwardSim};
 use maxk_gpu_sim::{GpuConfig, SimEngine};
 use maxk_graph::{Csr, WarpPartition};
 
@@ -44,7 +42,10 @@ impl LayerPlan {
             let o = if l + 1 == layers { out_dim } else { hidden };
             dims.push((i, o));
         }
-        LayerPlan { dims, has_self_linear: sage }
+        LayerPlan {
+            dims,
+            has_self_linear: sage,
+        }
     }
 }
 
@@ -87,7 +88,10 @@ pub struct EpochModel {
 impl EpochModel {
     /// Creates the model for a machine configuration.
     pub fn new(cfg: GpuConfig) -> Self {
-        EpochModel { cfg, gemm_efficiency: 0.55 }
+        EpochModel {
+            cfg,
+            gemm_efficiency: 0.55,
+        }
     }
 
     /// Latency of one `m × k_in × n` GEMM.
@@ -157,7 +161,9 @@ mod tests {
     use maxk_graph::generate;
 
     fn dense_graph() -> Csr {
-        generate::chung_lu_power_law(2_000, 250.0, 2.2, 3).to_csr().unwrap()
+        generate::chung_lu_power_law(2_000, 250.0, 2.2, 3)
+            .to_csr()
+            .unwrap()
     }
 
     fn model() -> EpochModel {
@@ -218,7 +224,10 @@ mod tests {
     #[test]
     fn plan_shapes() {
         let plan = LayerPlan::new(100, 256, 40, 4, true);
-        assert_eq!(plan.dims, vec![(100, 256), (256, 256), (256, 256), (256, 40)]);
+        assert_eq!(
+            plan.dims,
+            vec![(100, 256), (256, 256), (256, 256), (256, 40)]
+        );
         assert!(plan.has_self_linear);
     }
 }

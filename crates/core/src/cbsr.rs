@@ -186,7 +186,10 @@ impl Cbsr {
     ///
     /// Panics when out of bounds or when `column >= dim_origin`.
     pub fn set_entry(&mut self, r: usize, t: usize, column: usize, value: f32) {
-        assert!(r < self.num_rows && t < self.k, "entry ({r},{t}) out of bounds");
+        assert!(
+            r < self.num_rows && t < self.k,
+            "entry ({r},{t}) out of bounds"
+        );
         assert!(column < self.dim_origin, "column {column} out of range");
         self.sp_data[r * self.k + t] = value;
         self.sp_index.set(r * self.k + t, column);
@@ -307,7 +310,10 @@ mod tests {
         let mut c = Cbsr::zeros(1, 8, 2);
         c.set_entry(0, 0, 5, 1.0);
         c.set_entry(0, 1, 2, 1.0);
-        assert_eq!(c.validate().unwrap_err(), KernelError::InvalidIndex { row: 0 });
+        assert_eq!(
+            c.validate().unwrap_err(),
+            KernelError::InvalidIndex { row: 0 }
+        );
     }
 
     #[test]

@@ -82,7 +82,11 @@ impl SparseRows {
 /// Panics when `xs.num_rows() != adj.num_nodes()`.
 #[must_use]
 pub fn spgemm_esc(adj: &Csr, xs: &Cbsr) -> SparseRows {
-    assert_eq!(xs.num_rows(), adj.num_nodes(), "CBSR rows must match graph nodes");
+    assert_eq!(
+        xs.num_rows(),
+        adj.num_nodes(),
+        "CBSR rows must match graph nodes"
+    );
     let n = adj.num_nodes();
     let k = xs.k();
     let sp_data = xs.sp_data();
@@ -138,7 +142,13 @@ pub fn spgemm_esc(adj: &Csr, xs: &Cbsr) -> SparseRows {
         col_idx.extend(ci);
         values.extend(vs);
     }
-    SparseRows { rows: n, cols: xs.dim_origin(), row_ptr, col_idx, values }
+    SparseRows {
+        rows: n,
+        cols: xs.dim_origin(),
+        row_ptr,
+        col_idx,
+        values,
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +161,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup(n: usize, deg: f64, dim: usize, k: usize, seed: u64) -> (Csr, Cbsr) {
-        let csr = generate::chung_lu_power_law(n, deg, 2.3, seed).to_csr().unwrap();
+        let csr = generate::chung_lu_power_law(n, deg, 2.3, seed)
+            .to_csr()
+            .unwrap();
         let adj = normalize::normalized(&csr, Aggregator::GcnSym);
         let mut rng = StdRng::seed_from_u64(seed + 1);
         let x = maxk_tensor::Matrix::xavier(n, dim, &mut rng);

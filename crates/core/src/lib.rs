@@ -104,8 +104,15 @@ impl fmt::Display for KernelError {
                 write!(f, "k = {k} exceeds feature dimension {dim}")
             }
             KernelError::KZero => write!(f, "k must be positive"),
-            KernelError::DimMismatch { op, expected, actual } => {
-                write!(f, "dimension mismatch in {op}: expected {expected}, got {actual}")
+            KernelError::DimMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch in {op}: expected {expected}, got {actual}"
+                )
             }
             KernelError::InvalidIndex { row } => {
                 write!(f, "invalid CBSR index in row {row}")

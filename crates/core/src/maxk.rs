@@ -81,7 +81,13 @@ pub fn maxk_forward(x: &Matrix, k: usize) -> Result<Cbsr> {
 /// Same conditions as [`maxk_forward`].
 pub fn maxk_forward_pivot(x: &Matrix, k: usize) -> Result<(Cbsr, SelectionStats)> {
     check_k(x, k)?;
-    let (out, stats) = select(x, k, Mode::Pivot { max_iters: PIVOT_MAX_ITERS });
+    let (out, stats) = select(
+        x,
+        k,
+        Mode::Pivot {
+            max_iters: PIVOT_MAX_ITERS,
+        },
+    );
     Ok((out, stats))
 }
 
@@ -153,10 +159,22 @@ fn select(x: &Matrix, k: usize, mode: Mode) -> (Cbsr, SelectionStats) {
     let (sp_data, sp_index) = out.data_and_index_mut();
     match sp_index {
         SpIndex::U8(idx) => fill_rows(
-            x, k, sp_data, idx.as_mut_slice(), mode, &total_iters, &fallbacks,
+            x,
+            k,
+            sp_data,
+            idx.as_mut_slice(),
+            mode,
+            &total_iters,
+            &fallbacks,
         ),
         SpIndex::U16(idx) => fill_rows(
-            x, k, sp_data, idx.as_mut_slice(), mode, &total_iters, &fallbacks,
+            x,
+            k,
+            sp_data,
+            idx.as_mut_slice(),
+            mode,
+            &total_iters,
+            &fallbacks,
         ),
     }
 
@@ -198,7 +216,8 @@ fn fill_rows<I: IndexElem>(
     let dim = x.cols();
     let threads = parallel::num_threads();
     let chunk = n.div_ceil(threads).max(8);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
         let mut data_rest = sp_data;
         let mut index_rest = sp_index;
         let mut start = 0;
@@ -210,7 +229,7 @@ fn fill_rows<I: IndexElem>(
             data_rest = dtail;
             index_rest = itail;
             let first = start;
-            s.spawn(move |_| {
+            let handle = s.spawn(move || {
                 let mut chosen = vec![false; dim];
                 let mut order: Vec<u32> = (0..dim as u32).collect();
                 let mut iters_local = 0u64;
@@ -245,10 +264,18 @@ fn fill_rows<I: IndexElem>(
                 total_iters.fetch_add(iters_local, Ordering::Relaxed);
                 fallbacks.fetch_add(fallbacks_local, Ordering::Relaxed);
             });
+            handles.push(handle);
             start = end;
         }
-    })
-    .expect("selection worker panicked");
+        // Joined explicitly (rather than letting the scope propagate) so a
+        // worker panic surfaces under this stable message, which callers
+        // and tests match on.
+        for handle in handles {
+            if handle.join().is_err() {
+                panic!("selection worker panicked");
+            }
+        }
+    });
 }
 
 /// Exact top-k: sort candidate columns by (value desc, index asc).
@@ -258,7 +285,9 @@ fn exact_select(row: &[f32], k: usize, chosen: &mut [bool], order: &mut [u32]) {
     }
     order.sort_unstable_by(|&a, &b| {
         let (va, vb) = (row[a as usize], row[b as usize]);
-        vb.partial_cmp(&va).expect("no NaN in features").then(a.cmp(&b))
+        vb.partial_cmp(&va)
+            .expect("no NaN in features")
+            .then(a.cmp(&b))
     });
     for &c in order.iter().take(k) {
         chosen[c as usize] = true;
@@ -363,7 +392,11 @@ mod tests {
         // for normally-distributed feature maps.
         let x = random(500, 256, 6);
         let (_, stats) = maxk_forward_pivot(&x, 32).unwrap();
-        assert!(stats.fallback_rate() < 0.5, "fallback rate {}", stats.fallback_rate());
+        assert!(
+            stats.fallback_rate() < 0.5,
+            "fallback rate {}",
+            stats.fallback_rate()
+        );
         assert!(stats.avg_iterations() < 10.0);
     }
 
@@ -439,8 +472,7 @@ mod tests {
         let dense = maxk_backward(&dy);
         assert_eq!(dense.shape(), (20, 16));
         for r in 0..20 {
-            let nz: Vec<usize> =
-                (0..16).filter(|&cidx| dense.get(r, cidx) != 0.0).collect();
+            let nz: Vec<usize> = (0..16).filter(|&cidx| dense.get(r, cidx) != 0.0).collect();
             assert_eq!(nz, chosen_columns(&c, r));
             for &cidx in &nz {
                 assert_eq!(dense.get(r, cidx), 2.0);

@@ -35,7 +35,14 @@ fn layout(n: usize, nnz: usize, dim: usize, k: usize, iw: usize) -> Buffers {
     let sp_data = l.alloc("sp_data", (n * k * 4) as u64);
     let sp_index = l.alloc("sp_index", (n * k * iw) as u64);
     let y_out = l.alloc("y_out", (n * dim * 4) as u64);
-    Buffers { col_idx, edge_val, x_dense, sp_data, sp_index, y_out }
+    Buffers {
+        col_idx,
+        edge_val,
+        x_dense,
+        sp_data,
+        sp_index,
+        y_out,
+    }
 }
 
 /// Row-wise-product SpMM with dense features (the cuSPARSE-style
@@ -102,7 +109,12 @@ impl<'a> SpmmGnnAdvisorSim<'a> {
     /// Creates the simulation for the neighbor-grouped baseline.
     pub fn new(adj: &'a Csr, part: &'a WarpPartition, dim: usize) -> Self {
         let bufs = layout(adj.num_nodes(), adj.num_edges(), dim, 1, 1);
-        SpmmGnnAdvisorSim { adj, part, dim, bufs }
+        SpmmGnnAdvisorSim {
+            adj,
+            part,
+            dim,
+            bufs,
+        }
     }
 }
 
@@ -157,7 +169,14 @@ impl<'a> SpgemmForwardSim<'a> {
         assert!(k <= dim_origin, "k must not exceed dim_origin");
         let index_width = if dim_origin <= 256 { 1 } else { 2 };
         let bufs = layout(adj.num_nodes(), adj.num_edges(), dim_origin, k, index_width);
-        SpgemmForwardSim { adj, part, dim_origin, k, index_width, bufs }
+        SpgemmForwardSim {
+            adj,
+            part,
+            dim_origin,
+            k,
+            index_width,
+            bufs,
+        }
     }
 }
 
@@ -226,7 +245,13 @@ impl<'a> SspmmBackwardSim<'a> {
         assert!(k <= dim_origin, "k must not exceed dim_origin");
         let index_width = if dim_origin <= 256 { 1 } else { 2 };
         let bufs = layout(adj.num_nodes(), adj.num_edges(), dim_origin, k, index_width);
-        SspmmBackwardSim { adj, dim_origin, k, index_width, bufs }
+        SspmmBackwardSim {
+            adj,
+            dim_origin,
+            k,
+            index_width,
+            bufs,
+        }
     }
 }
 
@@ -299,7 +324,14 @@ impl MaxKSim {
         assert!(k <= dim_origin, "k must not exceed dim_origin");
         let index_width = if dim_origin <= 256 { 1 } else { 2 };
         let bufs = layout(n, 1, dim_origin, k, index_width);
-        MaxKSim { n, dim_origin, k, index_width, pivot_iters, bufs }
+        MaxKSim {
+            n,
+            dim_origin,
+            k,
+            index_width,
+            pivot_iters,
+            bufs,
+        }
     }
 }
 
@@ -361,13 +393,22 @@ impl<'a> SpgemmNoSharedSim<'a> {
         assert!(k <= dim_origin, "k must not exceed dim_origin");
         let index_width = if dim_origin <= 256 { 1 } else { 2 };
         let bufs = layout(adj.num_nodes(), adj.num_edges(), dim_origin, k, index_width);
-        SpgemmNoSharedSim { adj, part, dim_origin, k, index_width, bufs }
+        SpgemmNoSharedSim {
+            adj,
+            part,
+            dim_origin,
+            k,
+            index_width,
+            bufs,
+        }
     }
 }
 
 /// Deterministic pseudo-random column for `(row, slot)` scatter synthesis.
 fn synth_index(j: u64, t: u64, dim: u64) -> u64 {
-    (j.wrapping_mul(2_654_435_761).wrapping_add(t.wrapping_mul(40_503))) % dim
+    (j.wrapping_mul(2_654_435_761)
+        .wrapping_add(t.wrapping_mul(40_503)))
+        % dim
 }
 
 impl WarpKernel for SpgemmNoSharedSim<'_> {
@@ -427,7 +468,13 @@ impl<'a> SspmmNoPrefetchSim<'a> {
         assert!(k <= dim_origin, "k must not exceed dim_origin");
         let index_width = if dim_origin <= 256 { 1 } else { 2 };
         let bufs = layout(adj.num_nodes(), adj.num_edges(), dim_origin, k, index_width);
-        SspmmNoPrefetchSim { adj, dim_origin, k, index_width, bufs }
+        SspmmNoPrefetchSim {
+            adj,
+            dim_origin,
+            k,
+            index_width,
+            bufs,
+        }
     }
 }
 
@@ -506,7 +553,13 @@ pub fn profile_kernel_suite(
     let spgemm = engine.run(&SpgemmForwardSim::new(adj, &part, dim_origin, k));
     let sspmm = engine.run(&SspmmBackwardSim::new(adj, dim_origin, k));
     let maxk = engine.run(&MaxKSim::new(adj.num_nodes(), dim_origin, k, pivot_iters));
-    KernelSuiteProfile { spmm, gnnadvisor, spgemm, sspmm, maxk }
+    KernelSuiteProfile {
+        spmm,
+        gnnadvisor,
+        spgemm,
+        sspmm,
+        maxk,
+    }
 }
 
 #[cfg(test)]
@@ -516,7 +569,9 @@ mod tests {
     use maxk_graph::generate;
 
     fn test_graph() -> Csr {
-        generate::chung_lu_power_law(800, 24.0, 2.2, 7).to_csr().unwrap()
+        generate::chung_lu_power_law(800, 24.0, 2.2, 7)
+            .to_csr()
+            .unwrap()
     }
 
     fn tiny_cache_cfg() -> GpuConfig {
@@ -539,10 +594,13 @@ mod tests {
         // L1-level issued read bytes = feature reads + adjacency reads +
         // (output writes are separate). Compare the dominant term.
         let issued = (p.l1_hits + p.l1_misses) * 32;
-        let expect =
-            traffic::spmm_feature_read_bytes(dim, adj.num_edges()) + traffic::adjacency_read_bytes(adj.num_edges());
+        let expect = traffic::spmm_feature_read_bytes(dim, adj.num_edges())
+            + traffic::adjacency_read_bytes(adj.num_edges());
         let ratio = issued as f64 / expect as f64;
-        assert!((0.9..1.2).contains(&ratio), "issued {issued} vs model {expect}");
+        assert!(
+            (0.9..1.2).contains(&ratio),
+            "issued {issued} vs model {expect}"
+        );
     }
 
     #[test]
@@ -557,7 +615,10 @@ mod tests {
             + traffic::adjacency_read_bytes(adj.num_edges());
         let ratio = issued as f64 / expect as f64;
         // Sector rounding on k·5-byte rows inflates small fetches.
-        assert!((0.9..2.0).contains(&ratio), "issued {issued} vs model {expect}");
+        assert!(
+            (0.9..2.0).contains(&ratio),
+            "issued {issued} vs model {expect}"
+        );
         // Atomic write-back count: dim_origin-wide flush per EG, in 32 B
         // sectors.
         let expected_atomics = part.num_groups() as u64 * (dim as u64 * 4 / 32);
@@ -574,7 +635,10 @@ mod tests {
         let expect = traffic::sspmm_read_bytes(adj.num_nodes(), dim, k, adj.num_edges(), 1)
             + traffic::adjacency_read_bytes(adj.num_edges());
         let ratio = issued_reads as f64 / expect as f64;
-        assert!((0.8..2.0).contains(&ratio), "issued {issued_reads} vs model {expect}");
+        assert!(
+            (0.8..2.0).contains(&ratio),
+            "issued {issued_reads} vs model {expect}"
+        );
     }
 
     #[test]

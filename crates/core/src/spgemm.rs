@@ -83,7 +83,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup(n: usize, deg: f64, dim: usize, k: usize, seed: u64) -> (Csr, Cbsr, Matrix) {
-        let csr = generate::chung_lu_power_law(n, deg, 2.3, seed).to_csr().unwrap();
+        let csr = generate::chung_lu_power_law(n, deg, 2.3, seed)
+            .to_csr()
+            .unwrap();
         let adj = normalize::normalized(&csr, Aggregator::GcnSym);
         let mut rng = StdRng::seed_from_u64(seed + 1);
         let x = Matrix::xavier(n, dim, &mut rng);
@@ -143,14 +145,14 @@ mod tests {
         let part = WarpPartition::build(&adj, 8);
         let y = spgemm_forward(&adj, &xs, &part);
         for i in 0..adj.num_nodes() {
-            let mut support = vec![false; 16];
+            let mut support = [false; 16];
             for &j in adj.row(i).0 {
                 for t in 0..xs.k() {
                     support[xs.index_at(j as usize, t)] = true;
                 }
             }
-            for c in 0..16 {
-                if !support[c] {
+            for (c, &in_support) in support.iter().enumerate() {
+                if !in_support {
                     assert_eq!(y.get(i, c), 0.0, "row {i} col {c} outside support");
                 }
             }

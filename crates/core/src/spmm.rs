@@ -25,7 +25,11 @@ use maxk_tensor::{parallel, Matrix};
 /// Panics when `x.rows() != adj.num_nodes()`.
 #[must_use]
 pub fn spmm_rowwise(adj: &Csr, x: &Matrix) -> Matrix {
-    assert_eq!(x.rows(), adj.num_nodes(), "feature rows must match graph nodes");
+    assert_eq!(
+        x.rows(),
+        adj.num_nodes(),
+        "feature rows must match graph nodes"
+    );
     let n = adj.num_nodes();
     let dim = x.cols();
     let mut out = Matrix::zeros(n, dim);
@@ -57,7 +61,11 @@ pub fn spmm_rowwise(adj: &Csr, x: &Matrix) -> Matrix {
 /// Panics when shapes disagree or `part` was not built from `adj`.
 #[must_use]
 pub fn spmm_gnnadvisor(adj: &Csr, x: &Matrix, part: &WarpPartition) -> Matrix {
-    assert_eq!(x.rows(), adj.num_nodes(), "feature rows must match graph nodes");
+    assert_eq!(
+        x.rows(),
+        adj.num_nodes(),
+        "feature rows must match graph nodes"
+    );
     let n = adj.num_nodes();
     let dim = x.cols();
     let mut out = Matrix::zeros(n, dim);
@@ -78,9 +86,7 @@ pub fn spmm_gnnadvisor(adj: &Csr, x: &Matrix, part: &WarpPartition) -> Matrix {
             let i = first_row + local;
             let out_row = &mut chunk[local * dim..(local + 1) * dim];
             debug_assert!(
-                g >= groups.len()
-                    || groups[g].row as usize >= i
-                    || row_ptr[i] == row_ptr[i + 1]
+                g >= groups.len() || groups[g].row as usize >= i || row_ptr[i] == row_ptr[i + 1]
             );
             while g < groups.len() && groups[g].row as usize == i {
                 let eg = groups[g];
@@ -112,7 +118,11 @@ pub fn spmm_gnnadvisor(adj: &Csr, x: &Matrix, part: &WarpPartition) -> Matrix {
 /// Panics when `x.rows() != adj_t.num_nodes()`.
 #[must_use]
 pub fn spmm_outer_naive(adj_t: &Csr, x: &Matrix) -> Matrix {
-    assert_eq!(x.rows(), adj_t.num_nodes(), "feature rows must match graph nodes");
+    assert_eq!(
+        x.rows(),
+        adj_t.num_nodes(),
+        "feature rows must match graph nodes"
+    );
     let n = adj_t.num_nodes();
     let dim = x.cols();
     let x_data = x.data();
@@ -175,7 +185,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup(n: usize, deg: f64, dim: usize, seed: u64) -> (Csr, Matrix) {
-        let csr = generate::chung_lu_power_law(n, deg, 2.3, seed).to_csr().unwrap();
+        let csr = generate::chung_lu_power_law(n, deg, 2.3, seed)
+            .to_csr()
+            .unwrap();
         let adj = normalize::normalized(&csr, Aggregator::GcnSym);
         let mut rng = StdRng::seed_from_u64(seed + 1);
         let x = Matrix::xavier(n, dim, &mut rng);

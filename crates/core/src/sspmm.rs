@@ -39,9 +39,21 @@ use maxk_tensor::Matrix;
 /// Panics when shapes disagree.
 #[must_use]
 pub fn sspmm_backward(adj_t: &Csr, dxl: &Matrix, pattern: &Cbsr) -> Cbsr {
-    assert_eq!(dxl.rows(), adj_t.num_nodes(), "gradient rows must match graph nodes");
-    assert_eq!(pattern.num_rows(), adj_t.num_nodes(), "pattern rows must match graph");
-    assert_eq!(pattern.dim_origin(), dxl.cols(), "pattern dim must match gradient");
+    assert_eq!(
+        dxl.rows(),
+        adj_t.num_nodes(),
+        "gradient rows must match graph nodes"
+    );
+    assert_eq!(
+        pattern.num_rows(),
+        adj_t.num_nodes(),
+        "pattern rows must match graph"
+    );
+    assert_eq!(
+        pattern.dim_origin(),
+        dxl.cols(),
+        "pattern dim must match gradient"
+    );
     let k = pattern.k();
     let dim = dxl.cols();
     let mut out = pattern.zeros_like_pattern();
@@ -76,8 +88,16 @@ pub fn sspmm_backward(adj_t: &Csr, dxl: &Matrix, pattern: &Cbsr) -> Cbsr {
 /// Panics when shapes disagree.
 #[must_use]
 pub fn sspmm_backward_outer(adj_t: &Csr, dxl: &Matrix, pattern: &Cbsr) -> Cbsr {
-    assert_eq!(dxl.rows(), adj_t.num_nodes(), "gradient rows must match graph nodes");
-    assert_eq!(pattern.dim_origin(), dxl.cols(), "pattern dim must match gradient");
+    assert_eq!(
+        dxl.rows(),
+        adj_t.num_nodes(),
+        "gradient rows must match graph nodes"
+    );
+    assert_eq!(
+        pattern.dim_origin(),
+        dxl.cols(),
+        "pattern dim must match gradient"
+    );
     let n = adj_t.num_nodes();
     let k = pattern.k();
     let dim = dxl.cols();
@@ -126,7 +146,9 @@ mod tests {
         seed: u64,
         agg: Aggregator,
     ) -> (Csr, Csr, Matrix, Cbsr) {
-        let csr = generate::chung_lu_power_law(n, deg, 2.3, seed).to_csr().unwrap();
+        let csr = generate::chung_lu_power_law(n, deg, 2.3, seed)
+            .to_csr()
+            .unwrap();
         let adj = normalize::normalized(&csr, agg);
         let adj_t = adj.transpose();
         let mut rng = StdRng::seed_from_u64(seed + 1);

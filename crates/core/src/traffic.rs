@@ -57,7 +57,13 @@ pub fn spgemm_atomic_count(dim_origin: usize, nnz: usize, w: usize) -> u64 {
 /// (4+iw)·k·nnz`… the paper's formula is `4·N·dim + 5·k·nnz` for reads
 /// with u8 indices: the `sp_index` fetch is `iw·k·nnz` and the staged
 /// reads replace the `4·dim·nnz` of a naive kernel.
-pub fn sspmm_read_bytes(n: usize, dim_origin: usize, k: usize, nnz: usize, index_width: usize) -> u64 {
+pub fn sspmm_read_bytes(
+    n: usize,
+    dim_origin: usize,
+    k: usize,
+    nnz: usize,
+    index_width: usize,
+) -> u64 {
     4 * n as u64 * dim_origin as u64 + (4 + index_width as u64) * k as u64 * nnz as u64
 }
 
@@ -122,8 +128,8 @@ mod tests {
     fn forward_reduction_formula_matches_components() {
         let (dim, k, nnz, iw) = (256, 32, 1_000_000, 1);
         let red = spgemm_read_reduction_bytes(dim, k, nnz, iw);
-        let expect = spmm_feature_read_bytes(dim, nnz) as i64
-            - spgemm_feature_read_bytes(k, nnz, iw) as i64;
+        let expect =
+            spmm_feature_read_bytes(dim, nnz) as i64 - spgemm_feature_read_bytes(k, nnz, iw) as i64;
         assert_eq!(red, expect);
         assert!(red > 0);
     }
@@ -142,7 +148,10 @@ mod tests {
 
     #[test]
     fn backward_write_reduction_is_paper_formula() {
-        assert_eq!(sspmm_write_reduction_bytes(256, 32, 100), 4 * (256 - 32) * 100);
+        assert_eq!(
+            sspmm_write_reduction_bytes(256, 32, 100),
+            4 * (256 - 32) * 100
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl SetAssocCache {
     ///
     /// Panics if any argument is zero or `total_bytes < line_bytes * ways`.
     pub fn new(total_bytes: u64, line_bytes: u64, ways: usize) -> Self {
-        assert!(line_bytes > 0 && ways > 0, "cache geometry must be positive");
+        assert!(
+            line_bytes > 0 && ways > 0,
+            "cache geometry must be positive"
+        );
         assert!(
             total_bytes >= line_bytes * ways as u64,
             "cache smaller than one set"

@@ -308,7 +308,10 @@ mod tests {
     #[test]
     fn streaming_kernel_misses_everywhere() {
         let engine = SimEngine::new(GpuConfig::a100());
-        let p = engine.run(&StreamKernel { rows: 1000, row_bytes: 1024 });
+        let p = engine.run(&StreamKernel {
+            rows: 1000,
+            row_bytes: 1024,
+        });
         assert_eq!(p.dram_read_bytes, 1000 * 1024);
         assert_eq!(p.l1_hit_rate(), 0.0);
         assert_eq!(p.l2_hit_rate(), 0.0);

@@ -41,7 +41,10 @@ pub struct KernelProfile {
 impl KernelProfile {
     /// Creates an empty profile with a name.
     pub fn new(name: impl Into<String>) -> Self {
-        KernelProfile { name: name.into(), ..Default::default() }
+        KernelProfile {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// L1 hit rate over sector accesses (0 when idle).
@@ -79,8 +82,7 @@ impl KernelProfile {
         let t_l2 = self.l2_traffic_bytes() as f64 / cfg.l2_bandwidth;
         // Bank conflicts serialize: each extra cycle costs a warp-width of
         // shared bandwidth.
-        let shared_ops =
-            self.shared_reads + self.shared_writes + 32 * self.shared_bank_conflicts;
+        let shared_ops = self.shared_reads + self.shared_writes + 32 * self.shared_bank_conflicts;
         let t_shared = shared_ops as f64 * 4.0 / cfg.shared_bandwidth;
         let t_flop = self.flops as f64 / cfg.flop_rate;
         let t_atomic = self.atomic_sectors as f64 / cfg.atomic_sector_rate;
@@ -101,8 +103,7 @@ impl KernelProfile {
     pub fn bottleneck(&self, cfg: &GpuConfig) -> &'static str {
         let t_dram = self.dram_traffic_bytes() as f64 / cfg.dram_bandwidth;
         let t_l2 = self.l2_traffic_bytes() as f64 / cfg.l2_bandwidth;
-        let shared_ops =
-            self.shared_reads + self.shared_writes + 32 * self.shared_bank_conflicts;
+        let shared_ops = self.shared_reads + self.shared_writes + 32 * self.shared_bank_conflicts;
         let t_shared = shared_ops as f64 * 4.0 / cfg.shared_bandwidth;
         let t_flop = self.flops as f64 / cfg.flop_rate;
         let t_atomic = self.atomic_sectors as f64 / cfg.atomic_sector_rate;

@@ -38,7 +38,10 @@ pub struct Coo {
 impl Coo {
     /// Creates an empty edge list over `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> Self {
-        Coo { num_nodes, edges: Vec::new() }
+        Coo {
+            num_nodes,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates an edge list from raw pairs.
@@ -182,12 +185,21 @@ mod tests {
     #[test]
     fn from_edges_rejects_out_of_bounds() {
         let err = Coo::from_edges(2, vec![(0, 5)]).unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfBounds { node: 5, num_nodes: 2 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfBounds {
+                node: 5,
+                num_nodes: 2
+            }
+        );
     }
 
     #[test]
     fn from_edges_rejects_empty_graph() {
-        assert_eq!(Coo::from_edges(0, vec![]).unwrap_err(), GraphError::EmptyGraph);
+        assert_eq!(
+            Coo::from_edges(0, vec![]).unwrap_err(),
+            GraphError::EmptyGraph
+        );
     }
 
     #[test]

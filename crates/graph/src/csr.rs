@@ -51,7 +51,12 @@ impl Csr {
         col_idx: Vec<u32>,
         values: Vec<f32>,
     ) -> Result<Self> {
-        let csr = Csr { num_nodes, row_ptr, col_idx, values };
+        let csr = Csr {
+            num_nodes,
+            row_ptr,
+            col_idx,
+            values,
+        };
         csr.validate()?;
         Ok(csr)
     }
@@ -66,7 +71,9 @@ impl Csr {
             return Err(GraphError::EmptyGraph);
         }
         if self.row_ptr.len() != self.num_nodes + 1 {
-            return Err(GraphError::MalformedRowPtr { at: self.row_ptr.len() });
+            return Err(GraphError::MalformedRowPtr {
+                at: self.row_ptr.len(),
+            });
         }
         if self.row_ptr[0] != 0 {
             return Err(GraphError::MalformedRowPtr { at: 0 });
@@ -132,7 +139,10 @@ impl Csr {
 
     /// Maximum out-degree over all nodes.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes).map(|i| self.degree(i)).max().unwrap_or(0)
+        (0..self.num_nodes)
+            .map(|i| self.degree(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Borrowed `(columns, values)` view of row `i`.
@@ -209,7 +219,12 @@ impl Csr {
             }
         }
         // Rows come out sorted because we scan source rows in order.
-        Csr { num_nodes: n, row_ptr: counts, col_idx, values }
+        Csr {
+            num_nodes: n,
+            row_ptr: counts,
+            col_idx,
+            values,
+        }
     }
 
     /// Looks up the value of entry `(i, j)`, if present.
@@ -275,28 +290,38 @@ mod tests {
 
     #[test]
     fn validate_rejects_unsorted_rows() {
-        let err =
-            Csr::from_parts(2, vec![0, 2, 2], vec![1, 0], vec![1.0, 1.0]).unwrap_err();
+        let err = Csr::from_parts(2, vec![0, 2, 2], vec![1, 0], vec![1.0, 1.0]).unwrap_err();
         assert_eq!(err, GraphError::UnsortedRow { row: 0 });
     }
 
     #[test]
     fn validate_rejects_duplicate_columns() {
-        let err =
-            Csr::from_parts(2, vec![0, 2, 2], vec![1, 1], vec![1.0, 1.0]).unwrap_err();
+        let err = Csr::from_parts(2, vec![0, 2, 2], vec![1, 1], vec![1.0, 1.0]).unwrap_err();
         assert_eq!(err, GraphError::UnsortedRow { row: 0 });
     }
 
     #[test]
     fn validate_rejects_out_of_bounds_column() {
         let err = Csr::from_parts(2, vec![0, 1, 1], vec![7], vec![1.0]).unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfBounds { node: 7, num_nodes: 2 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfBounds {
+                node: 7,
+                num_nodes: 2
+            }
+        );
     }
 
     #[test]
     fn validate_rejects_value_length_mismatch() {
         let err = Csr::from_parts(2, vec![0, 1, 1], vec![0], vec![]).unwrap_err();
-        assert_eq!(err, GraphError::ValueLengthMismatch { values: 0, edges: 1 });
+        assert_eq!(
+            err,
+            GraphError::ValueLengthMismatch {
+                values: 0,
+                edges: 1
+            }
+        );
     }
 
     #[test]
@@ -320,7 +345,9 @@ mod tests {
 
     #[test]
     fn symmetric_graph_detected() {
-        let coo = Coo::from_edges(4, vec![(0, 1), (2, 3)]).unwrap().symmetrize();
+        let coo = Coo::from_edges(4, vec![(0, 1), (2, 3)])
+            .unwrap()
+            .symmetrize();
         let csr = coo.to_csr().unwrap();
         assert!(csr.is_structurally_symmetric());
 
@@ -329,6 +356,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op, clippy::erasing_op)] // row * stride + col spells out the coordinates
     fn to_dense_matches_entries() {
         let csr = sample();
         let d = csr.to_dense();

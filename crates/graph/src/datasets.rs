@@ -102,7 +102,11 @@ impl DatasetSpec {
             GraphKind::Uniform => generate::erdos_renyi(n, avg, seed),
         };
         let csr = coo.to_csr()?;
-        Ok(Dataset { spec: *self, scale, csr })
+        Ok(Dataset {
+            spec: *self,
+            scale,
+            csr,
+        })
     }
 
     /// Looks a spec up by (case-insensitive) name.
@@ -124,30 +128,150 @@ pub struct Dataset {
 
 /// The full Table 1 catalog (24 graphs).
 pub const CATALOG: &[DatasetSpec] = &[
-    DatasetSpec { name: "am", paper_nodes: 881_680, paper_edges: 5_668_682, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "amazon0505", paper_nodes: 410_236, paper_edges: 4_878_874, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "amazon0601", paper_nodes: 403_394, paper_edges: 5_478_357, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "artist", paper_nodes: 50_515, paper_edges: 1_638_396, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "citation", paper_nodes: 2_927_963, paper_edges: 30_387_995, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "collab", paper_nodes: 235_868, paper_edges: 2_358_104, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "com-amazon", paper_nodes: 334_863, paper_edges: 1_851_744, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "DD", paper_nodes: 334_925, paper_edges: 1_686_092, kind: GraphKind::Uniform },
-    DatasetSpec { name: "ddi", paper_nodes: 4_267, paper_edges: 2_135_822, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "Flickr", paper_nodes: 89_250, paper_edges: 989_006, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "ogbn-arxiv", paper_nodes: 169_343, paper_edges: 1_166_243, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "ogbn-products", paper_nodes: 2_449_029, paper_edges: 123_718_280, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "ogbn-proteins", paper_nodes: 132_534, paper_edges: 79_122_504, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "OVCAR-8H", paper_nodes: 1_889_542, paper_edges: 3_946_402, kind: GraphKind::Uniform },
-    DatasetSpec { name: "ppa", paper_nodes: 576_289, paper_edges: 42_463_862, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "PROTEINS_full", paper_nodes: 43_466, paper_edges: 162_088, kind: GraphKind::Uniform },
-    DatasetSpec { name: "pubmed", paper_nodes: 19_717, paper_edges: 99_203, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "ppi", paper_nodes: 56_944, paper_edges: 818_716, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "Reddit", paper_nodes: 232_965, paper_edges: 114_615_891, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "SW-620H", paper_nodes: 1_888_584, paper_edges: 3_944_206, kind: GraphKind::Uniform },
-    DatasetSpec { name: "TWITTER-Partial", paper_nodes: 580_768, paper_edges: 1_435_116, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "Yeast", paper_nodes: 1_710_902, paper_edges: 3_636_546, kind: GraphKind::Uniform },
-    DatasetSpec { name: "Yelp", paper_nodes: 716_847, paper_edges: 13_954_819, kind: GraphKind::PowerLaw },
-    DatasetSpec { name: "youtube", paper_nodes: 1_138_499, paper_edges: 5_980_886, kind: GraphKind::PowerLaw },
+    DatasetSpec {
+        name: "am",
+        paper_nodes: 881_680,
+        paper_edges: 5_668_682,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "amazon0505",
+        paper_nodes: 410_236,
+        paper_edges: 4_878_874,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "amazon0601",
+        paper_nodes: 403_394,
+        paper_edges: 5_478_357,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "artist",
+        paper_nodes: 50_515,
+        paper_edges: 1_638_396,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "citation",
+        paper_nodes: 2_927_963,
+        paper_edges: 30_387_995,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "collab",
+        paper_nodes: 235_868,
+        paper_edges: 2_358_104,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "com-amazon",
+        paper_nodes: 334_863,
+        paper_edges: 1_851_744,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "DD",
+        paper_nodes: 334_925,
+        paper_edges: 1_686_092,
+        kind: GraphKind::Uniform,
+    },
+    DatasetSpec {
+        name: "ddi",
+        paper_nodes: 4_267,
+        paper_edges: 2_135_822,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "Flickr",
+        paper_nodes: 89_250,
+        paper_edges: 989_006,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "ogbn-arxiv",
+        paper_nodes: 169_343,
+        paper_edges: 1_166_243,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "ogbn-products",
+        paper_nodes: 2_449_029,
+        paper_edges: 123_718_280,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "ogbn-proteins",
+        paper_nodes: 132_534,
+        paper_edges: 79_122_504,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "OVCAR-8H",
+        paper_nodes: 1_889_542,
+        paper_edges: 3_946_402,
+        kind: GraphKind::Uniform,
+    },
+    DatasetSpec {
+        name: "ppa",
+        paper_nodes: 576_289,
+        paper_edges: 42_463_862,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "PROTEINS_full",
+        paper_nodes: 43_466,
+        paper_edges: 162_088,
+        kind: GraphKind::Uniform,
+    },
+    DatasetSpec {
+        name: "pubmed",
+        paper_nodes: 19_717,
+        paper_edges: 99_203,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "ppi",
+        paper_nodes: 56_944,
+        paper_edges: 818_716,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "Reddit",
+        paper_nodes: 232_965,
+        paper_edges: 114_615_891,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "SW-620H",
+        paper_nodes: 1_888_584,
+        paper_edges: 3_944_206,
+        kind: GraphKind::Uniform,
+    },
+    DatasetSpec {
+        name: "TWITTER-Partial",
+        paper_nodes: 580_768,
+        paper_edges: 1_435_116,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "Yeast",
+        paper_nodes: 1_710_902,
+        paper_edges: 3_636_546,
+        kind: GraphKind::Uniform,
+    },
+    DatasetSpec {
+        name: "Yelp",
+        paper_nodes: 716_847,
+        paper_edges: 13_954_819,
+        kind: GraphKind::PowerLaw,
+    },
+    DatasetSpec {
+        name: "youtube",
+        paper_nodes: 1_138_499,
+        paper_edges: 5_980_886,
+        kind: GraphKind::PowerLaw,
+    },
 ];
 
 /// Node labels for a training dataset.
@@ -337,7 +461,9 @@ impl TrainingDataset {
             Labels::Multi(multi)
         } else {
             Labels::Single(
-                (0..n).map(|i| generate::planted_community_of(i, communities) as u32).collect(),
+                (0..n)
+                    .map(|i| generate::planted_community_of(i, communities) as u32)
+                    .collect(),
             )
         };
 
@@ -406,7 +532,11 @@ mod tests {
             let n = spec.scaled_nodes(Scale::Test);
             assert!(n <= 1_500, "{} test scale too big: {n}", spec.name);
             let nnz_est = n as f64 * spec.paper_avg_degree();
-            assert!(nnz_est <= 60_000.0 || n == 256, "{} nnz {nnz_est}", spec.name);
+            assert!(
+                nnz_est <= 60_000.0 || n == 256,
+                "{} nnz {nnz_est}",
+                spec.name
+            );
         }
     }
 
@@ -445,7 +575,9 @@ mod tests {
 
     #[test]
     fn training_data_multi_label() {
-        let td = TrainingDataset::OgbnProteins.generate(Scale::Test, 3).unwrap();
+        let td = TrainingDataset::OgbnProteins
+            .generate(Scale::Test, 3)
+            .unwrap();
         let n = td.csr.num_nodes();
         assert!(td.multilabel);
         match &td.labels {
@@ -499,7 +631,9 @@ mod tests {
         let mut nj = 0;
         for i in (0..n.min(200)).step_by(2) {
             for j in (1..n.min(200)).step_by(3) {
-                let dot: f32 = (0..d).map(|f| td.features[i * d + f] * td.features[j * d + f]).sum();
+                let dot: f32 = (0..d)
+                    .map(|f| td.features[i * d + f] * td.features[j * d + f])
+                    .sum();
                 if labels[i] == labels[j] && i != j {
                     intra += dot as f64;
                     ni += 1;

@@ -75,7 +75,10 @@ pub fn chung_lu_power_law(n: usize, avg_degree: f64, gamma: f64, seed: u64) -> C
 ///
 /// Panics if the probabilities are not a sub-distribution.
 pub fn rmat(scale: u32, avg_degree: f64, a: f64, b: f64, c: f64, seed: u64) -> Coo {
-    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "invalid R-MAT probabilities");
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0,
+        "invalid R-MAT probabilities"
+    );
     let n = 1usize << scale;
     let mut rng = StdRng::seed_from_u64(seed);
     let m = ((n as f64 * avg_degree) / 2.0).round() as usize;
@@ -130,8 +133,14 @@ pub fn planted_partition(
     seed: u64,
 ) -> Coo {
     assert!(n > 0, "graph must have at least one node");
-    assert!(communities > 0 && communities <= n, "invalid community count");
-    assert!((0.0..=1.0).contains(&homophily), "homophily must be in [0, 1]");
+    assert!(
+        communities > 0 && communities <= n,
+        "invalid community count"
+    );
+    assert!(
+        (0.0..=1.0).contains(&homophily),
+        "homophily must be in [0, 1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let alpha = 1.0 / (gamma - 1.0);
     let i0 = (n as f64).powf(0.25).max(1.0);
@@ -195,13 +204,19 @@ impl CumulativeSampler {
             cumulative.push(acc);
         }
         assert!(acc > 0.0, "weights must not all be zero");
-        CumulativeSampler { cumulative, total: acc }
+        CumulativeSampler {
+            cumulative,
+            total: acc,
+        }
     }
 
     /// Draws an index proportionally to its weight.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let x = rng.gen::<f64>() * self.total;
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).expect("no NaN")) {
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("no NaN"))
+        {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i.min(self.cumulative.len() - 1),
         }
@@ -273,7 +288,9 @@ mod tests {
     #[test]
     fn planted_partition_zero_homophily_is_random() {
         let communities = 4;
-        let csr = planted_partition(2_000, 16.0, communities, 0.0, 2.3, 5).to_csr().unwrap();
+        let csr = planted_partition(2_000, 16.0, communities, 0.0, 2.3, 5)
+            .to_csr()
+            .unwrap();
         let mut intra = 0usize;
         let mut total = 0usize;
         for i in 0..csr.num_nodes() {
@@ -285,7 +302,10 @@ mod tests {
             }
         }
         let frac = intra as f64 / total as f64;
-        assert!((frac - 0.25).abs() < 0.08, "intra fraction {frac} should be near 1/4");
+        assert!(
+            (frac - 0.25).abs() < 0.08,
+            "intra fraction {frac} should be near 1/4"
+        );
     }
 
     #[test]

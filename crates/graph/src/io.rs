@@ -70,10 +70,7 @@ impl From<GraphError> for ParseEdgeListError {
 /// # Errors
 ///
 /// Returns [`ParseEdgeListError`] on I/O failure or malformed lines.
-pub fn read_edge_list<R: BufRead>(
-    reader: R,
-    min_nodes: usize,
-) -> Result<Coo, ParseEdgeListError> {
+pub fn read_edge_list<R: BufRead>(reader: R, min_nodes: usize) -> Result<Coo, ParseEdgeListError> {
     let mut edges: Vec<(u32, u32)> = Vec::new();
     let mut max_node = 0u32;
     for (idx, line) in reader.lines().enumerate() {
@@ -84,10 +81,16 @@ pub fn read_edge_list<R: BufRead>(
         }
         let mut it = trimmed.split_whitespace();
         let (Some(a), Some(b)) = (it.next(), it.next()) else {
-            return Err(ParseEdgeListError::BadLine { line: idx + 1, content: line.clone() });
+            return Err(ParseEdgeListError::BadLine {
+                line: idx + 1,
+                content: line.clone(),
+            });
         };
         let (Ok(src), Ok(dst)) = (a.parse::<u32>(), b.parse::<u32>()) else {
-            return Err(ParseEdgeListError::BadLine { line: idx + 1, content: line.clone() });
+            return Err(ParseEdgeListError::BadLine {
+                line: idx + 1,
+                content: line.clone(),
+            });
         };
         max_node = max_node.max(src).max(dst);
         edges.push((src, dst));
@@ -108,7 +111,12 @@ pub fn read_edge_list<R: BufRead>(
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_edge_list<W: Write>(mut writer: W, csr: &crate::Csr) -> std::io::Result<()> {
-    writeln!(writer, "# {} nodes, {} edges", csr.num_nodes(), csr.num_edges())?;
+    writeln!(
+        writer,
+        "# {} nodes, {} edges",
+        csr.num_nodes(),
+        csr.num_edges()
+    )?;
     for i in 0..csr.num_nodes() {
         for &j in csr.row(i).0 {
             writeln!(writer, "{i} {j}")?;
@@ -174,7 +182,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let err = ParseEdgeListError::BadLine { line: 3, content: "x".into() };
+        let err = ParseEdgeListError::BadLine {
+            line: 3,
+            content: "x".into(),
+        };
         assert!(err.to_string().contains("line 3"));
     }
 }

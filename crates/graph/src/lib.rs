@@ -89,7 +89,10 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::EmptyGraph => write!(f, "graph has zero nodes"),
             GraphError::NodeOutOfBounds { node, num_nodes } => {
-                write!(f, "node id {node} out of bounds for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node id {node} out of bounds for graph with {num_nodes} nodes"
+                )
             }
             GraphError::MalformedRowPtr { at } => {
                 write!(f, "malformed CSR row_ptr at index {at}")
@@ -98,7 +101,10 @@ impl fmt::Display for GraphError {
                 write!(f, "CSR row {row} has unsorted or duplicate column indices")
             }
             GraphError::ValueLengthMismatch { values, edges } => {
-                write!(f, "value array has {values} entries but structure has {edges} edges")
+                write!(
+                    f,
+                    "value array has {values} entries but structure has {edges} edges"
+                )
             }
         }
     }

@@ -118,7 +118,11 @@ mod tests {
 
     #[test]
     fn isolated_nodes_get_zero_rows() {
-        let csr = Coo::from_edges(3, vec![(0, 1)]).unwrap().symmetrize().to_csr().unwrap();
+        let csr = Coo::from_edges(3, vec![(0, 1)])
+            .unwrap()
+            .symmetrize()
+            .to_csr()
+            .unwrap();
         for agg in [Aggregator::GcnSym, Aggregator::SageMean, Aggregator::GinSum] {
             let adj = normalized(&csr, agg);
             assert!(adj.row(2).0.is_empty());

@@ -81,7 +81,11 @@ impl WarpPartition {
             let (mut start, end) = (row_ptr[row], row_ptr[row + 1]);
             while start < end {
                 let len = (end - start).min(w);
-                groups.push(EdgeGroup { row: row as u32, start, len: len as u32 });
+                groups.push(EdgeGroup {
+                    row: row as u32,
+                    start,
+                    len: len as u32,
+                });
                 start += len;
             }
         }
@@ -156,7 +160,9 @@ mod tests {
     use crate::generate;
 
     fn sample_csr() -> Csr {
-        generate::chung_lu_power_law(500, 12.0, 2.2, 17).to_csr().unwrap()
+        generate::chung_lu_power_law(500, 12.0, 2.2, 17)
+            .to_csr()
+            .unwrap()
     }
 
     #[test]
@@ -165,9 +171,12 @@ mod tests {
         let part = WarpPartition::build(&csr, 8);
         let mut seen = vec![false; csr.num_edges()];
         for g in part.groups() {
-            for e in g.start..g.start + g.len as usize {
-                assert!(!seen[e], "nonzero {e} covered twice");
-                seen[e] = true;
+            for (off, s) in seen[g.start..g.start + g.len as usize]
+                .iter_mut()
+                .enumerate()
+            {
+                assert!(!*s, "nonzero {} covered twice", g.start + off);
+                *s = true;
             }
         }
         assert!(seen.iter().all(|&s| s), "some nonzeros uncovered");
@@ -192,7 +201,9 @@ mod tests {
         let csr = sample_csr();
         let w = 8;
         let part = WarpPartition::build(&csr, w);
-        let expected: usize = (0..csr.num_nodes()).map(|i| csr.degree(i).div_ceil(w)).sum();
+        let expected: usize = (0..csr.num_nodes())
+            .map(|i| csr.degree(i).div_ceil(w))
+            .sum();
         assert_eq!(part.num_groups(), expected);
     }
 
@@ -238,7 +249,16 @@ mod tests {
         // Row degrees all equal to w -> perfectly balanced.
         let coo = crate::Coo::from_edges(
             4,
-            vec![(0, 1), (0, 2), (1, 0), (1, 3), (2, 0), (2, 3), (3, 1), (3, 2)],
+            vec![
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 3),
+                (2, 0),
+                (2, 3),
+                (3, 1),
+                (3, 2),
+            ],
         )
         .unwrap();
         let csr = coo.to_csr().unwrap();

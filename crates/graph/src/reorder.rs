@@ -33,7 +33,10 @@ impl Permutation {
         let mut inverse = vec![u32::MAX; n];
         for (new_id, &old_id) in perm.iter().enumerate() {
             if old_id as usize >= n || inverse[old_id as usize] != u32::MAX {
-                return Err(GraphError::NodeOutOfBounds { node: old_id, num_nodes: n });
+                return Err(GraphError::NodeOutOfBounds {
+                    node: old_id,
+                    num_nodes: n,
+                });
             }
             inverse[old_id as usize] = new_id as u32;
         }
@@ -42,7 +45,10 @@ impl Permutation {
 
     /// The identity permutation on `n` nodes.
     pub fn identity(n: usize) -> Self {
-        Permutation { perm: (0..n as u32).collect(), inverse: (0..n as u32).collect() }
+        Permutation {
+            perm: (0..n as u32).collect(),
+            inverse: (0..n as u32).collect(),
+        }
     }
 
     /// Number of nodes.
@@ -189,7 +195,9 @@ mod tests {
     use crate::generate;
 
     fn graph() -> Csr {
-        generate::chung_lu_power_law(300, 8.0, 2.2, 3).to_csr().unwrap()
+        generate::chung_lu_power_law(300, 8.0, 2.2, 3)
+            .to_csr()
+            .unwrap()
     }
 
     #[test]
@@ -239,7 +247,10 @@ mod tests {
         let p = degree_sort(&csr);
         let reordered = p.apply(&csr).unwrap();
         for w in 0..reordered.num_nodes() - 1 {
-            assert!(reordered.degree(w) >= reordered.degree(w + 1), "not sorted at {w}");
+            assert!(
+                reordered.degree(w) >= reordered.degree(w + 1),
+                "not sorted at {w}"
+            );
         }
     }
 
@@ -269,7 +280,10 @@ mod tests {
 
     #[test]
     fn apply_rows_moves_features_with_nodes() {
-        let csr = crate::Coo::from_edges(3, vec![(0, 1)]).unwrap().to_csr().unwrap();
+        let csr = crate::Coo::from_edges(3, vec![(0, 1)])
+            .unwrap()
+            .to_csr()
+            .unwrap();
         let _ = csr; // structure irrelevant here
         let p = Permutation::new(vec![2, 0, 1]).unwrap();
         let feats = vec![0.0f32, 0.0, 1.0, 1.0, 2.0, 2.0]; // node i -> [i, i]

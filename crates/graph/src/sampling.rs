@@ -47,7 +47,10 @@ impl Subgraph {
 
     /// Gathers per-node scalars (labels, mask bits).
     pub fn gather<T: Copy>(&self, data: &[T]) -> Vec<T> {
-        self.node_map.iter().map(|&old| data[old as usize]).collect()
+        self.node_map
+            .iter()
+            .map(|&old| data[old as usize])
+            .collect()
     }
 }
 
@@ -81,7 +84,10 @@ pub fn induced_subgraph(parent: &Csr, nodes: &[u32]) -> Result<Subgraph> {
             }
         }
     }
-    Ok(Subgraph { csr: coo.to_csr()?, node_map })
+    Ok(Subgraph {
+        csr: coo.to_csr()?,
+        node_map,
+    })
 }
 
 /// GraphSAINT-style uniform node sampler: keeps each node independently…
@@ -131,7 +137,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn parent() -> Csr {
-        generate::chung_lu_power_law(400, 10.0, 2.2, 11).to_csr().unwrap()
+        generate::chung_lu_power_law(400, 10.0, 2.2, 11)
+            .to_csr()
+            .unwrap()
     }
 
     #[test]

@@ -199,9 +199,8 @@ impl Conv {
         let mut y = match self.activation {
             Some(Activation::MaxK(k)) => {
                 // MaxK nonlinearity -> CBSR -> SpGEMM aggregation.
-                let hs = timers.time_maxk(|| {
-                    maxk_forward(&z, k).expect("k validated at model construction")
-                });
+                let hs = timers
+                    .time_maxk(|| maxk_forward(&z, k).expect("k validated at model construction"));
                 let y = timers.time_agg(|| spgemm_forward(&ctx.adj, &hs, &ctx.part));
                 self.cache_pattern = Some(hs);
                 y
@@ -216,7 +215,10 @@ impl Conv {
         match self.arch {
             Arch::Sage => {
                 let self_y = timers.time_linear(|| {
-                    self.lin_self.as_ref().expect("SAGE has a self linear").forward(&x_in)
+                    self.lin_self
+                        .as_ref()
+                        .expect("SAGE has a self linear")
+                        .forward(&x_in)
                 });
                 timers.time_other(|| ops::add_assign(&mut y, &self_y));
             }
@@ -357,13 +359,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn graph(n: usize, seed: u64) -> Csr {
-        generate::chung_lu_power_law(n, 8.0, 2.3, seed).to_csr().unwrap()
+        generate::chung_lu_power_law(n, 8.0, 2.3, seed)
+            .to_csr()
+            .unwrap()
     }
 
-    fn forward_backward(
-        arch: Arch,
-        activation: Option<Activation>,
-    ) -> (Matrix, Matrix) {
+    fn forward_backward(arch: Arch, activation: Option<Activation>) -> (Matrix, Matrix) {
         let g = graph(80, 3);
         let ctx = GraphContext::build(&g, arch, 16);
         let mut rng = StdRng::seed_from_u64(7);

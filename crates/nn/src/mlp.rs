@@ -45,7 +45,10 @@ impl MlpConfig {
 
     /// The ReLU control for the same width.
     pub fn paper_relu(hidden: usize) -> Self {
-        MlpConfig { activation: Activation::Relu, ..Self::paper_maxk(hidden) }
+        MlpConfig {
+            activation: Activation::Relu,
+            ..Self::paper_maxk(hidden)
+        }
     }
 }
 
@@ -74,8 +77,9 @@ pub fn approximate_square(cfg: &MlpConfig) -> ApproxResult {
     let mut opt = Adam::new(cfg.lr);
 
     // Training grid.
-    let xs: Vec<f32> =
-        (0..cfg.samples).map(|i| -1.0 + 2.0 * i as f32 / (cfg.samples - 1) as f32).collect();
+    let xs: Vec<f32> = (0..cfg.samples)
+        .map(|i| -1.0 + 2.0 * i as f32 / (cfg.samples - 1) as f32)
+        .collect();
     let x = Matrix::from_vec(cfg.samples, 1, xs.clone()).expect("grid is rectangular");
     let target: Vec<f32> = xs.iter().map(|v| v * v).collect();
 
@@ -96,8 +100,8 @@ pub fn approximate_square(cfg: &MlpConfig) -> ApproxResult {
         // MSE loss and gradient.
         let mut dy = Matrix::zeros(cfg.samples, 1);
         let mut mse = 0.0f64;
-        for i in 0..cfg.samples {
-            let err = y.get(i, 0) - target[i];
+        for (i, &t) in target.iter().enumerate() {
+            let err = y.get(i, 0) - t;
             mse += f64::from(err) * f64::from(err);
             dy.set(i, 0, 2.0 * err / cfg.samples as f32);
         }
@@ -125,7 +129,9 @@ pub fn approximate_square(cfg: &MlpConfig) -> ApproxResult {
 
     // Held-out evaluation on a shifted grid.
     let m = 512;
-    let test_xs: Vec<f32> = (0..m).map(|i| -0.995 + 1.99 * i as f32 / (m - 1) as f32).collect();
+    let test_xs: Vec<f32> = (0..m)
+        .map(|i| -0.995 + 1.99 * i as f32 / (m - 1) as f32)
+        .collect();
     let tx = Matrix::from_vec(m, 1, test_xs.clone()).expect("grid is rectangular");
     let z = l1.forward(&tx);
     let h = match cfg.activation {
@@ -134,11 +140,14 @@ pub fn approximate_square(cfg: &MlpConfig) -> ApproxResult {
     };
     let y = l2.forward(&h);
     let mut mse = 0.0f64;
-    for i in 0..m {
-        let err = f64::from(y.get(i, 0)) - f64::from(test_xs[i] * test_xs[i]);
+    for (i, &tx_i) in test_xs.iter().enumerate() {
+        let err = f64::from(y.get(i, 0)) - f64::from(tx_i * tx_i);
         mse += err * err;
     }
-    ApproxResult { train_mse: final_train, test_mse: mse / m as f64 }
+    ApproxResult {
+        train_mse: final_train,
+        test_mse: mse / m as f64,
+    }
 }
 
 #[cfg(test)]

@@ -214,13 +214,36 @@ impl GnnModel {
         let ctx = GraphContext::build(graph, cfg.arch, cfg.eg_width);
         let mut convs = Vec::with_capacity(cfg.num_layers);
         for layer in 0..cfg.num_layers {
-            let in_dim = if layer == 0 { cfg.in_dim } else { cfg.hidden_dim };
-            let out_dim = if layer + 1 == cfg.num_layers { cfg.out_dim } else { cfg.hidden_dim };
-            let activation =
-                if layer + 1 == cfg.num_layers { None } else { Some(cfg.activation) };
-            convs.push(Conv::new(cfg.arch, activation, in_dim, out_dim, cfg.dropout, rng));
+            let in_dim = if layer == 0 {
+                cfg.in_dim
+            } else {
+                cfg.hidden_dim
+            };
+            let out_dim = if layer + 1 == cfg.num_layers {
+                cfg.out_dim
+            } else {
+                cfg.hidden_dim
+            };
+            let activation = if layer + 1 == cfg.num_layers {
+                None
+            } else {
+                Some(cfg.activation)
+            };
+            convs.push(Conv::new(
+                cfg.arch,
+                activation,
+                in_dim,
+                out_dim,
+                cfg.dropout,
+                rng,
+            ));
         }
-        GnnModel { cfg, ctx, convs, timers: PhaseTimers::default() }
+        GnnModel {
+            cfg,
+            ctx,
+            convs,
+            timers: PhaseTimers::default(),
+        }
     }
 
     /// The configuration this model was built with.
@@ -289,7 +312,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn graph() -> Csr {
-        generate::chung_lu_power_law(60, 6.0, 2.3, 1).to_csr().unwrap()
+        generate::chung_lu_power_law(60, 6.0, 2.3, 1)
+            .to_csr()
+            .unwrap()
     }
 
     fn config(act: Activation) -> ModelConfig {

@@ -22,7 +22,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 100, lr: 0.01, seed: 0, eval_every: 10 }
+        TrainConfig {
+            epochs: 100,
+            lr: 0.01,
+            seed: 0,
+            eval_every: 10,
+        }
     }
 }
 
@@ -133,7 +138,12 @@ pub fn train_full_batch(
             let eval_logits = model.forward(&x, false, &mut rng);
             let val = evaluate(data, &eval_logits, &data.val_mask);
             let test = evaluate(data, &eval_logits, &data.test_mask);
-            history.push(EpochStats { epoch, loss: loss_value, val_metric: val, test_metric: test });
+            history.push(EpochStats {
+                epoch,
+                loss: loss_value,
+                val_metric: val,
+                test_metric: test,
+            });
             if val > best_val {
                 best_val = val;
                 best_test = test;
@@ -173,9 +183,13 @@ mod tests {
     fn loss_decreases_on_flickr_sim() {
         let data = TrainingDataset::Flickr.generate(Scale::Test, 3).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
-        let mut model =
-            GnnModel::new(quick_config(Activation::Relu, &data), &data.csr, &mut rng);
-        let cfg = TrainConfig { epochs: 30, lr: 0.01, seed: 1, eval_every: 5 };
+        let mut model = GnnModel::new(quick_config(Activation::Relu, &data), &data.csr, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 30,
+            lr: 0.01,
+            seed: 1,
+            eval_every: 5,
+        };
         let result = train_full_batch(&mut model, &data, &cfg);
         let first = result.history.first().unwrap().loss;
         let last = result.history.last().unwrap().loss;
@@ -186,9 +200,17 @@ mod tests {
     fn maxk_model_learns_single_label_task() {
         let data = TrainingDataset::Flickr.generate(Scale::Test, 5).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut model =
-            GnnModel::new(quick_config(Activation::MaxK(8), &data), &data.csr, &mut rng);
-        let cfg = TrainConfig { epochs: 60, lr: 0.01, seed: 2, eval_every: 10 };
+        let mut model = GnnModel::new(
+            quick_config(Activation::MaxK(8), &data),
+            &data.csr,
+            &mut rng,
+        );
+        let cfg = TrainConfig {
+            epochs: 60,
+            lr: 0.01,
+            seed: 2,
+            eval_every: 10,
+        };
         let result = train_full_batch(&mut model, &data, &cfg);
         // Planted 7-class task: random = 1/7 ≈ 0.14; learning must beat it
         // comfortably.
@@ -207,33 +229,61 @@ mod tests {
         let mut cfg_m = quick_config(Activation::MaxK(8), &data);
         cfg_m.num_layers = 2;
         let mut model = GnnModel::new(cfg_m, &data.csr, &mut rng);
-        let cfg = TrainConfig { epochs: 40, lr: 0.02, seed: 3, eval_every: 10 };
+        let cfg = TrainConfig {
+            epochs: 40,
+            lr: 0.02,
+            seed: 3,
+            eval_every: 10,
+        };
         let result = train_full_batch(&mut model, &data, &cfg);
         assert_eq!(result.metric_name, "micro-f1");
-        assert!(result.best_test_metric > 0.5, "f1 {}", result.best_test_metric);
+        assert!(
+            result.best_test_metric > 0.5,
+            "f1 {}",
+            result.best_test_metric
+        );
     }
 
     #[test]
     fn proteins_reports_auc() {
-        let data = TrainingDataset::OgbnProteins.generate(Scale::Test, 9).unwrap();
+        let data = TrainingDataset::OgbnProteins
+            .generate(Scale::Test, 9)
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let mut cfg_m = quick_config(Activation::Relu, &data);
         cfg_m.num_layers = 2;
         cfg_m.hidden_dim = 64;
         let mut model = GnnModel::new(cfg_m, &data.csr, &mut rng);
-        let cfg = TrainConfig { epochs: 100, lr: 0.01, seed: 4, eval_every: 20 };
+        let cfg = TrainConfig {
+            epochs: 100,
+            lr: 0.01,
+            seed: 4,
+            eval_every: 20,
+        };
         let result = train_full_batch(&mut model, &data, &cfg);
         assert_eq!(result.metric_name, "roc-auc");
-        assert!(result.best_test_metric > 0.6, "auc {}", result.best_test_metric);
+        assert!(
+            result.best_test_metric > 0.6,
+            "auc {}",
+            result.best_test_metric
+        );
     }
 
     #[test]
     fn phase_timers_populated() {
         let data = TrainingDataset::Flickr.generate(Scale::Test, 11).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
-        let mut model =
-            GnnModel::new(quick_config(Activation::MaxK(4), &data), &data.csr, &mut rng);
-        let cfg = TrainConfig { epochs: 3, lr: 0.01, seed: 5, eval_every: 1 };
+        let mut model = GnnModel::new(
+            quick_config(Activation::MaxK(4), &data),
+            &data.csr,
+            &mut rng,
+        );
+        let cfg = TrainConfig {
+            epochs: 3,
+            lr: 0.01,
+            seed: 5,
+            eval_every: 1,
+        };
         let result = train_full_batch(&mut model, &data, &cfg);
         assert!(result.phases.agg.as_nanos() > 0);
         assert!(result.phases.linear.as_nanos() > 0);

@@ -63,7 +63,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { rows, cols, len } => {
-                write!(f, "buffer of length {len} cannot form a {rows}x{cols} matrix")
+                write!(
+                    f,
+                    "buffer of length {len} cannot form a {rows}x{cols} matrix"
+                )
             }
             TensorError::ShapeMismatch { op, lhs, rhs } => {
                 write!(

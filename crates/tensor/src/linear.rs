@@ -24,8 +24,8 @@ use rand::Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Linear {
-    weight: Matrix,    // in_dim × out_dim
-    bias: Vec<f32>,    // out_dim
+    weight: Matrix, // in_dim × out_dim
+    bias: Vec<f32>, // out_dim
     grad_weight: Matrix,
     grad_bias: Vec<f32>,
 }
@@ -82,7 +82,11 @@ impl Linear {
     #[must_use]
     pub fn backward(&mut self, x: &Matrix, dy: &Matrix) -> Matrix {
         assert_eq!(x.rows(), dy.rows(), "linear backward: batch mismatch");
-        assert_eq!(dy.cols(), self.out_dim(), "linear backward: out_dim mismatch");
+        assert_eq!(
+            dy.cols(),
+            self.out_dim(),
+            "linear backward: out_dim mismatch"
+        );
         let dw = ops::matmul_at_b(x, dy);
         ops::add_assign(&mut self.grad_weight, &dw);
         for (g, v) in self.grad_bias.iter_mut().zip(ops::column_sums(dy)) {
@@ -99,7 +103,12 @@ impl Linear {
 
     /// Parameter/gradient pairs for the optimizer, weights first.
     pub fn params_and_grads(&mut self) -> [(&mut [f32], &[f32]); 2] {
-        let Linear { weight, bias, grad_weight, grad_bias } = self;
+        let Linear {
+            weight,
+            bias,
+            grad_weight,
+            grad_bias,
+        } = self;
         [
             (weight.data_mut(), grad_weight.data()),
             (bias.as_mut_slice(), grad_bias.as_slice()),

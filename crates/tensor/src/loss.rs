@@ -17,11 +17,7 @@ use crate::matrix::Matrix;
 ///
 /// Panics when shapes disagree or a masked label is out of range; returns
 /// `(0.0, zeros)` when the mask is empty.
-pub fn softmax_cross_entropy(
-    logits: &Matrix,
-    labels: &[u32],
-    mask: &[bool],
-) -> (f64, Matrix) {
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32], mask: &[bool]) -> (f64, Matrix) {
     let (n, c) = logits.shape();
     assert_eq!(labels.len(), n, "label count mismatch");
     assert_eq!(mask.len(), n, "mask length mismatch");
@@ -49,7 +45,7 @@ pub fn softmax_cross_entropy(
         let grow = grad.row_mut(i);
         for (j, g) in grow.iter_mut().enumerate() {
             let p = (row[j] - max).exp() / denom;
-            *g = (p - f32::from(j == label) as f32) * inv_m;
+            *g = (p - f32::from(j == label)) * inv_m;
         }
     }
     (total / m as f64, grad)
@@ -129,7 +125,11 @@ mod tests {
             let (fp, _) = softmax_cross_entropy(&lp, &[1], &[true]);
             let (fm, _) = softmax_cross_entropy(&lm, &[1], &[true]);
             let fd = ((fp - fm) / (2.0 * h as f64)) as f32;
-            assert!((fd - grad.get(0, j)).abs() < 1e-3, "class {j}: {fd} vs {}", grad.get(0, j));
+            assert!(
+                (fd - grad.get(0, j)).abs() < 1e-3,
+                "class {j}: {fd} vs {}",
+                grad.get(0, j)
+            );
         }
     }
 

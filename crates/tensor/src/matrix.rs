@@ -29,12 +29,20 @@ pub struct Matrix {
 impl Matrix {
     /// An all-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Wraps an existing row-major buffer.
@@ -45,7 +53,11 @@ impl Matrix {
     /// cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
         if data.len() != rows * cols {
-            return Err(TensorError::LengthMismatch { rows, cols, len: data.len() });
+            return Err(TensorError::LengthMismatch {
+                rows,
+                cols,
+                len: data.len(),
+            });
         }
         Ok(Matrix { rows, cols, data })
     }
@@ -112,7 +124,10 @@ impl Matrix {
     ///
     /// Panics on out-of-bounds indices.
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -122,7 +137,10 @@ impl Matrix {
     ///
     /// Panics on out-of-bounds indices.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -149,7 +167,11 @@ impl Matrix {
     ///
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -164,7 +186,11 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 }
 
@@ -187,7 +213,14 @@ mod tests {
     fn from_vec_checks_length() {
         assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
         let err = Matrix::from_vec(2, 2, vec![0.0; 3]).unwrap_err();
-        assert_eq!(err, TensorError::LengthMismatch { rows: 2, cols: 2, len: 3 });
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                rows: 2,
+                cols: 2,
+                len: 3
+            }
+        );
     }
 
     #[test]

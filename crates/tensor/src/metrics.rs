@@ -146,8 +146,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_masked_rows_only() {
-        let logits =
-            Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
+        let logits = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
         let labels = [0u32, 1, 1];
         let all = accuracy(&logits, &labels, &[true, true, true]);
         assert!((all - 2.0 / 3.0).abs() < 1e-12);

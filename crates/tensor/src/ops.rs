@@ -212,7 +212,10 @@ pub fn scale_assign(a: &mut Matrix, s: f32) {
 ///
 /// Panics unless `0.0 <= p < 1.0`.
 pub fn dropout_forward<R: rand::Rng>(x: &Matrix, p: f32, rng: &mut R) -> (Matrix, Vec<bool>) {
-    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "dropout probability must be in [0, 1)"
+    );
     if p == 0.0 {
         return (x.clone(), vec![true; x.data().len()]);
     }
@@ -237,7 +240,10 @@ pub fn dropout_forward<R: rand::Rng>(x: &Matrix, p: f32, rng: &mut R) -> (Matrix
 /// Panics if the mask length disagrees with `dy` or `p` is out of range.
 #[must_use]
 pub fn dropout_backward(dy: &Matrix, mask: &[bool], p: f32) -> Matrix {
-    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "dropout probability must be in [0, 1)"
+    );
     assert_eq!(dy.data().len(), mask.len(), "dropout mask length mismatch");
     let keep_scale = 1.0 / (1.0 - p);
     let mut dx = dy.clone();

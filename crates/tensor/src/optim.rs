@@ -37,12 +37,20 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     /// SGD with heavy-ball momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
     }
 }
 
@@ -59,7 +67,11 @@ impl Optimizer for Sgd {
             .velocity
             .entry(param_id)
             .or_insert_with(|| vec![0.0; params.len()]);
-        assert_eq!(v.len(), params.len(), "sgd: param size changed across steps");
+        assert_eq!(
+            v.len(),
+            params.len(),
+            "sgd: param size changed across steps"
+        );
         for ((p, &g), vel) in params.iter_mut().zip(grads).zip(v.iter_mut()) {
             *vel = self.momentum * *vel + g;
             *p -= self.lr * *vel;
@@ -85,12 +97,26 @@ pub struct Adam {
 impl Adam {
     /// Adam with the standard `(β1, β2, ε) = (0.9, 0.999, 1e-8)`.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: HashMap::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: HashMap::new(),
+        }
     }
 
     /// Fully parameterised constructor.
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
-        Adam { lr, beta1, beta2, eps, t: 0, moments: HashMap::new() }
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            moments: HashMap::new(),
+        }
     }
 }
 
@@ -100,7 +126,11 @@ impl Optimizer for Adam {
     }
 
     fn step(&mut self, param_id: usize, params: &mut [f32], grads: &[f32]) {
-        assert_eq!(params.len(), grads.len(), "adam: param/grad length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "adam: param/grad length mismatch"
+        );
         if self.t == 0 {
             self.t = 1; // tolerate callers that skip next_step()
         }
@@ -108,7 +138,11 @@ impl Optimizer for Adam {
             .moments
             .entry(param_id)
             .or_insert_with(|| (vec![0.0; params.len()], vec![0.0; params.len()]));
-        assert_eq!(m.len(), params.len(), "adam: param size changed across steps");
+        assert_eq!(
+            m.len(),
+            params.len(),
+            "adam: param size changed across steps"
+        );
         let b1t = 1.0 - self.beta1.powi(self.t);
         let b2t = 1.0 - self.beta2.powi(self.t);
         for i in 0..params.len() {
@@ -169,7 +203,11 @@ mod tests {
         let mut x = vec![1.0f32];
         opt.next_step();
         opt.step(0, &mut x, &[123.0]);
-        assert!((x[0] - (1.0 - 0.01)).abs() < 1e-4, "x after one step: {}", x[0]);
+        assert!(
+            (x[0] - (1.0 - 0.01)).abs() < 1e-4,
+            "x after one step: {}",
+            x[0]
+        );
     }
 
     #[test]

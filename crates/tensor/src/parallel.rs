@@ -3,7 +3,7 @@
 //! All heavy kernels in this reproduction parallelize over contiguous row
 //! ranges. [`par_row_chunks`] is the single primitive they share: it splits
 //! `rows` into at most `num_threads()` contiguous chunks and runs the
-//! closure on each chunk from a crossbeam scoped thread.
+//! closure on each chunk from a `std::thread::scope` scoped thread.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -14,7 +14,9 @@ pub fn num_threads() -> usize {
     if cached != 0 {
         return cached;
     }
-    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     CACHED.store(n, Ordering::Relaxed);
     n
 }
@@ -38,16 +40,15 @@ where
         f(0, rows);
         return;
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut start = 0;
         while start < rows {
             let end = (start + chunk).min(rows);
             let f = &f;
-            s.spawn(move |_| f(start, end));
+            s.spawn(move || f(start, end));
             start = end;
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Like [`par_row_chunks`] but each chunk produces a value; results are
@@ -72,17 +73,19 @@ where
         ranges.push((start, end));
         start = end;
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()
             .map(|&(a, b)| {
                 let f = &f;
-                s.spawn(move |_| f(a, b))
+                s.spawn(move || f(a, b))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     })
-    .expect("worker thread panicked")
 }
 
 /// Splits a mutable slice into row-chunks and processes them in parallel.
@@ -99,7 +102,11 @@ where
     F: Fn(usize, &mut [f32]) + Sync,
 {
     assert!(row_width > 0, "row width must be positive");
-    assert_eq!(data.len() % row_width, 0, "slice not a whole number of rows");
+    assert_eq!(
+        data.len() % row_width,
+        0,
+        "slice not a whole number of rows"
+    );
     let rows = data.len() / row_width;
     if rows == 0 {
         return;
@@ -110,7 +117,7 @@ where
         f(0, data);
         return;
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest = data;
         let mut start = 0;
         while start < rows {
@@ -118,11 +125,10 @@ where
             let (head, tail) = rest.split_at_mut((end - start) * row_width);
             rest = tail;
             let f = &f;
-            s.spawn(move |_| f(start, head));
+            s.spawn(move || f(start, head));
             start = end;
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 #[cfg(test)]

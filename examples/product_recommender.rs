@@ -18,7 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         data.num_classes
     );
 
-    let train_cfg = TrainConfig { epochs: 50, lr: 0.003, seed: 11, eval_every: 5 };
+    let train_cfg = TrainConfig {
+        epochs: 50,
+        lr: 0.003,
+        seed: 11,
+        eval_every: 5,
+    };
     let mut curves = Vec::new();
     for activation in [Activation::Relu, Activation::MaxK(32), Activation::MaxK(8)] {
         let cfg = ModelConfig::paper_preset(

@@ -21,7 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Train the ReLU baseline and the MaxK model with identical
     //    hyperparameters (Table 3 preset).
-    let train_cfg = TrainConfig { epochs: 60, lr: 0.001, seed: 7, eval_every: 10 };
+    let train_cfg = TrainConfig {
+        epochs: 60,
+        lr: 0.001,
+        seed: 7,
+        eval_every: 10,
+    };
     let mut results = Vec::new();
     for activation in [Activation::Relu, Activation::MaxK(32)] {
         let cfg = ModelConfig::paper_preset(
@@ -33,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
-        println!("\ntraining SAGE + {} ({} params)...", activation.label(), model.num_params());
+        println!(
+            "\ntraining SAGE + {} ({} params)...",
+            activation.label(),
+            model.num_params()
+        );
         let result = train_full_batch(&mut model, &data, &train_cfg);
         println!(
             "  {}: test accuracy {:.4}, {:.1} ms/epoch, aggregation share {:.1}%",

@@ -18,7 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         data.num_classes
     );
 
-    let train_cfg = TrainConfig { epochs: 40, lr: 0.01, seed: 3, eval_every: 10 };
+    let train_cfg = TrainConfig {
+        epochs: 40,
+        lr: 0.01,
+        seed: 3,
+        eval_every: 10,
+    };
     let run = |activation: Activation| {
         let cfg = ModelConfig::paper_preset(
             "Reddit",
@@ -40,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         baseline.phases.agg_fraction(),
         baseline.phases.amdahl_limit()
     );
-    println!("\n{:<8} {:>10} {:>12} {:>9}", "k", "accuracy", "ms/epoch", "speedup");
+    println!(
+        "\n{:<8} {:>10} {:>12} {:>9}",
+        "k", "accuracy", "ms/epoch", "speedup"
+    );
     for k in [64usize, 32, 16, 8, 4] {
         let r = run(Activation::MaxK(k));
         println!(

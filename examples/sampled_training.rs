@@ -49,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let mut mrng = rand::rngs::StdRng::seed_from_u64(round);
         let mut model = GnnModel::new(cfg, &sub_data.csr, &mut mrng);
-        let tc = TrainConfig { epochs: 30, lr: 0.001, seed: round, eval_every: 10 };
+        let tc = TrainConfig {
+            epochs: 30,
+            lr: 0.001,
+            seed: round,
+            eval_every: 10,
+        };
         let result = train_full_batch(&mut model, &sub_data, &tc);
         println!(
             "round {round}: subgraph {} nodes / {} edges -> test acc {:.4} ({:.1} ms/epoch)",

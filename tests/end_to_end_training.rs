@@ -13,21 +13,44 @@ fn train(
     epochs: usize,
     hidden: usize,
 ) -> maxk_gnn::nn::TrainResult {
-    let data = ds.generate(Scale::Test, 0xe2e).expect("dataset generation succeeds");
+    let data = ds
+        .generate(Scale::Test, 0xe2e)
+        .expect("dataset generation succeeds");
     let mut cfg = ModelConfig::new(arch, act, data.in_dim, data.num_classes);
     cfg.hidden_dim = hidden;
     cfg.dropout = 0.1;
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
-    let tc = TrainConfig { epochs, lr: 0.01, seed: 2, eval_every: (epochs / 4).max(1) };
+    let tc = TrainConfig {
+        epochs,
+        lr: 0.01,
+        seed: 2,
+        eval_every: (epochs / 4).max(1),
+    };
     train_full_batch(&mut model, &data, &tc)
 }
 
 #[test]
 fn maxk_reaches_relu_parity_band_on_flickr() {
-    let relu = train(TrainingDataset::Flickr, Arch::Sage, Activation::Relu, 60, 64);
-    let maxk = train(TrainingDataset::Flickr, Arch::Sage, Activation::MaxK(16), 60, 64);
-    assert!(relu.best_test_metric > 0.5, "relu acc {}", relu.best_test_metric);
+    let relu = train(
+        TrainingDataset::Flickr,
+        Arch::Sage,
+        Activation::Relu,
+        60,
+        64,
+    );
+    let maxk = train(
+        TrainingDataset::Flickr,
+        Arch::Sage,
+        Activation::MaxK(16),
+        60,
+        64,
+    );
+    assert!(
+        relu.best_test_metric > 0.5,
+        "relu acc {}",
+        relu.best_test_metric
+    );
     // The paper's headline: MaxK with moderate k matches ReLU accuracy
     // (Table 5 differences are within ~1 point). Allow a wider band for
     // the small synthetic task.
@@ -41,7 +64,13 @@ fn maxk_reaches_relu_parity_band_on_flickr() {
 
 #[test]
 fn very_small_k_still_learns() {
-    let r = train(TrainingDataset::Flickr, Arch::Gcn, Activation::MaxK(2), 60, 32);
+    let r = train(
+        TrainingDataset::Flickr,
+        Arch::Gcn,
+        Activation::MaxK(2),
+        60,
+        32,
+    );
     assert!(r.best_test_metric > 0.3, "k=2 acc {}", r.best_test_metric);
 }
 
@@ -61,24 +90,51 @@ fn all_architectures_train_with_maxk() {
 
 #[test]
 fn multilabel_pipeline_end_to_end() {
-    let data = TrainingDataset::Yelp.generate(Scale::Test, 0xe2f).expect("generation");
-    let mut cfg =
-        ModelConfig::new(Arch::Sage, Activation::MaxK(8), data.in_dim, data.num_classes);
+    let data = TrainingDataset::Yelp
+        .generate(Scale::Test, 0xe2f)
+        .expect("generation");
+    let mut cfg = ModelConfig::new(
+        Arch::Sage,
+        Activation::MaxK(8),
+        data.in_dim,
+        data.num_classes,
+    );
     cfg.hidden_dim = 48;
     cfg.num_layers = 2;
     cfg.dropout = 0.0;
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
-    let tc = TrainConfig { epochs: 40, lr: 0.02, seed: 5, eval_every: 10 };
+    let tc = TrainConfig {
+        epochs: 40,
+        lr: 0.02,
+        seed: 5,
+        eval_every: 10,
+    };
     let result = train_full_batch(&mut model, &data, &tc);
     assert_eq!(result.metric_name, "micro-f1");
-    assert!(result.best_test_metric > 0.5, "f1 {}", result.best_test_metric);
+    assert!(
+        result.best_test_metric > 0.5,
+        "f1 {}",
+        result.best_test_metric
+    );
 }
 
 #[test]
 fn deterministic_given_seeds() {
-    let a = train(TrainingDataset::Flickr, Arch::Gcn, Activation::MaxK(8), 10, 32);
-    let b = train(TrainingDataset::Flickr, Arch::Gcn, Activation::MaxK(8), 10, 32);
+    let a = train(
+        TrainingDataset::Flickr,
+        Arch::Gcn,
+        Activation::MaxK(8),
+        10,
+        32,
+    );
+    let b = train(
+        TrainingDataset::Flickr,
+        Arch::Gcn,
+        Activation::MaxK(8),
+        10,
+        32,
+    );
     assert_eq!(a.history.len(), b.history.len());
     for (x, y) in a.history.iter().zip(&b.history) {
         assert_eq!(x.loss, y.loss, "training must be bit-deterministic");
@@ -88,7 +144,13 @@ fn deterministic_given_seeds() {
 
 #[test]
 fn phase_breakdown_sums_to_total() {
-    let r = train(TrainingDataset::Flickr, Arch::Sage, Activation::MaxK(8), 5, 32);
+    let r = train(
+        TrainingDataset::Flickr,
+        Arch::Sage,
+        Activation::MaxK(8),
+        5,
+        32,
+    );
     let p = r.phases;
     let total = p.total();
     assert!(total.as_secs_f64() > 0.0);

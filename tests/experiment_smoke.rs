@@ -63,13 +63,20 @@ fn table2_counters_have_paper_orderings() {
 
 #[test]
 fn fig09_one_cell_runs() {
-    let data = TrainingDataset::Flickr.generate(Scale::Test, 4).expect("generation");
+    let data = TrainingDataset::Flickr
+        .generate(Scale::Test, 4)
+        .expect("generation");
     for act in [Activation::Relu, Activation::MaxK(8)] {
         let mut cfg = ModelConfig::new(Arch::Sage, act, data.in_dim, data.num_classes);
         cfg.hidden_dim = 32;
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
-        let tc = TrainConfig { epochs: 5, lr: 0.01, seed: 6, eval_every: 5 };
+        let tc = TrainConfig {
+            epochs: 5,
+            lr: 0.01,
+            seed: 6,
+            eval_every: 5,
+        };
         let r = train_full_batch(&mut model, &data, &tc);
         assert!(r.epoch_time_s > 0.0);
         assert!(r.phases.amdahl_limit() >= 1.0);
@@ -78,14 +85,21 @@ fn fig09_one_cell_runs() {
 
 #[test]
 fn fig10_histories_align_across_variants() {
-    let data = TrainingDataset::OgbnProducts.generate(Scale::Test, 7).expect("generation");
+    let data = TrainingDataset::OgbnProducts
+        .generate(Scale::Test, 7)
+        .expect("generation");
     let mut lens = Vec::new();
     for act in [Activation::Relu, Activation::MaxK(8)] {
         let mut cfg = ModelConfig::new(Arch::Sage, act, data.in_dim, data.num_classes);
         cfg.hidden_dim = 32;
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
-        let tc = TrainConfig { epochs: 12, lr: 0.003, seed: 9, eval_every: 3 };
+        let tc = TrainConfig {
+            epochs: 12,
+            lr: 0.003,
+            seed: 9,
+            eval_every: 3,
+        };
         let r = train_full_batch(&mut model, &data, &tc);
         lens.push(r.history.len());
     }

@@ -14,7 +14,9 @@ use maxk_gnn::tensor::Matrix;
 use rand::SeedableRng;
 
 fn setup(n: usize, deg: f64, seed: u64) -> maxk_gnn::graph::Csr {
-    let csr = generate::chung_lu_power_law(n, deg, 2.2, seed).to_csr().expect("valid graph");
+    let csr = generate::chung_lu_power_law(n, deg, 2.2, seed)
+        .to_csr()
+        .expect("valid graph");
     normalize::normalized(&csr, Aggregator::GcnSym)
 }
 
@@ -35,7 +37,10 @@ fn forward_backward_chain_consistency() {
         // Forward: SpGEMM == SpMM over the densified operand.
         let y_sparse = spgemm_forward(&adj, &xs, &part);
         let y_dense = spgemm_forward_reference(&adj, &xs);
-        assert!(y_sparse.max_abs_diff(&y_dense) < 1e-4, "k={k} forward mismatch");
+        assert!(
+            y_sparse.max_abs_diff(&y_dense) < 1e-4,
+            "k={k} forward mismatch"
+        );
         // Backward: SSpMM == gather(SpMM(Aᵀ, dy)).
         let g_sparse = sspmm_backward(&adj_t, &dy, &xs);
         let g_dense = sspmm_backward_reference(&adj_t, &dy, &xs);
@@ -67,7 +72,11 @@ fn pivot_and_exact_selection_agree_at_scale() {
         let exact = maxk_forward(&x, k).expect("k <= dim");
         let (pivot, stats) = maxk_forward_pivot(&x, k).expect("k <= dim");
         assert_eq!(exact, pivot, "k={k}");
-        assert!(stats.avg_iterations() < 10.0, "k={k}: {}", stats.avg_iterations());
+        assert!(
+            stats.avg_iterations() < 10.0,
+            "k={k}: {}",
+            stats.avg_iterations()
+        );
     }
 }
 
@@ -84,7 +93,9 @@ fn baselines_agree_with_each_other() {
 
 #[test]
 fn simulated_traffic_tracks_closed_form_across_k() {
-    let adj = generate::chung_lu_power_law(600, 20.0, 2.2, 7).to_csr().expect("valid graph");
+    let adj = generate::chung_lu_power_law(600, 20.0, 2.2, 7)
+        .to_csr()
+        .expect("valid graph");
     let mut cfg = GpuConfig::a100();
     cfg.l1_bytes = 4 * 1024;
     cfg.l2_bytes = 64 * 1024;
@@ -95,8 +106,8 @@ fn simulated_traffic_tracks_closed_form_across_k() {
     for k in [8usize, 16, 32, 64] {
         let suite = profile_kernel_suite(&adj, dim, k, 16, 6, &cfg);
         let issued = (suite.spgemm.l1_hits + suite.spgemm.l1_misses) * 32;
-        let model = traffic::spgemm_feature_read_bytes(k, nnz, 1)
-            + traffic::adjacency_read_bytes(nnz);
+        let model =
+            traffic::spgemm_feature_read_bytes(k, nnz, 1) + traffic::adjacency_read_bytes(nnz);
         let ratio = issued as f64 / model as f64;
         assert!((0.8..2.2).contains(&ratio), "k={k}: ratio {ratio}");
         // Traffic monotonically grows with k (the paper's "lower k yields
@@ -110,8 +121,12 @@ fn simulated_traffic_tracks_closed_form_across_k() {
 fn kernel_speedup_shape_high_vs_low_degree() {
     // §5.2: graphs with average degree > 50 see larger SpGEMM wins than
     // sparse-degree graphs. Verify with the simulated latency model.
-    let dense_deg = generate::chung_lu_power_law(800, 64.0, 2.2, 8).to_csr().expect("valid");
-    let sparse_deg = generate::chung_lu_power_law(800, 4.0, 2.2, 9).to_csr().expect("valid");
+    let dense_deg = generate::chung_lu_power_law(800, 64.0, 2.2, 8)
+        .to_csr()
+        .expect("valid");
+    let sparse_deg = generate::chung_lu_power_law(800, 4.0, 2.2, 9)
+        .to_csr()
+        .expect("valid");
     let mut cfg = GpuConfig::a100();
     cfg.l1_bytes = 8 * 1024;
     cfg.l2_bytes = 256 * 1024;
@@ -122,6 +137,9 @@ fn kernel_speedup_shape_high_vs_low_degree() {
     };
     let hi = speedup(&dense_deg);
     let lo = speedup(&sparse_deg);
-    assert!(hi > lo, "high-degree speedup {hi} should exceed low-degree {lo}");
+    assert!(
+        hi > lo,
+        "high-degree speedup {hi} should exceed low-degree {lo}"
+    );
     assert!(hi > 2.0, "high-degree speedup only {hi}");
 }

@@ -15,7 +15,10 @@ fn graph_strategy() -> impl Strategy<Value = Csr> {
     (2usize..40).prop_flat_map(|n| {
         let edge = (0..n as u32, 0..n as u32);
         proptest::collection::vec(edge, 0..200).prop_map(move |edges| {
-            Coo::from_edges(n, edges).expect("endpoints in range").to_csr().expect("valid CSR")
+            Coo::from_edges(n, edges)
+                .expect("endpoints in range")
+                .to_csr()
+                .expect("valid CSR")
         })
     })
 }
@@ -48,8 +51,8 @@ proptest! {
         let mut covered = vec![0u8; csr.num_edges()];
         for g in part.groups() {
             prop_assert!(g.len as usize <= w);
-            for e in g.start..g.start + g.len as usize {
-                covered[e] += 1;
+            for c in &mut covered[g.start..g.start + g.len as usize] {
+                *c += 1;
             }
         }
         prop_assert!(covered.iter().all(|&c| c == 1));

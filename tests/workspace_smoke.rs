@@ -1,0 +1,59 @@
+//! Workspace smoke test: the facade quickstart path from the crate docs
+//! (`TrainingDataset::Flickr` at `Scale::Test`, 5 epochs of
+//! `train_full_batch`), exercising graph -> tensor -> core -> nn end to
+//! end. Deliberately tiny so CI gets a fast cross-crate signal even when
+//! the longer end-to-end suites are filtered out.
+
+use maxk_gnn::graph::datasets::{Scale, TrainingDataset};
+use maxk_gnn::nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
+use rand::SeedableRng;
+
+#[test]
+fn facade_quickstart_runs_and_loss_is_finite() {
+    let data = TrainingDataset::Flickr
+        .generate(Scale::Test, 42)
+        .expect("dataset generates");
+    let cfg = ModelConfig::new(
+        Arch::Sage,
+        Activation::MaxK(8),
+        data.in_dim,
+        data.num_classes,
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
+
+    let result = train_full_batch(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 5,
+            lr: 0.01,
+            seed: 1,
+            eval_every: 5,
+        },
+    );
+
+    assert!(
+        !result.history.is_empty(),
+        "training recorded no evaluations"
+    );
+    for stats in &result.history {
+        assert!(
+            stats.loss.is_finite(),
+            "loss diverged at epoch {}: {}",
+            stats.epoch,
+            stats.loss
+        );
+    }
+    let last = result.history.last().expect("non-empty history");
+    assert!(
+        last.loss.is_finite() && last.loss >= 0.0,
+        "final loss invalid: {}",
+        last.loss
+    );
+    assert!(
+        (0.0..=1.0).contains(&result.final_test_metric),
+        "test metric out of range: {}",
+        result.final_test_metric
+    );
+}

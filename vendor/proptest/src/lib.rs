@@ -1,0 +1,161 @@
+//! Offline shim of the `proptest` 1.x API surface used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the subset of proptest the repo's property tests use:
+//! the [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and
+//! tuple strategies, [`collection::vec`], the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros, and
+//! [`ProptestConfig::with_cases`]. Inputs are sampled from a per-case
+//! deterministic RNG; there is no shrinking — a failing case reports its
+//! case index so it can be replayed (the whole run is deterministic).
+//!
+//! Swapping back to the real crate is a one-line change in the root
+//! `Cargo.toml` (`[workspace.dependencies] proptest = "1"`).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Per-test configuration (subset: number of cases to run).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property assertion, carrying the formatted message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic RNG for case number `case` (internal, used by the
+/// [`proptest!`] expansion).
+#[doc(hidden)]
+pub fn __case_rng(case: u64) -> StdRng {
+    StdRng::seed_from_u64(0x70_72_6f_70 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Applies the test body to one sampled value. Exists so the closure's
+/// parameter type is pinned by the `FnOnce(V)` bound (closure parameter
+/// types are not inferred from later call sites).
+#[doc(hidden)]
+pub fn __run_case<V, F>(value: V, body: F) -> Result<(), TestCaseError>
+where
+    F: FnOnce(V) -> Result<(), TestCaseError>,
+{
+    body(value)
+}
+
+/// Assert a boolean property inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "property failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "property failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+/// Define property tests: each `fn name(pat in strategy) { body }` becomes
+/// a `#[test]` that samples `strategy` for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg => $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default() => $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr => $(
+        $(#[$meta:meta])+
+        fn $name:ident($pat:pat in $strat:expr) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = $strat;
+            for case in 0..config.cases {
+                let mut rng = $crate::__case_rng(case as u64);
+                let value = $crate::Strategy::sample(&strategy, &mut rng);
+                let outcome = $crate::__run_case(value, |$pat| {
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("{} failed at case {case}/{}: {e}", stringify!($name), config.cases);
+                }
+            }
+        }
+    )*};
+}

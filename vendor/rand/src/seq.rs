@@ -1,0 +1,39 @@
+//! Sequence-related randomness (the `rand::seq` module subset).
+
+use crate::{Rng, RngCore, SampleRange};
+
+/// Random operations on slices (the `rand` 0.8 `SliceRandom` trait
+/// subset used by this workspace).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniform Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly pick one element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = sample_index(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[sample_index(rng, self.len())])
+        }
+    }
+}
+
+fn sample_index<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+    (0..bound).sample_from(rng)
+}
