@@ -1,0 +1,230 @@
+//! `serve_bench`: the full train → snapshot → serve round-trip under
+//! Zipf load, comparing micro-batched serving against the
+//! one-query-per-forward baseline.
+//!
+//! Trains a MaxK GNN on the Flickr stand-in, persists it through the
+//! versioned snapshot format, reloads it into the inference engine, then
+//! replays closed-loop Zipf-distributed query traffic twice — once
+//! through the micro-batcher and once with batching disabled — and
+//! reports throughput plus p50/p95/p99 latency for both. Results go to
+//! stdout (markdown) and to a machine-readable JSON file
+//! (`BENCH_serve.json` by default).
+//!
+//! ```text
+//! cargo run --release -p maxk-bench --bin serve_bench -- \
+//!     --scale test --epochs 20 --queries 2000 --clients 8
+//! ```
+
+use maxk_bench::report::JsonObject;
+use maxk_bench::{Args, Table};
+use maxk_graph::datasets::{Scale, TrainingDataset};
+use maxk_nn::snapshot::ModelSnapshot;
+use maxk_nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
+use maxk_serve::{
+    replay, InferenceEngine, LoadConfig, LoadReport, ServeConfig, Server, StatsSnapshot,
+};
+use maxk_tensor::Matrix;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn scale_from(name: &str) -> Scale {
+    match name {
+        "test" => Scale::Test,
+        "train" => Scale::Train,
+        "bench" => Scale::Bench,
+        other => panic!("unknown --scale {other} (test|train|bench)"),
+    }
+}
+
+fn run_mode(
+    engine: &Arc<InferenceEngine>,
+    serve_cfg: ServeConfig,
+    load_cfg: &LoadConfig,
+) -> (LoadReport, StatsSnapshot) {
+    let server = Server::start(Arc::clone(engine), serve_cfg);
+    let report = replay(&server.handle(), load_cfg).expect("replay against a live server");
+    let stats = server.shutdown();
+    (report, stats)
+}
+
+fn mode_json(report: &LoadReport, stats: &StatsSnapshot) -> JsonObject {
+    JsonObject::new()
+        .field("queries", report.queries)
+        .field("throughput_qps", report.throughput_qps)
+        .field("wall_s", report.wall_s)
+        .field("p50_us", report.latency.p50_us)
+        .field("p95_us", report.latency.p95_us)
+        .field("p99_us", report.latency.p99_us)
+        .field("mean_us", report.latency.mean_us)
+        .field("max_us", report.latency.max_us)
+        .field("batches", stats.batches)
+        .field("mean_batch", stats.mean_batch)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::from_env();
+    let scale_name = args.get_str("scale", "test");
+    let scale = scale_from(&scale_name);
+    let epochs = args.get("epochs", 20usize);
+    let hidden = args.get("hidden", 64usize);
+    let k = args.get("k", 16usize);
+    let clients = args.get("clients", 8usize);
+    let queries = args.get("queries", 2000usize);
+    let window_us = args.get("window-us", 2000u64);
+    let max_batch = args.get("max-batch", 64usize);
+    let workers = args.get("workers", 2usize);
+    let seeds_per_query = args.get("seeds-per-query", 1usize);
+    let zipf = args.get("zipf", 1.1f64);
+    let out_path = args.get_str("out", "BENCH_serve.json");
+
+    // 1. Train.
+    let data = TrainingDataset::Flickr.generate(scale, 42)?;
+    let mut cfg = ModelConfig::new(
+        Arch::Sage,
+        Activation::MaxK(k),
+        data.in_dim,
+        data.num_classes,
+    );
+    cfg.hidden_dim = hidden;
+    cfg.dropout = 0.2;
+    println!(
+        "training SAGE+MaxK({k}) on Flickr/{scale_name}: {} nodes, {} edges, {epochs} epochs",
+        data.csr.num_nodes(),
+        data.csr.num_edges()
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
+    let result = train_full_batch(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs,
+            lr: 0.01,
+            seed: 1,
+            eval_every: epochs.max(1),
+        },
+    );
+    println!(
+        "trained: test {} {:.4}, {:.1} ms/epoch",
+        result.metric_name,
+        result.best_test_metric,
+        result.epoch_time_s * 1e3
+    );
+
+    // 2. Snapshot round-trip through disk.
+    std::fs::create_dir_all("target")?;
+    let snap_path = "target/serve_bench_model.snap";
+    ModelSnapshot::capture(&model).save(snap_path)?;
+    let snapshot = ModelSnapshot::load(snap_path)?;
+    println!(
+        "snapshot round-trip via {snap_path}: {} params",
+        snapshot.num_params()
+    );
+
+    // 3. Inference engine (per-graph normalization cached here).
+    let features = Matrix::from_vec(data.csr.num_nodes(), data.in_dim, data.features.clone())?;
+    let engine = Arc::new(InferenceEngine::from_snapshot(
+        &snapshot, &data.csr, features,
+    )?);
+    let reloaded_eval = engine.forward_all();
+    let direct_eval = model.forward(
+        &Matrix::from_vec(data.csr.num_nodes(), data.in_dim, data.features.clone())?,
+        false,
+        &mut rng,
+    );
+    assert_eq!(
+        reloaded_eval, direct_eval,
+        "snapshot reload must preserve logits bitwise"
+    );
+
+    // 4. Load replay: batched, then the one-query-per-forward baseline.
+    let batched_load = LoadConfig {
+        clients,
+        queries_per_client: queries.div_ceil(clients),
+        seeds_per_query,
+        zipf_exponent: zipf,
+        seed: 7,
+    };
+    let (batched, batched_stats) = run_mode(
+        &engine,
+        ServeConfig {
+            batch_window: Duration::from_micros(window_us),
+            max_batch,
+            workers,
+        },
+        &batched_load,
+    );
+    println!(
+        "batched: {} queries, {:.1} q/s, mean batch {:.1}",
+        batched.queries, batched.throughput_qps, batched_stats.mean_batch
+    );
+
+    let unbatched_load = LoadConfig {
+        queries_per_client: (queries / 8).max(8).div_ceil(clients),
+        ..batched_load
+    };
+    let (unbatched, unbatched_stats) = run_mode(
+        &engine,
+        ServeConfig {
+            batch_window: Duration::ZERO,
+            max_batch: 1,
+            workers,
+        },
+        &unbatched_load,
+    );
+    println!(
+        "unbatched: {} queries, {:.1} q/s",
+        unbatched.queries, unbatched.throughput_qps
+    );
+
+    // 5. Report.
+    let speedup = batched.throughput_qps / unbatched.throughput_qps;
+    let mut table = Table::new(vec![
+        "mode",
+        "queries",
+        "q/s",
+        "p50",
+        "p95",
+        "p99",
+        "mean batch",
+    ]);
+    for (name, report, stats) in [
+        ("batched", &batched, &batched_stats),
+        ("unbatched", &unbatched, &unbatched_stats),
+    ] {
+        table.row(vec![
+            name.into(),
+            report.queries.to_string(),
+            format!("{:.1}", report.throughput_qps),
+            format!("{:.0}us", report.latency.p50_us),
+            format!("{:.0}us", report.latency.p95_us),
+            format!("{:.0}us", report.latency.p99_us),
+            format!("{:.1}", stats.mean_batch),
+        ]);
+    }
+    table.print();
+    println!("batched vs unbatched throughput: {speedup:.2}x");
+
+    let json = JsonObject::new()
+        .field("bench", "serve")
+        .field("dataset", "Flickr")
+        .field("scale", scale_name.as_str())
+        .field("nodes", data.csr.num_nodes())
+        .field("edges", data.csr.num_edges())
+        .field("arch", "SAGE")
+        .field("k", k)
+        .field("hidden_dim", hidden)
+        .field("clients", clients)
+        .field("window_us", window_us)
+        .field("max_batch", max_batch)
+        .field("workers", workers)
+        .field("zipf_exponent", zipf)
+        .field("batched", mode_json(&batched, &batched_stats))
+        .field("unbatched", mode_json(&unbatched, &unbatched_stats))
+        .field("throughput_speedup", speedup)
+        .render();
+    std::fs::write(&out_path, format!("{json}\n"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}

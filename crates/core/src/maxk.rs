@@ -449,6 +449,42 @@ mod tests {
     }
 
     #[test]
+    fn pivot_kernel_validates_k_edges_identically() {
+        // Both selection kernels reject the same edge cases with the same
+        // errors — no panic, no silent clamping to the valid range.
+        let x = random(2, 4, 2);
+        assert_eq!(maxk_forward_pivot(&x, 0).unwrap_err(), KernelError::KZero);
+        assert_eq!(
+            maxk_forward_pivot(&x, 5).unwrap_err(),
+            KernelError::KTooLarge { k: 5, dim: 4 }
+        );
+        // k == dim is the inclusive upper edge: accepted, identity pattern.
+        assert!(maxk_forward_pivot(&x, 4).is_ok());
+        assert!(maxk_forward(&x, 4).is_ok());
+        // k == 1 is the inclusive lower edge: accepted.
+        assert!(maxk_forward(&x, 1).is_ok());
+    }
+
+    #[test]
+    fn k_validation_on_degenerate_shapes() {
+        // Zero-column matrices reject every k; zero-row matrices accept
+        // valid k and produce an empty CBSR rather than clamping.
+        let empty_cols = Matrix::zeros(3, 0);
+        assert_eq!(
+            maxk_forward(&empty_cols, 0).unwrap_err(),
+            KernelError::KZero
+        );
+        assert_eq!(
+            maxk_forward(&empty_cols, 1).unwrap_err(),
+            KernelError::KTooLarge { k: 1, dim: 0 }
+        );
+        let empty_rows = Matrix::zeros(0, 4);
+        let c = maxk_forward(&empty_rows, 2).unwrap();
+        assert_eq!(c.num_rows(), 0);
+        assert_eq!(c.sp_data().len(), 0);
+    }
+
+    #[test]
     fn topk_sum_dominates_any_other_subset() {
         let x = random(50, 32, 11);
         let c = maxk_forward(&x, 8).unwrap();

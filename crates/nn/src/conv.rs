@@ -159,6 +159,45 @@ impl Conv {
         }
     }
 
+    /// Rebuilds a layer from captured parameters — the deserialization
+    /// path of [`crate::snapshot`]. Forward caches start empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the self-path linear is present for a non-SAGE
+    /// architecture (or missing for SAGE), or when its dimensions disagree
+    /// with the neighbor linear.
+    pub fn from_parts(
+        arch: Arch,
+        activation: Option<Activation>,
+        dropout: f32,
+        eps: f32,
+        lin_neigh: Linear,
+        lin_self: Option<Linear>,
+    ) -> Self {
+        assert_eq!(
+            arch == Arch::Sage,
+            lin_self.is_some(),
+            "self linear present iff SAGE"
+        );
+        if let Some(l) = &lin_self {
+            assert_eq!(l.in_dim(), lin_neigh.in_dim(), "self linear in_dim");
+            assert_eq!(l.out_dim(), lin_neigh.out_dim(), "self linear out_dim");
+        }
+        Conv {
+            arch,
+            activation,
+            dropout,
+            eps,
+            lin_neigh,
+            lin_self,
+            cache_input: None,
+            cache_z: None,
+            cache_pattern: None,
+            cache_dropout: None,
+        }
+    }
+
     /// Input dimension.
     pub fn in_dim(&self) -> usize {
         self.lin_neigh.in_dim()
@@ -169,9 +208,29 @@ impl Conv {
         self.lin_neigh.out_dim()
     }
 
+    /// The layer's architecture.
+    pub fn arch(&self) -> Arch {
+        self.arch
+    }
+
     /// The layer's activation (`None` on the output layer).
     pub fn activation(&self) -> Option<Activation> {
         self.activation
+    }
+
+    /// The neighbor-path linear (weights readable for snapshots).
+    pub fn lin_neigh(&self) -> &Linear {
+        &self.lin_neigh
+    }
+
+    /// The SAGE self-path linear, when present.
+    pub fn lin_self(&self) -> Option<&Linear> {
+        self.lin_self.as_ref()
+    }
+
+    /// The GIN `(1 + ε)` self-term epsilon.
+    pub fn eps(&self) -> f32 {
+        self.eps
     }
 
     /// Forward pass. `train` enables dropout; `timers` accumulates

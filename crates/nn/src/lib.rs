@@ -24,8 +24,10 @@
 pub mod conv;
 pub mod mlp;
 pub mod model;
+pub mod snapshot;
 pub mod train;
 
 pub use conv::{Activation, Arch, Conv, GraphContext};
 pub use model::{GnnModel, ModelConfig, PhaseTimers};
+pub use snapshot::{ModelSnapshot, SnapshotError};
 pub use train::{train_full_batch, EpochStats, TrainConfig, TrainResult};

@@ -97,7 +97,7 @@ impl PhaseTimers {
 }
 
 /// Model hyperparameters (Table 3 of the paper).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelConfig {
     /// Architecture.
     pub arch: Arch,
@@ -246,9 +246,56 @@ impl GnnModel {
         }
     }
 
+    /// Rebuilds a model from configuration plus pre-built layers — the
+    /// deserialization path of [`crate::snapshot`]. The graph context is
+    /// rebuilt from `graph` exactly as [`GnnModel::new`] would.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid or the layer chain does
+    /// not match it (count, dimensions, architecture or activations).
+    pub fn from_parts(cfg: ModelConfig, graph: &Csr, convs: Vec<Conv>) -> Self {
+        cfg.validate();
+        assert_eq!(convs.len(), cfg.num_layers, "layer count mismatch");
+        for (layer, conv) in convs.iter().enumerate() {
+            assert_eq!(conv.arch(), cfg.arch, "layer {layer} architecture");
+            let in_dim = if layer == 0 {
+                cfg.in_dim
+            } else {
+                cfg.hidden_dim
+            };
+            let out_dim = if layer + 1 == cfg.num_layers {
+                cfg.out_dim
+            } else {
+                cfg.hidden_dim
+            };
+            assert_eq!(conv.in_dim(), in_dim, "layer {layer} in_dim");
+            assert_eq!(conv.out_dim(), out_dim, "layer {layer} out_dim");
+            let expected_act = if layer + 1 == cfg.num_layers {
+                None
+            } else {
+                Some(cfg.activation)
+            };
+            assert_eq!(conv.activation(), expected_act, "layer {layer} activation");
+        }
+        let ctx = GraphContext::build(graph, cfg.arch, cfg.eg_width);
+        GnnModel {
+            cfg,
+            ctx,
+            convs,
+            timers: PhaseTimers::default(),
+        }
+    }
+
     /// The configuration this model was built with.
     pub fn config(&self) -> &ModelConfig {
         &self.cfg
+    }
+
+    /// The convolution layers, input to output (weights readable for
+    /// snapshots).
+    pub fn layers(&self) -> &[Conv] {
+        &self.convs
     }
 
     /// The normalized-graph context (kernel operands).
@@ -393,6 +440,43 @@ mod tests {
         cfg.hidden_dim = 16;
         let mut rng = StdRng::seed_from_u64(4);
         let _ = GnnModel::new(cfg, &graph(), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "architecture")]
+    fn from_parts_rejects_arch_mismatch() {
+        // GCN and GIN layers both lack a self linear, so only the arch
+        // check can tell them apart — a mismatched layer must not be
+        // silently accepted (its forward would skip the GIN self term).
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = graph();
+        let cfg = {
+            let mut c = config(Activation::Relu);
+            c.arch = Arch::Gin;
+            c
+        };
+        let convs = (0..cfg.num_layers)
+            .map(|layer| {
+                let in_dim = if layer == 0 {
+                    cfg.in_dim
+                } else {
+                    cfg.hidden_dim
+                };
+                let out_dim = if layer + 1 == cfg.num_layers {
+                    cfg.out_dim
+                } else {
+                    cfg.hidden_dim
+                };
+                let act = if layer + 1 == cfg.num_layers {
+                    None
+                } else {
+                    Some(cfg.activation)
+                };
+                let lin = maxk_tensor::Linear::new(in_dim, out_dim, &mut rng);
+                Conv::from_parts(Arch::Gcn, act, 0.0, 0.0, lin, None)
+            })
+            .collect();
+        let _ = GnnModel::from_parts(cfg, &g, convs);
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Inference-only forward engine.
+//!
+//! [`InferenceEngine`] is the serving-side counterpart of
+//! [`maxk_nn::GnnModel`]: it holds immutable layer weights extracted from
+//! a [`ModelSnapshot`] plus the node features and the pre-normalized graph
+//! context, and runs the eval-mode forward path with none of the training
+//! baggage — no dropout, no phase timers, no gradient caches, no `&mut`.
+//! That makes a single engine shareable across server worker threads
+//! behind an `Arc`.
+//!
+//! The per-graph normalization (adjacency normalization + Edge-Group
+//! partition) is the expensive part of engine construction; it is computed
+//! once and cached in the engine, and [`InferenceEngine::context`] /
+//! [`InferenceEngine::with_context`] let several engines (e.g. different
+//! snapshot generations of the same model) share one copy.
+
+use crate::ServeError;
+use maxk_core::maxk::{maxk_backward, maxk_forward};
+use maxk_core::spgemm::spgemm_forward;
+use maxk_core::spmm::spmm_rowwise;
+use maxk_graph::Csr;
+use maxk_nn::snapshot::ModelSnapshot;
+use maxk_nn::{Activation, Arch, GraphContext};
+use maxk_tensor::{ops, Matrix};
+
+/// One inference layer: immutable weights plus the layer activation.
+#[derive(Debug, Clone)]
+struct InferLayer {
+    activation: Option<Activation>,
+    eps: f32,
+    neigh_weight: Matrix,
+    neigh_bias: Vec<f32>,
+    self_path: Option<(Matrix, Vec<f32>)>,
+}
+
+impl InferLayer {
+    /// Eval-mode forward, mirroring `Conv::forward` with `train = false`
+    /// (same kernels in the same order, so logits are bit-identical to the
+    /// training model's eval pass).
+    fn forward(&self, ctx: &GraphContext, arch: Arch, x: &Matrix) -> Matrix {
+        let mut z = ops::matmul(x, &self.neigh_weight);
+        ops::add_bias(&mut z, &self.neigh_bias);
+
+        let mut pattern = None;
+        let mut y = match self.activation {
+            Some(Activation::MaxK(k)) => {
+                let hs = maxk_forward(&z, k).expect("k validated at engine construction");
+                let y = spgemm_forward(&ctx.adj, &hs, &ctx.part);
+                pattern = Some(hs);
+                y
+            }
+            Some(Activation::Relu) => spmm_rowwise(&ctx.adj, &ops::relu(&z)),
+            None => spmm_rowwise(&ctx.adj, &z),
+        };
+
+        match arch {
+            Arch::Sage => {
+                let (w, b) = self.self_path.as_ref().expect("SAGE has a self linear");
+                let mut self_y = ops::matmul(x, w);
+                ops::add_bias(&mut self_y, b);
+                ops::add_assign(&mut y, &self_y);
+            }
+            Arch::Gin => {
+                let scale = 1.0 + self.eps;
+                match (&self.activation, &pattern) {
+                    (Some(Activation::MaxK(_)), Some(hs)) => {
+                        let mut d = maxk_backward(hs);
+                        ops::scale_assign(&mut d, scale);
+                        ops::add_assign(&mut y, &d);
+                    }
+                    (Some(Activation::Relu), _) => {
+                        let mut h = ops::relu(&z);
+                        ops::scale_assign(&mut h, scale);
+                        ops::add_assign(&mut y, &h);
+                    }
+                    _ => {
+                        let mut zz = z.clone();
+                        ops::scale_assign(&mut zz, scale);
+                        ops::add_assign(&mut y, &zz);
+                    }
+                }
+            }
+            Arch::Gcn => {}
+        }
+        y
+    }
+}
+
+/// A read-only, thread-shareable inference model over one graph.
+#[derive(Debug, Clone)]
+pub struct InferenceEngine {
+    layers: Vec<InferLayer>,
+    ctx: GraphContext,
+    arch: Arch,
+    features: Matrix,
+    out_dim: usize,
+}
+
+impl InferenceEngine {
+    /// Builds an engine from a snapshot, normalizing `graph` per the
+    /// snapshot's architecture (the expensive per-graph step, done once).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadModel`] when the snapshot is internally
+    /// inconsistent or `features` does not match the graph/model shape.
+    pub fn from_snapshot(
+        snapshot: &ModelSnapshot,
+        graph: &Csr,
+        features: Matrix,
+    ) -> Result<Self, ServeError> {
+        if features.rows() != graph.num_nodes() {
+            return Err(ServeError::BadModel(format!(
+                "feature rows {} != graph nodes {}",
+                features.rows(),
+                graph.num_nodes()
+            )));
+        }
+        let cfg = &snapshot.config;
+        let ctx = GraphContext::build(graph, cfg.arch, cfg.eg_width);
+        Self::with_context(snapshot, ctx, features)
+    }
+
+    /// Builds an engine reusing an already-built [`GraphContext`] — the
+    /// per-graph normalization cache path: hot-swapping a new snapshot
+    /// generation onto the same graph skips renormalization entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadModel`] on shape or consistency mismatches.
+    pub fn with_context(
+        snapshot: &ModelSnapshot,
+        ctx: GraphContext,
+        features: Matrix,
+    ) -> Result<Self, ServeError> {
+        let cfg = &snapshot.config;
+        // Same gate the snapshot restore path uses: layer count (>= 2),
+        // MaxK k bounds, self-path presence and every per-layer weight
+        // shape. A hand-built snapshot that never went through
+        // `from_bytes` must fail here rather than panic in a worker
+        // thread (or silently serve wrong-shaped logits).
+        snapshot
+            .check_consistency()
+            .map_err(|e| ServeError::BadModel(e.to_string()))?;
+        if features.cols() != cfg.in_dim {
+            return Err(ServeError::BadModel(format!(
+                "feature dim {} != model in_dim {}",
+                features.cols(),
+                cfg.in_dim
+            )));
+        }
+        if features.rows() != ctx.adj.num_nodes() {
+            return Err(ServeError::BadModel(format!(
+                "feature rows {} != context nodes {}",
+                features.rows(),
+                ctx.adj.num_nodes()
+            )));
+        }
+        let mut layers = Vec::with_capacity(snapshot.layers.len());
+        for (i, layer) in snapshot.layers.iter().enumerate() {
+            let activation = if i + 1 == cfg.num_layers {
+                None
+            } else {
+                Some(cfg.activation)
+            };
+            layers.push(InferLayer {
+                activation,
+                eps: layer.eps,
+                neigh_weight: layer.neigh_weight.clone(),
+                neigh_bias: layer.neigh_bias.clone(),
+                self_path: layer.self_path.clone(),
+            });
+        }
+        Ok(InferenceEngine {
+            layers,
+            ctx,
+            arch: cfg.arch,
+            out_dim: cfg.out_dim,
+            features,
+        })
+    }
+
+    /// Number of nodes served by this engine.
+    pub fn num_nodes(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Output (logit) dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The cached per-graph normalization bundle (shareable across
+    /// engines via [`InferenceEngine::with_context`]).
+    pub fn context(&self) -> &GraphContext {
+        &self.ctx
+    }
+
+    /// Full-graph eval forward: logits for every node.
+    ///
+    /// One call serves an entire micro-batch — every query in the batch
+    /// gathers its seed rows from this one result, which is what makes
+    /// request coalescing pay off.
+    ///
+    /// The server intentionally recomputes this per batch rather than
+    /// caching one logits matrix forever: the serving model is that each
+    /// batch answers against the *current* feature/weight state (the
+    /// ROADMAP's hot-snapshot-reload and feature-staleness items mutate
+    /// both). With the static features of today's benchmarks a
+    /// precomputed cache would trivially win; `serve_bench`'s
+    /// batched-vs-unbatched comparison therefore measures how well
+    /// coalescing amortizes a mandatory recomputation, not the best
+    /// possible static-serving configuration.
+    #[must_use]
+    pub fn forward_all(&self) -> Matrix {
+        // check_consistency guarantees >= 2 layers, so the first-layer
+        // borrow avoids cloning the full feature matrix per forward.
+        let mut h = self.layers[0].forward(&self.ctx, self.arch, &self.features);
+        for layer in &self.layers[1..] {
+            h = layer.forward(&self.ctx, self.arch, &h);
+        }
+        h
+    }
+
+    /// Convenience single-query path: one full forward, then gather the
+    /// seed rows. This is the "one query per forward" baseline that the
+    /// micro-batcher is measured against.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SeedOutOfRange`] / [`ServeError::EmptyQuery`] on bad
+    /// seed sets.
+    pub fn logits_for(&self, seeds: &[u32]) -> Result<Matrix, ServeError> {
+        check_seeds(seeds, self.num_nodes())?;
+        let all = self.forward_all();
+        Ok(gather_rows(&all, seeds))
+    }
+}
+
+/// Validates a query's seed set against the node count.
+pub(crate) fn check_seeds(seeds: &[u32], num_nodes: usize) -> Result<(), ServeError> {
+    if seeds.is_empty() {
+        return Err(ServeError::EmptyQuery);
+    }
+    for &s in seeds {
+        if s as usize >= num_nodes {
+            return Err(ServeError::SeedOutOfRange { seed: s, num_nodes });
+        }
+    }
+    Ok(())
+}
+
+/// Copies the given rows of `m` into a fresh `seeds.len() × cols` matrix.
+pub(crate) fn gather_rows(m: &Matrix, seeds: &[u32]) -> Matrix {
+    let mut out = Matrix::zeros(seeds.len(), m.cols());
+    for (i, &s) in seeds.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(m.row(s as usize));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxk_graph::generate;
+    use maxk_nn::{GnnModel, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(arch: Arch, act: Activation) -> (Csr, Matrix, GnnModel) {
+        let graph = generate::chung_lu_power_law(50, 5.0, 2.3, 2)
+            .to_csr()
+            .unwrap();
+        let mut cfg = ModelConfig::new(arch, act, 8, 3);
+        cfg.hidden_dim = 12;
+        cfg.dropout = 0.0;
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = GnnModel::new(cfg, &graph, &mut rng);
+        let x = Matrix::xavier(50, 8, &mut rng);
+        (graph, x, model)
+    }
+
+    #[test]
+    fn engine_matches_model_eval_forward_bitwise() {
+        for arch in [Arch::Gcn, Arch::Sage, Arch::Gin] {
+            for act in [Activation::Relu, Activation::MaxK(4)] {
+                let (graph, x, mut model) = setup(arch, act);
+                let snap = ModelSnapshot::capture(&model);
+                let engine = InferenceEngine::from_snapshot(&snap, &graph, x.clone()).unwrap();
+                let mut rng = StdRng::seed_from_u64(0);
+                let expected = model.forward(&x, false, &mut rng);
+                assert_eq!(engine.forward_all(), expected, "{arch:?} {act:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn logits_for_gathers_seed_rows() {
+        let (graph, x, model) = setup(Arch::Gcn, Activation::MaxK(4));
+        let snap = ModelSnapshot::capture(&model);
+        let engine = InferenceEngine::from_snapshot(&snap, &graph, x).unwrap();
+        let all = engine.forward_all();
+        let got = engine.logits_for(&[7, 0, 42]).unwrap();
+        assert_eq!(got.shape(), (3, 3));
+        assert_eq!(got.row(0), all.row(7));
+        assert_eq!(got.row(1), all.row(0));
+        assert_eq!(got.row(2), all.row(42));
+    }
+
+    #[test]
+    fn seed_validation() {
+        let (graph, x, model) = setup(Arch::Gcn, Activation::Relu);
+        let snap = ModelSnapshot::capture(&model);
+        let engine = InferenceEngine::from_snapshot(&snap, &graph, x).unwrap();
+        assert!(matches!(
+            engine.logits_for(&[]),
+            Err(ServeError::EmptyQuery)
+        ));
+        assert!(matches!(
+            engine.logits_for(&[50]),
+            Err(ServeError::SeedOutOfRange { seed: 50, .. })
+        ));
+    }
+
+    #[test]
+    fn hand_built_inconsistent_snapshot_rejected_not_panicking() {
+        // A snapshot that never went through the byte-format checks must
+        // still be validated layer-by-layer at engine construction.
+        let (graph, x, model) = setup(Arch::Gcn, Activation::MaxK(4));
+        let mut snap = ModelSnapshot::capture(&model);
+        snap.layers[0].neigh_weight = Matrix::zeros(8, 6); // wrong out_dim
+        assert!(matches!(
+            InferenceEngine::from_snapshot(&snap, &graph, x.clone()),
+            Err(ServeError::BadModel(_))
+        ));
+
+        // Zero layers must be rejected too, not served as an identity
+        // model with the wrong output dimension.
+        let mut empty = ModelSnapshot::capture(&model);
+        empty.layers.clear();
+        empty.config.num_layers = 0;
+        assert!(matches!(
+            InferenceEngine::from_snapshot(&empty, &graph, x),
+            Err(ServeError::BadModel(_))
+        ));
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let (graph, x, model) = setup(Arch::Gcn, Activation::Relu);
+        let snap = ModelSnapshot::capture(&model);
+        let bad_rows = Matrix::zeros(49, 8);
+        assert!(matches!(
+            InferenceEngine::from_snapshot(&snap, &graph, bad_rows),
+            Err(ServeError::BadModel(_))
+        ));
+        let bad_cols = Matrix::zeros(50, 9);
+        assert!(matches!(
+            InferenceEngine::from_snapshot(&snap, &graph, bad_cols),
+            Err(ServeError::BadModel(_))
+        ));
+        drop(x);
+    }
+
+    #[test]
+    fn context_reuse_skips_renormalization() {
+        let (graph, x, model) = setup(Arch::Sage, Activation::MaxK(4));
+        let snap = ModelSnapshot::capture(&model);
+        let first = InferenceEngine::from_snapshot(&snap, &graph, x.clone()).unwrap();
+        let second = InferenceEngine::with_context(&snap, first.context().clone(), x).unwrap();
+        assert_eq!(first.forward_all(), second.forward_all());
+    }
+}

@@ -1,0 +1,98 @@
+//! Batched inference serving for the MaxK-GNN reproduction.
+//!
+//! Training (the `maxk-nn` crate) ends with a trained `GnnModel`; this
+//! crate is everything after that:
+//!
+//! * **Snapshots** — models persist through
+//!   [`maxk_nn::snapshot::ModelSnapshot`]'s versioned binary format and
+//!   reload bit-exactly;
+//! * [`InferenceEngine`] — an immutable, `Arc`-shareable eval-mode
+//!   forward path over the `maxk-core` SpGEMM/SpMM kernels, with the
+//!   per-graph normalization computed once and cached;
+//! * [`Server`] — a micro-batching request queue (`std::thread` +
+//!   `mpsc`): queries arriving within a configurable window coalesce into
+//!   one batched forward, so a batch of `B` queries costs one forward
+//!   instead of `B`;
+//! * [`LatencyHistogram`] / [`StatsSnapshot`] — p50/p95/p99 latency and
+//!   throughput accounting on the serving path;
+//! * [`replay`] — a closed-loop Zipf-traffic load generator for
+//!   benchmarking batched against unbatched serving (`serve_bench` in
+//!   `maxk-bench`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use maxk_serve::{InferenceEngine, ServeConfig, Server};
+//! use maxk_nn::snapshot::ModelSnapshot;
+//! use maxk_nn::{Activation, Arch, GnnModel, ModelConfig};
+//! use maxk_graph::generate;
+//! use maxk_tensor::Matrix;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! // Train (elsewhere), snapshot, then serve:
+//! let graph = generate::chung_lu_power_law(50, 5.0, 2.3, 1).to_csr().unwrap();
+//! let mut cfg = ModelConfig::new(Arch::Gcn, Activation::MaxK(4), 8, 3);
+//! cfg.hidden_dim = 16;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let model = GnnModel::new(cfg, &graph, &mut rng);
+//! let snapshot = ModelSnapshot::capture(&model);
+//!
+//! let features = Matrix::xavier(50, 8, &mut rng);
+//! let engine = Arc::new(InferenceEngine::from_snapshot(&snapshot, &graph, features).unwrap());
+//! let server = Server::start(engine, ServeConfig::default());
+//! let response = server.handle().query(&[0, 7, 13]).unwrap();
+//! assert_eq!(response.logits.shape(), (3, 3));
+//! let stats = server.shutdown();
+//! assert_eq!(stats.queries, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+
+pub use engine::InferenceEngine;
+pub use loadgen::{replay, LoadConfig, LoadReport, ZipfSampler};
+pub use metrics::{LatencyHistogram, LatencySummary};
+pub use server::{QueryResponse, ServeConfig, Server, ServerHandle, StatsSnapshot};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors on the serving path.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A query referenced a node outside the served graph.
+    SeedOutOfRange {
+        /// The offending seed id.
+        seed: u32,
+        /// Number of nodes actually served.
+        num_nodes: usize,
+    },
+    /// A query carried no seeds.
+    EmptyQuery,
+    /// The server has shut down (or a channel endpoint was dropped).
+    ChannelClosed,
+    /// Snapshot/feature/graph shapes disagree.
+    BadModel(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::SeedOutOfRange { seed, num_nodes } => {
+                write!(f, "seed {seed} out of range (serving {num_nodes} nodes)")
+            }
+            ServeError::EmptyQuery => write!(f, "query carried no seeds"),
+            ServeError::ChannelClosed => write!(f, "serving channel closed"),
+            ServeError::BadModel(msg) => write!(f, "bad model for serving: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {}

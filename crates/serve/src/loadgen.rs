@@ -1,0 +1,301 @@
+//! Closed-loop load generation with Zipf-distributed seed popularity.
+//!
+//! Real serving traffic is heavily skewed — a small set of hot nodes
+//! (popular products, large communities) absorbs most queries. The
+//! generator reproduces that with a Zipf(`s`) distribution over node ids:
+//! node rank `r` (0-based) is drawn with probability ∝ `1/(r+1)^s`.
+//!
+//! Clients are *closed-loop*: each issues its next query only after the
+//! previous one is answered, so offered load adapts to what the server
+//! sustains and throughput is measured honestly (no coordinated-omission
+//! inflation of the latency numbers beyond what the batching window
+//! itself adds).
+
+use crate::metrics::{LatencyHistogram, LatencySummary};
+use crate::server::ServerHandle;
+use crate::ServeError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Precomputed-CDF Zipf sampler over `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use maxk_serve::ZipfSampler;
+/// use rand::SeedableRng;
+///
+/// let z = ZipfSampler::new(100, 1.1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let id = z.sample(&mut rng);
+/// assert!(id < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` items with exponent `s ≥ 0`
+    /// (`s = 0` is uniform; larger `s` is more skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws one item id in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (the constructor rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Load-replay configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Queries each client issues.
+    pub queries_per_client: usize,
+    /// Seeds per query (1 = single-node queries).
+    pub seeds_per_query: usize,
+    /// Zipf exponent of the node-popularity distribution.
+    pub zipf_exponent: f64,
+    /// Base RNG seed (client `i` uses `seed + i`), so a replay is
+    /// deterministic in the queries it issues.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 4,
+            queries_per_client: 250,
+            seeds_per_query: 1,
+            zipf_exponent: 1.1,
+            seed: 0,
+        }
+    }
+}
+
+/// What a load replay measured, client-side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Total queries answered.
+    pub queries: u64,
+    /// Wall-clock of the whole replay, seconds.
+    pub wall_s: f64,
+    /// Aggregate answered queries per second.
+    pub throughput_qps: f64,
+    /// Client-observed latency distribution (includes batching wait).
+    pub latency: LatencySummary,
+}
+
+/// Replays Zipf-distributed traffic against `handle` and reports
+/// aggregate throughput plus the client-observed latency distribution.
+///
+/// # Errors
+///
+/// Propagates the first [`ServeError`] any client hits (e.g. the server
+/// shut down mid-replay).
+///
+/// # Panics
+///
+/// Panics when `clients`, `queries_per_client` or `seeds_per_query` is 0.
+pub fn replay(handle: &ServerHandle, cfg: &LoadConfig) -> Result<LoadReport, ServeError> {
+    assert!(cfg.clients > 0, "need at least one client");
+    assert!(cfg.queries_per_client > 0, "need at least one query");
+    assert!(cfg.seeds_per_query > 0, "need at least one seed per query");
+    let zipf = ZipfSampler::new(handle.num_nodes(), cfg.zipf_exponent);
+    let hist = Mutex::new(LatencyHistogram::new());
+    let first_error: Mutex<Option<ServeError>> = Mutex::new(None);
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for client in 0..cfg.clients {
+            let handle = handle.clone();
+            let zipf = &zipf;
+            let hist = &hist;
+            let first_error = &first_error;
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(client as u64));
+                let mut local = LatencyHistogram::new();
+                for _ in 0..cfg.queries_per_client {
+                    let seeds: Vec<u32> = (0..cfg.seeds_per_query)
+                        .map(|_| zipf.sample(&mut rng) as u32)
+                        .collect();
+                    let issued = Instant::now();
+                    match handle.query(&seeds) {
+                        Ok(_) => {
+                            let us = issued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                            local.record(us);
+                        }
+                        Err(e) => {
+                            let mut slot = first_error.lock().expect("error slot poisoned");
+                            slot.get_or_insert(e);
+                            break;
+                        }
+                    }
+                }
+                hist.lock().expect("histogram poisoned").merge(&local);
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    if let Some(e) = first_error.into_inner().expect("error slot poisoned") {
+        return Err(e);
+    }
+    let hist = hist.into_inner().expect("histogram poisoned");
+    let queries = hist.count();
+    Ok(LoadReport {
+        queries,
+        wall_s,
+        throughput_qps: if wall_s > 0.0 {
+            queries as f64 / wall_s
+        } else {
+            0.0
+        },
+        latency: LatencySummary::of(&hist),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::InferenceEngine;
+    use crate::server::{ServeConfig, Server};
+    use maxk_graph::generate;
+    use maxk_nn::snapshot::ModelSnapshot;
+    use maxk_nn::{Activation, Arch, GnnModel, ModelConfig};
+    use maxk_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let z = ZipfSampler::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut head = 0u32;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top-1% of ranks should take far more than 1% of traffic.
+        assert!(head > draws / 10, "only {head}/{draws} draws hit the head");
+        assert_eq!(z.len(), 1000);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((600..1400).contains(&c), "uniform draw count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zipf_rejects_empty_domain() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn replay_reports_all_queries() {
+        let graph = generate::chung_lu_power_law(50, 4.0, 2.3, 9)
+            .to_csr()
+            .unwrap();
+        let mut cfg = ModelConfig::new(Arch::Gcn, Activation::MaxK(2), 4, 2);
+        cfg.hidden_dim = 8;
+        cfg.dropout = 0.0;
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = GnnModel::new(cfg, &graph, &mut rng);
+        let x = Matrix::xavier(50, 4, &mut rng);
+        let snap = ModelSnapshot::capture(&model);
+        let engine = Arc::new(InferenceEngine::from_snapshot(&snap, &graph, x).unwrap());
+        let server = Server::start(
+            engine,
+            ServeConfig {
+                batch_window: Duration::from_millis(1),
+                max_batch: 16,
+                workers: 1,
+            },
+        );
+        let report = replay(
+            &server.handle(),
+            &LoadConfig {
+                clients: 4,
+                queries_per_client: 25,
+                seeds_per_query: 2,
+                zipf_exponent: 1.0,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.queries, 100);
+        assert!(report.throughput_qps > 0.0);
+        assert!(report.latency.p99_us.is_finite());
+        assert_eq!(report.latency.count, 100);
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 100);
+    }
+
+    #[test]
+    fn replay_surfaces_server_shutdown() {
+        let graph = generate::chung_lu_power_law(30, 4.0, 2.3, 10)
+            .to_csr()
+            .unwrap();
+        let mut cfg = ModelConfig::new(Arch::Gcn, Activation::Relu, 4, 2);
+        cfg.hidden_dim = 8;
+        cfg.dropout = 0.0;
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = GnnModel::new(cfg, &graph, &mut rng);
+        let x = Matrix::xavier(30, 4, &mut rng);
+        let snap = ModelSnapshot::capture(&model);
+        let engine = Arc::new(InferenceEngine::from_snapshot(&snap, &graph, x).unwrap());
+        let server = Server::start(engine, ServeConfig::default());
+        let handle = server.handle();
+        let _ = server.shutdown();
+        let result = replay(&handle, &LoadConfig::default());
+        assert!(matches!(result, Err(ServeError::ChannelClosed)));
+    }
+}

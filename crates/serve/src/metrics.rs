@@ -1,0 +1,224 @@
+//! Latency histograms and serving counters.
+//!
+//! The histogram uses power-of-two microsecond buckets (64 of them cover
+//! every `u64` latency), so recording is a couple of integer ops and the
+//! p50/p95/p99 quantile read-out walks at most 64 counters. Quantiles are
+//! reported as the *upper bound* of the bucket holding the target rank,
+//! clamped to the exact observed maximum — pessimistic but never an
+//! underestimate, and always finite.
+
+/// Fixed-size log₂-bucketed latency histogram (microseconds).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; 64],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; 64],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    /// Records one latency observation in microseconds.
+    pub fn record(&mut self, us: u64) {
+        let bucket = 63 - us.max(1).leading_zeros() as usize;
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum observed latency in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Quantile `q` in `[0, 1]` as microseconds: the upper bound of the
+    /// bucket containing the `ceil(q · count)`-th observation, clamped to
+    /// the observed maximum. Returns 0 for an empty histogram; the result
+    /// is always finite.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper bound of bucket b is 2^(b+1) - 1 us.
+                let upper = if bucket >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (bucket + 1)) - 1
+                };
+                return upper.min(self.max_us) as f64;
+            }
+        }
+        self.max_us as f64
+    }
+
+    /// Median shortcut.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile shortcut.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile shortcut.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Adds every observation of `other` into this histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+/// Compact read-out of a latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean, microseconds.
+    pub mean_us: f64,
+    /// Median (bucket upper bound), microseconds.
+    pub p50_us: f64,
+    /// 95th percentile (bucket upper bound), microseconds.
+    pub p95_us: f64,
+    /// 99th percentile (bucket upper bound), microseconds.
+    pub p99_us: f64,
+    /// Exact maximum, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram.
+    pub fn of(hist: &LatencyHistogram) -> Self {
+        LatencySummary {
+            count: hist.count(),
+            mean_us: hist.mean_us(),
+            p50_us: hist.p50(),
+            p95_us: hist.p95(),
+            p99_us: hist.p99(),
+            max_us: hist.max_us(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.max_us(), 0);
+    }
+
+    #[test]
+    fn quantiles_bound_observations() {
+        let mut h = LatencyHistogram::new();
+        for us in [10u64, 20, 30, 40, 1000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean_us() - 220.0).abs() < 1e-9);
+        assert_eq!(h.max_us(), 1000);
+        // p50 covers the 3rd observation (30us) -> bucket [16,31].
+        assert!(h.p50() >= 30.0 && h.p50() < 64.0, "p50 {}", h.p50());
+        // p99 lands in the last occupied bucket, clamped to max.
+        assert_eq!(h.p99(), 1000.0);
+        assert!(h.p99().is_finite());
+    }
+
+    #[test]
+    fn zero_latency_recorded_in_first_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p50(), 0.0); // upper bound 1us clamped to max 0
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            h.record(i * 7 + 1);
+        }
+        let mut prev = 0.0;
+        for q in [0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            assert!(v.is_finite());
+            prev = v;
+        }
+        assert_eq!(h.quantile(1.0), h.max_us() as f64);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(5);
+        b.record(500);
+        b.record(50);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_us(), 500);
+        let s = LatencySummary::of(&a);
+        assert_eq!(s.count, 3);
+        assert!(s.p99_us >= 500.0 - 1e-9);
+    }
+
+    #[test]
+    fn huge_latency_does_not_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.max_us(), u64::MAX);
+        assert!(h.p99().is_finite());
+    }
+}

@@ -1,0 +1,442 @@
+//! The micro-batching request queue.
+//!
+//! Architecture (all `std::thread` + `std::sync::mpsc`, no external
+//! crates):
+//!
+//! ```text
+//! clients ──ServerHandle::query──▶ ingress channel
+//!                                      │
+//!                                  batcher thread
+//!                 (coalesce queries arriving within `batch_window`,
+//!                  up to `max_batch` per batch)
+//!                                      │
+//!                                 batch channel
+//!                                      │
+//!                        worker pool (`workers` threads)
+//!               (one shared forward per batch, gather seed rows,
+//!                reply per query, record latency)
+//! ```
+//!
+//! Each batch costs **one** engine forward regardless of how many queries
+//! it carries, so coalescing multiplies throughput by the mean batch
+//! occupancy — the serving-side analogue of the paper's full-batch
+//! aggregation amortization. Setting `max_batch = 1` (window 0) degrades
+//! to the one-query-per-forward baseline that `serve_bench` compares
+//! against.
+
+use crate::engine::{check_seeds, gather_rows, InferenceEngine};
+use crate::metrics::{LatencyHistogram, LatencySummary};
+use crate::ServeError;
+use maxk_tensor::Matrix;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Micro-batching configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// How long the batcher keeps a batch open after its first query,
+    /// waiting for more to coalesce. Zero disables coalescing waits.
+    pub batch_window: Duration,
+    /// Hard cap on queries per batch (1 = unbatched baseline).
+    pub max_batch: usize,
+    /// Forward-executor threads. Batches are handed out one at a time, so
+    /// extra workers overlap independent batch forwards.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch_window: Duration::from_millis(2),
+            max_batch: 64,
+            workers: 2,
+        }
+    }
+}
+
+/// Answer to one query.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Logit rows for the requested seeds, in request order
+    /// (`seeds.len() × out_dim`).
+    pub logits: Matrix,
+    /// How many queries shared this forward pass.
+    pub batch_size: usize,
+    /// Queue + compute latency observed by the server.
+    pub latency: Duration,
+}
+
+struct Request {
+    seeds: Vec<u32>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<QueryResponse, ServeError>>,
+}
+
+/// Ingress protocol. An explicit `Shutdown` marker (rather than relying
+/// on every sender clone being dropped) lets [`Server::shutdown`] stop
+/// the batcher even while client [`ServerHandle`]s are still alive.
+enum Msg {
+    Query(Box<Request>),
+    Shutdown,
+}
+
+/// Aggregate serving counters, shared between workers and observers.
+#[derive(Debug, Default)]
+struct Counters {
+    queries: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// Point-in-time statistics read-out of a running [`Server`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Queries answered so far.
+    pub queries: u64,
+    /// Batched forward passes executed.
+    pub batches: u64,
+    /// Mean queries per batch (1.0 means batching bought nothing).
+    pub mean_batch: f64,
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// Served queries per second since start.
+    pub throughput_qps: f64,
+    /// Server-side latency distribution (enqueue → reply).
+    pub latency: LatencySummary,
+}
+
+/// A running micro-batched inference server.
+///
+/// Dropping (or [`Server::shutdown`]) closes the ingress, flushes
+/// in-flight batches and joins every thread.
+pub struct Server {
+    ingress: Option<mpsc::Sender<Msg>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Arc<Counters>,
+    hist: Arc<Mutex<LatencyHistogram>>,
+    started: Instant,
+    num_nodes: usize,
+}
+
+impl Server {
+    /// Starts the batcher and worker threads over `engine`.
+    pub fn start(engine: Arc<InferenceEngine>, cfg: ServeConfig) -> Server {
+        let num_nodes = engine.num_nodes();
+        let counters = Arc::new(Counters::default());
+        let hist = Arc::new(Mutex::new(LatencyHistogram::new()));
+        let (ingress_tx, ingress_rx) = mpsc::channel::<Msg>();
+        let (batch_tx, batch_rx) = mpsc::channel::<Vec<Box<Request>>>();
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+
+        let max_batch = cfg.max_batch.max(1);
+        let window = cfg.batch_window;
+        let batcher = std::thread::spawn(move || {
+            loop {
+                // Block for the batch's first query; leave on shutdown or
+                // when every sender is gone.
+                let first = match ingress_rx.recv() {
+                    Ok(Msg::Query(r)) => r,
+                    Ok(Msg::Shutdown) | Err(_) => break,
+                };
+                let mut batch = vec![first];
+                let mut stop = false;
+                let deadline = Instant::now() + window;
+                while batch.len() < max_batch {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match ingress_rx.recv_timeout(deadline - now) {
+                        Ok(Msg::Query(r)) => batch.push(r),
+                        Ok(Msg::Shutdown) => {
+                            stop = true;
+                            break;
+                        }
+                        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                            break
+                        }
+                    }
+                }
+                // Flush the in-flight batch even when shutting down.
+                if batch_tx.send(batch).is_err() || stop {
+                    break;
+                }
+            }
+        });
+
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for _ in 0..cfg.workers.max(1) {
+            let engine = Arc::clone(&engine);
+            let batch_rx = Arc::clone(&batch_rx);
+            let counters = Arc::clone(&counters);
+            let hist = Arc::clone(&hist);
+            workers.push(std::thread::spawn(move || {
+                loop {
+                    // The guard is held across the blocking recv: waiting
+                    // workers queue on the mutex, so batches are handed
+                    // out one at a time while compute overlaps.
+                    let batch = match batch_rx.lock().expect("batch queue poisoned").recv() {
+                        Ok(b) => b,
+                        Err(_) => break,
+                    };
+                    let size = batch.len();
+                    // One shared forward pass for the whole batch.
+                    let logits = engine.forward_all();
+                    counters.batches.fetch_add(1, Ordering::Relaxed);
+                    counters.queries.fetch_add(size as u64, Ordering::Relaxed);
+                    let mut latencies = Vec::with_capacity(size);
+                    for req in batch {
+                        let latency = req.enqueued.elapsed();
+                        latencies.push(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+                        let response = QueryResponse {
+                            logits: gather_rows(&logits, &req.seeds),
+                            batch_size: size,
+                            latency,
+                        };
+                        // A client that gave up is not an error.
+                        let _ = req.reply.send(Ok(response));
+                    }
+                    // Take the shared lock only after every client has
+                    // its reply, and only for the cheap counter bumps —
+                    // a concurrent worker or stats() reader never waits
+                    // on this batch's row gathering.
+                    let mut hist = hist.lock().expect("histogram poisoned");
+                    for us in latencies {
+                        hist.record(us);
+                    }
+                }
+            }));
+        }
+
+        Server {
+            ingress: Some(ingress_tx),
+            batcher: Some(batcher),
+            workers,
+            counters,
+            hist,
+            started: Instant::now(),
+            num_nodes,
+        }
+    }
+
+    /// A cloneable client handle for submitting queries.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            tx: self.ingress.as_ref().expect("server running").clone(),
+            num_nodes: self.num_nodes,
+        }
+    }
+
+    /// Current counters and latency distribution.
+    pub fn stats(&self) -> StatsSnapshot {
+        let queries = self.counters.queries.load(Ordering::Relaxed);
+        let batches = self.counters.batches.load(Ordering::Relaxed);
+        let uptime_s = self.started.elapsed().as_secs_f64();
+        StatsSnapshot {
+            queries,
+            batches,
+            // Every served query belongs to exactly one batch, so the
+            // mean occupancy is just the ratio of the two counters.
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                queries as f64 / batches as f64
+            },
+            uptime_s,
+            throughput_qps: if uptime_s > 0.0 {
+                queries as f64 / uptime_s
+            } else {
+                0.0
+            },
+            latency: LatencySummary::of(&self.hist.lock().expect("histogram poisoned")),
+        }
+    }
+
+    /// Stops accepting queries, drains in-flight batches, joins every
+    /// thread and returns the final statistics.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.join_threads();
+        self.stats()
+    }
+
+    fn join_threads(&mut self) {
+        // The explicit marker stops the batcher even while client handle
+        // clones keep the ingress channel alive; the batcher exiting
+        // drops its batch sender, which unblocks the workers.
+        if let Some(tx) = self.ingress.take() {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.join_threads();
+    }
+}
+
+/// Cheap cloneable client endpoint of a [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    tx: mpsc::Sender<Msg>,
+    num_nodes: usize,
+}
+
+impl ServerHandle {
+    /// Submits a seed-set query and blocks until its batch completes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EmptyQuery`] / [`ServeError::SeedOutOfRange`] on bad
+    /// input (validated before enqueueing, so invalid queries never cost a
+    /// forward); [`ServeError::ChannelClosed`] when the server has shut
+    /// down.
+    pub fn query(&self, seeds: &[u32]) -> Result<QueryResponse, ServeError> {
+        check_seeds(seeds, self.num_nodes)?;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let request = Box::new(Request {
+            seeds: seeds.to_vec(),
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        });
+        self.tx
+            .send(Msg::Query(request))
+            .map_err(|_| ServeError::ChannelClosed)?;
+        reply_rx.recv().map_err(|_| ServeError::ChannelClosed)?
+    }
+
+    /// Nodes served (valid seeds are `0..num_nodes`).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxk_graph::generate;
+    use maxk_nn::snapshot::ModelSnapshot;
+    use maxk_nn::{Activation, Arch, GnnModel, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine() -> Arc<InferenceEngine> {
+        let graph = generate::chung_lu_power_law(60, 5.0, 2.3, 3)
+            .to_csr()
+            .unwrap();
+        let mut cfg = ModelConfig::new(Arch::Gcn, Activation::MaxK(4), 6, 3);
+        cfg.hidden_dim = 12;
+        cfg.dropout = 0.0;
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = GnnModel::new(cfg, &graph, &mut rng);
+        let x = Matrix::xavier(60, 6, &mut rng);
+        let snap = ModelSnapshot::capture(&model);
+        Arc::new(InferenceEngine::from_snapshot(&snap, &graph, x).unwrap())
+    }
+
+    #[test]
+    fn serves_correct_logits() {
+        let engine = engine();
+        let expected = engine.forward_all();
+        let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+        let handle = server.handle();
+        let resp = handle.query(&[3, 59]).unwrap();
+        assert_eq!(resp.logits.shape(), (2, 3));
+        assert_eq!(resp.logits.row(0), expected.row(3));
+        assert_eq!(resp.logits.row(1), expected.row(59));
+        assert!(resp.batch_size >= 1);
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn concurrent_queries_coalesce() {
+        let engine = engine();
+        let server = Server::start(
+            engine,
+            ServeConfig {
+                batch_window: Duration::from_millis(20),
+                max_batch: 64,
+                workers: 1,
+            },
+        );
+        let handle = server.handle();
+        let clients = 8;
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let h = handle.clone();
+                s.spawn(move || {
+                    let resp = h.query(&[c as u32]).unwrap();
+                    assert_eq!(resp.logits.shape(), (1, 3));
+                });
+            }
+        });
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, clients as u64);
+        // With a 20ms window and instant concurrent arrivals, at least one
+        // batch must carry more than one query.
+        assert!(
+            stats.batches < clients as u64,
+            "expected coalescing, got {} batches",
+            stats.batches
+        );
+        assert!(stats.mean_batch > 1.0);
+        assert!(stats.latency.p99_us.is_finite());
+    }
+
+    #[test]
+    fn unbatched_config_serves_one_query_per_forward() {
+        let engine = engine();
+        let server = Server::start(
+            engine,
+            ServeConfig {
+                batch_window: Duration::ZERO,
+                max_batch: 1,
+                workers: 1,
+            },
+        );
+        let handle = server.handle();
+        for i in 0..5u32 {
+            let resp = handle.query(&[i]).unwrap();
+            assert_eq!(resp.batch_size, 1);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 5);
+        assert_eq!(stats.batches, 5);
+        assert!((stats.mean_batch - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_queries_rejected_without_reaching_workers() {
+        let engine = engine();
+        let server = Server::start(engine, ServeConfig::default());
+        let handle = server.handle();
+        assert!(matches!(handle.query(&[]), Err(ServeError::EmptyQuery)));
+        assert!(matches!(
+            handle.query(&[1000]),
+            Err(ServeError::SeedOutOfRange { .. })
+        ));
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 0);
+        assert_eq!(stats.batches, 0);
+    }
+
+    #[test]
+    fn query_after_shutdown_fails_cleanly() {
+        let engine = engine();
+        let server = Server::start(engine, ServeConfig::default());
+        let handle = server.handle();
+        let _ = server.shutdown();
+        assert!(matches!(handle.query(&[0]), Err(ServeError::ChannelClosed)));
+    }
+}

@@ -41,6 +41,27 @@ impl Linear {
         }
     }
 
+    /// Rebuilds a layer from captured parameters (zeroed gradients) — the
+    /// deserialization path of model snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bias.len() != weight.cols()`.
+    pub fn from_parts(weight: Matrix, bias: Vec<f32>) -> Self {
+        assert_eq!(
+            bias.len(),
+            weight.cols(),
+            "bias length must match weight columns"
+        );
+        let (in_dim, out_dim) = weight.shape();
+        Linear {
+            weight,
+            bias,
+            grad_weight: Matrix::zeros(in_dim, out_dim),
+            grad_bias: vec![0.0; out_dim],
+        }
+    }
+
     /// Input dimension.
     pub fn in_dim(&self) -> usize {
         self.weight.rows()
@@ -186,6 +207,22 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn from_parts_restores_forward_exactly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let original = Linear::new(4, 3, &mut rng);
+        let rebuilt = Linear::from_parts(original.weight().clone(), original.bias().to_vec());
+        let x = Matrix::xavier(6, 4, &mut rng);
+        assert_eq!(original.forward(&x), rebuilt.forward(&x));
+        assert_eq!(rebuilt.num_params(), original.num_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn from_parts_rejects_bias_mismatch() {
+        let _ = Linear::from_parts(Matrix::zeros(2, 3), vec![0.0; 2]);
     }
 
     #[test]

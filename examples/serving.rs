@@ -1,0 +1,104 @@
+//! Serving round-trip: train a MaxK-GNN model, persist it as a snapshot,
+//! reload it into the inference engine and serve Zipf query traffic
+//! through the micro-batching server.
+//!
+//! Run with `cargo run --release --example serving`.
+
+use maxk_gnn::graph::datasets::{Scale, TrainingDataset};
+use maxk_gnn::nn::snapshot::ModelSnapshot;
+use maxk_gnn::nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
+use maxk_gnn::serve::{replay, InferenceEngine, LoadConfig, ServeConfig, Server};
+use maxk_gnn::tensor::Matrix;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train a small model on the Flickr stand-in.
+    let data = TrainingDataset::Flickr.generate(Scale::Test, 42)?;
+    let mut cfg = ModelConfig::new(
+        Arch::Sage,
+        Activation::MaxK(8),
+        data.in_dim,
+        data.num_classes,
+    );
+    cfg.hidden_dim = 32;
+    cfg.dropout = 0.2;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
+    let result = train_full_batch(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 30,
+            lr: 0.01,
+            seed: 1,
+            eval_every: 10,
+        },
+    );
+    println!(
+        "trained on {} nodes: test {} {:.4}",
+        data.csr.num_nodes(),
+        result.metric_name,
+        result.best_test_metric
+    );
+
+    // 2. Persist the model and reload it — the serving side never sees
+    //    the training stack, only the snapshot file.
+    std::fs::create_dir_all("target")?;
+    let path = "target/serving_example.snap";
+    ModelSnapshot::capture(&model).save(path)?;
+    let snapshot = ModelSnapshot::load(path)?;
+    println!(
+        "snapshot saved + reloaded: {} params",
+        snapshot.num_params()
+    );
+
+    // 3. Build the inference engine (normalization cached once) and start
+    //    the micro-batching server.
+    let features = Matrix::from_vec(data.csr.num_nodes(), data.in_dim, data.features.clone())?;
+    let engine = Arc::new(InferenceEngine::from_snapshot(
+        &snapshot, &data.csr, features,
+    )?);
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            batch_window: Duration::from_millis(2),
+            max_batch: 32,
+            workers: 2,
+        },
+    );
+
+    // 4. A single seed-set query...
+    let handle = server.handle();
+    let response = handle.query(&[0, 1, 2])?;
+    println!(
+        "query for 3 seeds -> {}x{} logits (batch of {}, {:.2} ms)",
+        response.logits.rows(),
+        response.logits.cols(),
+        response.batch_size,
+        response.latency.as_secs_f64() * 1e3
+    );
+
+    // 5. ...then closed-loop Zipf traffic from 8 concurrent clients.
+    let report = replay(
+        &handle,
+        &LoadConfig {
+            clients: 8,
+            queries_per_client: 50,
+            seeds_per_query: 1,
+            zipf_exponent: 1.1,
+            seed: 3,
+        },
+    )?;
+    let stats = server.shutdown();
+    println!(
+        "served {} queries at {:.1} q/s (mean batch {:.1}); latency p50 {:.0}us p99 {:.0}us",
+        report.queries,
+        report.throughput_qps,
+        stats.mean_batch,
+        report.latency.p50_us,
+        report.latency.p99_us
+    );
+    Ok(())
+}

@@ -15,7 +15,9 @@
 //! * [`tensor`] — dense matrices, linears, optimizers, losses, metrics;
 //! * [`gpu_sim`] — the simulated GPU memory system;
 //! * [`core`] — MaxK, CBSR, SpGEMM/SSpMM and the baselines;
-//! * [`nn`] — layers, models and the full-batch trainer.
+//! * [`nn`] — layers, models, model snapshots and the full-batch trainer;
+//! * [`serve`] — batched inference serving: snapshot-backed engine,
+//!   micro-batching request queue, latency metrics, Zipf load replay.
 //!
 //! # Quickstart
 //!
@@ -46,4 +48,5 @@ pub use maxk_core as core;
 pub use maxk_gpu_sim as gpu_sim;
 pub use maxk_graph as graph;
 pub use maxk_nn as nn;
+pub use maxk_serve as serve;
 pub use maxk_tensor as tensor;

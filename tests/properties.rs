@@ -5,7 +5,7 @@
 use maxk_gnn::core::maxk::{maxk_backward, maxk_forward, maxk_forward_pivot};
 use maxk_gnn::core::spgemm::{spgemm_forward, spgemm_forward_reference};
 use maxk_gnn::core::spmm::spmm_rowwise;
-use maxk_gnn::core::sspmm::{sspmm_backward, sspmm_backward_reference};
+use maxk_gnn::core::sspmm::{sspmm_backward, sspmm_backward_outer, sspmm_backward_reference};
 use maxk_gnn::graph::{Coo, Csr, WarpPartition};
 use maxk_gnn::tensor::Matrix;
 use proptest::prelude::*;
@@ -129,6 +129,31 @@ proptest! {
         let diff = fast.sp_data().iter().zip(slow.sp_data())
             .map(|(a, b)| (a - b).abs()).fold(0f32, f32::max);
         prop_assert!(diff < 1e-4);
+    }
+
+    #[test]
+    fn sspmm_row_parallel_and_outer_product_match_reference(
+        (csr, seed) in (graph_strategy(), 0u64..1000)
+    ) {
+        // Both production loop orders — the row-parallel gather form and
+        // the literal Algorithm 2 outer-product form — must agree with
+        // the dense-then-gather reference on random small graphs.
+        let n = csr.num_nodes();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Matrix::xavier(n, 12, &mut rng);
+        let dy = Matrix::xavier(n, 12, &mut rng);
+        let pattern = maxk_forward(&x, 4).expect("k <= dim");
+        let adj_t = csr.transpose();
+        let reference = sspmm_backward_reference(&adj_t, &dy, &pattern);
+        for (name, fast) in [
+            ("row-parallel", sspmm_backward(&adj_t, &dy, &pattern)),
+            ("outer-product", sspmm_backward_outer(&adj_t, &dy, &pattern)),
+        ] {
+            prop_assert_eq!(fast.sp_index(), reference.sp_index());
+            let diff = fast.sp_data().iter().zip(reference.sp_data())
+                .map(|(a, b)| (a - b).abs()).fold(0f32, f32::max);
+            prop_assert!(diff < 1e-4, "{} diff {}", name, diff);
+        }
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Snapshot round-trip coverage across the facade: save → load →
+//! bitwise-identical logits on a fixed input, plus corrupt/truncated-file
+//! error cases (ISSUE 2 satellite).
+
+use maxk_gnn::graph::datasets::{Scale, TrainingDataset};
+use maxk_gnn::graph::generate;
+use maxk_gnn::nn::snapshot::{ModelSnapshot, SnapshotError};
+use maxk_gnn::nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
+use maxk_gnn::serve::InferenceEngine;
+use maxk_gnn::tensor::Matrix;
+use rand::SeedableRng;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("maxk-snap-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn trained_model_roundtrips_bitwise_through_disk() {
+    let data = TrainingDataset::Flickr
+        .generate(Scale::Test, 11)
+        .expect("dataset generates");
+    let mut cfg = ModelConfig::new(
+        Arch::Gcn,
+        Activation::MaxK(4),
+        data.in_dim,
+        data.num_classes,
+    );
+    cfg.hidden_dim = 16;
+    cfg.dropout = 0.1;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut model = GnnModel::new(cfg, &data.csr, &mut rng);
+    let _ = train_full_batch(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 3,
+            lr: 0.01,
+            seed: 3,
+            eval_every: 3,
+        },
+    );
+
+    let dir = temp_dir("roundtrip");
+    let path = dir.join("trained.snap");
+    ModelSnapshot::capture(&model).save(&path).expect("save");
+    let snapshot = ModelSnapshot::load(&path).expect("load");
+    let mut restored = snapshot.restore(&data.csr).expect("restore");
+
+    // Fixed input: the dataset features. Eval forward must be
+    // bit-identical for the original, the restored model AND the serving
+    // engine built from the same snapshot.
+    let x = Matrix::from_vec(data.csr.num_nodes(), data.in_dim, data.features.clone())
+        .expect("rectangular features");
+    let original_logits = model.forward(&x, false, &mut rng);
+    let restored_logits = restored.forward(&x, false, &mut rng);
+    assert_eq!(original_logits, restored_logits);
+
+    let engine = InferenceEngine::from_snapshot(&snapshot, &data.csr, x).expect("engine");
+    assert_eq!(engine.forward_all(), original_logits);
+
+    // The restored model is still trainable: gradients must move it.
+    restored.zero_grad();
+    let y = restored.forward(
+        &Matrix::from_vec(data.csr.num_nodes(), data.in_dim, data.features.clone()).unwrap(),
+        true,
+        &mut rng,
+    );
+    restored.backward(&Matrix::filled(y.rows(), y.cols(), 0.1));
+    let mut opt = maxk_gnn::tensor::Sgd::new(0.1);
+    restored.step(&mut opt);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_and_truncated_snapshots_are_rejected() {
+    let graph = generate::chung_lu_power_law(40, 5.0, 2.3, 5)
+        .to_csr()
+        .unwrap();
+    let mut cfg = ModelConfig::new(Arch::Sage, Activation::MaxK(4), 8, 3);
+    cfg.hidden_dim = 12;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let model = GnnModel::new(cfg, &graph, &mut rng);
+    let bytes = ModelSnapshot::capture(&model).to_bytes();
+    let dir = temp_dir("errors");
+
+    // Corrupt one byte of weight payload on disk.
+    let corrupt_path = dir.join("corrupt.snap");
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    std::fs::write(&corrupt_path, &corrupt).unwrap();
+    assert!(matches!(
+        ModelSnapshot::load(&corrupt_path),
+        Err(SnapshotError::Corrupt { .. })
+    ));
+
+    // Truncate the file at several depths.
+    for (tag, cut) in [
+        ("header", 6),
+        ("body", bytes.len() / 3),
+        ("crc", bytes.len() - 2),
+    ] {
+        let path = dir.join(format!("truncated-{tag}.snap"));
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        assert!(
+            matches!(
+                ModelSnapshot::load(&path),
+                Err(SnapshotError::Truncated { .. })
+            ),
+            "cut at {cut} ({tag})"
+        );
+    }
+
+    // A different file type entirely.
+    let garbage_path = dir.join("garbage.snap");
+    std::fs::write(&garbage_path, b"definitely not a snapshot").unwrap();
+    assert!(matches!(
+        ModelSnapshot::load(&garbage_path),
+        Err(SnapshotError::BadMagic)
+    ));
+
+    // Intact bytes still parse after all that.
+    assert!(ModelSnapshot::from_bytes(&bytes).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
