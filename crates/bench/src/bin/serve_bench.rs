@@ -1,6 +1,6 @@
 //! `serve_bench`: the full train → snapshot → serve round-trip under
 //! Zipf load, comparing micro-batched serving against the
-//! one-query-per-forward baseline.
+//! one-query-per-forward baseline, plus a full-vs-partial forward sweep.
 //!
 //! Trains a MaxK GNN on the Flickr stand-in, persists it through the
 //! versioned snapshot format, reloads it into the inference engine, then
@@ -10,23 +10,29 @@
 //! stdout (markdown) and to a machine-readable JSON file
 //! (`BENCH_serve.json` by default).
 //!
+//! Afterwards it sweeps seed-set sizes, timing the full-graph forward
+//! against the seed-restricted partial forward per batch (verifying
+//! bitwise equality at every size) and writes `BENCH_partial.json`.
+//!
 //! ```text
 //! cargo run --release -p maxk-bench --bin serve_bench -- \
-//!     --scale test --epochs 20 --queries 2000 --clients 8
+//!     --scale test --epochs 20 --queries 2000 --clients 8 \
+//!     --partial-sizes 1,8,64 --partial-reps 5
 //! ```
 
-use maxk_bench::report::JsonObject;
+use maxk_bench::report::{save_json, JsonObject, JsonValue};
 use maxk_bench::{Args, Table};
 use maxk_graph::datasets::{Scale, TrainingDataset};
+use maxk_graph::Frontier;
 use maxk_nn::snapshot::ModelSnapshot;
 use maxk_nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
 use maxk_serve::{
     replay, InferenceEngine, LoadConfig, LoadReport, ServeConfig, Server, StatsSnapshot,
 };
 use maxk_tensor::Matrix;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn scale_from(name: &str) -> Scale {
     match name {
@@ -62,6 +68,91 @@ fn mode_json(report: &LoadReport, stats: &StatsSnapshot) -> JsonObject {
         .field("mean_batch", stats.mean_batch)
 }
 
+/// Distinct uniform-random seed ids.
+fn sample_seeds(n: usize, count: usize, rng: &mut rand::rngs::StdRng) -> Vec<u32> {
+    let mut seeds = Vec::with_capacity(count);
+    while seeds.len() < count {
+        let s = rng.gen_range(0..n) as u32;
+        if !seeds.contains(&s) {
+            seeds.push(s);
+        }
+    }
+    seeds
+}
+
+/// Full-vs-partial per-batch latency sweep across seed-set sizes.
+///
+/// For each size: verifies the partial logits are bitwise equal to the
+/// full ones, then times `reps` repetitions of both paths and records the
+/// frontier geometry plus which path the engine's planner would pick.
+fn partial_sweep(
+    engine: &InferenceEngine,
+    num_layers: usize,
+    num_edges: usize,
+    sizes: &[usize],
+    reps: usize,
+) -> (Table, Vec<JsonObject>) {
+    let n = engine.num_nodes();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut table = Table::new(vec![
+        "seeds",
+        "frontier nodes",
+        "edge work",
+        "full/batch",
+        "partial/batch",
+        "speedup",
+        "planner",
+    ]);
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let size = size.min(n);
+        let seeds = sample_seeds(n, size, &mut rng);
+        let frontier = Frontier::reverse_hops(&engine.context().adj, &seeds, num_layers)
+            .expect("seeds in range");
+        let full = engine.logits_full(&seeds).expect("full forward");
+        let partial = engine.logits_partial(&seeds).expect("partial forward");
+        let bitwise_equal = full == partial;
+        assert!(bitwise_equal, "partial logits diverged at {size} seeds");
+        let time = |f: &dyn Fn() -> Matrix| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(f());
+            }
+            t0.elapsed().as_secs_f64() / reps as f64
+        };
+        let full_s = time(&|| engine.logits_full(&seeds).expect("full forward"));
+        let partial_s = time(&|| engine.logits_partial(&seeds).expect("partial forward"));
+        let speedup = full_s / partial_s;
+        let picks_partial = engine
+            .plan_for(&seeds)
+            .expect("seeds in range")
+            .is_partial();
+        table.row(vec![
+            size.to_string(),
+            frontier.inputs().len().to_string(),
+            frontier.edge_work().to_string(),
+            maxk_bench::report::fmt_time(full_s),
+            maxk_bench::report::fmt_time(partial_s),
+            maxk_bench::report::fmt_speedup(speedup),
+            if picks_partial { "partial" } else { "full" }.to_string(),
+        ]);
+        rows.push(
+            JsonObject::new()
+                .field("seeds", size)
+                .field("seed_frac", size as f64 / n as f64)
+                .field("frontier_nodes", frontier.inputs().len())
+                .field("frontier_edge_work", frontier.edge_work())
+                .field("full_edge_work", num_layers * num_edges)
+                .field("full_ms", full_s * 1e3)
+                .field("partial_ms", partial_s * 1e3)
+                .field("speedup", speedup)
+                .field("bitwise_equal", bitwise_equal)
+                .field("planner_picks_partial", picks_partial),
+        );
+    }
+    (table, rows)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::from_env();
     let scale_name = args.get_str("scale", "test");
@@ -69,6 +160,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let epochs = args.get("epochs", 20usize);
     let hidden = args.get("hidden", 64usize);
     let k = args.get("k", 16usize);
+    let layers = args.get("layers", 3usize);
     let clients = args.get("clients", 8usize);
     let queries = args.get("queries", 2000usize);
     let window_us = args.get("window-us", 2000u64);
@@ -77,6 +169,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seeds_per_query = args.get("seeds-per-query", 1usize);
     let zipf = args.get("zipf", 1.1f64);
     let out_path = args.get_str("out", "BENCH_serve.json");
+    let partial_reps = args.get("partial-reps", 5usize);
+    let partial_out = args.get_str("partial-out", "BENCH_partial.json");
+    let partial_sizes: Vec<usize> = args
+        .get_list("partial-sizes", &[])
+        .iter()
+        .map(|s| s.parse().expect("numeric --partial-sizes entry"))
+        .collect();
 
     // 1. Train.
     let data = TrainingDataset::Flickr.generate(scale, 42)?;
@@ -88,6 +187,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     cfg.hidden_dim = hidden;
     cfg.dropout = 0.2;
+    cfg.num_layers = layers;
     println!(
         "training SAGE+MaxK({k}) on Flickr/{scale_name}: {} nodes, {} edges, {epochs} epochs",
         data.csr.num_nodes(),
@@ -222,9 +322,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .field("zipf_exponent", zipf)
         .field("batched", mode_json(&batched, &batched_stats))
         .field("unbatched", mode_json(&unbatched, &unbatched_stats))
-        .field("throughput_speedup", speedup)
-        .render();
-    std::fs::write(&out_path, format!("{json}\n"))?;
+        .field("throughput_speedup", speedup);
+    save_json(&out_path, &json)?;
     println!("wrote {out_path}");
+
+    // 6. Full-vs-partial forward sweep across seed-set sizes.
+    let n = data.csr.num_nodes();
+    let sizes = if partial_sizes.is_empty() {
+        // Default: 1 up to ~1% of |V|, log-spaced.
+        let mut s = vec![1usize, 8, 64, (n / 100).max(1)];
+        s.sort_unstable();
+        s.dedup();
+        s
+    } else {
+        partial_sizes
+    };
+    let num_layers = model.config().num_layers;
+    println!("partial-forward sweep at seed sizes {sizes:?} ({partial_reps} reps)");
+    let (ptable, prows) = partial_sweep(
+        &engine,
+        num_layers,
+        data.csr.num_edges(),
+        &sizes,
+        partial_reps,
+    );
+    ptable.print();
+    let pjson = JsonObject::new()
+        .field("bench", "partial_forward")
+        .field("dataset", "Flickr")
+        .field("scale", scale_name.as_str())
+        .field("nodes", n)
+        .field("edges", data.csr.num_edges())
+        .field("arch", "SAGE")
+        .field("layers", num_layers)
+        .field("k", k)
+        .field("hidden_dim", hidden)
+        .field("reps", partial_reps)
+        .field(
+            "sizes",
+            JsonValue::Array(prows.into_iter().map(JsonValue::Object).collect()),
+        );
+    save_json(&partial_out, &pjson)?;
+    println!("wrote {partial_out}");
     Ok(())
 }

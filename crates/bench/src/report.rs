@@ -279,6 +279,16 @@ impl JsonObject {
     }
 }
 
+/// Writes a rendered JSON object to `path` with a trailing newline — the
+/// shared emitter behind `BENCH_serve.json` / `BENCH_partial.json`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_json(path: impl AsRef<std::path::Path>, obj: &JsonObject) -> std::io::Result<()> {
+    std::fs::write(path, format!("{}\n", obj.render()))
+}
+
 fn escape_json_str(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {

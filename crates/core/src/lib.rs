@@ -16,6 +16,10 @@
 //! * the **SpMM baselines** it is compared against ([`spmm`]) — a
 //!   cuSPARSE-style row-wise kernel and a GNNAdvisor-style
 //!   neighbor-grouped kernel;
+//! * the **row-subset serving kernels** ([`subset`]) — `spmm_rows` /
+//!   `sspmm_rows` compute only a requested output-row set over a
+//!   frontier-compacted operand, bitwise-matching the full kernels'
+//!   rows (the seed-restricted partial-forward hot path);
 //! * the §4.3 closed-form **traffic model** ([`traffic`]);
 //! * **simulated GPU versions** of all kernels ([`sim_kernels`]) that
 //!   replay each kernel's memory-access trace through
@@ -51,7 +55,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cbsr;
 pub mod esc;
@@ -60,6 +64,7 @@ pub mod sim_kernels;
 pub mod spgemm;
 pub mod spmm;
 pub mod sspmm;
+pub mod subset;
 pub mod traffic;
 
 pub use cbsr::{Cbsr, SpIndex};

@@ -20,6 +20,19 @@ use maxk_tensor::{parallel, Matrix};
 
 /// Row-wise-product SpMM: `Y[i,:] = Σ_j A[i,j] · X[j,:]`.
 ///
+/// # Examples
+///
+/// ```
+/// use maxk_core::spmm::spmm_rowwise;
+/// use maxk_graph::Csr;
+/// use maxk_tensor::Matrix;
+///
+/// // Identity adjacency: Y == X.
+/// let adj = Csr::from_parts(2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).unwrap();
+/// let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(spmm_rowwise(&adj, &x), x);
+/// ```
+///
 /// # Panics
 ///
 /// Panics when `x.rows() != adj.num_nodes()`.

@@ -34,6 +34,23 @@ use maxk_tensor::Matrix;
 /// `pattern` supplies `sp_index` from the forward pass; the returned CBSR
 /// shares it.
 ///
+/// # Examples
+///
+/// ```
+/// use maxk_core::maxk::maxk_forward;
+/// use maxk_core::sspmm::sspmm_backward;
+/// use maxk_graph::generate;
+/// use maxk_tensor::Matrix;
+/// use rand::SeedableRng;
+///
+/// let adj = generate::chung_lu_power_law(30, 4.0, 2.3, 1).to_csr().unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let pattern = maxk_forward(&Matrix::xavier(30, 8, &mut rng), 2).unwrap();
+/// let dxl = Matrix::xavier(30, 8, &mut rng);
+/// let grad = sspmm_backward(&adj.transpose(), &dxl, &pattern);
+/// assert_eq!(grad.sp_index(), pattern.sp_index()); // pattern inherited
+/// ```
+///
 /// # Panics
 ///
 /// Panics when shapes disagree.

@@ -1,0 +1,250 @@
+//! Row-subset aggregation kernels for seed-restricted partial forward.
+//!
+//! The serving engine only needs logits at a micro-batch's seed union, so
+//! running the full-graph SpMM/SpGEMM per layer wastes work on rows nobody
+//! asked for. [`spmm_rows`] and [`sspmm_rows`] are the row-subset twins of
+//! [`crate::spmm::spmm_rowwise`] and [`crate::spgemm::spgemm_forward`]:
+//! they produce **only the requested output rows**, reading their operand
+//! from a compact matrix indexed by a [`NodeSet`] remapping (the reverse
+//! frontier levels of `maxk_graph::frontier`).
+//!
+//! Both kernels visit each output row's nonzeros in CSR order with the
+//! same inner accumulation order as the full kernels (Edge Groups of one
+//! row are contiguous and in order, so the flattened per-row `(nonzero,
+//! slot)` sequence is identical), which makes the subset outputs
+//! **bitwise equal** to the corresponding rows of the full-graph kernels —
+//! the property the serving path relies on and `tests/properties.rs`
+//! checks.
+
+use crate::cbsr::Cbsr;
+use maxk_graph::{Csr, NodeSet};
+use maxk_tensor::{parallel, Matrix};
+
+/// Row-subset dense SpMM: `Y[r,:] = Σ_j A[out_rows[r], j] · X[map(j),:]`.
+///
+/// `x` is compact over `in_rows` (`x.rows() == in_rows.len()`); pass
+/// [`NodeSet::full`] to address a full-graph operand. Output row `r` of
+/// the result is bitwise equal to row `out_rows[r]` of
+/// [`crate::spmm::spmm_rowwise`] on the densified full operand.
+///
+/// # Example
+///
+/// ```
+/// use maxk_core::subset::spmm_rows;
+/// use maxk_core::spmm::spmm_rowwise;
+/// use maxk_graph::{generate, NodeSet};
+/// use maxk_tensor::Matrix;
+/// use rand::SeedableRng;
+///
+/// let adj = generate::chung_lu_power_law(50, 5.0, 2.3, 1).to_csr().unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let x = Matrix::xavier(50, 8, &mut rng);
+/// let out = NodeSet::from_unsorted(&[3, 41], 50).unwrap();
+/// let sub = spmm_rows(&adj, &x, &out, &NodeSet::full(50));
+/// let full = spmm_rowwise(&adj, &x);
+/// assert_eq!(sub.row(0), full.row(3));
+/// assert_eq!(sub.row(1), full.row(41));
+/// ```
+///
+/// # Panics
+///
+/// Panics when shapes disagree, when the node sets were built for a
+/// different graph, or when a nonzero column of a requested row is not a
+/// member of `in_rows` (the frontier invariant `out ∪ N(out) ⊆ in`).
+#[must_use]
+pub fn spmm_rows(adj: &Csr, x: &Matrix, out_rows: &NodeSet, in_rows: &NodeSet) -> Matrix {
+    assert_eq!(
+        x.rows(),
+        in_rows.len(),
+        "operand rows must match the input node set"
+    );
+    assert_eq!(
+        in_rows.universe(),
+        adj.num_nodes(),
+        "input node set universe must match the graph"
+    );
+    assert_eq!(
+        out_rows.universe(),
+        adj.num_nodes(),
+        "output node set universe must match the graph"
+    );
+    let dim = x.cols();
+    let mut out = Matrix::zeros(out_rows.len(), dim);
+    let x_data = x.data();
+    let ids = out_rows.ids();
+    parallel::par_rows_mut(out.data_mut(), dim, 16, |first_row, chunk| {
+        for (local, out_row) in chunk.chunks_mut(dim).enumerate() {
+            let i = ids[first_row + local] as usize;
+            let (cols, vals) = adj.row(i);
+            for (&j, &e) in cols.iter().zip(vals) {
+                let cj = in_rows
+                    .compact(j)
+                    .expect("input node set must cover the requested rows' neighbors");
+                let x_row = &x_data[cj * dim..(cj + 1) * dim];
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += e * xv;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Row-subset SpGEMM over a CBSR operand (the MaxK serving path):
+/// `Y[r,:] = Σ_j A[out_rows[r], j] · scatter(Xs[map(j),:])`.
+///
+/// `xs` is compact over `in_rows`; the output is dense
+/// `out_rows.len() × dim_origin`, and row `r` is bitwise equal to row
+/// `out_rows[r]` of [`crate::spgemm::spgemm_forward`] on the full operand
+/// (same per-row `(nonzero, slot)` accumulation order, see the module
+/// docs).
+///
+/// Named after the paper's SSpMM because the operand crosses the kernel
+/// boundary in sparse CBSR form; unlike the *backward* SSpMM the output
+/// here is dense rows, exactly like the forward SpGEMM.
+///
+/// # Example
+///
+/// ```
+/// use maxk_core::maxk::maxk_forward;
+/// use maxk_core::spgemm::spgemm_forward;
+/// use maxk_core::subset::sspmm_rows;
+/// use maxk_graph::{generate, NodeSet, WarpPartition};
+/// use maxk_tensor::Matrix;
+/// use rand::SeedableRng;
+///
+/// let adj = generate::chung_lu_power_law(50, 5.0, 2.3, 2).to_csr().unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let xs = maxk_forward(&Matrix::xavier(50, 16, &mut rng), 4).unwrap();
+/// let out = NodeSet::from_unsorted(&[7], 50).unwrap();
+/// let sub = sspmm_rows(&adj, &xs, &out, &NodeSet::full(50));
+/// let full = spgemm_forward(&adj, &xs, &WarpPartition::build(&adj, 16));
+/// assert_eq!(sub.row(0), full.row(7));
+/// ```
+///
+/// # Panics
+///
+/// Same conditions as [`spmm_rows`].
+#[must_use]
+pub fn sspmm_rows(adj: &Csr, xs: &Cbsr, out_rows: &NodeSet, in_rows: &NodeSet) -> Matrix {
+    assert_eq!(
+        xs.num_rows(),
+        in_rows.len(),
+        "CBSR rows must match the input node set"
+    );
+    assert_eq!(
+        in_rows.universe(),
+        adj.num_nodes(),
+        "input node set universe must match the graph"
+    );
+    assert_eq!(
+        out_rows.universe(),
+        adj.num_nodes(),
+        "output node set universe must match the graph"
+    );
+    let dim = xs.dim_origin();
+    let k = xs.k();
+    let mut out = Matrix::zeros(out_rows.len(), dim);
+    let sp_data = xs.sp_data();
+    let ids = out_rows.ids();
+    parallel::par_rows_mut(out.data_mut(), dim, 16, |first_row, chunk| {
+        for (local, buf) in chunk.chunks_mut(dim).enumerate() {
+            let i = ids[first_row + local] as usize;
+            let (cols, vals) = adj.row(i);
+            for (&j, &e) in cols.iter().zip(vals) {
+                let cj = in_rows
+                    .compact(j)
+                    .expect("input node set must cover the requested rows' neighbors");
+                let row_data = &sp_data[cj * k..(cj + 1) * k];
+                for (t, &v) in row_data.iter().enumerate() {
+                    buf[xs.index_at(cj, t)] += e * v;
+                }
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxk::maxk_forward;
+    use crate::spgemm::spgemm_forward;
+    use crate::spmm::spmm_rowwise;
+    use maxk_graph::{generate, normalize, Aggregator, Frontier, WarpPartition};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, dim: usize, seed: u64) -> (Csr, Matrix) {
+        let csr = generate::chung_lu_power_law(n, 7.0, 2.3, seed)
+            .to_csr()
+            .unwrap();
+        let adj = normalize::normalized(&csr, Aggregator::GcnSym);
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let x = Matrix::xavier(n, dim, &mut rng);
+        (adj, x)
+    }
+
+    #[test]
+    fn spmm_rows_bitwise_matches_full_kernel() {
+        let (adj, x) = setup(120, 9, 1);
+        let full = spmm_rowwise(&adj, &x);
+        let out = NodeSet::from_unsorted(&[0, 5, 17, 99, 119], 120).unwrap();
+        let sub = spmm_rows(&adj, &x, &out, &NodeSet::full(120));
+        for (r, &id) in out.ids().iter().enumerate() {
+            assert_eq!(sub.row(r), full.row(id as usize), "row {id}");
+        }
+    }
+
+    #[test]
+    fn sspmm_rows_bitwise_matches_spgemm() {
+        let (adj, x) = setup(100, 16, 2);
+        let xs = maxk_forward(&x, 4).unwrap();
+        let part = WarpPartition::build(&adj, 8);
+        let full = spgemm_forward(&adj, &xs, &part);
+        let out = NodeSet::from_unsorted(&[3, 42, 77], 100).unwrap();
+        let sub = sspmm_rows(&adj, &xs, &out, &NodeSet::full(100));
+        for (r, &id) in out.ids().iter().enumerate() {
+            assert_eq!(sub.row(r), full.row(id as usize), "row {id}");
+        }
+    }
+
+    #[test]
+    fn compact_operand_matches_full_operand() {
+        // Feeding the kernel a frontier-compacted operand must give the
+        // same bits as the full-width operand.
+        let (adj, x) = setup(90, 8, 3);
+        let frontier = Frontier::reverse_hops(&adj, &[11, 60], 1).unwrap();
+        let (out, ins) = (frontier.seeds(), frontier.inputs());
+        let mut compact = Matrix::zeros(ins.len(), x.cols());
+        for (c, &id) in ins.ids().iter().enumerate() {
+            compact.row_mut(c).copy_from_slice(x.row(id as usize));
+        }
+        let via_full = spmm_rows(&adj, &x, out, &NodeSet::full(90));
+        let via_compact = spmm_rows(&adj, &compact, out, ins);
+        assert_eq!(via_full, via_compact);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the requested rows' neighbors")]
+    fn missing_neighbor_panics() {
+        let (adj, x) = setup(50, 4, 4);
+        // Find a node with at least one in-edge dependency besides itself.
+        let i = (0..50)
+            .find(|&i| adj.row(i).0.iter().any(|&j| j as usize != i))
+            .expect("power-law graph has edges");
+        let out = NodeSet::from_unsorted(&[i as u32], 50).unwrap();
+        // Input set deliberately too small: just the output node itself.
+        let mut compact = Matrix::zeros(1, 4);
+        compact.row_mut(0).copy_from_slice(x.row(i));
+        let _ = spmm_rows(&adj, &compact, &out, &out);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand rows must match")]
+    fn shape_mismatch_panics() {
+        let (adj, x) = setup(40, 4, 5);
+        let out = NodeSet::from_unsorted(&[0], 40).unwrap();
+        let _ = spmm_rows(&adj, &x, &out, &out);
+    }
+}

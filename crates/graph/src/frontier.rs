@@ -1,0 +1,382 @@
+//! Reverse L-hop frontier expansion for seed-restricted partial forward.
+//!
+//! Serving a micro-batch only needs logits at the batch's seed union, but
+//! a GNN layer's output at node `i` depends on the previous layer's values
+//! at every node `j` with `Â[i, j] != 0` — the column indices of row `i`
+//! of the aggregation operand. Because `Â`'s rows list *in*-neighbors
+//! (CSR of `Â` is the CSC view of the edge direction), walking that
+//! dependency backwards is a BFS over the transpose of the original edge
+//! orientation. Repeating it for `L` layers yields a nested chain of node
+//! sets
+//!
+//! ```text
+//! seeds = S_0 ⊆ S_1 ⊆ … ⊆ S_L,   S_{t+1} = S_t ∪ N_in(S_t)
+//! ```
+//!
+//! where a partial forward computes layer `l` (0-based from the input)
+//! only at the rows `S_{L-1-l}`, reading its input from `S_{L-l}`. Each
+//! set carries a compact old→new id remapping ([`NodeSet`]) so the
+//! row-subset kernels in `maxk-core` can address the previous layer's
+//! compact output directly.
+//!
+//! `S_t` is always included in `S_{t+1}` even when the adjacency has no
+//! self-loop at a node: SAGE's self linear and GIN's `(1 + ε)` term read
+//! the layer input at the output node itself.
+
+use crate::{Csr, GraphError, Result};
+
+/// Sentinel in the inverse map for nodes outside the set.
+const ABSENT: u32 = u32::MAX;
+
+/// A sorted set of node ids with an O(1) global→compact inverse map.
+///
+/// The compact index of a node is its rank within the sorted id list, so
+/// gathering rows `ids()[0..len]` of a full-graph matrix produces the
+/// compact matrix the row-subset kernels consume.
+///
+/// # Example
+///
+/// ```
+/// use maxk_graph::frontier::NodeSet;
+///
+/// let set = NodeSet::from_unsorted(&[7, 2, 7, 4], 10).unwrap();
+/// assert_eq!(set.ids(), &[2, 4, 7]);
+/// assert_eq!(set.compact(4), Some(1));
+/// assert_eq!(set.compact(3), None);
+/// assert!(set.contains(7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSet {
+    ids: Vec<u32>,
+    /// Inverse map, `universe` entries: global id -> compact index.
+    pos: Vec<u32>,
+}
+
+impl NodeSet {
+    /// Builds a set from arbitrary (possibly unsorted, duplicated) ids
+    /// drawn from a universe of `num_nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfBounds`] when an id is `>= num_nodes`.
+    pub fn from_unsorted(ids: &[u32], num_nodes: usize) -> Result<Self> {
+        for &id in ids {
+            if id as usize >= num_nodes {
+                return Err(GraphError::NodeOutOfBounds {
+                    node: id,
+                    num_nodes,
+                });
+            }
+        }
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        Ok(Self::from_sorted_unchecked(sorted, num_nodes))
+    }
+
+    /// The identity set `{0, …, num_nodes-1}` (compact index == global id).
+    #[must_use]
+    pub fn full(num_nodes: usize) -> Self {
+        Self::from_sorted_unchecked((0..num_nodes as u32).collect(), num_nodes)
+    }
+
+    /// `ids` must be sorted, unique and `< num_nodes`.
+    fn from_sorted_unchecked(ids: Vec<u32>, num_nodes: usize) -> Self {
+        let mut pos = vec![ABSENT; num_nodes];
+        for (c, &id) in ids.iter().enumerate() {
+            pos[id as usize] = c as u32;
+        }
+        NodeSet { ids, pos }
+    }
+
+    /// The sorted member ids; a member's compact index is its position
+    /// here.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Size of the universe the set draws from (`num_nodes` of the graph).
+    pub fn universe(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True when `global` is a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `global` is outside the universe.
+    pub fn contains(&self, global: u32) -> bool {
+        self.pos[global as usize] != ABSENT
+    }
+
+    /// Compact index of `global`, if it is a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `global` is outside the universe.
+    #[inline]
+    pub fn compact(&self, global: u32) -> Option<usize> {
+        match self.pos[global as usize] {
+            ABSENT => None,
+            c => Some(c as usize),
+        }
+    }
+
+    /// True when every member of `self` is a member of `other`.
+    pub fn is_subset_of(&self, other: &NodeSet) -> bool {
+        self.universe() == other.universe() && self.ids.iter().all(|&id| other.contains(id))
+    }
+}
+
+/// The reverse L-hop dependency frontier of a seed set.
+///
+/// Level `0` is the (deduplicated, sorted) seed set; level `t+1` is level
+/// `t` plus all its in-neighbors under the aggregation operand. A partial
+/// forward over `hops` layers reads input features at level `hops` and
+/// produces logits at level `0`.
+///
+/// # Example
+///
+/// ```
+/// use maxk_graph::{frontier::Frontier, Coo};
+///
+/// // Chain 0 <- 1 <- 2 in aggregation orientation (row i lists inputs).
+/// let adj = Coo::from_edges(3, vec![(0, 1), (1, 2)]).unwrap().to_csr().unwrap();
+/// let f = Frontier::reverse_hops(&adj, &[0], 2).unwrap();
+/// assert_eq!(f.seeds().ids(), &[0]);
+/// assert_eq!(f.level(1).ids(), &[0, 1]);
+/// assert_eq!(f.inputs().ids(), &[0, 1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frontier {
+    levels: Vec<NodeSet>,
+    edge_work: usize,
+}
+
+impl Frontier {
+    /// Expands `seeds` backwards through `hops` layers of `adj` (the
+    /// aggregation operand, whose row `i` lists the nodes feeding output
+    /// `i`).
+    ///
+    /// `edge_work` accumulates `Σ_t Σ_{i ∈ level t} degree(i)` for
+    /// `t < hops` — the number of multiply-accumulate row visits a partial
+    /// forward performs, comparable against `hops × num_edges` for the
+    /// full forward.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfBounds`] when a seed is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `seeds` is empty.
+    pub fn reverse_hops(adj: &Csr, seeds: &[u32], hops: usize) -> Result<Frontier> {
+        assert!(!seeds.is_empty(), "frontier needs at least one seed");
+        let n = adj.num_nodes();
+        let mut levels = Vec::with_capacity(hops + 1);
+        levels.push(NodeSet::from_unsorted(seeds, n)?);
+        let mut edge_work = 0usize;
+        // Worklist expansion: per hop, only newly discovered nodes are
+        // collected and merged into the (sorted) previous level, so a hop
+        // costs O(frontier edges + level size) — no full-graph scan.
+        let mut mark = vec![false; n];
+        for &i in levels[0].ids() {
+            mark[i as usize] = true;
+        }
+        for _ in 0..hops {
+            let prev = levels.last().expect("seed level pushed above");
+            let mut discovered: Vec<u32> = Vec::new();
+            for &i in prev.ids() {
+                let (cols, _) = adj.row(i as usize);
+                edge_work += cols.len();
+                for &j in cols {
+                    if !mark[j as usize] {
+                        mark[j as usize] = true;
+                        discovered.push(j);
+                    }
+                }
+            }
+            discovered.sort_unstable();
+            // Two-way merge of disjoint sorted lists (prev ⊆ next, the
+            // discoveries are by construction not in prev).
+            let mut merged = Vec::with_capacity(prev.ids().len() + discovered.len());
+            let (mut a, mut b) = (prev.ids(), discovered.as_slice());
+            while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+                if x < y {
+                    merged.push(x);
+                    a = &a[1..];
+                } else {
+                    merged.push(y);
+                    b = &b[1..];
+                }
+            }
+            merged.extend_from_slice(a);
+            merged.extend_from_slice(b);
+            levels.push(NodeSet::from_sorted_unchecked(merged, n));
+        }
+        Ok(Frontier { levels, edge_work })
+    }
+
+    /// Number of expansion hops (`levels() - 1`), i.e. the layer count the
+    /// frontier was built for.
+    pub fn hops(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Level `t` of the chain (`0` = seeds, `hops()` = inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t > hops()`.
+    pub fn level(&self, t: usize) -> &NodeSet {
+        &self.levels[t]
+    }
+
+    /// The seed set (level 0).
+    pub fn seeds(&self) -> &NodeSet {
+        &self.levels[0]
+    }
+
+    /// The input-feature set (last level).
+    pub fn inputs(&self) -> &NodeSet {
+        self.levels.last().expect("levels never empty")
+    }
+
+    /// Total adjacency-row visits of a partial forward over this frontier
+    /// (see [`Frontier::reverse_hops`]).
+    pub fn edge_work(&self) -> usize {
+        self.edge_work
+    }
+
+    /// Sum of level sizes for levels `< hops` — the number of dense
+    /// linear-transform rows a partial forward computes.
+    pub fn row_work(&self) -> usize {
+        self.levels[..self.hops()].iter().map(NodeSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, Coo};
+    use std::collections::BTreeSet;
+
+    fn chain() -> Csr {
+        // Aggregation orientation: row i lists the nodes output i reads.
+        Coo::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)])
+            .unwrap()
+            .to_csr()
+            .unwrap()
+    }
+
+    #[test]
+    fn node_set_basics() {
+        let s = NodeSet::from_unsorted(&[9, 1, 1, 5], 10).unwrap();
+        assert_eq!(s.ids(), &[1, 5, 9]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.universe(), 10);
+        assert_eq!(s.compact(1), Some(0));
+        assert_eq!(s.compact(5), Some(1));
+        assert_eq!(s.compact(9), Some(2));
+        assert_eq!(s.compact(0), None);
+        assert!(s.contains(5));
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn node_set_rejects_out_of_range() {
+        assert_eq!(
+            NodeSet::from_unsorted(&[3], 3).unwrap_err(),
+            GraphError::NodeOutOfBounds {
+                node: 3,
+                num_nodes: 3
+            }
+        );
+    }
+
+    #[test]
+    fn full_set_is_identity() {
+        let s = NodeSet::full(4);
+        assert_eq!(s.ids(), &[0, 1, 2, 3]);
+        for i in 0..4u32 {
+            assert_eq!(s.compact(i), Some(i as usize));
+        }
+    }
+
+    #[test]
+    fn frontier_levels_nest_and_grow_along_chain() {
+        let f = Frontier::reverse_hops(&chain(), &[0], 3).unwrap();
+        assert_eq!(f.hops(), 3);
+        assert_eq!(f.seeds().ids(), &[0]);
+        assert_eq!(f.level(1).ids(), &[0, 1]);
+        assert_eq!(f.level(2).ids(), &[0, 1, 2]);
+        assert_eq!(f.inputs().ids(), &[0, 1, 2, 3]);
+        for t in 0..f.hops() {
+            assert!(f.level(t).is_subset_of(f.level(t + 1)));
+        }
+        // Chain degrees are 1 for rows 0..=3: work = 1 + 2 + 3.
+        assert_eq!(f.edge_work(), 6);
+        assert_eq!(f.row_work(), 1 + 2 + 3);
+    }
+
+    #[test]
+    fn frontier_matches_brute_force_reachability() {
+        // L-hop level sets must equal <=L-step reachability (self
+        // included) following adjacency rows.
+        let adj = generate::chung_lu_power_law(80, 6.0, 2.3, 9)
+            .to_csr()
+            .unwrap();
+        let seeds = [3u32, 17, 44];
+        let hops = 3;
+        let f = Frontier::reverse_hops(&adj, &seeds, hops).unwrap();
+        let mut reach: BTreeSet<u32> = seeds.iter().copied().collect();
+        for t in 0..=hops {
+            let expected: Vec<u32> = reach.iter().copied().collect();
+            assert_eq!(f.level(t).ids(), expected.as_slice(), "level {t}");
+            let mut next = reach.clone();
+            for &i in &reach {
+                for &j in adj.row(i as usize).0 {
+                    next.insert(j);
+                }
+            }
+            reach = next;
+        }
+    }
+
+    #[test]
+    fn seed_duplicates_deduplicated() {
+        let f = Frontier::reverse_hops(&chain(), &[2, 2, 0], 1).unwrap();
+        assert_eq!(f.seeds().ids(), &[0, 2]);
+    }
+
+    #[test]
+    fn bad_seed_rejected() {
+        assert!(Frontier::reverse_hops(&chain(), &[5], 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seeds_panic() {
+        let _ = Frontier::reverse_hops(&chain(), &[], 1);
+    }
+
+    #[test]
+    fn zero_hops_is_just_the_seed_set() {
+        let f = Frontier::reverse_hops(&chain(), &[1, 4], 0).unwrap();
+        assert_eq!(f.hops(), 0);
+        assert_eq!(f.seeds(), f.inputs());
+        assert_eq!(f.edge_work(), 0);
+        assert_eq!(f.row_work(), 0);
+    }
+}

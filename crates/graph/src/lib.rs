@@ -12,7 +12,9 @@
 //!   synthesis for the five training datasets,
 //! * degree-based edge [`normalize`]ation for GCN / GraphSAGE / GIN
 //!   aggregators (Fig. 5),
-//! * the O(n) warp-level Edge-Group [`partition`] mapper of §4.1/§4.2.
+//! * the O(n) warp-level Edge-Group [`partition`] mapper of §4.1/§4.2,
+//! * the reverse L-hop dependency [`frontier`] used by seed-restricted
+//!   partial forward on the serving path.
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 pub mod coo;
 pub mod csr;
 pub mod datasets;
+pub mod frontier;
 pub mod generate;
 pub mod io;
 pub mod normalize;
@@ -44,6 +47,7 @@ pub mod sampling;
 pub use coo::Coo;
 pub use csr::Csr;
 pub use datasets::{Dataset, DatasetSpec, GraphKind, Scale, TrainingData};
+pub use frontier::{Frontier, NodeSet};
 pub use normalize::Aggregator;
 pub use partition::{EdgeGroup, WarpAssignment, WarpPartition};
 pub use reorder::Permutation;

@@ -24,10 +24,12 @@
 pub mod conv;
 pub mod mlp;
 pub mod model;
+pub mod plan;
 pub mod snapshot;
 pub mod train;
 
 pub use conv::{Activation, Arch, Conv, GraphContext};
 pub use model::{GnnModel, ModelConfig, PhaseTimers};
+pub use plan::{ForwardPlan, PlanConfig, PlanLayer};
 pub use snapshot::{ModelSnapshot, SnapshotError};
 pub use train::{train_full_batch, EpochStats, TrainConfig, TrainResult};

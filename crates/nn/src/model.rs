@@ -1,9 +1,10 @@
 //! Stacked GNN models and the per-phase wall-clock breakdown.
 
 use crate::conv::{Activation, Arch, Conv, GraphContext};
+use crate::plan::{ForwardPlan, PlanLayer};
 use maxk_graph::Csr;
 use maxk_tensor::{Matrix, Optimizer};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 /// Wall-clock accumulators for the pipeline phases of Fig. 1(c).
@@ -310,6 +311,70 @@ impl GnnModel {
             h = conv.forward(&self.ctx, &h, train, rng, &mut self.timers);
         }
         h
+    }
+
+    /// Eval-mode forward restricted to a seed set, following `plan`.
+    ///
+    /// Returns one logit row per entry of `seeds`, in request order
+    /// (duplicates allowed). With [`crate::ForwardPlan::Full`] this is a
+    /// full eval forward plus a row gather; with a partial plan only the
+    /// frontier rows are computed — bitwise equal either way (the
+    /// serving-path guarantee, see [`crate::plan`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `seeds` is empty or out of range, or when a partial
+    /// plan's frontier depth/seed set disagrees with the model/request.
+    pub fn forward_planned(&mut self, x: &Matrix, seeds: &[u32], plan: &ForwardPlan) -> Matrix {
+        assert!(!seeds.is_empty(), "forward_planned needs seeds");
+        let n = self.ctx.adj.num_nodes();
+        assert!(seeds.iter().all(|&s| (s as usize) < n), "seed out of range");
+        let gather = |m: &Matrix, rows: &dyn Fn(u32) -> usize| {
+            let mut out = Matrix::zeros(seeds.len(), m.cols());
+            for (r, &s) in seeds.iter().enumerate() {
+                out.row_mut(r).copy_from_slice(m.row(rows(s)));
+            }
+            out
+        };
+        match plan {
+            ForwardPlan::Full => {
+                // Eval mode never touches the RNG (no dropout).
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+                let all = self.forward(x, false, &mut rng);
+                gather(&all, &|s| s as usize)
+            }
+            ForwardPlan::Partial(frontier) => {
+                assert_eq!(
+                    frontier.hops(),
+                    self.cfg.num_layers,
+                    "frontier depth must match the model"
+                );
+                let layers: Vec<PlanLayer<'_>> = self
+                    .convs
+                    .iter()
+                    .map(|c| PlanLayer {
+                        activation: c.activation(),
+                        eps: c.eps(),
+                        neigh_weight: c.lin_neigh().weight(),
+                        neigh_bias: c.lin_neigh().bias(),
+                        self_path: c.lin_self().map(|l| (l.weight(), l.bias())),
+                    })
+                    .collect();
+                let compact = crate::plan::partial_forward(
+                    &self.ctx.adj,
+                    self.cfg.arch,
+                    &layers,
+                    frontier,
+                    x,
+                );
+                gather(&compact, &|s| {
+                    frontier
+                        .seeds()
+                        .compact(s)
+                        .expect("plan frontier must contain every requested seed")
+                })
+            }
+        }
     }
 
     /// Backward pass from the loss gradient; accumulates parameter grads.

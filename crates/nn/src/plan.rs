@@ -1,0 +1,356 @@
+//! Forward planning: full-graph vs. seed-restricted partial forward.
+//!
+//! A serving batch only needs logits at its seed union, so when the
+//! union's reverse L-hop frontier (see `maxk_graph::frontier`) touches a
+//! small fraction of the graph, computing each layer only at the frontier
+//! rows is much cheaper than the full-graph forward. [`ForwardPlan`]
+//! captures that per-batch decision, [`PlanConfig`] holds the cost
+//! heuristic, and [`partial_forward`] executes the plan over any layer
+//! stack expressed as [`PlanLayer`] weight views — both
+//! [`crate::GnnModel::forward_planned`] and `maxk-serve`'s
+//! `InferenceEngine` route through it, so the partial layer math lives in
+//! exactly one place.
+//!
+//! Partial outputs are **bitwise equal** to the corresponding rows of the
+//! full forward: every step (per-row linear transform, MaxK selection,
+//! row-subset aggregation via `maxk_core::subset`, self paths) performs
+//! the same floating-point operations in the same order as the full-graph
+//! path, just skipping rows nobody asked for.
+
+use crate::conv::{Activation, Arch};
+use maxk_core::maxk::maxk_forward;
+use maxk_core::subset::{spmm_rows, sspmm_rows};
+use maxk_graph::{Csr, Frontier, GraphError, NodeSet};
+use maxk_tensor::{ops, Matrix};
+
+/// Cost-heuristic knobs for [`ForwardPlan::choose`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanConfig {
+    /// Skip frontier construction entirely when the (deduplicated) seed
+    /// set exceeds this fraction of the graph — such batches practically
+    /// always saturate the frontier.
+    pub seed_frac_cutoff: f64,
+    /// Go partial when the frontier's aggregation edge work is below this
+    /// fraction of the full forward's (`layers × num_edges`); the margin
+    /// absorbs the partial path's remapping and gather overheads.
+    pub work_ratio: f64,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            seed_frac_cutoff: 0.05,
+            work_ratio: 0.5,
+        }
+    }
+}
+
+/// A per-batch forward strategy: full-graph, or restricted to a seed
+/// frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForwardPlan {
+    /// Run the ordinary full-graph forward and gather seed rows.
+    Full,
+    /// Run layer-by-layer over the reverse frontier only.
+    Partial(Frontier),
+}
+
+impl ForwardPlan {
+    /// Picks full vs. partial for `seeds` under `cfg`.
+    ///
+    /// `adj` is the aggregation operand (row `i` lists the nodes feeding
+    /// output `i`) and `num_layers` the model depth. The heuristic
+    /// compares sparse-aggregation row visits only; the dense linear work
+    /// shrinks by at least the same factor, so it never flips the
+    /// decision.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfBounds`] when a seed is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `seeds` is empty.
+    pub fn choose(
+        adj: &Csr,
+        seeds: &[u32],
+        num_layers: usize,
+        cfg: &PlanConfig,
+    ) -> Result<ForwardPlan, GraphError> {
+        assert!(!seeds.is_empty(), "plan needs at least one seed");
+        let n = adj.num_nodes();
+        let mut unique = seeds.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        if unique.last().map(|&s| s as usize >= n).unwrap_or(false) {
+            return Err(GraphError::NodeOutOfBounds {
+                node: *unique.last().expect("non-empty"),
+                num_nodes: n,
+            });
+        }
+        if unique.len() as f64 > cfg.seed_frac_cutoff * n as f64 {
+            return Ok(ForwardPlan::Full);
+        }
+        let frontier = Frontier::reverse_hops(adj, &unique, num_layers)?;
+        let full_work = (num_layers * adj.num_edges()) as f64;
+        if (frontier.edge_work() as f64) < cfg.work_ratio * full_work {
+            Ok(ForwardPlan::Partial(frontier))
+        } else {
+            Ok(ForwardPlan::Full)
+        }
+    }
+
+    /// True when the plan runs the seed-restricted path.
+    pub fn is_partial(&self) -> bool {
+        matches!(self, ForwardPlan::Partial(_))
+    }
+
+    /// The frontier of a partial plan.
+    pub fn frontier(&self) -> Option<&Frontier> {
+        match self {
+            ForwardPlan::Full => None,
+            ForwardPlan::Partial(f) => Some(f),
+        }
+    }
+}
+
+/// Borrowed weight view of one layer, the common denominator between
+/// `maxk-nn`'s trainable `Conv` and `maxk-serve`'s immutable inference
+/// layers.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanLayer<'a> {
+    /// Layer activation (`None` on the output layer).
+    pub activation: Option<Activation>,
+    /// GIN `(1 + ε)` epsilon.
+    pub eps: f32,
+    /// Neighbor-path weight, `in_dim × out_dim`.
+    pub neigh_weight: &'a Matrix,
+    /// Neighbor-path bias.
+    pub neigh_bias: &'a [f32],
+    /// SAGE self-path `(weight, bias)`, when present.
+    pub self_path: Option<(&'a Matrix, &'a [f32])>,
+}
+
+/// Copies the rows of `m` at `positions` into a fresh compact matrix.
+fn gather_rows_at(m: &Matrix, positions: impl ExactSizeIterator<Item = usize>) -> Matrix {
+    let mut out = Matrix::zeros(positions.len(), m.cols());
+    for (r, p) in positions.enumerate() {
+        out.row_mut(r).copy_from_slice(m.row(p));
+    }
+    out
+}
+
+/// Positions of `sub`'s members within `sup`'s compact ordering.
+///
+/// # Panics
+///
+/// Panics when `sub` is not a subset of `sup`.
+fn positions_in(sub: &NodeSet, sup: &NodeSet) -> Vec<usize> {
+    sub.ids()
+        .iter()
+        .map(|&id| sup.compact(id).expect("frontier levels nest"))
+        .collect()
+}
+
+/// Runs a seed-restricted eval-mode forward over `layers`.
+///
+/// `features` is the full-graph input matrix; the result is compact over
+/// `frontier.seeds()` (`seeds().len() × out_dim`), with row `r` bitwise
+/// equal to row `frontier.seeds().ids()[r]` of the full-graph eval
+/// forward.
+///
+/// # Panics
+///
+/// Panics when `frontier.hops() != layers.len()`, when shapes disagree, or
+/// when `arch`/`self_path` presence are inconsistent.
+#[must_use]
+pub fn partial_forward(
+    adj: &Csr,
+    arch: Arch,
+    layers: &[PlanLayer<'_>],
+    frontier: &Frontier,
+    features: &Matrix,
+) -> Matrix {
+    assert_eq!(
+        frontier.hops(),
+        layers.len(),
+        "frontier depth must match the layer count"
+    );
+    assert_eq!(
+        features.rows(),
+        adj.num_nodes(),
+        "feature rows must match graph nodes"
+    );
+    let hops = layers.len();
+    let mut x = gather_rows_at(
+        features,
+        frontier.inputs().ids().iter().map(|&id| id as usize),
+    );
+    for (l, layer) in layers.iter().enumerate() {
+        let in_set = frontier.level(hops - l);
+        let out_set = frontier.level(hops - l - 1);
+        x = partial_layer(adj, arch, layer, &x, out_set, in_set);
+    }
+    x
+}
+
+/// One layer of the partial forward: mirrors the eval-mode `Conv::forward`
+/// / `InferLayer::forward` dataflow restricted to `out_set` rows.
+fn partial_layer(
+    adj: &Csr,
+    arch: Arch,
+    layer: &PlanLayer<'_>,
+    x: &Matrix,
+    out_set: &NodeSet,
+    in_set: &NodeSet,
+) -> Matrix {
+    // Linear transform at every input node (each feeds some output row).
+    let mut z = ops::matmul(x, layer.neigh_weight);
+    ops::add_bias(&mut z, layer.neigh_bias);
+
+    let out_positions = positions_in(out_set, in_set);
+    let mut pattern = None;
+    let mut y = match layer.activation {
+        Some(Activation::MaxK(k)) => {
+            let hs = maxk_forward(&z, k).expect("k validated at model construction");
+            let y = sspmm_rows(adj, &hs, out_set, in_set);
+            pattern = Some(hs);
+            y
+        }
+        Some(Activation::Relu) => spmm_rows(adj, &ops::relu(&z), out_set, in_set),
+        None => spmm_rows(adj, &z, out_set, in_set),
+    };
+
+    match arch {
+        Arch::Sage => {
+            let (w, b) = layer.self_path.expect("SAGE has a self linear");
+            let x_out = gather_rows_at(x, out_positions.iter().copied());
+            let mut self_y = ops::matmul(&x_out, w);
+            ops::add_bias(&mut self_y, b);
+            ops::add_assign(&mut y, &self_y);
+        }
+        Arch::Gin => {
+            let scale = 1.0 + layer.eps;
+            match (&layer.activation, &pattern) {
+                (Some(Activation::MaxK(_)), Some(hs)) => {
+                    // Row-subset maxk_backward: scatter the out rows'
+                    // pattern densely, then scale+add like the full path.
+                    let k = hs.k();
+                    let mut d = Matrix::zeros(out_set.len(), hs.dim_origin());
+                    for (r, &c) in out_positions.iter().enumerate() {
+                        let row = d.row_mut(r);
+                        for t in 0..k {
+                            row[hs.index_at(c, t)] = hs.row_data(c)[t];
+                        }
+                    }
+                    ops::scale_assign(&mut d, scale);
+                    ops::add_assign(&mut y, &d);
+                }
+                (Some(Activation::Relu), _) => {
+                    let mut h = ops::relu(&gather_rows_at(&z, out_positions.iter().copied()));
+                    ops::scale_assign(&mut h, scale);
+                    ops::add_assign(&mut y, &h);
+                }
+                _ => {
+                    let mut zz = gather_rows_at(&z, out_positions.iter().copied());
+                    ops::scale_assign(&mut zz, scale);
+                    ops::add_assign(&mut y, &zz);
+                }
+            }
+        }
+        Arch::Gcn => {}
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GnnModel, ModelConfig};
+    use maxk_graph::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph() -> Csr {
+        generate::chung_lu_power_law(70, 6.0, 2.3, 2)
+            .to_csr()
+            .unwrap()
+    }
+
+    fn model(arch: Arch, act: Activation) -> GnnModel {
+        let mut cfg = ModelConfig::new(arch, act, 8, 3);
+        cfg.hidden_dim = 12;
+        cfg.dropout = 0.0;
+        let mut rng = StdRng::seed_from_u64(5);
+        GnnModel::new(cfg, &graph(), &mut rng)
+    }
+
+    #[test]
+    fn partial_matches_full_forward_bitwise_all_combos() {
+        for arch in [Arch::Gcn, Arch::Sage, Arch::Gin] {
+            for act in [Activation::Relu, Activation::MaxK(4)] {
+                let mut m = model(arch, act);
+                let mut rng = StdRng::seed_from_u64(11);
+                let x = Matrix::xavier(70, 8, &mut rng);
+                let full = m.forward(&x, false, &mut rng);
+                let frontier = Frontier::reverse_hops(&m.context().adj, &[0, 13, 69], 3).unwrap();
+                let plan = ForwardPlan::Partial(frontier);
+                let part = m.forward_planned(&x, &[13, 0, 69, 13], &plan);
+                assert_eq!(part.shape(), (4, 3), "{arch:?} {act:?}");
+                assert_eq!(part.row(0), full.row(13), "{arch:?} {act:?}");
+                assert_eq!(part.row(1), full.row(0), "{arch:?} {act:?}");
+                assert_eq!(part.row(2), full.row(69), "{arch:?} {act:?}");
+                assert_eq!(part.row(3), full.row(13), "{arch:?} {act:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_plan_gathers_same_rows() {
+        let mut m = model(Arch::Sage, Activation::MaxK(4));
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = Matrix::xavier(70, 8, &mut rng);
+        let full = m.forward(&x, false, &mut rng);
+        let out = m.forward_planned(&x, &[5, 5, 2], &ForwardPlan::Full);
+        assert_eq!(out.row(0), full.row(5));
+        assert_eq!(out.row(1), full.row(5));
+        assert_eq!(out.row(2), full.row(2));
+    }
+
+    #[test]
+    fn choose_goes_partial_for_small_seed_sets() {
+        let m = model(Arch::Gcn, Activation::Relu);
+        let adj = &m.context().adj;
+        let plan = ForwardPlan::choose(adj, &[0], 3, &PlanConfig::default()).unwrap();
+        // A single seed in a 70-node graph may or may not saturate the
+        // 3-hop frontier; just check consistency of the decision.
+        if let ForwardPlan::Partial(f) = &plan {
+            assert!(f.edge_work() < 3 * adj.num_edges());
+            assert_eq!(f.seeds().ids(), &[0]);
+        }
+        // Forcing a generous ratio must always go partial.
+        let generous = PlanConfig {
+            seed_frac_cutoff: 1.0,
+            work_ratio: 1.1,
+        };
+        assert!(ForwardPlan::choose(adj, &[0], 3, &generous)
+            .unwrap()
+            .is_partial());
+    }
+
+    #[test]
+    fn choose_goes_full_for_saturating_seed_sets() {
+        let m = model(Arch::Gcn, Activation::Relu);
+        let adj = &m.context().adj;
+        let all: Vec<u32> = (0..70).collect();
+        let plan = ForwardPlan::choose(adj, &all, 3, &PlanConfig::default()).unwrap();
+        assert!(!plan.is_partial());
+        assert!(plan.frontier().is_none());
+    }
+
+    #[test]
+    fn choose_rejects_bad_seed() {
+        let m = model(Arch::Gcn, Activation::Relu);
+        assert!(ForwardPlan::choose(&m.context().adj, &[70], 3, &PlanConfig::default()).is_err());
+    }
+}

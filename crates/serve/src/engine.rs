@@ -18,7 +18,8 @@ use crate::ServeError;
 use maxk_core::maxk::{maxk_backward, maxk_forward};
 use maxk_core::spgemm::spgemm_forward;
 use maxk_core::spmm::spmm_rowwise;
-use maxk_graph::Csr;
+use maxk_graph::{Csr, Frontier, NodeSet};
+use maxk_nn::plan::{partial_forward, ForwardPlan, PlanConfig, PlanLayer};
 use maxk_nn::snapshot::ModelSnapshot;
 use maxk_nn::{Activation, Arch, GraphContext};
 use maxk_tensor::{ops, Matrix};
@@ -86,7 +87,75 @@ impl InferLayer {
     }
 }
 
+/// Logits produced for one batch, either full-graph or seed-restricted.
+///
+/// Abstracts over where a seed's row lives: at index `seed` in a
+/// full-graph matrix, or at the seed's compact frontier position in a
+/// partial one. Produced by [`InferenceEngine::forward_planned`].
+#[derive(Debug, Clone)]
+pub struct BatchLogits {
+    logits: Matrix,
+    /// `None` = full-graph logits (row index == node id).
+    seeds: Option<NodeSet>,
+}
+
+impl BatchLogits {
+    /// True when the batch ran the seed-restricted partial path.
+    pub fn is_partial(&self) -> bool {
+        self.seeds.is_some()
+    }
+
+    /// The raw logit matrix (full-graph, or compact over the plan seeds).
+    pub fn logits(&self) -> &Matrix {
+        &self.logits
+    }
+
+    /// Copies the logit rows for `seeds` in request order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a seed was not part of the plan this batch ran under
+    /// (partial plans only cover their seed union).
+    pub fn gather(&self, seeds: &[u32]) -> Matrix {
+        match &self.seeds {
+            None => gather_rows(&self.logits, seeds),
+            Some(set) => {
+                let mut out = Matrix::zeros(seeds.len(), self.logits.cols());
+                for (i, &s) in seeds.iter().enumerate() {
+                    let c = set.compact(s).expect("seed covered by the batch plan");
+                    out.row_mut(i).copy_from_slice(self.logits.row(c));
+                }
+                out
+            }
+        }
+    }
+}
+
 /// A read-only, thread-shareable inference model over one graph.
+///
+/// # Examples
+///
+/// ```
+/// use maxk_serve::InferenceEngine;
+/// use maxk_nn::snapshot::ModelSnapshot;
+/// use maxk_nn::{Activation, Arch, GnnModel, ModelConfig};
+/// use maxk_graph::generate;
+/// use maxk_tensor::Matrix;
+/// use rand::SeedableRng;
+///
+/// let graph = generate::chung_lu_power_law(50, 5.0, 2.3, 1).to_csr().unwrap();
+/// let mut cfg = ModelConfig::new(Arch::Gcn, Activation::MaxK(4), 8, 3);
+/// cfg.hidden_dim = 16;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = GnnModel::new(cfg, &graph, &mut rng);
+/// let features = Matrix::xavier(50, 8, &mut rng);
+///
+/// let snapshot = ModelSnapshot::capture(&model);
+/// let engine = InferenceEngine::from_snapshot(&snapshot, &graph, features).unwrap();
+/// // Heuristic full/partial choice; always exact for the requested seeds.
+/// let logits = engine.logits_for(&[0, 7, 13]).unwrap();
+/// assert_eq!(logits.shape(), (3, 3));
+/// ```
 #[derive(Debug, Clone)]
 pub struct InferenceEngine {
     layers: Vec<InferLayer>,
@@ -94,6 +163,7 @@ pub struct InferenceEngine {
     arch: Arch,
     features: Matrix,
     out_dim: usize,
+    plan_cfg: PlanConfig,
 }
 
 impl InferenceEngine {
@@ -177,7 +247,20 @@ impl InferenceEngine {
             arch: cfg.arch,
             out_dim: cfg.out_dim,
             features,
+            plan_cfg: PlanConfig::default(),
         })
+    }
+
+    /// Replaces the full-vs-partial cost heuristic (builder style).
+    #[must_use]
+    pub fn with_plan_config(mut self, cfg: PlanConfig) -> Self {
+        self.plan_cfg = cfg;
+        self
+    }
+
+    /// The cost heuristic used by [`InferenceEngine::plan_for`].
+    pub fn plan_config(&self) -> &PlanConfig {
+        &self.plan_cfg
     }
 
     /// Number of nodes served by this engine.
@@ -222,18 +305,101 @@ impl InferenceEngine {
         h
     }
 
-    /// Convenience single-query path: one full forward, then gather the
-    /// seed rows. This is the "one query per forward" baseline that the
-    /// micro-batcher is measured against.
+    /// Plans full vs. seed-restricted forward for a batch's seed union
+    /// using the engine's [`PlanConfig`] cost heuristic (frontier edge
+    /// work vs. `layers × num_edges`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SeedOutOfRange`] / [`ServeError::EmptyQuery`] on bad
+    /// seed sets.
+    pub fn plan_for(&self, seeds: &[u32]) -> Result<ForwardPlan, ServeError> {
+        check_seeds(seeds, self.num_nodes())?;
+        ForwardPlan::choose(&self.ctx.adj, seeds, self.layers.len(), &self.plan_cfg)
+            .map_err(|e| ServeError::BadModel(e.to_string()))
+    }
+
+    /// Executes a plan: one full forward, or a partial forward over the
+    /// plan's frontier. Either way the returned [`BatchLogits`] gathers
+    /// bitwise-identical rows for every seed the plan covers.
+    #[must_use]
+    pub fn forward_planned(&self, plan: &ForwardPlan) -> BatchLogits {
+        match plan {
+            ForwardPlan::Full => BatchLogits {
+                logits: self.forward_all(),
+                seeds: None,
+            },
+            ForwardPlan::Partial(frontier) => BatchLogits {
+                logits: self.forward_partial(frontier),
+                seeds: Some(frontier.seeds().clone()),
+            },
+        }
+    }
+
+    /// Seed-restricted forward: computes logits only at
+    /// `frontier.seeds()` (compact order), running every layer on the
+    /// frontier's row subsets via the `maxk_core::subset` kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the frontier depth does not match the model.
+    #[must_use]
+    pub fn forward_partial(&self, frontier: &Frontier) -> Matrix {
+        let layers: Vec<PlanLayer<'_>> = self
+            .layers
+            .iter()
+            .map(|l| PlanLayer {
+                activation: l.activation,
+                eps: l.eps,
+                neigh_weight: &l.neigh_weight,
+                neigh_bias: &l.neigh_bias,
+                self_path: l.self_path.as_ref().map(|(w, b)| (w, b.as_slice())),
+            })
+            .collect();
+        partial_forward(&self.ctx.adj, self.arch, &layers, frontier, &self.features)
+    }
+
+    /// Convenience single-query path: plans the forward with the cost
+    /// heuristic (partial when the seed frontier is small, full-graph
+    /// otherwise) and gathers the seed rows in request order.
     ///
     /// # Errors
     ///
     /// [`ServeError::SeedOutOfRange`] / [`ServeError::EmptyQuery`] on bad
     /// seed sets.
     pub fn logits_for(&self, seeds: &[u32]) -> Result<Matrix, ServeError> {
+        let plan = self.plan_for(seeds)?;
+        Ok(self.forward_planned(&plan).gather(seeds))
+    }
+
+    /// The "one query per full forward" baseline path: always runs the
+    /// full-graph forward and gathers the seed rows.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceEngine::logits_for`].
+    pub fn logits_full(&self, seeds: &[u32]) -> Result<Matrix, ServeError> {
         check_seeds(seeds, self.num_nodes())?;
         let all = self.forward_all();
         Ok(gather_rows(&all, seeds))
+    }
+
+    /// Forces the seed-restricted path regardless of the cost heuristic
+    /// (benchmarking hook; `serve_bench` sweeps it against
+    /// [`InferenceEngine::logits_full`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceEngine::logits_for`].
+    pub fn logits_partial(&self, seeds: &[u32]) -> Result<Matrix, ServeError> {
+        check_seeds(seeds, self.num_nodes())?;
+        let frontier = Frontier::reverse_hops(&self.ctx.adj, seeds, self.layers.len())
+            .map_err(|e| ServeError::BadModel(e.to_string()))?;
+        let out = BatchLogits {
+            logits: self.forward_partial(&frontier),
+            seeds: Some(frontier.seeds().clone()),
+        };
+        Ok(out.gather(seeds))
     }
 }
 
@@ -360,6 +526,47 @@ mod tests {
             Err(ServeError::BadModel(_))
         ));
         drop(x);
+    }
+
+    #[test]
+    fn partial_forward_bitwise_matches_full_all_combos() {
+        for arch in [Arch::Gcn, Arch::Sage, Arch::Gin] {
+            for act in [Activation::Relu, Activation::MaxK(4)] {
+                let (graph, x, model) = setup(arch, act);
+                let snap = ModelSnapshot::capture(&model);
+                let engine = InferenceEngine::from_snapshot(&snap, &graph, x).unwrap();
+                let seeds = [9u32, 0, 49, 9];
+                let full = engine.logits_full(&seeds).unwrap();
+                let partial = engine.logits_partial(&seeds).unwrap();
+                assert_eq!(partial, full, "{arch:?} {act:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_plan_stays_exact_both_ways() {
+        let (graph, x, model) = setup(Arch::Sage, Activation::MaxK(4));
+        let snap = ModelSnapshot::capture(&model);
+        // Force each decision via the heuristic knobs.
+        for cfg in [
+            maxk_nn::PlanConfig {
+                seed_frac_cutoff: 1.0,
+                work_ratio: 1.1, // always partial
+            },
+            maxk_nn::PlanConfig {
+                seed_frac_cutoff: 0.0,
+                work_ratio: 0.0, // always full
+            },
+        ] {
+            let engine = InferenceEngine::from_snapshot(&snap, &graph, x.clone())
+                .unwrap()
+                .with_plan_config(cfg);
+            let plan = engine.plan_for(&[2, 31]).unwrap();
+            assert_eq!(plan.is_partial(), cfg.work_ratio > 1.0);
+            let out = engine.forward_planned(&plan);
+            assert_eq!(out.is_partial(), plan.is_partial());
+            assert_eq!(out.gather(&[2, 31]), engine.logits_full(&[2, 31]).unwrap());
+        }
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //!   reload bit-exactly;
 //! * [`InferenceEngine`] — an immutable, `Arc`-shareable eval-mode
 //!   forward path over the `maxk-core` SpGEMM/SpMM kernels, with the
-//!   per-graph normalization computed once and cached;
+//!   per-graph normalization computed once and cached. Per batch it
+//!   plans **full-graph vs. seed-restricted partial forward**
+//!   ([`ForwardPlan`]): when the batch's seed-union reverse frontier is
+//!   small, only the frontier rows are computed (`maxk_core::subset`
+//!   kernels), bitwise-equal to the full forward for the requested seeds;
 //! * [`Server`] — a micro-batching request queue (`std::thread` +
 //!   `mpsc`): queries arriving within a configurable window coalesce into
 //!   one batched forward, so a batch of `B` queries costs one forward
@@ -48,15 +52,16 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod engine;
 pub mod loadgen;
 pub mod metrics;
 pub mod server;
 
-pub use engine::InferenceEngine;
+pub use engine::{BatchLogits, InferenceEngine};
 pub use loadgen::{replay, LoadConfig, LoadReport, ZipfSampler};
+pub use maxk_nn::plan::{ForwardPlan, PlanConfig};
 pub use metrics::{LatencyHistogram, LatencySummary};
 pub use server::{QueryResponse, ServeConfig, Server, ServerHandle, StatsSnapshot};
 

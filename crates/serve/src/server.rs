@@ -13,8 +13,9 @@
 //!                                 batch channel
 //!                                      │
 //!                        worker pool (`workers` threads)
-//!               (one shared forward per batch, gather seed rows,
-//!                reply per query, record latency)
+//!               (one shared forward per batch — full-graph or
+//!                seed-restricted per the cost heuristic — gather
+//!                seed rows, reply per query, record latency)
 //! ```
 //!
 //! Each batch costs **one** engine forward regardless of how many queries
@@ -23,10 +24,19 @@
 //! aggregation amortization. Setting `max_batch = 1` (window 0) degrades
 //! to the one-query-per-forward baseline that `serve_bench` compares
 //! against.
+//!
+//! Per batch, the worker plans over the batch's **seed union**
+//! ([`InferenceEngine::plan_for`]): when the union's reverse L-hop
+//! frontier is small relative to the graph, the engine computes only the
+//! frontier rows (seed-restricted partial forward) instead of all `|V|`
+//! rows, cutting per-batch latency on large graphs; the
+//! [`StatsSnapshot::partial_batches`] counter reports how often that path
+//! won.
 
-use crate::engine::{check_seeds, gather_rows, InferenceEngine};
+use crate::engine::{check_seeds, InferenceEngine};
 use crate::metrics::{LatencyHistogram, LatencySummary};
 use crate::ServeError;
+use maxk_nn::plan::ForwardPlan;
 use maxk_tensor::Matrix;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
@@ -67,6 +77,9 @@ pub struct QueryResponse {
     pub batch_size: usize,
     /// Queue + compute latency observed by the server.
     pub latency: Duration,
+    /// Whether this batch ran the seed-restricted partial forward (the
+    /// cost heuristic found the batch's seed-union frontier small enough).
+    pub partial: bool,
 }
 
 struct Request {
@@ -88,6 +101,7 @@ enum Msg {
 struct Counters {
     queries: AtomicU64,
     batches: AtomicU64,
+    partial_batches: AtomicU64,
 }
 
 /// Point-in-time statistics read-out of a running [`Server`].
@@ -97,6 +111,8 @@ pub struct StatsSnapshot {
     pub queries: u64,
     /// Batched forward passes executed.
     pub batches: u64,
+    /// Batches served by the seed-restricted partial forward.
+    pub partial_batches: u64,
     /// Mean queries per batch (1.0 means batching bought nothing).
     pub mean_batch: f64,
     /// Seconds since the server started.
@@ -111,6 +127,38 @@ pub struct StatsSnapshot {
 ///
 /// Dropping (or [`Server::shutdown`]) closes the ingress, flushes
 /// in-flight batches and joins every thread.
+///
+/// # Examples
+///
+/// ```
+/// use maxk_serve::{InferenceEngine, ServeConfig, Server};
+/// use maxk_nn::snapshot::ModelSnapshot;
+/// use maxk_nn::{Activation, Arch, GnnModel, ModelConfig};
+/// use maxk_graph::generate;
+/// use maxk_tensor::Matrix;
+/// use rand::SeedableRng;
+/// use std::sync::Arc;
+///
+/// let graph = generate::chung_lu_power_law(40, 5.0, 2.3, 1).to_csr().unwrap();
+/// let mut cfg = ModelConfig::new(Arch::Gcn, Activation::Relu, 6, 2);
+/// cfg.hidden_dim = 8;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = GnnModel::new(cfg, &graph, &mut rng);
+/// let engine = Arc::new(
+///     InferenceEngine::from_snapshot(
+///         &ModelSnapshot::capture(&model),
+///         &graph,
+///         Matrix::xavier(40, 6, &mut rng),
+///     )
+///     .unwrap(),
+/// );
+///
+/// let server = Server::start(engine, ServeConfig::default());
+/// let response = server.handle().query(&[0, 5]).unwrap();
+/// assert_eq!(response.logits.shape(), (2, 2));
+/// let stats = server.shutdown();
+/// assert_eq!(stats.queries, 1);
+/// ```
 pub struct Server {
     ingress: Option<mpsc::Sender<Msg>>,
     batcher: Option<JoinHandle<()>>,
@@ -183,18 +231,32 @@ impl Server {
                         Err(_) => break,
                     };
                     let size = batch.len();
-                    // One shared forward pass for the whole batch.
-                    let logits = engine.forward_all();
+                    // One shared forward pass for the whole batch: the
+                    // cost heuristic on the batch's seed union picks the
+                    // seed-restricted partial forward when its reverse
+                    // frontier is small, the full-graph forward otherwise.
+                    let mut union: Vec<u32> =
+                        batch.iter().flat_map(|r| r.seeds.iter().copied()).collect();
+                    union.sort_unstable();
+                    union.dedup();
+                    // Seeds were validated at the handle, so planning only
+                    // fails on internal inconsistency — fall back to full.
+                    let plan = engine.plan_for(&union).unwrap_or(ForwardPlan::Full);
+                    let logits = engine.forward_planned(&plan);
                     counters.batches.fetch_add(1, Ordering::Relaxed);
+                    if logits.is_partial() {
+                        counters.partial_batches.fetch_add(1, Ordering::Relaxed);
+                    }
                     counters.queries.fetch_add(size as u64, Ordering::Relaxed);
                     let mut latencies = Vec::with_capacity(size);
                     for req in batch {
                         let latency = req.enqueued.elapsed();
                         latencies.push(latency.as_micros().min(u128::from(u64::MAX)) as u64);
                         let response = QueryResponse {
-                            logits: gather_rows(&logits, &req.seeds),
+                            logits: logits.gather(&req.seeds),
                             batch_size: size,
                             latency,
+                            partial: logits.is_partial(),
                         };
                         // A client that gave up is not an error.
                         let _ = req.reply.send(Ok(response));
@@ -234,10 +296,12 @@ impl Server {
     pub fn stats(&self) -> StatsSnapshot {
         let queries = self.counters.queries.load(Ordering::Relaxed);
         let batches = self.counters.batches.load(Ordering::Relaxed);
+        let partial_batches = self.counters.partial_batches.load(Ordering::Relaxed);
         let uptime_s = self.started.elapsed().as_secs_f64();
         StatsSnapshot {
             queries,
             batches,
+            partial_batches,
             // Every served query belongs to exactly one batch, so the
             // mean occupancy is just the ratio of the two counters.
             mean_batch: if batches == 0 {
@@ -414,6 +478,37 @@ mod tests {
         assert_eq!(stats.queries, 5);
         assert_eq!(stats.batches, 5);
         assert!((stats.mean_batch - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_batches_counted_and_flagged() {
+        use maxk_nn::PlanConfig;
+        let force = |seed_frac_cutoff: f64, work_ratio: f64| {
+            let e = Arc::try_unwrap(engine())
+                .expect("sole owner")
+                .with_plan_config(PlanConfig {
+                    seed_frac_cutoff,
+                    work_ratio,
+                });
+            Arc::new(e)
+        };
+        // Always-partial heuristic: the response and counters must say so.
+        let server = Server::start(force(1.0, f64::INFINITY), ServeConfig::default());
+        let expected = {
+            let h = server.handle();
+            let resp = h.query(&[7]).unwrap();
+            assert!(resp.partial);
+            resp.logits
+        };
+        let stats = server.shutdown();
+        assert_eq!(stats.partial_batches, 1);
+        // Always-full heuristic: same logits bitwise, no partial batches.
+        let server = Server::start(force(0.0, 0.0), ServeConfig::default());
+        let resp = server.handle().query(&[7]).unwrap();
+        assert!(!resp.partial);
+        assert_eq!(resp.logits, expected);
+        let stats = server.shutdown();
+        assert_eq!(stats.partial_batches, 0);
     }
 
     #[test]

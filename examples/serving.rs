@@ -1,6 +1,7 @@
 //! Serving round-trip: train a MaxK-GNN model, persist it as a snapshot,
-//! reload it into the inference engine and serve Zipf query traffic
-//! through the micro-batching server.
+//! reload it into the inference engine, demonstrate the seed-restricted
+//! partial forward, and serve Zipf query traffic through the
+//! micro-batching server (which plans full vs. partial per batch).
 //!
 //! Run with `cargo run --release --example serving`.
 
@@ -54,12 +55,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         snapshot.num_params()
     );
 
-    // 3. Build the inference engine (normalization cached once) and start
-    //    the micro-batching server.
+    // 3. Build the inference engine (normalization cached once).
     let features = Matrix::from_vec(data.csr.num_nodes(), data.in_dim, data.features.clone())?;
     let engine = Arc::new(InferenceEngine::from_snapshot(
         &snapshot, &data.csr, features,
     )?);
+
+    // 3b. Seed-restricted partial forward: for a small seed set the
+    //     engine expands the reverse L-hop frontier and computes only
+    //     those rows — bitwise-identical logits, a fraction of the work.
+    //     `logits_for` picks full vs. partial per call via the cost
+    //     heuristic; the forced paths below show the equivalence.
+    let seeds = [0u32, 1, 2];
+    let full = engine.logits_full(&seeds)?;
+    let partial = engine.logits_partial(&seeds)?;
+    assert_eq!(full, partial, "partial forward must be bitwise exact");
+    let plan = engine.plan_for(&seeds)?;
+    println!(
+        "partial forward for {} seeds: bitwise equal to full; planner picks {}",
+        seeds.len(),
+        if plan.is_partial() { "partial" } else { "full" }
+    );
+
+    // 3c. Start the micro-batching server; each batch plans full vs.
+    //     partial over its seed union automatically.
     let server = Server::start(
         Arc::clone(&engine),
         ServeConfig {
@@ -73,11 +92,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let handle = server.handle();
     let response = handle.query(&[0, 1, 2])?;
     println!(
-        "query for 3 seeds -> {}x{} logits (batch of {}, {:.2} ms)",
+        "query for 3 seeds -> {}x{} logits (batch of {}, {:.2} ms, {} forward)",
         response.logits.rows(),
         response.logits.cols(),
         response.batch_size,
-        response.latency.as_secs_f64() * 1e3
+        response.latency.as_secs_f64() * 1e3,
+        if response.partial { "partial" } else { "full" }
     );
 
     // 5. ...then closed-loop Zipf traffic from 8 concurrent clients.
@@ -93,10 +113,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let stats = server.shutdown();
     println!(
-        "served {} queries at {:.1} q/s (mean batch {:.1}); latency p50 {:.0}us p99 {:.0}us",
+        "served {} queries at {:.1} q/s (mean batch {:.1}, {}/{} partial batches); \
+         latency p50 {:.0}us p99 {:.0}us",
         report.queries,
         report.throughput_qps,
         stats.mean_batch,
+        stats.partial_batches,
+        stats.batches,
         report.latency.p50_us,
         report.latency.p99_us
     );

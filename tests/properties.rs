@@ -6,9 +6,11 @@ use maxk_gnn::core::maxk::{maxk_backward, maxk_forward, maxk_forward_pivot};
 use maxk_gnn::core::spgemm::{spgemm_forward, spgemm_forward_reference};
 use maxk_gnn::core::spmm::spmm_rowwise;
 use maxk_gnn::core::sspmm::{sspmm_backward, sspmm_backward_outer, sspmm_backward_reference};
-use maxk_gnn::graph::{Coo, Csr, WarpPartition};
+use maxk_gnn::core::subset::{spmm_rows, sspmm_rows};
+use maxk_gnn::graph::{Coo, Csr, Frontier, NodeSet, WarpPartition};
 use maxk_gnn::tensor::Matrix;
 use proptest::prelude::*;
+use rand::Rng;
 
 /// Strategy: a random small graph as (n, edge list).
 fn graph_strategy() -> impl Strategy<Value = Csr> {
@@ -179,6 +181,81 @@ proptest! {
         // Row degrees sum to nnz.
         let total: usize = (0..csr.num_nodes()).map(|i| csr.degree(i)).sum();
         prop_assert_eq!(total, csr.num_edges());
+    }
+
+    #[test]
+    fn spmm_rows_bitwise_matches_full_kernel_rows(
+        (csr, seed) in (graph_strategy(), 0u64..1000)
+    ) {
+        // The row-subset serving kernel must reproduce the full kernel's
+        // rows bit for bit on any random row subset.
+        let n = csr.num_nodes();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Matrix::xavier(n, 7, &mut rng);
+        let full = spmm_rowwise(&csr, &x);
+        let picked: Vec<u32> = (0..n as u32).filter(|_| rng.gen_range(0.0..1.0) < 0.4).collect();
+        let picked = if picked.is_empty() { vec![(seed % n as u64) as u32] } else { picked };
+        let out = NodeSet::from_unsorted(&picked, n).expect("ids in range");
+        let sub = spmm_rows(&csr, &x, &out, &NodeSet::full(n));
+        for (r, &id) in out.ids().iter().enumerate() {
+            prop_assert_eq!(sub.row(r), full.row(id as usize));
+        }
+    }
+
+    #[test]
+    fn sspmm_rows_bitwise_matches_spgemm_rows(
+        (csr, seed) in (graph_strategy(), 0u64..1000)
+    ) {
+        // CBSR-operand row subset vs. the full SpGEMM, bitwise, including
+        // the frontier-compacted operand path.
+        let n = csr.num_nodes();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Matrix::xavier(n, 12, &mut rng);
+        let xs = maxk_forward(&x, 4).expect("k <= dim");
+        let part = WarpPartition::build(&csr, 8);
+        let full = spgemm_forward(&csr, &xs, &part);
+        let picked: Vec<u32> = (0..n as u32).filter(|_| rng.gen_range(0.0..1.0) < 0.4).collect();
+        let picked = if picked.is_empty() { vec![(seed % n as u64) as u32] } else { picked };
+        let out = NodeSet::from_unsorted(&picked, n).expect("ids in range");
+        let sub = sspmm_rows(&csr, &xs, &out, &NodeSet::full(n));
+        for (r, &id) in out.ids().iter().enumerate() {
+            prop_assert_eq!(sub.row(r), full.row(id as usize));
+        }
+        // Compact operand: gather the 1-hop frontier's input rows and
+        // re-run; must stay bitwise identical.
+        let frontier = Frontier::reverse_hops(&csr, out.ids(), 1).expect("ids in range");
+        let ins = frontier.inputs();
+        let mut compact = maxk_gnn::core::Cbsr::zeros(ins.len(), xs.dim_origin(), xs.k());
+        for (c, &id) in ins.ids().iter().enumerate() {
+            for t in 0..xs.k() {
+                compact.set_entry(c, t, xs.index_at(id as usize, t), xs.row_data(id as usize)[t]);
+            }
+        }
+        let sub2 = sspmm_rows(&csr, &compact, &out, ins);
+        prop_assert_eq!(&sub2, &sub);
+    }
+
+    #[test]
+    fn frontier_levels_equal_brute_force_reachability(
+        (csr, seed) in (graph_strategy(), 0u64..1000)
+    ) {
+        // Each frontier level must equal <=t-step reachability (self
+        // included) following adjacency rows from the seed set.
+        let n = csr.num_nodes();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s0 = rng.gen_range(0..n) as u32;
+        let hops = 3;
+        let frontier = Frontier::reverse_hops(&csr, &[s0], hops).expect("seed in range");
+        let mut reach: std::collections::BTreeSet<u32> = [s0].into_iter().collect();
+        for t in 0..=hops {
+            let expected: Vec<u32> = reach.iter().copied().collect();
+            prop_assert_eq!(frontier.level(t).ids(), expected.as_slice());
+            for i in expected {
+                for &j in csr.row(i as usize).0 {
+                    reach.insert(j);
+                }
+            }
+        }
     }
 }
 

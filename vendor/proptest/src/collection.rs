@@ -10,7 +10,7 @@ pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrateg
     VecStrategy { element, size }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
