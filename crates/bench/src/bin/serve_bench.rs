@@ -12,22 +12,30 @@
 //!
 //! Afterwards it sweeps seed-set sizes, timing the full-graph forward
 //! against the seed-restricted partial forward per batch (verifying
-//! bitwise equality at every size) and writes `BENCH_partial.json`.
+//! bitwise equality at every size, and recording the corrected cost
+//! model's predicted speedup next to the measured one) and writes
+//! `BENCH_partial.json`; then it sweeps shard counts through the sharded
+//! router (`--shards`), verifying sharded logits bitwise against the
+//! single engine and recording replay throughput plus the peak per-shard
+//! resident edge/feature footprint, into `BENCH_shard.json`.
 //!
 //! ```text
 //! cargo run --release -p maxk-bench --bin serve_bench -- \
 //!     --scale test --epochs 20 --queries 2000 --clients 8 \
-//!     --partial-sizes 1,8,64 --partial-reps 5
+//!     --partial-sizes 1,8,64 --partial-reps 5 --shards 1,2,4
 //! ```
 
 use maxk_bench::report::{save_json, JsonObject, JsonValue};
 use maxk_bench::{Args, Table};
 use maxk_graph::datasets::{Scale, TrainingDataset};
+use maxk_graph::shard::ShardStrategy;
 use maxk_graph::Frontier;
+use maxk_nn::plan::{full_cost, partial_cost};
 use maxk_nn::snapshot::ModelSnapshot;
 use maxk_nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
 use maxk_serve::{
-    replay, InferenceEngine, LoadConfig, LoadReport, ServeConfig, Server, StatsSnapshot,
+    replay, BatchEngine, InferenceEngine, LoadConfig, LoadReport, ServeConfig, Server, ShardConfig,
+    ShardedEngine, StatsSnapshot,
 };
 use maxk_tensor::Matrix;
 use rand::{Rng, SeedableRng};
@@ -43,8 +51,8 @@ fn scale_from(name: &str) -> Scale {
     }
 }
 
-fn run_mode(
-    engine: &Arc<InferenceEngine>,
+fn run_mode<E: BatchEngine + 'static>(
+    engine: &Arc<E>,
     serve_cfg: ServeConfig,
     load_cfg: &LoadConfig,
 ) -> (LoadReport, StatsSnapshot) {
@@ -93,6 +101,8 @@ fn partial_sweep(
     reps: usize,
 ) -> (Table, Vec<JsonObject>) {
     let n = engine.num_nodes();
+    let costs = engine.layer_costs();
+    let modelled_full = full_cost(n, engine.context().adj.num_edges(), costs);
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let mut table = Table::new(vec![
         "seeds",
@@ -101,6 +111,7 @@ fn partial_sweep(
         "full/batch",
         "partial/batch",
         "speedup",
+        "predicted",
         "planner",
     ]);
     let mut rows = Vec::new();
@@ -109,6 +120,7 @@ fn partial_sweep(
         let seeds = sample_seeds(n, size, &mut rng);
         let frontier = Frontier::reverse_hops(&engine.context().adj, &seeds, num_layers)
             .expect("seeds in range");
+        let predicted = modelled_full / partial_cost(&frontier, costs);
         let full = engine.logits_full(&seeds).expect("full forward");
         let partial = engine.logits_partial(&seeds).expect("partial forward");
         let bitwise_equal = full == partial;
@@ -134,6 +146,7 @@ fn partial_sweep(
             maxk_bench::report::fmt_time(full_s),
             maxk_bench::report::fmt_time(partial_s),
             maxk_bench::report::fmt_speedup(speedup),
+            maxk_bench::report::fmt_speedup(predicted),
             if picks_partial { "partial" } else { "full" }.to_string(),
         ]);
         rows.push(
@@ -146,11 +159,137 @@ fn partial_sweep(
                 .field("full_ms", full_s * 1e3)
                 .field("partial_ms", partial_s * 1e3)
                 .field("speedup", speedup)
+                // Modelled full/partial cost ratio from the corrected
+                // plan heuristic (dense-linear rows + aggregation edge
+                // work): should track the measured speedup, unlike the
+                // old edge-only ratio (full_edge_work /
+                // frontier_edge_work) that overstated wins ~2x near
+                // frontier saturation.
+                .field("predicted_speedup", predicted)
                 .field("bitwise_equal", bitwise_equal)
                 .field("planner_picks_partial", picks_partial),
         );
     }
     (table, rows)
+}
+
+/// Sharded-serving sweep: for each shard count, build a [`ShardedEngine`]
+/// over the snapshot, verify a seed sample bitwise against the unsharded
+/// engine, replay the same Zipf load through the micro-batching server,
+/// and record throughput plus the peak per-shard resident edge/feature
+/// footprint (the memory-scaling win sharding buys).
+#[allow(clippy::too_many_arguments)]
+fn shard_sweep(
+    engine: &Arc<InferenceEngine>,
+    snapshot: &ModelSnapshot,
+    graph: &maxk_graph::Csr,
+    features: &Matrix,
+    shard_counts: &[usize],
+    strategy: ShardStrategy,
+    serve_cfg: ServeConfig,
+    load_cfg: &LoadConfig,
+) -> (Table, Vec<JsonObject>, f64) {
+    let n = graph.num_nodes();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+    let check_seeds = sample_seeds(n, 64.min(n), &mut rng);
+    let reference = engine
+        .logits_full(&check_seeds)
+        .expect("reference logits for the bitwise check");
+
+    // The unsharded reference replay, same serve/load config.
+    let (unsharded, _) = run_mode(engine, serve_cfg, load_cfg);
+    let mut table = Table::new(vec![
+        "shards",
+        "q/s",
+        "vs unsharded",
+        "p50",
+        "p99",
+        "peak edges",
+        "peak feat rows",
+        "peak ghosts",
+    ]);
+    let mut rows = Vec::new();
+    for &s in shard_counts {
+        let t0 = Instant::now();
+        let sharded = Arc::new(
+            ShardedEngine::from_snapshot(
+                snapshot,
+                graph,
+                features,
+                ShardConfig {
+                    num_shards: s,
+                    strategy,
+                },
+            )
+            .expect("sharding a served graph"),
+        );
+        let build_s = t0.elapsed().as_secs_f64();
+        let got = sharded.logits_for(&check_seeds).expect("sharded logits");
+        assert_eq!(
+            got, reference,
+            "sharded logits diverged from the single engine at S={s}"
+        );
+        let (report, stats) = run_mode(&sharded, serve_cfg, load_cfg);
+        let ratio = report.throughput_qps / unsharded.throughput_qps;
+        let infos: Vec<_> = (0..s).map(|i| sharded.shard_info(i)).collect();
+        let peak_edges = infos.iter().map(|i| i.resident_edges).max().unwrap_or(0);
+        let peak_rows = infos.iter().map(|i| i.feature_rows).max().unwrap_or(0);
+        let peak_ghosts = infos.iter().map(|i| i.ghost_nodes).max().unwrap_or(0);
+        table.row(vec![
+            s.to_string(),
+            format!("{:.1}", report.throughput_qps),
+            maxk_bench::report::fmt_speedup(ratio),
+            format!("{:.0}us", report.latency.p50_us),
+            format!("{:.0}us", report.latency.p99_us),
+            peak_edges.to_string(),
+            peak_rows.to_string(),
+            peak_ghosts.to_string(),
+        ]);
+        let per_shard: Vec<JsonValue> = infos
+            .iter()
+            .enumerate()
+            .map(|(i, info)| {
+                JsonValue::Object(
+                    JsonObject::new()
+                        .field("shard", i)
+                        .field("owned_nodes", info.owned_nodes)
+                        .field("ghost_nodes", info.ghost_nodes)
+                        .field("feature_rows", info.feature_rows)
+                        .field("resident_edges", info.resident_edges)
+                        .field("batches", stats.shard_batches.get(i).copied().unwrap_or(0))
+                        .field(
+                            "partial_batches",
+                            stats.shard_partial_batches.get(i).copied().unwrap_or(0),
+                        ),
+                )
+            })
+            .collect();
+        rows.push(
+            JsonObject::new()
+                .field("num_shards", s)
+                .field("build_s", build_s)
+                .field("bitwise_equal", got == reference)
+                .field("throughput_qps", report.throughput_qps)
+                .field("throughput_vs_unsharded", ratio)
+                .field("p50_us", report.latency.p50_us)
+                .field("p95_us", report.latency.p95_us)
+                .field("p99_us", report.latency.p99_us)
+                .field("mean_batch", stats.mean_batch)
+                .field("peak_resident_edges", peak_edges)
+                .field("peak_feature_rows", peak_rows)
+                .field("peak_ghost_nodes", peak_ghosts)
+                .field(
+                    "total_resident_edges",
+                    infos.iter().map(|i| i.resident_edges).sum::<usize>(),
+                )
+                .field(
+                    "total_feature_rows",
+                    infos.iter().map(|i| i.feature_rows).sum::<usize>(),
+                )
+                .field("per_shard", JsonValue::Array(per_shard)),
+        );
+    }
+    (table, rows, unsharded.throughput_qps)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -176,6 +315,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|s| s.parse().expect("numeric --partial-sizes entry"))
         .collect();
+    let shard_counts: Vec<usize> = args
+        .get_list("shards", &["1", "2", "4"])
+        .iter()
+        .map(|s| s.parse().expect("numeric --shards entry"))
+        .collect();
+    let shard_strategy = match args.get_str("shard-strategy", "degree").as_str() {
+        "degree" => ShardStrategy::DegreeBalanced,
+        "contiguous" => ShardStrategy::Contiguous,
+        other => panic!("unknown --shard-strategy {other} (degree|contiguous)"),
+    };
+    let shard_out = args.get_str("shard-out", "BENCH_shard.json");
+    let shard_graph = args.get_str("shard-graph", "community");
+    let shard_communities = args.get("shard-communities", 8usize);
+    let shard_homophily = args.get("shard-homophily", 0.9f64);
 
     // 1. Train.
     let data = TrainingDataset::Flickr.generate(scale, 42)?;
@@ -364,5 +517,99 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     save_json(&partial_out, &pjson)?;
     println!("wrote {partial_out}");
+
+    // 7. Sharded-serving sweep: throughput and per-shard memory footprint
+    //    as the shard count grows, bitwise-checked against the single
+    //    engine. Sharding pays where the graph has locality: the default
+    //    sweeps a same-scale planted-partition stand-in whose communities
+    //    are relabeled contiguous (shard boundaries align with them), so
+    //    reverse halos stay small; `--shard-graph flickr` reuses the
+    //    Chung-Lu training graph instead, whose degree-random edges make
+    //    any partition's halo saturate (the replication-control follow-up
+    //    in the ROADMAP).
+    let (shard_csr, shard_graph_label) = match shard_graph.as_str() {
+        "flickr" => (data.csr.clone(), "flickr-chung-lu".to_string()),
+        "community" => {
+            let coo = maxk_graph::generate::planted_partition(
+                n,
+                data.csr.avg_degree(),
+                shard_communities,
+                shard_homophily,
+                2.3,
+                77,
+            );
+            // planted_partition assigns community `i % C`; relabel so
+            // communities become contiguous id blocks.
+            let mut perm = Vec::with_capacity(n);
+            for c in 0..shard_communities {
+                perm.extend(
+                    (0..n)
+                        .filter(|i| i % shard_communities == c)
+                        .map(|i| i as u32),
+                );
+            }
+            let csr = maxk_graph::Permutation::new(perm)?.apply(&coo.to_csr()?)?;
+            (
+                csr,
+                format!("planted-partition(C={shard_communities},h={shard_homophily})"),
+            )
+        }
+        other => panic!("unknown --shard-graph {other} (community|flickr)"),
+    };
+    let shard_features = if shard_graph == "flickr" {
+        Matrix::from_vec(n, data.in_dim, data.features.clone())?
+    } else {
+        Matrix::xavier(n, data.in_dim, &mut rand::rngs::StdRng::seed_from_u64(31))
+    };
+    let shard_single = Arc::new(InferenceEngine::from_snapshot(
+        &snapshot,
+        &shard_csr,
+        shard_features.clone(),
+    )?);
+    println!(
+        "shard sweep at S = {shard_counts:?} ({} strategy, {} graph, {} edges)",
+        shard_strategy.label(),
+        shard_graph_label,
+        shard_csr.num_edges()
+    );
+    let (stable, srows, unsharded_qps) = shard_sweep(
+        &shard_single,
+        &snapshot,
+        &shard_csr,
+        &shard_features,
+        &shard_counts,
+        shard_strategy,
+        ServeConfig {
+            batch_window: Duration::from_micros(window_us),
+            max_batch,
+            workers,
+        },
+        &batched_load,
+    );
+    stable.print();
+    let sjson = JsonObject::new()
+        .field("bench", "sharded_serve")
+        .field("dataset", "Flickr")
+        .field("scale", scale_name.as_str())
+        .field("graph", shard_graph_label.as_str())
+        .field("nodes", n)
+        .field("edges", shard_csr.num_edges())
+        .field("arch", "SAGE")
+        .field("layers", num_layers)
+        .field("k", k)
+        .field("hidden_dim", hidden)
+        .field("strategy", shard_strategy.label())
+        .field("clients", clients)
+        .field("window_us", window_us)
+        .field("max_batch", max_batch)
+        .field("workers", workers)
+        .field("zipf_exponent", zipf)
+        .field("unsharded_throughput_qps", unsharded_qps)
+        .field(
+            "shards",
+            JsonValue::Array(srows.into_iter().map(JsonValue::Object).collect()),
+        );
+    save_json(&shard_out, &sjson)?;
+    println!("wrote {shard_out}");
     Ok(())
 }

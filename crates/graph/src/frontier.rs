@@ -160,7 +160,8 @@ impl NodeSet {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frontier {
     levels: Vec<NodeSet>,
-    edge_work: usize,
+    /// Row visits per hop: entry `t` sums the degrees of level `t`.
+    edge_work_per_hop: Vec<usize>,
 }
 
 impl Frontier {
@@ -185,7 +186,7 @@ impl Frontier {
         let n = adj.num_nodes();
         let mut levels = Vec::with_capacity(hops + 1);
         levels.push(NodeSet::from_unsorted(seeds, n)?);
-        let mut edge_work = 0usize;
+        let mut edge_work_per_hop = Vec::with_capacity(hops);
         // Worklist expansion: per hop, only newly discovered nodes are
         // collected and merged into the (sorted) previous level, so a hop
         // costs O(frontier edges + level size) — no full-graph scan.
@@ -196,9 +197,10 @@ impl Frontier {
         for _ in 0..hops {
             let prev = levels.last().expect("seed level pushed above");
             let mut discovered: Vec<u32> = Vec::new();
+            let mut hop_work = 0usize;
             for &i in prev.ids() {
                 let (cols, _) = adj.row(i as usize);
-                edge_work += cols.len();
+                hop_work += cols.len();
                 for &j in cols {
                     if !mark[j as usize] {
                         mark[j as usize] = true;
@@ -223,8 +225,12 @@ impl Frontier {
             merged.extend_from_slice(a);
             merged.extend_from_slice(b);
             levels.push(NodeSet::from_sorted_unchecked(merged, n));
+            edge_work_per_hop.push(hop_work);
         }
-        Ok(Frontier { levels, edge_work })
+        Ok(Frontier {
+            levels,
+            edge_work_per_hop,
+        })
     }
 
     /// Number of expansion hops (`levels() - 1`), i.e. the layer count the
@@ -255,7 +261,20 @@ impl Frontier {
     /// Total adjacency-row visits of a partial forward over this frontier
     /// (see [`Frontier::reverse_hops`]).
     pub fn edge_work(&self) -> usize {
-        self.edge_work
+        self.edge_work_per_hop.iter().sum()
+    }
+
+    /// Adjacency-row visits of expansion hop `t` alone: the degrees of
+    /// level `t` summed. Hop `t` is the aggregation work of the model
+    /// layer whose *output* set is level `t` (layer `hops() - 1 - t`,
+    /// 0-based from the input), which is what lets a cost model weight
+    /// each layer's aggregation by its own feature width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t >= hops()`.
+    pub fn edge_work_at(&self, t: usize) -> usize {
+        self.edge_work_per_hop[t]
     }
 
     /// Sum of level sizes for levels `< hops` — the number of dense
@@ -327,6 +346,9 @@ mod tests {
         }
         // Chain degrees are 1 for rows 0..=3: work = 1 + 2 + 3.
         assert_eq!(f.edge_work(), 6);
+        assert_eq!(f.edge_work_at(0), 1);
+        assert_eq!(f.edge_work_at(1), 2);
+        assert_eq!(f.edge_work_at(2), 3);
         assert_eq!(f.row_work(), 1 + 2 + 3);
     }
 

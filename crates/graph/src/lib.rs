@@ -14,7 +14,10 @@
 //!   aggregators (Fig. 5),
 //! * the O(n) warp-level Edge-Group [`partition`] mapper of §4.1/§4.2,
 //! * the reverse L-hop dependency [`frontier`] used by seed-restricted
-//!   partial forward on the serving path.
+//!   partial forward on the serving path,
+//! * halo-augmented node [`shard`]ing for sharded serving: each shard
+//!   carries its owned nodes plus their reverse L-hop ghost rows, so any
+//!   owned seed is answerable locally and bitwise-identically.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod normalize;
 pub mod partition;
 pub mod reorder;
 pub mod sampling;
+pub mod shard;
 
 pub use coo::Coo;
 pub use csr::Csr;
@@ -51,6 +55,7 @@ pub use frontier::{Frontier, NodeSet};
 pub use normalize::Aggregator;
 pub use partition::{EdgeGroup, WarpAssignment, WarpPartition};
 pub use reorder::Permutation;
+pub use shard::{Shard, ShardStrategy, Sharding};
 
 use std::error::Error;
 use std::fmt;

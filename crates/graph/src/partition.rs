@@ -144,13 +144,19 @@ impl WarpPartition {
         out
     }
 
-    /// Largest imbalance ratio across EGs: `w / smallest group length`.
+    /// Largest imbalance ratio across EGs: `largest group length /
+    /// smallest group length`.
     ///
-    /// A perfectly balanced partition of a regular graph returns 1.0;
-    /// heavy-tailed graphs produce trailing sub-`w` groups.
+    /// Any partition whose groups all carry the same workload — including
+    /// a uniform graph whose row degrees are all some `d < w`, where every
+    /// group has length `d` — returns 1.0; heavy-tailed graphs produce
+    /// trailing sub-`w` groups and ratios above 1. (An earlier version
+    /// divided `w` by the smallest group length, wrongly reporting `w/d`
+    /// imbalance for perfectly uniform sub-`w` partitions.)
     pub fn imbalance(&self) -> f64 {
         let min = self.groups.iter().map(|g| g.len).min().unwrap_or(1).max(1);
-        self.w as f64 / min as f64
+        let max = self.groups.iter().map(|g| g.len).max().unwrap_or(1).max(1);
+        max as f64 / min as f64
     }
 }
 
@@ -264,6 +270,42 @@ mod tests {
         let csr = coo.to_csr().unwrap();
         let part = WarpPartition::build(&csr, 2);
         assert_eq!(part.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_is_unity_for_uniform_sub_width_groups() {
+        // Row degrees all d = 2 under w = 8: every group has length 2, a
+        // perfectly uniform workload. The old `w / min` formula reported
+        // 4.0 here; the ratio of group lengths must be 1.0.
+        let coo = crate::Coo::from_edges(
+            4,
+            vec![
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 3),
+                (2, 0),
+                (2, 3),
+                (3, 1),
+                (3, 2),
+            ],
+        )
+        .unwrap();
+        let csr = coo.to_csr().unwrap();
+        let part = WarpPartition::build(&csr, 8);
+        for g in part.groups() {
+            assert_eq!(g.len, 2);
+        }
+        assert_eq!(part.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_reflects_group_length_spread() {
+        // Degrees 3 and 1 under w = 4: groups of length 3 and 1 -> 3.0.
+        let coo = crate::Coo::from_edges(4, vec![(0, 1), (0, 2), (0, 3), (1, 0)]).unwrap();
+        let csr = coo.to_csr().unwrap();
+        let part = WarpPartition::build(&csr, 4);
+        assert_eq!(part.imbalance(), 3.0);
     }
 
     #[test]

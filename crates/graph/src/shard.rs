@@ -1,0 +1,466 @@
+//! Node sharding with reverse-halo augmentation for sharded serving.
+//!
+//! A single serving engine holds the whole normalized adjacency plus the
+//! full feature matrix, so its capacity is bounded by one machine's
+//! memory. Sharding splits the node set into `S` owned partitions and
+//! gives each shard a *self-contained* slice of the graph: the owned
+//! nodes **plus** their reverse L-hop halo (ghost rows), where `L` is the
+//! model depth. A GNN layer's output at node `i` reads the previous layer
+//! at every in-neighbor of `i`, so after `L` layers a seed's dependency
+//! cone is exactly its reverse L-hop frontier — augmenting each shard
+//! with the halo of its owned set therefore makes **every seed a shard
+//! owns answerable locally**, with no cross-shard communication during a
+//! forward.
+//!
+//! The extraction reuses [`Frontier::reverse_hops`] on the owned set and
+//! the [`NodeSet`] compact old→new remapping:
+//!
+//! * the shard's **local universe** is the frontier's input level (owned
+//!   ∪ halo), and a node's local id is its rank in that sorted set;
+//! * the shard's **sub-adjacency** keeps the *full* global row (values
+//!   included, columns remapped to local ids) for every node that can
+//!   ever be an aggregation output of a local forward — the frontier's
+//!   level `L-1` — and leaves the remaining boundary-ghost rows empty,
+//!   since no local forward aggregates into them.
+//!
+//! Because a compact remap preserves the relative order of column
+//! indices, every populated row's nonzero sequence is the global row's
+//! sequence — so local kernels accumulate in exactly the global order and
+//! shard-served logits are **bitwise equal** to the unsharded engine's
+//! (boundary-ghost rows of a local *full* forward hold garbage, but
+//! nothing owned ever reads them: correctness propagates down the nested
+//! frontier chain, which is fully populated).
+//!
+//! Extraction runs on the **already-normalized** aggregation operand —
+//! re-normalizing a sub-graph would change edge values (degrees differ)
+//! and break bitwise fidelity.
+
+use crate::frontier::{Frontier, NodeSet};
+use crate::{Csr, Result};
+
+/// How [`Sharding::build`] assigns owned nodes to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Split `0..num_nodes` into `S` near-equal contiguous id ranges.
+    Contiguous,
+    /// Split `0..num_nodes` into `S` contiguous ranges with near-equal
+    /// *total degree*, so heavy-tailed graphs don't pile their hub rows
+    /// into one shard's aggregation work.
+    DegreeBalanced,
+}
+
+impl ShardStrategy {
+    /// Short label for reports (`contiguous` / `degree`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardStrategy::Contiguous => "contiguous",
+            ShardStrategy::DegreeBalanced => "degree",
+        }
+    }
+}
+
+/// One shard: an owned node set plus its halo-augmented local subgraph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shard {
+    owned: NodeSet,
+    local: NodeSet,
+    adj: Csr,
+    halo_hops: usize,
+    populated_rows: usize,
+}
+
+impl Shard {
+    /// Extracts the halo-augmented subgraph for `owned` from `adj` (the
+    /// normalized aggregation operand; row `i` lists the nodes feeding
+    /// output `i`), with a reverse halo of `hops` hops — the model depth
+    /// the shard must serve.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::GraphError::NodeOutOfBounds`] when an owned id is out of
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `owned` is empty.
+    pub fn extract(adj: &Csr, owned: &[u32], hops: usize) -> Result<Shard> {
+        assert!(!owned.is_empty(), "a shard must own at least one node");
+        let frontier = Frontier::reverse_hops(adj, owned, hops)?;
+        let local = frontier.inputs().clone();
+        // Rows that any local forward can aggregate into: for seeds drawn
+        // from `owned`, the per-batch frontier levels 0..hops-1 are all
+        // subsets of this shard-level L-1 set, and by construction every
+        // neighbor of such a row is in `local`.
+        let compute: Option<&NodeSet> = if hops == 0 {
+            None
+        } else {
+            Some(frontier.level(hops - 1))
+        };
+        let mut row_ptr = Vec::with_capacity(local.len() + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        let mut populated_rows = 0usize;
+        for &g in local.ids() {
+            if compute.is_some_and(|c| c.contains(g)) {
+                populated_rows += 1;
+                let (cols, vals) = adj.row(g as usize);
+                for (&j, &v) in cols.iter().zip(vals) {
+                    let lj = local
+                        .compact(j)
+                        .expect("halo covers every compute-row neighbor");
+                    col_idx.push(lj as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        // Compact remapping preserves column order, so this revalidation
+        // can only fail on an invariant bug, not on user input.
+        let sub = Csr::from_parts(local.len(), row_ptr, col_idx, values)?;
+        Ok(Shard {
+            owned: frontier.seeds().clone(),
+            local,
+            adj: sub,
+            halo_hops: hops,
+            populated_rows,
+        })
+    }
+
+    /// The owned (deduplicated, sorted) global node ids.
+    pub fn owned(&self) -> &NodeSet {
+        &self.owned
+    }
+
+    /// The local universe: owned ∪ halo, sorted by global id. A node's
+    /// local id is its compact index here.
+    pub fn local(&self) -> &NodeSet {
+        &self.local
+    }
+
+    /// The remapped sub-adjacency over the local universe (rows populated
+    /// for the interior, empty for boundary ghosts).
+    pub fn adj(&self) -> &Csr {
+        &self.adj
+    }
+
+    /// Halo depth this shard was extracted with (the model depth it can
+    /// serve exactly).
+    pub fn halo_hops(&self) -> usize {
+        self.halo_hops
+    }
+
+    /// Ghost nodes carried beyond the owned set.
+    pub fn num_ghosts(&self) -> usize {
+        self.local.len() - self.owned.len()
+    }
+
+    /// Nonzeros resident in the shard's sub-adjacency — the per-shard
+    /// edge-memory footprint.
+    pub fn resident_edges(&self) -> usize {
+        self.adj.num_edges()
+    }
+
+    /// Local rows whose adjacency is populated (the shard-level `L-1`
+    /// frontier); the rest are boundary ghosts with empty rows.
+    pub fn populated_rows(&self) -> usize {
+        self.populated_rows
+    }
+
+    /// Local id of `global`, when the shard holds it (owned or ghost).
+    pub fn to_local(&self, global: u32) -> Option<u32> {
+        self.local.compact(global).map(|c| c as u32)
+    }
+
+    /// Tears the shard into `(owned, local, adj)` without cloning — the
+    /// serving router moves the sub-adjacency into a per-shard engine
+    /// context rather than holding it twice.
+    pub fn into_parts(self) -> (NodeSet, NodeSet, Csr) {
+        (self.owned, self.local, self.adj)
+    }
+}
+
+/// A complete disjoint sharding of a graph's node set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sharding {
+    shards: Vec<Shard>,
+    owner: Vec<u32>,
+}
+
+impl Sharding {
+    /// Partitions `adj`'s nodes into `num_shards` owned sets per
+    /// `strategy` and extracts each shard's halo-augmented subgraph with
+    /// depth `hops`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction errors (none occur for in-range partitions).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_shards` is 0 or exceeds the node count.
+    pub fn build(
+        adj: &Csr,
+        num_shards: usize,
+        hops: usize,
+        strategy: ShardStrategy,
+    ) -> Result<Sharding> {
+        let ranges = partition_nodes(adj, num_shards, strategy);
+        let mut owner = vec![0u32; adj.num_nodes()];
+        let mut shards = Vec::with_capacity(num_shards);
+        for (s, range) in ranges.iter().enumerate() {
+            for &g in range {
+                owner[g as usize] = s as u32;
+            }
+            shards.push(Shard::extract(adj, range, hops)?);
+        }
+        Ok(Sharding { shards, owner })
+    }
+
+    /// The shards, in partition order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn owner_of(&self, node: u32) -> usize {
+        self.owner[node as usize] as usize
+    }
+
+    /// The full node → owning-shard map.
+    pub fn owner_map(&self) -> &[u32] {
+        &self.owner
+    }
+
+    /// Tears the sharding into `(shards, owner_map)` without cloning.
+    pub fn into_parts(self) -> (Vec<Shard>, Vec<u32>) {
+        (self.shards, self.owner)
+    }
+}
+
+/// Splits `0..adj.num_nodes()` into `num_shards` disjoint, covering,
+/// non-empty contiguous id ranges per `strategy`.
+///
+/// # Panics
+///
+/// Panics when `num_shards` is 0 or exceeds the node count.
+pub fn partition_nodes(adj: &Csr, num_shards: usize, strategy: ShardStrategy) -> Vec<Vec<u32>> {
+    let n = adj.num_nodes();
+    assert!(num_shards > 0, "need at least one shard");
+    assert!(
+        num_shards <= n,
+        "cannot split {n} nodes into {num_shards} non-empty shards"
+    );
+    let mut ranges = Vec::with_capacity(num_shards);
+    match strategy {
+        ShardStrategy::Contiguous => {
+            // Spread the remainder over the leading shards.
+            let (base, rem) = (n / num_shards, n % num_shards);
+            let mut start = 0usize;
+            for s in 0..num_shards {
+                let len = base + usize::from(s < rem);
+                ranges.push((start as u32..(start + len) as u32).collect());
+                start += len;
+            }
+        }
+        ShardStrategy::DegreeBalanced => {
+            // Greedy prefix splitting on cumulative degree: close a shard
+            // once it reaches its proportional share of the remaining
+            // edge mass, always leaving one node per unopened shard. The
+            // last shard takes whatever remains.
+            let total = adj.num_edges();
+            let mut start = 0usize;
+            let mut consumed = 0usize;
+            for s in 0..num_shards {
+                let shards_left = num_shards - s;
+                let end = if shards_left == 1 {
+                    n
+                } else {
+                    let target = (total - consumed).div_ceil(shards_left);
+                    let max_end = n - (shards_left - 1);
+                    let mut end = start + 1;
+                    let mut mass = adj.degree(start);
+                    while end < max_end && mass < target {
+                        mass += adj.degree(end);
+                        end += 1;
+                    }
+                    consumed += mass;
+                    end
+                };
+                ranges.push((start as u32..end as u32).collect());
+                start = end;
+            }
+        }
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, normalize, Aggregator};
+
+    fn normalized_graph(n: usize, seed: u64) -> Csr {
+        let csr = generate::chung_lu_power_law(n, 6.0, 2.3, seed)
+            .to_csr()
+            .unwrap();
+        normalize::normalized(&csr, Aggregator::GcnSym)
+    }
+
+    #[test]
+    fn contiguous_partition_is_disjoint_covering_nonempty() {
+        let adj = normalized_graph(103, 1);
+        for s in [1, 2, 4, 7] {
+            let ranges = partition_nodes(&adj, s, ShardStrategy::Contiguous);
+            assert_eq!(ranges.len(), s);
+            let mut seen = [false; 103];
+            for r in &ranges {
+                assert!(!r.is_empty());
+                for &g in r {
+                    assert!(!seen[g as usize], "node {g} owned twice");
+                    seen[g as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn degree_balanced_partition_is_disjoint_covering_nonempty() {
+        let adj = normalized_graph(90, 2);
+        for s in [2, 3, 5] {
+            let ranges = partition_nodes(&adj, s, ShardStrategy::DegreeBalanced);
+            assert_eq!(ranges.len(), s);
+            let covered: usize = ranges.iter().map(Vec::len).sum();
+            assert_eq!(covered, 90);
+            for r in &ranges {
+                assert!(!r.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn degree_balanced_spreads_edge_mass() {
+        // A hub-heavy graph: contiguous splits put all hubs in shard 0;
+        // degree balancing must keep the heaviest shard closer to even.
+        let adj = normalized_graph(200, 3);
+        let total = adj.num_edges() as f64;
+        let mass = |ranges: &[Vec<u32>]| -> f64 {
+            ranges
+                .iter()
+                .map(|r| r.iter().map(|&g| adj.degree(g as usize)).sum::<usize>() as f64)
+                .fold(0.0f64, f64::max)
+        };
+        let bal = partition_nodes(&adj, 4, ShardStrategy::DegreeBalanced);
+        assert!(mass(&bal) < 0.5 * total, "heaviest shard took most edges");
+    }
+
+    #[test]
+    fn shard_rows_match_global_rows_bitwise() {
+        let adj = normalized_graph(120, 4);
+        let owned: Vec<u32> = (30..60).collect();
+        let shard = Shard::extract(&adj, &owned, 2).unwrap();
+        assert_eq!(shard.halo_hops(), 2);
+        assert_eq!(shard.owned().ids(), owned.as_slice());
+        // Every populated local row reproduces the global row, values and
+        // (remapped) column order included.
+        let frontier = Frontier::reverse_hops(&adj, &owned, 2).unwrap();
+        let compute = frontier.level(1);
+        let mut populated = 0usize;
+        for (l, &g) in shard.local().ids().iter().enumerate() {
+            let (lcols, lvals) = shard.adj().row(l);
+            if compute.contains(g) {
+                populated += 1;
+                let (gcols, gvals) = adj.row(g as usize);
+                assert_eq!(lvals, gvals, "row {g} values");
+                let mapped: Vec<u32> = gcols.iter().map(|&j| shard.to_local(j).unwrap()).collect();
+                assert_eq!(lcols, mapped.as_slice(), "row {g} columns");
+            } else {
+                assert!(lcols.is_empty(), "ghost row {g} must stay empty");
+            }
+        }
+        assert_eq!(populated, shard.populated_rows());
+        assert_eq!(shard.num_ghosts(), shard.local().len() - owned.len());
+    }
+
+    #[test]
+    fn sharding_owner_map_matches_partition() {
+        let adj = normalized_graph(80, 5);
+        let sharding = Sharding::build(&adj, 3, 2, ShardStrategy::Contiguous).unwrap();
+        assert_eq!(sharding.num_shards(), 3);
+        for g in 0..80u32 {
+            let s = sharding.owner_of(g);
+            assert!(sharding.shards()[s].owned().contains(g));
+            // No other shard owns it.
+            for (t, sh) in sharding.shards().iter().enumerate() {
+                if t != s {
+                    assert!(!sh.owned().contains(g));
+                }
+            }
+        }
+        assert_eq!(sharding.owner_map().len(), 80);
+    }
+
+    #[test]
+    fn local_seed_frontier_stays_inside_the_shard() {
+        // The shard-answerability guarantee: the reverse L-hop frontier of
+        // any owned seed subset, taken over the *local* sub-adjacency,
+        // never needs a node outside the local universe, and matches the
+        // global frontier node-for-node.
+        let adj = normalized_graph(150, 6);
+        let owned: Vec<u32> = (100..150).collect();
+        let shard = Shard::extract(&adj, &owned, 3).unwrap();
+        let seeds = [100u32, 131, 149];
+        let local_seeds: Vec<u32> = seeds.iter().map(|&g| shard.to_local(g).unwrap()).collect();
+        let local_f = Frontier::reverse_hops(shard.adj(), &local_seeds, 3).unwrap();
+        let global_f = Frontier::reverse_hops(&adj, &seeds, 3).unwrap();
+        for t in 0..=3 {
+            let back: Vec<u32> = local_f
+                .level(t)
+                .ids()
+                .iter()
+                .map(|&l| shard.local().ids()[l as usize])
+                .collect();
+            assert_eq!(back.as_slice(), global_f.level(t).ids(), "level {t}");
+        }
+    }
+
+    #[test]
+    fn zero_hop_shard_has_no_edges() {
+        let adj = normalized_graph(40, 7);
+        let shard = Shard::extract(&adj, &[3, 9], 0).unwrap();
+        assert_eq!(shard.local().ids(), &[3, 9]);
+        assert_eq!(shard.resident_edges(), 0);
+        assert_eq!(shard.populated_rows(), 0);
+        assert_eq!(shard.num_ghosts(), 0);
+    }
+
+    #[test]
+    fn out_of_range_owned_rejected() {
+        let adj = normalized_graph(10, 8);
+        assert!(Shard::extract(&adj, &[10], 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let adj = normalized_graph(10, 9);
+        let _ = partition_nodes(&adj, 0, ShardStrategy::Contiguous);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty shards")]
+    fn too_many_shards_rejected() {
+        let adj = normalized_graph(4, 10);
+        let _ = partition_nodes(&adj, 5, ShardStrategy::Contiguous);
+    }
+}

@@ -68,7 +68,18 @@ impl GraphContext {
     /// Normalizes `graph` per the architecture's aggregator and builds the
     /// Edge-Group partition with width `w`.
     pub fn build(graph: &Csr, arch: Arch, w: usize) -> Self {
-        let adj = match arch {
+        let adj = Self::normalized_adjacency(graph, arch);
+        let adj_t = adj.transpose();
+        let part = WarpPartition::build(&adj, w);
+        GraphContext { adj, adj_t, part }
+    }
+
+    /// Just the normalized aggregation operand, without the transpose or
+    /// the Edge-Group partition — the cheap half of [`GraphContext::build`]
+    /// for callers that only slice the operand (the sharded router builds
+    /// its per-shard partitions on the sub-adjacencies instead).
+    pub fn normalized_adjacency(graph: &Csr, arch: Arch) -> Csr {
+        match arch {
             Arch::Gcn => {
                 // GCN convention: add self-loops, then 1/√(d_i d_j).
                 let with_loops = add_self_loops(graph);
@@ -76,10 +87,7 @@ impl GraphContext {
             }
             Arch::Sage => normalize::normalized(graph, Aggregator::SageMean),
             Arch::Gin => normalize::normalized(graph, Aggregator::GinSum),
-        };
-        let adj_t = adj.transpose();
-        let part = WarpPartition::build(&adj, w);
-        GraphContext { adj, adj_t, part }
+        }
     }
 }
 

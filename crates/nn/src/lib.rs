@@ -30,6 +30,6 @@ pub mod train;
 
 pub use conv::{Activation, Arch, Conv, GraphContext};
 pub use model::{GnnModel, ModelConfig, PhaseTimers};
-pub use plan::{ForwardPlan, PlanConfig, PlanLayer};
+pub use plan::{ForwardPlan, LayerCost, PlanConfig, PlanLayer};
 pub use snapshot::{ModelSnapshot, SnapshotError};
 pub use train::{train_full_batch, EpochStats, TrainConfig, TrainResult};

@@ -304,6 +304,23 @@ impl GnnModel {
         &self.ctx
     }
 
+    /// Per-layer cost shapes for the [`crate::plan`] full-vs-partial
+    /// heuristic (one [`crate::plan::LayerCost`] per convolution, input
+    /// to output).
+    pub fn layer_costs(&self) -> Vec<crate::plan::LayerCost> {
+        self.convs
+            .iter()
+            .map(|c| {
+                crate::plan::LayerCost::new(
+                    c.in_dim(),
+                    c.out_dim(),
+                    c.activation(),
+                    c.lin_self().is_some(),
+                )
+            })
+            .collect()
+    }
+
     /// Forward pass over all layers; returns logits.
     pub fn forward<R: Rng>(&mut self, x: &Matrix, train: bool, rng: &mut R) -> Matrix {
         let mut h = x.clone();

@@ -30,9 +30,11 @@ pub struct PlanConfig {
     /// set exceeds this fraction of the graph — such batches practically
     /// always saturate the frontier.
     pub seed_frac_cutoff: f64,
-    /// Go partial when the frontier's aggregation edge work is below this
-    /// fraction of the full forward's (`layers × num_edges`); the margin
-    /// absorbs the partial path's remapping and gather overheads.
+    /// Go partial when the modelled partial-forward cost
+    /// ([`partial_cost`]: dense-linear row work **plus** aggregation edge
+    /// work, both weighted by their feature dimensions) is below this
+    /// fraction of the modelled full-forward cost ([`full_cost`]); the
+    /// margin absorbs the partial path's remapping and gather overheads.
     pub work_ratio: f64,
 }
 
@@ -43,6 +45,90 @@ impl Default for PlanConfig {
             work_ratio: 0.5,
         }
     }
+}
+
+/// Per-layer shape summary feeding the [`ForwardPlan::choose`] cost
+/// model: one entry per model layer, input to output.
+///
+/// The unit of cost is one multiply-accumulate. A layer's dense linear
+/// costs `rows × in_dim × out_dim` (rows = every node whose transform the
+/// layer computes; doubled-ish when a SAGE self linear exists), and its
+/// sparse aggregation costs `row visits × agg_width` (`agg_width` is the
+/// MaxK `k` when the layer's activation runs the CBSR path, the dense
+/// layer width otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerCost {
+    /// Linear input dimension.
+    pub in_dim: usize,
+    /// Linear output dimension.
+    pub out_dim: usize,
+    /// Values accumulated per aggregation row visit.
+    pub agg_width: usize,
+    /// Whether a SAGE-style self linear runs at the output rows too.
+    pub has_self_linear: bool,
+}
+
+impl LayerCost {
+    /// Derives the cost shape of one layer from its dimensions,
+    /// activation and self-path presence.
+    pub fn new(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Option<Activation>,
+        has_self_linear: bool,
+    ) -> Self {
+        let agg_width = match activation {
+            Some(Activation::MaxK(k)) => k,
+            _ => out_dim,
+        };
+        LayerCost {
+            in_dim,
+            out_dim,
+            agg_width,
+            has_self_linear,
+        }
+    }
+}
+
+/// Modelled multiply-accumulate cost of a full-graph forward over
+/// `layers` on a graph with `num_nodes` nodes and `num_edges` nonzeros.
+pub fn full_cost(num_nodes: usize, num_edges: usize, layers: &[LayerCost]) -> f64 {
+    layers
+        .iter()
+        .map(|lc| {
+            let lin_rows = num_nodes * (1 + usize::from(lc.has_self_linear));
+            (lin_rows * lc.in_dim * lc.out_dim) as f64 + (num_edges * lc.agg_width) as f64
+        })
+        .sum()
+}
+
+/// Modelled multiply-accumulate cost of a partial forward over
+/// `frontier`: layer `l` transforms the level-`hops-l` rows (plus the
+/// level-`hops-1-l` rows again when a self linear exists) and aggregates
+/// the hop-`hops-1-l` row visits.
+///
+/// # Panics
+///
+/// Panics when `frontier.hops() != layers.len()`.
+pub fn partial_cost(frontier: &Frontier, layers: &[LayerCost]) -> f64 {
+    let hops = frontier.hops();
+    assert_eq!(
+        hops,
+        layers.len(),
+        "frontier depth must match the layer count"
+    );
+    layers
+        .iter()
+        .enumerate()
+        .map(|(l, lc)| {
+            let mut lin_rows = frontier.level(hops - l).len();
+            if lc.has_self_linear {
+                lin_rows += frontier.level(hops - 1 - l).len();
+            }
+            (lin_rows * lc.in_dim * lc.out_dim) as f64
+                + (frontier.edge_work_at(hops - 1 - l) * lc.agg_width) as f64
+        })
+        .sum()
 }
 
 /// A per-batch forward strategy: full-graph, or restricted to a seed
@@ -59,10 +145,20 @@ impl ForwardPlan {
     /// Picks full vs. partial for `seeds` under `cfg`.
     ///
     /// `adj` is the aggregation operand (row `i` lists the nodes feeding
-    /// output `i`) and `num_layers` the model depth. The heuristic
-    /// compares sparse-aggregation row visits only; the dense linear work
-    /// shrinks by at least the same factor, so it never flips the
-    /// decision.
+    /// output `i`) and `layers` the per-layer cost shapes (one entry per
+    /// model layer; see [`LayerCost`]). The heuristic compares the
+    /// modelled [`partial_cost`] — dense-linear rows **and** aggregation
+    /// row visits, each weighted by its feature dimensions — against
+    /// [`full_cost`].
+    ///
+    /// An earlier version compared aggregation edge work only and claimed
+    /// the linear work "shrinks by at least the same factor, so it never
+    /// flips the decision". That claim was wrong: near frontier
+    /// saturation the input-layer linear barely shrinks (almost every
+    /// node is still a frontier input) while the edge-work ratio keeps
+    /// falling, so the edge-only model overstated partial wins by ~2× at
+    /// percent-of-graph seed fractions (measured 1.6× vs ~3× predicted on
+    /// the Flickr stand-in at 1%·|V| seeds).
     ///
     /// # Errors
     ///
@@ -70,14 +166,15 @@ impl ForwardPlan {
     ///
     /// # Panics
     ///
-    /// Panics when `seeds` is empty.
+    /// Panics when `seeds` or `layers` is empty.
     pub fn choose(
         adj: &Csr,
         seeds: &[u32],
-        num_layers: usize,
+        layers: &[LayerCost],
         cfg: &PlanConfig,
     ) -> Result<ForwardPlan, GraphError> {
         assert!(!seeds.is_empty(), "plan needs at least one seed");
+        assert!(!layers.is_empty(), "plan needs at least one layer");
         let n = adj.num_nodes();
         let mut unique = seeds.to_vec();
         unique.sort_unstable();
@@ -91,9 +188,9 @@ impl ForwardPlan {
         if unique.len() as f64 > cfg.seed_frac_cutoff * n as f64 {
             return Ok(ForwardPlan::Full);
         }
-        let frontier = Frontier::reverse_hops(adj, &unique, num_layers)?;
-        let full_work = (num_layers * adj.num_edges()) as f64;
-        if (frontier.edge_work() as f64) < cfg.work_ratio * full_work {
+        let frontier = Frontier::reverse_hops(adj, &unique, layers.len())?;
+        let full = full_cost(n, adj.num_edges(), layers);
+        if partial_cost(&frontier, layers) < cfg.work_ratio * full {
             Ok(ForwardPlan::Partial(frontier))
         } else {
             Ok(ForwardPlan::Full)
@@ -321,19 +418,22 @@ mod tests {
     fn choose_goes_partial_for_small_seed_sets() {
         let m = model(Arch::Gcn, Activation::Relu);
         let adj = &m.context().adj;
-        let plan = ForwardPlan::choose(adj, &[0], 3, &PlanConfig::default()).unwrap();
+        let costs = m.layer_costs();
+        let plan = ForwardPlan::choose(adj, &[0], &costs, &PlanConfig::default()).unwrap();
         // A single seed in a 70-node graph may or may not saturate the
         // 3-hop frontier; just check consistency of the decision.
         if let ForwardPlan::Partial(f) = &plan {
             assert!(f.edge_work() < 3 * adj.num_edges());
             assert_eq!(f.seeds().ids(), &[0]);
         }
-        // Forcing a generous ratio must always go partial.
+        // Forcing a generous ratio must always go partial: the partial
+        // cost never exceeds the full cost (levels and hop visits are
+        // subsets of the full rows/edges).
         let generous = PlanConfig {
             seed_frac_cutoff: 1.0,
             work_ratio: 1.1,
         };
-        assert!(ForwardPlan::choose(adj, &[0], 3, &generous)
+        assert!(ForwardPlan::choose(adj, &[0], &costs, &generous)
             .unwrap()
             .is_partial());
     }
@@ -343,7 +443,8 @@ mod tests {
         let m = model(Arch::Gcn, Activation::Relu);
         let adj = &m.context().adj;
         let all: Vec<u32> = (0..70).collect();
-        let plan = ForwardPlan::choose(adj, &all, 3, &PlanConfig::default()).unwrap();
+        let plan =
+            ForwardPlan::choose(adj, &all, &m.layer_costs(), &PlanConfig::default()).unwrap();
         assert!(!plan.is_partial());
         assert!(plan.frontier().is_none());
     }
@@ -351,6 +452,66 @@ mod tests {
     #[test]
     fn choose_rejects_bad_seed() {
         let m = model(Arch::Gcn, Activation::Relu);
-        assert!(ForwardPlan::choose(&m.context().adj, &[70], 3, &PlanConfig::default()).is_err());
+        assert!(ForwardPlan::choose(
+            &m.context().adj,
+            &[70],
+            &m.layer_costs(),
+            &PlanConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn linear_work_flips_edge_only_decisions() {
+        // Regression for the edge-only cost model: a star graph where one
+        // hub row holds every edge and the seeds are all the leaves. The
+        // leaves' reverse frontier never expands (their rows are empty),
+        // so aggregation edge work is 0 and the old edge-only comparison
+        // (0 < ratio × L|E|) always picked partial — yet the partial
+        // forward still transforms 99/100 of the nodes through every
+        // dense linear, so almost nothing is saved.
+        let n = 100u32;
+        let adj =
+            maxk_graph::Coo::from_edges(n as usize, (1..n).map(|j| (0u32, j)).collect::<Vec<_>>())
+                .unwrap()
+                .to_csr()
+                .unwrap();
+        let seeds: Vec<u32> = (1..n).collect();
+        let costs = vec![LayerCost::new(64, 64, Some(Activation::Relu), false); 2];
+        let cfg = PlanConfig {
+            seed_frac_cutoff: 1.0,
+            work_ratio: 0.5,
+        };
+        let frontier = Frontier::reverse_hops(&adj, &seeds, 2).unwrap();
+        assert_eq!(frontier.edge_work(), 0, "leaf rows are empty");
+        // Edge-only model: 0 < 0.5 × L|E| → would have gone partial.
+        assert!((frontier.edge_work() as f64) < 0.5 * (2 * adj.num_edges()) as f64);
+        // Corrected model: the dense linear dominates and shrinks by only
+        // 1/n, so the plan must stay full.
+        let plan = ForwardPlan::choose(&adj, &seeds, &costs, &cfg).unwrap();
+        assert!(!plan.is_partial(), "linear row work must veto partial");
+        let ratio = partial_cost(&frontier, &costs) / full_cost(100, adj.num_edges(), &costs);
+        assert!(ratio > 0.9, "modelled saving should be marginal: {ratio}");
+    }
+
+    #[test]
+    fn cost_model_weights_layers_by_their_own_dims() {
+        let adj = graph();
+        let frontier = Frontier::reverse_hops(&adj, &[0], 2).unwrap();
+        let costs = vec![
+            LayerCost::new(8, 12, Some(Activation::MaxK(4)), true),
+            LayerCost::new(12, 3, None, true),
+        ];
+        // Hand-rolled expectations, layer by layer.
+        let expected_partial = (frontier.level(2).len() + frontier.level(1).len()) as f64
+            * (8 * 12) as f64
+            + (frontier.edge_work_at(1) * 4) as f64
+            + (frontier.level(1).len() + frontier.level(0).len()) as f64 * (12 * 3) as f64
+            + (frontier.edge_work_at(0) * 3) as f64;
+        assert_eq!(partial_cost(&frontier, &costs), expected_partial);
+        let n = adj.num_nodes();
+        let e = adj.num_edges();
+        let expected_full = (2 * n * 8 * 12 + e * 4) as f64 + (2 * n * 12 * 3 + e * 3) as f64;
+        assert_eq!(full_cost(n, e, &costs), expected_full);
     }
 }

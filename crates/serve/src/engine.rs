@@ -19,7 +19,7 @@ use maxk_core::maxk::{maxk_backward, maxk_forward};
 use maxk_core::spgemm::spgemm_forward;
 use maxk_core::spmm::spmm_rowwise;
 use maxk_graph::{Csr, Frontier, NodeSet};
-use maxk_nn::plan::{partial_forward, ForwardPlan, PlanConfig, PlanLayer};
+use maxk_nn::plan::{partial_forward, ForwardPlan, LayerCost, PlanConfig, PlanLayer};
 use maxk_nn::snapshot::ModelSnapshot;
 use maxk_nn::{Activation, Arch, GraphContext};
 use maxk_tensor::{ops, Matrix};
@@ -100,8 +100,23 @@ pub struct BatchLogits {
 }
 
 impl BatchLogits {
-    /// True when the batch ran the seed-restricted partial path.
-    pub fn is_partial(&self) -> bool {
+    /// Wraps compact logits covering exactly `seeds` (row `r` belongs to
+    /// `seeds.ids()[r]`) — the sharded router's gather result.
+    pub(crate) fn compact(logits: Matrix, seeds: NodeSet) -> Self {
+        debug_assert_eq!(logits.rows(), seeds.len());
+        BatchLogits {
+            logits,
+            seeds: Some(seeds),
+        }
+    }
+
+    /// True when the logit rows are **compact** over a covered seed set
+    /// (row index = the seed's rank in the set) rather than full-graph
+    /// (row index = node id). A single engine produces compact logits
+    /// exactly when it ran the seed-restricted partial path; the sharded
+    /// router's gathered logits are always compact, whichever path each
+    /// shard took — consult [`BatchOutcome::any_partial`] for that.
+    pub fn is_compact(&self) -> bool {
         self.seeds.is_some()
     }
 
@@ -159,6 +174,9 @@ impl BatchLogits {
 #[derive(Debug, Clone)]
 pub struct InferenceEngine {
     layers: Vec<InferLayer>,
+    /// Per-layer cost shapes, precomputed once — `plan_for` runs per
+    /// batch on the serving hot path.
+    layer_costs: Vec<LayerCost>,
     ctx: GraphContext,
     arch: Arch,
     features: Matrix,
@@ -241,8 +259,20 @@ impl InferenceEngine {
                 self_path: layer.self_path.clone(),
             });
         }
+        let layer_costs = layers
+            .iter()
+            .map(|l| {
+                LayerCost::new(
+                    l.neigh_weight.rows(),
+                    l.neigh_weight.cols(),
+                    l.activation,
+                    l.self_path.is_some(),
+                )
+            })
+            .collect();
         Ok(InferenceEngine {
             layers,
+            layer_costs,
             ctx,
             arch: cfg.arch,
             out_dim: cfg.out_dim,
@@ -256,6 +286,13 @@ impl InferenceEngine {
     pub fn with_plan_config(mut self, cfg: PlanConfig) -> Self {
         self.plan_cfg = cfg;
         self
+    }
+
+    /// Replaces the full-vs-partial cost heuristic in place (the sharded
+    /// router updates every shard engine without cloning their graph and
+    /// feature state).
+    pub fn set_plan_config(&mut self, cfg: PlanConfig) {
+        self.plan_cfg = cfg;
     }
 
     /// The cost heuristic used by [`InferenceEngine::plan_for`].
@@ -305,9 +342,16 @@ impl InferenceEngine {
         h
     }
 
+    /// Per-layer cost shapes feeding the full-vs-partial heuristic (see
+    /// [`maxk_nn::plan::LayerCost`]); precomputed at construction.
+    pub fn layer_costs(&self) -> &[LayerCost] {
+        &self.layer_costs
+    }
+
     /// Plans full vs. seed-restricted forward for a batch's seed union
-    /// using the engine's [`PlanConfig`] cost heuristic (frontier edge
-    /// work vs. `layers × num_edges`).
+    /// using the engine's [`PlanConfig`] cost heuristic (modelled
+    /// dense-linear plus aggregation work of the frontier vs. the full
+    /// forward).
     ///
     /// # Errors
     ///
@@ -315,7 +359,7 @@ impl InferenceEngine {
     /// seed sets.
     pub fn plan_for(&self, seeds: &[u32]) -> Result<ForwardPlan, ServeError> {
         check_seeds(seeds, self.num_nodes())?;
-        ForwardPlan::choose(&self.ctx.adj, seeds, self.layers.len(), &self.plan_cfg)
+        ForwardPlan::choose(&self.ctx.adj, seeds, &self.layer_costs, &self.plan_cfg)
             .map_err(|e| ServeError::BadModel(e.to_string()))
     }
 
@@ -400,6 +444,79 @@ impl InferenceEngine {
             seeds: Some(frontier.seeds().clone()),
         };
         Ok(out.gather(seeds))
+    }
+}
+
+/// What one batched forward produced, plus routing metadata.
+///
+/// Returned by [`BatchEngine::forward_union`]; the server gathers each
+/// query's rows from `logits` and feeds `shards` into its per-shard
+/// counters.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Logits covering the batch's entire seed union.
+    pub logits: BatchLogits,
+    /// Per shard that served part of the batch: `(shard index, ran the
+    /// seed-restricted partial path)`. A single unsharded engine reports
+    /// one entry for shard 0.
+    pub shards: Vec<(usize, bool)>,
+}
+
+impl BatchOutcome {
+    /// True when any participating shard ran the partial path.
+    pub fn any_partial(&self) -> bool {
+        self.shards.iter().any(|&(_, p)| p)
+    }
+}
+
+/// A forward backend the micro-batching [`crate::Server`] can drive: the
+/// single-graph [`InferenceEngine`], or the sharded
+/// [`crate::ShardedEngine`] router.
+///
+/// Implementations answer a whole batch's **seed union** in one call; the
+/// server coalesces queries, deduplicates their seeds and gathers each
+/// query's rows from the returned [`BatchOutcome`].
+pub trait BatchEngine: Send + Sync {
+    /// Number of nodes served (valid seeds are `0..num_nodes`).
+    fn num_nodes(&self) -> usize;
+
+    /// Logit (output) dimension.
+    fn out_dim(&self) -> usize;
+
+    /// Number of shards behind this engine (1 when unsharded); sizes the
+    /// server's per-shard counters.
+    fn num_shards(&self) -> usize;
+
+    /// Runs one forward covering every seed in `union`.
+    ///
+    /// `union` is validated, sorted and deduplicated by the caller; the
+    /// returned logits must gather bitwise-identical rows to a full-graph
+    /// forward for every seed in it.
+    fn forward_union(&self, union: &[u32]) -> BatchOutcome;
+}
+
+impl BatchEngine for InferenceEngine {
+    fn num_nodes(&self) -> usize {
+        InferenceEngine::num_nodes(self)
+    }
+
+    fn out_dim(&self) -> usize {
+        InferenceEngine::out_dim(self)
+    }
+
+    fn num_shards(&self) -> usize {
+        1
+    }
+
+    fn forward_union(&self, union: &[u32]) -> BatchOutcome {
+        // Seeds were validated upstream, so planning only fails on
+        // internal inconsistency — fall back to the full forward.
+        let plan = self.plan_for(union).unwrap_or(ForwardPlan::Full);
+        let partial = plan.is_partial();
+        BatchOutcome {
+            logits: self.forward_planned(&plan),
+            shards: vec![(0, partial)],
+        }
     }
 }
 
@@ -564,7 +681,7 @@ mod tests {
             let plan = engine.plan_for(&[2, 31]).unwrap();
             assert_eq!(plan.is_partial(), cfg.work_ratio > 1.0);
             let out = engine.forward_planned(&plan);
-            assert_eq!(out.is_partial(), plan.is_partial());
+            assert_eq!(out.is_compact(), plan.is_partial());
             assert_eq!(out.gather(&[2, 31]), engine.logits_full(&[2, 31]).unwrap());
         }
     }

@@ -13,10 +13,16 @@
 //!   ([`ForwardPlan`]): when the batch's seed-union reverse frontier is
 //!   small, only the frontier rows are computed (`maxk_core::subset`
 //!   kernels), bitwise-equal to the full forward for the requested seeds;
+//! * [`ShardedEngine`] — sharded serving: the graph splits into `S`
+//!   halo-augmented shards (`maxk_graph::shard`), one [`InferenceEngine`]
+//!   per shard holding only its owned nodes plus their reverse L-hop
+//!   ghost rows; a scatter/gather router answers any seed set
+//!   bitwise-identically to the single engine, so serving capacity
+//!   scales with shard count instead of one machine's memory;
 //! * [`Server`] — a micro-batching request queue (`std::thread` +
 //!   `mpsc`): queries arriving within a configurable window coalesce into
 //!   one batched forward, so a batch of `B` queries costs one forward
-//!   instead of `B`;
+//!   instead of `B`; it drives any [`BatchEngine`] (single or sharded);
 //! * [`LatencyHistogram`] / [`StatsSnapshot`] — p50/p95/p99 latency and
 //!   throughput accounting on the serving path;
 //! * [`replay`] — a closed-loop Zipf-traffic load generator for
@@ -57,12 +63,15 @@
 pub mod engine;
 pub mod loadgen;
 pub mod metrics;
+pub mod router;
 pub mod server;
 
-pub use engine::{BatchLogits, InferenceEngine};
+pub use engine::{BatchEngine, BatchLogits, BatchOutcome, InferenceEngine};
 pub use loadgen::{replay, LoadConfig, LoadReport, ZipfSampler};
+pub use maxk_graph::shard::ShardStrategy;
 pub use maxk_nn::plan::{ForwardPlan, PlanConfig};
 pub use metrics::{LatencyHistogram, LatencySummary};
+pub use router::{ShardConfig, ShardInfo, ShardedEngine};
 pub use server::{QueryResponse, ServeConfig, Server, ServerHandle, StatsSnapshot};
 
 use std::error::Error;

@@ -2,10 +2,12 @@
 //!
 //! The histogram uses power-of-two microsecond buckets (64 of them cover
 //! every `u64` latency), so recording is a couple of integer ops and the
-//! p50/p95/p99 quantile read-out walks at most 64 counters. Quantiles are
-//! reported as the *upper bound* of the bucket holding the target rank,
-//! clamped to the exact observed maximum — pessimistic but never an
-//! underestimate, and always finite.
+//! p50/p95/p99 quantile read-out walks at most 64 counters. Quantiles
+//! interpolate linearly by rank *within* the bucket holding the target
+//! observation, clamped to the exact observed maximum — so a mid-bucket
+//! median reads near the bucket middle rather than the upper bound (the
+//! old upper-bound read-out overstated p50 by up to 2× for mid-bucket
+//! observations), and the result is always finite.
 
 /// Fixed-size log₂-bucketed latency histogram (microseconds).
 #[derive(Debug, Clone)]
@@ -61,10 +63,18 @@ impl LatencyHistogram {
         self.max_us
     }
 
-    /// Quantile `q` in `[0, 1]` as microseconds: the upper bound of the
-    /// bucket containing the `ceil(q · count)`-th observation, clamped to
-    /// the observed maximum. Returns 0 for an empty histogram; the result
-    /// is always finite.
+    /// Quantile `q` in `[0, 1]` as microseconds: locates the
+    /// `ceil(q · count)`-th observation's bucket, then interpolates
+    /// linearly by rank between the bucket's lower and upper bound (an
+    /// observation that is the `r`-th of `c` in bucket `[lo, hi]` reads
+    /// `lo + (hi - lo) · r/c`), clamped to the observed maximum. Returns
+    /// 0 for an empty histogram; the result is always finite and never
+    /// below the bucket's lower bound.
+    ///
+    /// The rank interpolation matters: reporting the bucket *upper bound*
+    /// (as an earlier version did) overstates a quantile by up to 2× when
+    /// the target observation sits at the bottom of a power-of-two
+    /// bucket — a 33µs median read as 63µs.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -73,15 +83,23 @@ impl LatencyHistogram {
         let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (bucket, &c) in self.counts.iter().enumerate() {
+            let below = seen;
             seen += c;
             if seen >= target {
-                // Upper bound of bucket b is 2^(b+1) - 1 us.
-                let upper = if bucket >= 63 {
-                    u64::MAX
+                // Bucket b spans [2^b, 2^(b+1) - 1] us (bucket 0: [0, 1]).
+                let lower = if bucket == 0 {
+                    0.0
                 } else {
-                    (1u64 << (bucket + 1)) - 1
+                    (1u64 << bucket) as f64
                 };
-                return upper.min(self.max_us) as f64;
+                let upper = if bucket >= 63 {
+                    u64::MAX as f64
+                } else {
+                    ((1u64 << (bucket + 1)) - 1) as f64
+                };
+                let rank = (target - below) as f64;
+                let v = lower + (upper - lower) * (rank / c as f64);
+                return v.min(self.max_us as f64);
             }
         }
         self.max_us as f64
@@ -120,11 +138,13 @@ pub struct LatencySummary {
     pub count: u64,
     /// Mean, microseconds.
     pub mean_us: f64,
-    /// Median (bucket upper bound), microseconds.
+    /// Median (rank-interpolated within its bucket), microseconds.
     pub p50_us: f64,
-    /// 95th percentile (bucket upper bound), microseconds.
+    /// 95th percentile (rank-interpolated within its bucket),
+    /// microseconds.
     pub p95_us: f64,
-    /// 99th percentile (bucket upper bound), microseconds.
+    /// 99th percentile (rank-interpolated within its bucket),
+    /// microseconds.
     pub p99_us: f64,
     /// Exact maximum, microseconds.
     pub max_us: u64,
@@ -179,7 +199,38 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record(0);
         assert_eq!(h.count(), 1);
-        assert_eq!(h.p50(), 0.0); // upper bound 1us clamped to max 0
+        assert_eq!(h.p50(), 0.0); // interpolated 1us, clamped to max 0
+    }
+
+    #[test]
+    fn quantile_interpolates_by_rank_within_bucket() {
+        // Ten 33us observations plus one 1000us outlier: the median is a
+        // mid-bucket observation of bucket [32, 63]. The old upper-bound
+        // read-out reported 63us (~2x the true 33us); rank interpolation
+        // must stay strictly below the bucket upper bound.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..10 {
+            h.record(33);
+        }
+        h.record(1000);
+        let p50 = h.p50();
+        assert!(p50 < 63.0, "p50 {p50} must not report the upper bound");
+        assert!((32.0..63.0).contains(&p50), "p50 {p50} outside its bucket");
+        // target = ceil(0.5 * 11) = 6, rank 6 of 10 in [32, 63].
+        let expected = 32.0 + 31.0 * (6.0 / 10.0);
+        assert!((p50 - expected).abs() < 1e-9, "p50 {p50} != {expected}");
+    }
+
+    #[test]
+    fn single_observation_quantile_is_exact() {
+        // One observation: every quantile is that observation, because
+        // the rank-1-of-1 interpolation hits the bucket upper bound and
+        // the max clamp pulls it to the exact value.
+        let mut h = LatencyHistogram::new();
+        h.record(33);
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 33.0, "q = {q}");
+        }
     }
 
     #[test]

@@ -1,0 +1,501 @@
+//! Sharded serving: one inference engine per graph shard behind a
+//! scatter/gather router.
+//!
+//! A single [`InferenceEngine`] holds the whole normalized adjacency and
+//! the full feature matrix, so serving capacity is bounded by one
+//! machine's memory. [`ShardedEngine`] splits the graph into `S`
+//! halo-augmented shards (`maxk_graph::shard`): each shard's engine holds
+//! only its owned nodes plus their reverse L-hop ghost rows — features
+//! and populated adjacency rows shrink per shard as `S` grows — yet every
+//! seed a shard owns is answerable locally and **bitwise-identically** to
+//! the unsharded engine, because ghost rows carry the exact global
+//! adjacency rows (values included, columns compact-remapped in order)
+//! and features, and extraction runs on the already-normalized operand.
+//!
+//! Per batch, the router scatters the seed union to owner shards, runs
+//! the per-shard forwards concurrently (one thread per participating
+//! shard; each shard plans full-vs-partial over *its* seeds with the
+//! shared cost model), and gathers the logit rows back into seed-union
+//! order. It implements [`BatchEngine`], so the micro-batching
+//! [`crate::Server`] drives it through the same `Server`/`ServerHandle`
+//! API as the single engine.
+
+use crate::engine::{check_seeds, BatchEngine, BatchLogits, BatchOutcome, InferenceEngine};
+use crate::ServeError;
+use maxk_graph::shard::{ShardStrategy, Sharding};
+use maxk_graph::{Csr, NodeSet, WarpPartition};
+use maxk_nn::plan::{ForwardPlan, PlanConfig};
+use maxk_nn::snapshot::ModelSnapshot;
+use maxk_nn::GraphContext;
+use maxk_tensor::Matrix;
+
+/// How [`ShardedEngine::from_snapshot`] partitions the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of shards (each gets one engine).
+    pub num_shards: usize,
+    /// Owned-node assignment strategy.
+    pub strategy: ShardStrategy,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            num_shards: 2,
+            strategy: ShardStrategy::DegreeBalanced,
+        }
+    }
+}
+
+/// Memory-footprint read-out of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Nodes this shard owns (answers queries for).
+    pub owned_nodes: usize,
+    /// Local universe: owned plus reverse-halo ghosts.
+    pub local_nodes: usize,
+    /// Ghost nodes carried beyond the owned set.
+    pub ghost_nodes: usize,
+    /// Nonzeros resident in the shard's sub-adjacency.
+    pub resident_edges: usize,
+    /// Feature rows resident in the shard (== `local_nodes`).
+    pub feature_rows: usize,
+}
+
+/// One shard's serving state: the mapping plus its private engine.
+#[derive(Debug, Clone)]
+struct ShardSlot {
+    /// Global ids the shard owns.
+    owned: NodeSet,
+    /// Local universe (owned ∪ halo); a node's local id is its compact
+    /// index here.
+    local: NodeSet,
+    engine: InferenceEngine,
+}
+
+/// A sharded serving router: one [`InferenceEngine`] per halo-augmented
+/// shard, scatter/gather over the batch seed union.
+///
+/// # Examples
+///
+/// ```
+/// use maxk_serve::{ShardConfig, ShardedEngine};
+/// use maxk_graph::shard::ShardStrategy;
+/// use maxk_nn::snapshot::ModelSnapshot;
+/// use maxk_nn::{Activation, Arch, GnnModel, ModelConfig};
+/// use maxk_graph::generate;
+/// use maxk_tensor::Matrix;
+/// use rand::SeedableRng;
+///
+/// let graph = generate::chung_lu_power_law(60, 5.0, 2.3, 1).to_csr().unwrap();
+/// let mut cfg = ModelConfig::new(Arch::Gcn, Activation::MaxK(4), 8, 3);
+/// cfg.hidden_dim = 16;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = GnnModel::new(cfg, &graph, &mut rng);
+/// let features = Matrix::xavier(60, 8, &mut rng);
+///
+/// let sharded = ShardedEngine::from_snapshot(
+///     &ModelSnapshot::capture(&model),
+///     &graph,
+///     &features,
+///     ShardConfig { num_shards: 2, strategy: ShardStrategy::Contiguous },
+/// )
+/// .unwrap();
+/// let logits = sharded.logits_for(&[0, 31, 59]).unwrap();
+/// assert_eq!(logits.shape(), (3, 3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedEngine {
+    slots: Vec<ShardSlot>,
+    /// Global node id → owning shard index.
+    owner: Vec<u32>,
+    num_nodes: usize,
+    out_dim: usize,
+}
+
+impl ShardedEngine {
+    /// Builds one engine per shard from a snapshot.
+    ///
+    /// The global graph is normalized **once** (exactly as the unsharded
+    /// engine would), then each shard extracts its halo-augmented slice
+    /// of the normalized operand and of `features`; the global context
+    /// and feature matrix are dropped before this returns, so the
+    /// resident state is per-shard only.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadModel`] on snapshot/feature/graph inconsistencies
+    /// or a shard count the graph cannot satisfy.
+    pub fn from_snapshot(
+        snapshot: &ModelSnapshot,
+        graph: &Csr,
+        features: &Matrix,
+        cfg: ShardConfig,
+    ) -> Result<Self, ServeError> {
+        if features.rows() != graph.num_nodes() {
+            return Err(ServeError::BadModel(format!(
+                "feature rows {} != graph nodes {}",
+                features.rows(),
+                graph.num_nodes()
+            )));
+        }
+        if cfg.num_shards == 0 || cfg.num_shards > graph.num_nodes() {
+            return Err(ServeError::BadModel(format!(
+                "cannot split {} nodes into {} shards",
+                graph.num_nodes(),
+                cfg.num_shards
+            )));
+        }
+        let mcfg = &snapshot.config;
+        // Only the normalized operand is needed globally — the transpose
+        // and Edge-Group partition are built per shard on the (smaller)
+        // sub-adjacencies, so the global graph is never duplicated.
+        let adj = GraphContext::normalized_adjacency(graph, mcfg.arch);
+        let sharding = Sharding::build(&adj, cfg.num_shards, mcfg.num_layers, cfg.strategy)
+            .map_err(|e| ServeError::BadModel(e.to_string()))?;
+        let (shards, owner) = sharding.into_parts();
+        let mut slots = Vec::with_capacity(shards.len());
+        for shard in shards {
+            let (owned, local, sub_adj) = shard.into_parts();
+            let mut local_features = Matrix::zeros(local.len(), features.cols());
+            for (l, &g) in local.ids().iter().enumerate() {
+                local_features
+                    .row_mut(l)
+                    .copy_from_slice(features.row(g as usize));
+            }
+            // The sub-adjacency is already normalized (it is a row slice
+            // of the global normalized operand), so the context is
+            // assembled directly — GraphContext::build would re-normalize
+            // against the shard's truncated degrees and break bitwise
+            // fidelity.
+            let local_ctx = GraphContext {
+                adj_t: sub_adj.transpose(),
+                part: WarpPartition::build(&sub_adj, mcfg.eg_width),
+                adj: sub_adj,
+            };
+            let engine = InferenceEngine::with_context(snapshot, local_ctx, local_features)?;
+            slots.push(ShardSlot {
+                owned,
+                local,
+                engine,
+            });
+        }
+        let num_nodes = graph.num_nodes();
+        let out_dim = mcfg.out_dim;
+        Ok(ShardedEngine {
+            slots,
+            owner,
+            num_nodes,
+            out_dim,
+        })
+    }
+
+    /// Replaces the full-vs-partial cost heuristic on every shard engine
+    /// (builder style).
+    #[must_use]
+    pub fn with_plan_config(mut self, cfg: PlanConfig) -> Self {
+        for slot in &mut self.slots {
+            slot.engine.set_plan_config(cfg);
+        }
+        self
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Nodes served across all shards.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Output (logit) dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The shard owning `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn owner_of(&self, node: u32) -> usize {
+        self.owner[node as usize] as usize
+    }
+
+    /// Memory-footprint read-out of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s >= num_shards()`.
+    pub fn shard_info(&self, s: usize) -> ShardInfo {
+        let slot = &self.slots[s];
+        ShardInfo {
+            owned_nodes: slot.owned.len(),
+            local_nodes: slot.local.len(),
+            ghost_nodes: slot.local.len() - slot.owned.len(),
+            resident_edges: slot.engine.context().adj.num_edges(),
+            feature_rows: slot.local.len(),
+        }
+    }
+
+    /// Logit rows for `seeds` in request order (duplicates allowed),
+    /// scattered to owner shards and gathered back — bitwise equal to the
+    /// unsharded engine's rows.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SeedOutOfRange`] / [`ServeError::EmptyQuery`] on bad
+    /// seed sets.
+    pub fn logits_for(&self, seeds: &[u32]) -> Result<Matrix, ServeError> {
+        check_seeds(seeds, self.num_nodes)?;
+        let mut union = seeds.to_vec();
+        union.sort_unstable();
+        union.dedup();
+        Ok(self.forward_union(&union).logits.gather(seeds))
+    }
+}
+
+impl BatchEngine for ShardedEngine {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    fn num_shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn forward_union(&self, union: &[u32]) -> BatchOutcome {
+        let set = NodeSet::from_unsorted(union, self.num_nodes)
+            .expect("server validates seeds before batching");
+        // Scatter: per shard, the local seed ids plus each seed's row
+        // position in the union-compact output.
+        let mut local_seeds: Vec<Vec<u32>> = vec![Vec::new(); self.slots.len()];
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); self.slots.len()];
+        for (pos, &g) in set.ids().iter().enumerate() {
+            let s = self.owner[g as usize] as usize;
+            let l = self.slots[s]
+                .local
+                .compact(g)
+                .expect("owner shard holds its owned nodes");
+            local_seeds[s].push(l as u32);
+            positions[s].push(pos);
+        }
+        // Fan out: one thread per participating shard — except for the
+        // common single-shard batch (skewed traffic concentrates on hub
+        // owners), which runs inline to skip the spawn. Each shard runs
+        // its own full-vs-partial plan over its slice of the union and
+        // gathers its seed rows compactly.
+        let run_shard = |s: usize| {
+            let seeds = &local_seeds[s];
+            let engine = &self.slots[s].engine;
+            let plan = engine.plan_for(seeds).unwrap_or(ForwardPlan::Full);
+            let partial = plan.is_partial();
+            (engine.forward_planned(&plan).gather(seeds), partial)
+        };
+        let participating = local_seeds.iter().filter(|s| !s.is_empty()).count();
+        let mut results: Vec<Option<(Matrix, bool)>> = vec![None; self.slots.len()];
+        if participating == 1 {
+            let s = local_seeds
+                .iter()
+                .position(|s| !s.is_empty())
+                .expect("non-empty union owns a shard");
+            results[s] = Some(run_shard(s));
+        } else {
+            std::thread::scope(|scope| {
+                for (s, out) in results.iter_mut().enumerate() {
+                    if local_seeds[s].is_empty() {
+                        continue;
+                    }
+                    let run_shard = &run_shard;
+                    scope.spawn(move || *out = Some(run_shard(s)));
+                }
+            });
+        }
+        // Gather: copy each shard's rows into union-compact order.
+        let mut logits = Matrix::zeros(set.len(), self.out_dim);
+        let mut shards = Vec::new();
+        for (s, result) in results.into_iter().enumerate() {
+            let Some((rows, partial)) = result else {
+                continue;
+            };
+            for (r, &pos) in positions[s].iter().enumerate() {
+                logits.row_mut(pos).copy_from_slice(rows.row(r));
+            }
+            shards.push((s, partial));
+        }
+        BatchOutcome {
+            logits: BatchLogits::compact(logits, set),
+            shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxk_graph::generate;
+    use maxk_nn::{Activation, Arch, GnnModel, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(arch: Arch, act: Activation) -> (Csr, Matrix, ModelSnapshot) {
+        let graph = generate::chung_lu_power_law(80, 5.0, 2.3, 11)
+            .to_csr()
+            .unwrap();
+        let mut cfg = ModelConfig::new(arch, act, 6, 3);
+        cfg.hidden_dim = 12;
+        cfg.dropout = 0.0;
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = GnnModel::new(cfg, &graph, &mut rng);
+        let x = Matrix::xavier(80, 6, &mut rng);
+        (graph, x, ModelSnapshot::capture(&model))
+    }
+
+    #[test]
+    fn sharded_logits_bitwise_match_single_engine_all_combos() {
+        for arch in [Arch::Gcn, Arch::Sage, Arch::Gin] {
+            for act in [Activation::Relu, Activation::MaxK(4)] {
+                let (graph, x, snap) = setup(arch, act);
+                let single = InferenceEngine::from_snapshot(&snap, &graph, x.clone()).unwrap();
+                for shards in [2usize, 4] {
+                    for strategy in [ShardStrategy::Contiguous, ShardStrategy::DegreeBalanced] {
+                        let sharded = ShardedEngine::from_snapshot(
+                            &snap,
+                            &graph,
+                            &x,
+                            ShardConfig {
+                                num_shards: shards,
+                                strategy,
+                            },
+                        )
+                        .unwrap();
+                        let seeds = [79u32, 0, 40, 13, 0];
+                        assert_eq!(
+                            sharded.logits_for(&seeds).unwrap(),
+                            single.logits_full(&seeds).unwrap(),
+                            "{arch:?} {act:?} S={shards} {strategy:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_union_reports_participating_shards_only() {
+        let (graph, x, snap) = setup(Arch::Sage, Activation::MaxK(4));
+        let sharded = ShardedEngine::from_snapshot(
+            &snap,
+            &graph,
+            &x,
+            ShardConfig {
+                num_shards: 4,
+                strategy: ShardStrategy::Contiguous,
+            },
+        )
+        .unwrap();
+        // All seeds owned by shard 0 (contiguous: low ids).
+        let out = sharded.forward_union(&[0, 1, 2]);
+        assert_eq!(out.shards.len(), 1);
+        assert_eq!(out.shards[0].0, 0);
+        assert_eq!(sharded.owner_of(0), 0);
+        // A spread-out union touches several shards.
+        let out = sharded.forward_union(&[0, 30, 79]);
+        assert!(out.shards.len() > 1);
+    }
+
+    #[test]
+    fn shard_info_accounts_memory() {
+        let (graph, x, snap) = setup(Arch::Gcn, Activation::Relu);
+        let sharded = ShardedEngine::from_snapshot(
+            &snap,
+            &graph,
+            &x,
+            ShardConfig {
+                num_shards: 2,
+                strategy: ShardStrategy::DegreeBalanced,
+            },
+        )
+        .unwrap();
+        let total_owned: usize = (0..2).map(|s| sharded.shard_info(s).owned_nodes).sum();
+        assert_eq!(total_owned, 80);
+        for s in 0..2 {
+            let info = sharded.shard_info(s);
+            assert_eq!(info.local_nodes, info.owned_nodes + info.ghost_nodes);
+            assert_eq!(info.feature_rows, info.local_nodes);
+            assert!(info.resident_edges <= graph.num_edges() + 80); // + GCN self-loops
+        }
+    }
+
+    #[test]
+    fn bad_shard_counts_rejected() {
+        let (graph, x, snap) = setup(Arch::Gcn, Activation::Relu);
+        for bad in [0usize, 81] {
+            assert!(matches!(
+                ShardedEngine::from_snapshot(
+                    &snap,
+                    &graph,
+                    &x,
+                    ShardConfig {
+                        num_shards: bad,
+                        strategy: ShardStrategy::Contiguous,
+                    },
+                ),
+                Err(ServeError::BadModel(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn seed_validation() {
+        let (graph, x, snap) = setup(Arch::Gcn, Activation::Relu);
+        let sharded =
+            ShardedEngine::from_snapshot(&snap, &graph, &x, ShardConfig::default()).unwrap();
+        assert!(matches!(
+            sharded.logits_for(&[]),
+            Err(ServeError::EmptyQuery)
+        ));
+        assert!(matches!(
+            sharded.logits_for(&[80]),
+            Err(ServeError::SeedOutOfRange { seed: 80, .. })
+        ));
+    }
+
+    #[test]
+    fn plan_config_propagates_to_every_shard() {
+        let (graph, x, snap) = setup(Arch::Sage, Activation::MaxK(4));
+        let single = InferenceEngine::from_snapshot(&snap, &graph, x.clone()).unwrap();
+        // Force-partial and force-full shard planners must both stay
+        // bitwise exact.
+        for cfg in [
+            PlanConfig {
+                seed_frac_cutoff: 1.0,
+                work_ratio: f64::INFINITY,
+            },
+            PlanConfig {
+                seed_frac_cutoff: 0.0,
+                work_ratio: 0.0,
+            },
+        ] {
+            let sharded = ShardedEngine::from_snapshot(&snap, &graph, &x, ShardConfig::default())
+                .unwrap()
+                .with_plan_config(cfg);
+            let seeds = [5u32, 60, 5, 33];
+            assert_eq!(
+                sharded.logits_for(&seeds).unwrap(),
+                single.logits_full(&seeds).unwrap()
+            );
+            let mut union: Vec<u32> = seeds.to_vec();
+            union.sort_unstable();
+            union.dedup();
+            let out = sharded.forward_union(&union);
+            assert_eq!(out.any_partial(), cfg.work_ratio.is_infinite());
+        }
+    }
+}

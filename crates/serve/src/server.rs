@@ -25,18 +25,19 @@
 //! to the one-query-per-forward baseline that `serve_bench` compares
 //! against.
 //!
-//! Per batch, the worker plans over the batch's **seed union**
-//! ([`InferenceEngine::plan_for`]): when the union's reverse L-hop
-//! frontier is small relative to the graph, the engine computes only the
-//! frontier rows (seed-restricted partial forward) instead of all `|V|`
-//! rows, cutting per-batch latency on large graphs; the
-//! [`StatsSnapshot::partial_batches`] counter reports how often that path
-//! won.
+//! Per batch, the worker hands the batch's **seed union** to the engine
+//! ([`BatchEngine::forward_union`]). The single
+//! [`crate::InferenceEngine`] plans full vs. seed-restricted over the
+//! union (partial when the union's reverse L-hop frontier is small); the
+//! sharded [`crate::ShardedEngine`] scatters the union to owner shards,
+//! each planning independently. [`StatsSnapshot::partial_batches`] and
+//! the per-shard [`StatsSnapshot::shard_batches`] /
+//! [`StatsSnapshot::shard_partial_batches`] counters report how often
+//! each path won and how batches spread over shards.
 
-use crate::engine::{check_seeds, InferenceEngine};
+use crate::engine::{check_seeds, BatchEngine};
 use crate::metrics::{LatencyHistogram, LatencySummary};
 use crate::ServeError;
-use maxk_nn::plan::ForwardPlan;
 use maxk_tensor::Matrix;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
@@ -77,8 +78,9 @@ pub struct QueryResponse {
     pub batch_size: usize,
     /// Queue + compute latency observed by the server.
     pub latency: Duration,
-    /// Whether this batch ran the seed-restricted partial forward (the
-    /// cost heuristic found the batch's seed-union frontier small enough).
+    /// Whether at least one shard serving this batch ran the
+    /// seed-restricted partial forward (for an unsharded engine: whether
+    /// the batch's one forward was partial).
     pub partial: bool,
 }
 
@@ -97,11 +99,27 @@ enum Msg {
 }
 
 /// Aggregate serving counters, shared between workers and observers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Counters {
     queries: AtomicU64,
     batches: AtomicU64,
     partial_batches: AtomicU64,
+    /// Batches each shard participated in (length = engine shard count).
+    shard_batches: Vec<AtomicU64>,
+    /// Of those, how many the shard served via the partial path.
+    shard_partial_batches: Vec<AtomicU64>,
+}
+
+impl Counters {
+    fn new(num_shards: usize) -> Self {
+        Counters {
+            queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            partial_batches: AtomicU64::new(0),
+            shard_batches: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_partial_batches: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
 }
 
 /// Point-in-time statistics read-out of a running [`Server`].
@@ -111,8 +129,15 @@ pub struct StatsSnapshot {
     pub queries: u64,
     /// Batched forward passes executed.
     pub batches: u64,
-    /// Batches served by the seed-restricted partial forward.
+    /// Batches where at least one participating shard ran the
+    /// seed-restricted partial forward (for an unsharded engine this is
+    /// exactly the partial-batch count).
     pub partial_batches: u64,
+    /// Per shard: batches the shard participated in (one entry per shard;
+    /// a single unsharded engine reports one entry equal to `batches`).
+    pub shard_batches: Vec<u64>,
+    /// Per shard: batches the shard served via the partial path.
+    pub shard_partial_batches: Vec<u64>,
     /// Mean queries per batch (1.0 means batching bought nothing).
     pub mean_batch: f64,
     /// Seconds since the server started.
@@ -170,10 +195,12 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts the batcher and worker threads over `engine`.
-    pub fn start(engine: Arc<InferenceEngine>, cfg: ServeConfig) -> Server {
+    /// Starts the batcher and worker threads over `engine` — the single
+    /// [`crate::InferenceEngine`] or the sharded [`crate::ShardedEngine`]
+    /// router, anything implementing [`BatchEngine`].
+    pub fn start<E: BatchEngine + 'static>(engine: Arc<E>, cfg: ServeConfig) -> Server {
         let num_nodes = engine.num_nodes();
-        let counters = Arc::new(Counters::default());
+        let counters = Arc::new(Counters::new(engine.num_shards()));
         let hist = Arc::new(Mutex::new(LatencyHistogram::new()));
         let (ingress_tx, ingress_rx) = mpsc::channel::<Msg>();
         let (batch_tx, batch_rx) = mpsc::channel::<Vec<Box<Request>>>();
@@ -231,21 +258,26 @@ impl Server {
                         Err(_) => break,
                     };
                     let size = batch.len();
-                    // One shared forward pass for the whole batch: the
-                    // cost heuristic on the batch's seed union picks the
-                    // seed-restricted partial forward when its reverse
-                    // frontier is small, the full-graph forward otherwise.
+                    // One shared forward pass for the whole batch over
+                    // its seed union: the engine plans full vs.
+                    // seed-restricted per shard (a single engine is one
+                    // shard) and returns union-covering logits.
                     let mut union: Vec<u32> =
                         batch.iter().flat_map(|r| r.seeds.iter().copied()).collect();
                     union.sort_unstable();
                     union.dedup();
-                    // Seeds were validated at the handle, so planning only
-                    // fails on internal inconsistency — fall back to full.
-                    let plan = engine.plan_for(&union).unwrap_or(ForwardPlan::Full);
-                    let logits = engine.forward_planned(&plan);
+                    let outcome = engine.forward_union(&union);
+                    let partial = outcome.any_partial();
+                    let logits = outcome.logits;
                     counters.batches.fetch_add(1, Ordering::Relaxed);
-                    if logits.is_partial() {
+                    if partial {
                         counters.partial_batches.fetch_add(1, Ordering::Relaxed);
+                    }
+                    for &(s, shard_partial) in &outcome.shards {
+                        counters.shard_batches[s].fetch_add(1, Ordering::Relaxed);
+                        if shard_partial {
+                            counters.shard_partial_batches[s].fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     counters.queries.fetch_add(size as u64, Ordering::Relaxed);
                     let mut latencies = Vec::with_capacity(size);
@@ -256,7 +288,7 @@ impl Server {
                             logits: logits.gather(&req.seeds),
                             batch_size: size,
                             latency,
-                            partial: logits.is_partial(),
+                            partial,
                         };
                         // A client that gave up is not an error.
                         let _ = req.reply.send(Ok(response));
@@ -302,6 +334,18 @@ impl Server {
             queries,
             batches,
             partial_batches,
+            shard_batches: self
+                .counters
+                .shard_batches
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            shard_partial_batches: self
+                .counters
+                .shard_partial_batches
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
             // Every served query belongs to exactly one batch, so the
             // mean occupancy is just the ratio of the two counters.
             mean_batch: if batches == 0 {
@@ -387,6 +431,7 @@ impl ServerHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::InferenceEngine;
     use maxk_graph::generate;
     use maxk_nn::snapshot::ModelSnapshot;
     use maxk_nn::{Activation, Arch, GnnModel, ModelConfig};
@@ -509,6 +554,57 @@ mod tests {
         assert_eq!(resp.logits, expected);
         let stats = server.shutdown();
         assert_eq!(stats.partial_batches, 0);
+    }
+
+    #[test]
+    fn sharded_engine_serves_through_the_same_api() {
+        use crate::{ShardConfig, ShardedEngine};
+        let graph = generate::chung_lu_power_law(60, 5.0, 2.3, 3)
+            .to_csr()
+            .unwrap();
+        let mut cfg = ModelConfig::new(Arch::Gcn, Activation::MaxK(4), 6, 3);
+        cfg.hidden_dim = 12;
+        cfg.dropout = 0.0;
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = GnnModel::new(cfg, &graph, &mut rng);
+        let x = Matrix::xavier(60, 6, &mut rng);
+        let snap = ModelSnapshot::capture(&model);
+        let single = InferenceEngine::from_snapshot(&snap, &graph, x.clone()).unwrap();
+        let expected = single.forward_all();
+        let sharded = ShardedEngine::from_snapshot(
+            &snap,
+            &graph,
+            &x,
+            ShardConfig {
+                num_shards: 2,
+                strategy: maxk_graph::shard::ShardStrategy::Contiguous,
+            },
+        )
+        .unwrap();
+        let server = Server::start(Arc::new(sharded), ServeConfig::default());
+        let handle = server.handle();
+        // A query spanning both shards (contiguous: low ids shard 0,
+        // high ids shard 1) must return the unsharded rows.
+        let resp = handle.query(&[0, 59, 30]).unwrap();
+        assert_eq!(resp.logits.row(0), expected.row(0));
+        assert_eq!(resp.logits.row(1), expected.row(59));
+        assert_eq!(resp.logits.row(2), expected.row(30));
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.shard_batches.len(), 2);
+        assert_eq!(stats.shard_partial_batches.len(), 2);
+        // Both shards saw the one batch.
+        assert_eq!(stats.shard_batches, vec![1, 1]);
+    }
+
+    #[test]
+    fn single_engine_reports_one_shard_counter() {
+        let engine = engine();
+        let server = Server::start(engine, ServeConfig::default());
+        let _ = server.handle().query(&[1]).unwrap();
+        let stats = server.shutdown();
+        assert_eq!(stats.shard_batches, vec![stats.batches]);
+        assert_eq!(stats.shard_partial_batches, vec![stats.partial_batches]);
     }
 
     #[test]

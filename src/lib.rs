@@ -17,6 +17,7 @@
 //! * [`core`] — MaxK, CBSR, SpGEMM/SSpMM and the baselines;
 //! * [`nn`] — layers, models, model snapshots and the full-batch trainer;
 //! * [`serve`] — batched inference serving: snapshot-backed engine,
+//!   sharded scatter/gather router over halo-augmented partitions,
 //!   micro-batching request queue, latency metrics, Zipf load replay.
 //!
 //! # Quickstart

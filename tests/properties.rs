@@ -260,3 +260,99 @@ proptest! {
 }
 
 use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn shard_halo_covers_local_forwards(
+        (csr, seed) in (graph_strategy(), 0u64..1000)
+    ) {
+        // Halo-extraction invariants on random graphs: populated local
+        // rows reproduce the global rows bitwise (values and remapped
+        // column order), ghost rows stay empty, and the local frontier of
+        // any owned seed equals the global frontier under the remap.
+        use maxk_gnn::graph::shard::Shard;
+        let n = csr.num_nodes();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let lo = rng.gen_range(0..n as u32);
+        let hi = rng.gen_range(lo + 1..=n as u32);
+        let owned: Vec<u32> = (lo..hi).collect();
+        let hops = 2usize;
+        let shard = Shard::extract(&csr, &owned, hops).expect("owned in range");
+        let frontier = Frontier::reverse_hops(&csr, &owned, hops).expect("owned in range");
+        prop_assert_eq!(shard.local().ids(), frontier.inputs().ids());
+        let compute = frontier.level(hops - 1);
+        for (l, &g) in shard.local().ids().iter().enumerate() {
+            let (lcols, lvals) = shard.adj().row(l);
+            if compute.contains(g) {
+                let (gcols, gvals) = csr.row(g as usize);
+                prop_assert_eq!(lvals, gvals);
+                let mapped: Vec<u32> = gcols
+                    .iter()
+                    .map(|&j| shard.to_local(j).expect("halo covers neighbors"))
+                    .collect();
+                prop_assert_eq!(lcols, mapped.as_slice());
+            } else {
+                prop_assert!(lcols.is_empty());
+            }
+        }
+        // Local frontier of one owned seed == global frontier, remapped.
+        let s0 = owned[rng.gen_range(0..owned.len())];
+        let local_seed = shard.to_local(s0).expect("owned is local");
+        let local_f = Frontier::reverse_hops(shard.adj(), &[local_seed], hops)
+            .expect("local seed in range");
+        let global_f = Frontier::reverse_hops(&csr, &[s0], hops).expect("seed in range");
+        for t in 0..=hops {
+            let back: Vec<u32> = local_f
+                .level(t)
+                .ids()
+                .iter()
+                .map(|&l| shard.local().ids()[l as usize])
+                .collect();
+            prop_assert_eq!(back.as_slice(), global_f.level(t).ids());
+        }
+    }
+
+    #[test]
+    fn sharded_engine_bitwise_equals_single_engine(
+        (csr, seed) in (graph_strategy(), 0u64..1000)
+    ) {
+        // The end-to-end sharded-serving guarantee on random graphs and
+        // random seed sets, at 2 and (when possible) 4 shards.
+        use maxk_gnn::graph::shard::ShardStrategy;
+        use maxk_gnn::nn::snapshot::ModelSnapshot;
+        use maxk_gnn::nn::{Activation, Arch, GnnModel, ModelConfig};
+        use maxk_gnn::serve::{InferenceEngine, ShardConfig, ShardedEngine};
+        let n = csr.num_nodes();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut cfg = ModelConfig::new(Arch::Sage, Activation::MaxK(3), 5, 3);
+        cfg.hidden_dim = 8;
+        cfg.dropout = 0.0;
+        let model = GnnModel::new(cfg, &csr, &mut rng);
+        let snap = ModelSnapshot::capture(&model);
+        let x = Matrix::xavier(n, 5, &mut rng);
+        let single = InferenceEngine::from_snapshot(&snap, &csr, x.clone())
+            .expect("consistent snapshot");
+        let seeds: Vec<u32> = (0..6).map(|_| rng.gen_range(0..n) as u32).collect();
+        let expected = single.logits_full(&seeds).expect("seeds in range");
+        for num_shards in [2usize, 4] {
+            if num_shards > n {
+                continue;
+            }
+            for strategy in [ShardStrategy::Contiguous, ShardStrategy::DegreeBalanced] {
+                let sharded = ShardedEngine::from_snapshot(
+                    &snap,
+                    &csr,
+                    &x,
+                    ShardConfig { num_shards, strategy },
+                )
+                .expect("shardable graph");
+                prop_assert_eq!(
+                    &sharded.logits_for(&seeds).expect("seeds in range"),
+                    &expected
+                );
+            }
+        }
+    }
+}
