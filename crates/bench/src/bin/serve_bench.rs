@@ -19,10 +19,21 @@
 //! single engine and recording replay throughput plus the peak per-shard
 //! resident edge/feature footprint, into `BENCH_shard.json`.
 //!
+//! Finally it sweeps **offered load vs. admission policy**
+//! (`--offered` multipliers of the measured full-batch saturation
+//! capacity × `--admission-policies`) with the open-loop Poisson
+//! generator — the closed-loop replay cannot overload the server by
+//! construction — and
+//! writes `BENCH_admission.json`: p50/p99, goodput, rejected/shed
+//! counts and peak queue depth per point, showing that with shedding
+//! p99 stays bounded and goodput plateaus past saturation while the
+//! `Block` baseline's queue (and thus latency) grows with offered load.
+//!
 //! ```text
 //! cargo run --release -p maxk-bench --bin serve_bench -- \
 //!     --scale test --epochs 20 --queries 2000 --clients 8 \
-//!     --partial-sizes 1,8,64 --partial-reps 5 --shards 1,2,4
+//!     --partial-sizes 1,8,64 --partial-reps 5 --shards 1,2,4 \
+//!     --offered 0.5,1,2,4 --admission-policies block,drop,deadline
 //! ```
 
 use maxk_bench::report::{save_json, JsonObject, JsonValue};
@@ -34,8 +45,9 @@ use maxk_nn::plan::{full_cost, partial_cost};
 use maxk_nn::snapshot::ModelSnapshot;
 use maxk_nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
 use maxk_serve::{
-    replay, BatchEngine, InferenceEngine, LoadConfig, LoadReport, ServeConfig, Server, ShardConfig,
-    ShardedEngine, StatsSnapshot,
+    open_loop, replay, AdmissionConfig, BatchEngine, FairnessConfig, InferenceEngine, LoadConfig,
+    LoadReport, OpenLoopConfig, OverloadPolicy, ServeConfig, Server, ShardConfig, ShardedEngine,
+    StatsSnapshot,
 };
 use maxk_tensor::Matrix;
 use rand::{Rng, SeedableRng};
@@ -74,6 +86,211 @@ fn mode_json(report: &LoadReport, stats: &StatsSnapshot) -> JsonObject {
         .field("max_us", report.latency.max_us)
         .field("batches", stats.batches)
         .field("mean_batch", stats.mean_batch)
+        .field("queue_depth_peak", stats.queue_depth_peak)
+}
+
+/// Maps a CLI policy label to the admission config the sweep runs it
+/// under. `block` gets an effectively unbounded queue — the point of the
+/// baseline is to show queue depth (and thus latency) growing with
+/// offered load, which a bounded blocking queue would instead convert
+/// into submit-side stalls.
+fn admission_for(label: &str, capacity: usize, deadline: Duration) -> AdmissionConfig {
+    match label {
+        "block" => AdmissionConfig {
+            capacity: 1 << 20,
+            policy: OverloadPolicy::Block,
+            fairness: None,
+            default_deadline: None,
+        },
+        "reject" => AdmissionConfig {
+            capacity,
+            policy: OverloadPolicy::RejectNewest,
+            fairness: None,
+            default_deadline: None,
+        },
+        "drop" | "drop-oldest" => AdmissionConfig {
+            capacity,
+            policy: OverloadPolicy::DropOldest,
+            fairness: None,
+            default_deadline: None,
+        },
+        "deadline" => AdmissionConfig {
+            capacity,
+            policy: OverloadPolicy::DeadlineShed,
+            fairness: None,
+            default_deadline: Some(deadline),
+        },
+        other => panic!("unknown admission policy {other} (block|reject|drop|deadline)"),
+    }
+}
+
+/// Open-loop offered-load × admission-policy sweep.
+///
+/// `capacity_qps` is the measured saturation estimate
+/// (`max_batch / full-batch service time`); each offered multiplier runs
+/// an open-loop Poisson arrival process at `mult × capacity_qps` against
+/// a fresh server under each policy. All
+/// policies get the same client-side latency budget (`deadline`) so
+/// goodput — answers within budget per second — is comparable; only the
+/// `deadline` policy also *enforces* it server-side by shedding blown
+/// queries before they cost a forward.
+#[allow(clippy::too_many_arguments)]
+fn admission_sweep(
+    engine: &Arc<InferenceEngine>,
+    serve_cfg: ServeConfig,
+    capacity_qps: f64,
+    policies: &[String],
+    offered_mults: &[f64],
+    clients: usize,
+    seeds_per_query: usize,
+    zipf: f64,
+    open_secs: f64,
+    deadline: Duration,
+    admission_capacity: usize,
+    fairness: Option<FairnessConfig>,
+) -> (Table, Vec<JsonObject>, Vec<SweepPoint>) {
+    let mut table = Table::new(vec![
+        "policy",
+        "offered",
+        "submitted",
+        "goodput q/s",
+        "answered",
+        "rejected",
+        "shed",
+        "p50",
+        "p99",
+        "queue peak",
+    ]);
+    let mut policy_rows = Vec::new();
+    let mut raw_points = Vec::new();
+    for policy in policies {
+        let mut admission = admission_for(policy, admission_capacity, deadline);
+        admission.fairness = fairness;
+        // Canonical name from the policy itself, so table/JSON labels
+        // stay stable however the CLI spelled it (e.g. "drop-oldest").
+        let policy = admission.policy.label();
+        let mut points = Vec::new();
+        for &mult in offered_mults {
+            let offered_qps = mult * capacity_qps;
+            let server = Server::start(
+                Arc::clone(engine),
+                ServeConfig {
+                    admission,
+                    ..serve_cfg
+                },
+            );
+            let report = open_loop(
+                &server.handle(),
+                &OpenLoopConfig {
+                    clients,
+                    offered_qps,
+                    duration: Duration::from_secs_f64(open_secs),
+                    seeds_per_query,
+                    zipf_exponent: zipf,
+                    seed: 17,
+                    deadline: Some(deadline),
+                },
+            )
+            .expect("open loop against a live server");
+            let stats = server.shutdown();
+            assert_eq!(
+                report.submitted,
+                report.answered + report.rejected + report.shed,
+                "open-loop books must balance exactly"
+            );
+            table.row(vec![
+                policy.to_string(),
+                format!("{mult:.2}x"),
+                report.submitted.to_string(),
+                format!("{:.1}", report.goodput_qps),
+                report.answered.to_string(),
+                report.rejected.to_string(),
+                report.shed.to_string(),
+                format!("{:.0}us", report.latency.p50_us),
+                format!("{:.0}us", report.latency.p99_us),
+                stats.queue_depth_peak.to_string(),
+            ]);
+            points.push(
+                JsonObject::new()
+                    .field("offered_mult", mult)
+                    .field("offered_qps", offered_qps)
+                    .field("submitted", report.submitted)
+                    .field("answered", report.answered)
+                    .field("rejected", report.rejected)
+                    .field("shed", report.shed)
+                    .field("late_answers", report.late)
+                    .field("deadline_misses", stats.deadline_misses)
+                    .field("goodput_qps", report.goodput_qps)
+                    .field("wall_s", report.wall_s)
+                    .field("p50_us", report.latency.p50_us)
+                    .field("p95_us", report.latency.p95_us)
+                    .field("p99_us", report.latency.p99_us)
+                    .field("max_us", report.latency.max_us)
+                    .field("mean_batch", stats.mean_batch)
+                    .field("queue_depth_peak", stats.queue_depth_peak),
+            );
+            raw_points.push(SweepPoint {
+                policy: policy.to_string(),
+                mult,
+                p99_us: report.latency.p99_us,
+                rejected: report.rejected,
+                shed: report.shed,
+            });
+        }
+        policy_rows.push(
+            JsonObject::new()
+                .field("policy", policy)
+                .field("queue_capacity", admission.capacity)
+                .field(
+                    "points",
+                    JsonValue::Array(points.into_iter().map(JsonValue::Object).collect()),
+                ),
+        );
+    }
+    (table, policy_rows, raw_points)
+}
+
+/// One admission sweep measurement kept in raw form for the
+/// `--admission-assert` smoke checks (the JSON mirror goes to
+/// `BENCH_admission.json`).
+struct SweepPoint {
+    policy: String,
+    mult: f64,
+    p99_us: f64,
+    rejected: u64,
+    shed: u64,
+}
+
+/// CI smoke assertions over the sweep: past saturation a shedding
+/// policy must actually shed (or reject) work, and the deadline policy
+/// must keep p99 within a small multiple of the latency budget — the
+/// "bounded overload" property the admission layer exists for.
+fn assert_admission_bounds(points: &[SweepPoint], deadline_ms: u64, offered_mults: &[f64]) {
+    let top = offered_mults.iter().copied().fold(f64::MIN, f64::max);
+    assert!(
+        top >= 1.5,
+        "--admission-assert needs an overload point (max --offered {top} < 1.5)"
+    );
+    for p in points {
+        if p.policy == "deadline" {
+            let budget_us = (deadline_ms * 1000) as f64;
+            assert!(
+                p.p99_us <= 5.0 * budget_us,
+                "deadline policy p99 {}us at {:.1}x exceeds 5x the {}ms budget",
+                p.p99_us,
+                p.mult,
+                deadline_ms
+            );
+        }
+        if p.policy != "block" && p.mult >= top {
+            assert!(
+                p.rejected + p.shed > 0,
+                "policy {} at {:.1}x offered load shed/rejected nothing — not overloaded?",
+                p.policy,
+                p.mult
+            );
+        }
+    }
 }
 
 /// Distinct uniform-random seed ids.
@@ -329,6 +546,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shard_graph = args.get_str("shard-graph", "community");
     let shard_communities = args.get("shard-communities", 8usize);
     let shard_homophily = args.get("shard-homophily", 0.9f64);
+    let skip_admission = args.flag("skip-admission");
+    let admission_assert = args.flag("admission-assert");
+    let offered_mults: Vec<f64> = args
+        .get_list("offered", &["0.5", "1", "2", "4"])
+        .iter()
+        .map(|s| s.parse().expect("numeric --offered entry"))
+        .collect();
+    let admission_policies: Vec<String> =
+        args.get_list("admission-policies", &["block", "drop", "deadline"]);
+    let open_secs = args.get("open-secs", 2.0f64);
+    // 0 = auto: derived from the measured full-batch service time.
+    let deadline_ms = args.get("deadline-ms", 0u64);
+    let admission_capacity = args.get("admission-capacity", 256usize);
+    let fair_rate = args.get("fair-rate", 0.0f64);
+    let fair_burst = args.get("fair-burst", 8.0f64);
+    let admission_out = args.get_str("admission-out", "BENCH_admission.json");
 
     // 1. Train.
     let data = TrainingDataset::Flickr.generate(scale, 42)?;
@@ -405,6 +638,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             batch_window: Duration::from_micros(window_us),
             max_batch,
             workers,
+            ..ServeConfig::default()
         },
         &batched_load,
     );
@@ -423,6 +657,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             batch_window: Duration::ZERO,
             max_batch: 1,
             workers,
+            ..ServeConfig::default()
         },
         &unbatched_load,
     );
@@ -583,6 +818,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             batch_window: Duration::from_micros(window_us),
             max_batch,
             workers,
+            ..ServeConfig::default()
         },
         &batched_load,
     );
@@ -611,5 +847,120 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     save_json(&shard_out, &sjson)?;
     println!("wrote {shard_out}");
+
+    // 8. Admission-control sweep: open-loop Poisson arrivals at
+    //    multiples of the measured closed-loop capacity, per overload
+    //    policy. The closed-loop replays above cannot overload the
+    //    server by construction (arrival rate collapses to service
+    //    rate); this is where bounded ingress + shedding earn their
+    //    keep: past saturation, p99 stays bounded and goodput plateaus
+    //    instead of collapsing, while the `block` baseline's queue depth
+    //    grows with offered load.
+    if skip_admission {
+        println!("admission sweep skipped (--skip-admission)");
+        return Ok(());
+    }
+    // Saturation estimate: one forward serves a whole batch, so the
+    // pipeline saturates near `max_batch / full-batch service time`.
+    // Measure that service time directly on a max_batch-seed union (what
+    // a saturated batcher hands the workers) — neither closed-loop
+    // replay measures it: the batched one is limited by its client
+    // concurrency, and the unbatched one times 1-seed forwards that the
+    // planner serves via the ~100x-cheaper partial path.
+    let batch_service_s = {
+        let mut union = sample_seeds(
+            n,
+            max_batch.min(n),
+            &mut rand::rngs::StdRng::seed_from_u64(7),
+        );
+        union.sort_unstable();
+        union.dedup();
+        let reps = 3;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(engine.forward_union(&union));
+        }
+        t0.elapsed().as_secs_f64() / reps as f64
+    };
+    let capacity_qps = max_batch as f64 / batch_service_s;
+    // Auto latency budget (--deadline-ms 0): generous enough that
+    // at-capacity answers fit. An answered query's latency is bounded by
+    // the in-queue wait (up to capacity/max_batch batches) plus the
+    // post-pop pipeline residual (bounded batch channel + in-flight
+    // worker batches, a few batch times); double the in-queue term and
+    // add ~8 batch times of residual + contention headroom (the
+    // generator threads share cores with the workers).
+    let deadline_ms = if deadline_ms > 0 {
+        deadline_ms
+    } else {
+        let batches_in_queue = (admission_capacity as f64 / max_batch as f64).ceil();
+        let budget_s = batch_service_s * (8.0 + 2.0 * batches_in_queue);
+        ((budget_s * 1e3).ceil() as u64).max(20)
+    };
+    let deadline = Duration::from_millis(deadline_ms);
+    let fairness = (fair_rate > 0.0).then_some(FairnessConfig {
+        rate_per_s: fair_rate,
+        burst: fair_burst,
+    });
+    println!(
+        "admission sweep: offered {offered_mults:?} x {capacity_qps:.1} q/s capacity \
+         ({:.1}ms/batch), policies {admission_policies:?}, {open_secs}s open loop, \
+         {deadline_ms}ms budget",
+        batch_service_s * 1e3
+    );
+    let (atable, arows, apoints) = admission_sweep(
+        &engine,
+        ServeConfig {
+            batch_window: Duration::from_micros(window_us),
+            max_batch,
+            workers,
+            ..ServeConfig::default()
+        },
+        capacity_qps,
+        &admission_policies,
+        &offered_mults,
+        clients,
+        seeds_per_query,
+        zipf,
+        open_secs,
+        deadline,
+        admission_capacity,
+        fairness,
+    );
+    atable.print();
+
+    if admission_assert {
+        assert_admission_bounds(&apoints, deadline_ms, &offered_mults);
+        println!("admission assertions passed: nonzero shedding and bounded p99 under overload");
+    }
+
+    let ajson = JsonObject::new()
+        .field("bench", "admission")
+        .field("dataset", "Flickr")
+        .field("scale", scale_name.as_str())
+        .field("nodes", n)
+        .field("edges", data.csr.num_edges())
+        .field("arch", "SAGE")
+        .field("layers", num_layers)
+        .field("k", k)
+        .field("hidden_dim", hidden)
+        .field("clients", clients)
+        .field("window_us", window_us)
+        .field("max_batch", max_batch)
+        .field("workers", workers)
+        .field("zipf_exponent", zipf)
+        .field("capacity_qps", capacity_qps)
+        .field("batch_service_s", batch_service_s)
+        .field("closed_loop_qps", batched.throughput_qps)
+        .field("open_loop_secs", open_secs)
+        .field("deadline_ms", deadline_ms)
+        .field("queue_capacity", admission_capacity)
+        .field("fair_rate_per_s", fair_rate)
+        .field(
+            "policies",
+            JsonValue::Array(arows.into_iter().map(JsonValue::Object).collect()),
+        );
+    save_json(&admission_out, &ajson)?;
+    println!("wrote {admission_out}");
     Ok(())
 }

@@ -1,0 +1,985 @@
+//! Admission control and backpressure: the bounded ingress between
+//! clients and the micro-batcher.
+//!
+//! The serving stack's original ingress was an unbounded `mpsc` channel:
+//! when offered load exceeds forward throughput, the queue grows without
+//! bound, every query's latency grows with it, and p99 is a function of
+//! how long the overload has lasted rather than of the system. This
+//! module turns overload into a *measured, bounded regime*:
+//!
+//! * **Bounded queue** — at most [`AdmissionConfig::capacity`] queries
+//!   wait for a batch slot; the depth (and its peak) are observable
+//!   gauges.
+//! * **Overload policy** ([`OverloadPolicy`]) — what happens when a query
+//!   arrives and the queue is full: block the submitter (closed-loop
+//!   backpressure), reject the newcomer, drop the oldest waiter, or shed
+//!   deadline-blown work before it wastes a forward.
+//! * **Per-client fairness** ([`FairnessConfig`]) — a token bucket per
+//!   client caps any one client's admitted rate, so a hot client under
+//!   Zipf traffic cannot monopolize the queue; when fairness is on, the
+//!   `DropOldest`/`DeadlineShed` eviction victim is the *most-queued*
+//!   client's oldest entry rather than the global oldest, which keeps a
+//!   light client's only waiting query from being evicted by a flood
+//!   (see [`AdmissionQueue::submit`] for the exact guarantee).
+//! * **Exact accounting** — every submitted query ends in exactly one of
+//!   *answered*, *rejected* or *shed* (plus *still queued* while the
+//!   server runs): `submitted == popped + rejected + shed + depth` holds
+//!   under the queue's lock at all times, so overload experiments can
+//!   reconcile their books to the query.
+//!
+//! The queue is generic over its payload `T` so the policy/fairness
+//! machinery is testable without spinning up a server (the proptest
+//! suite drives it with integer payloads); `maxk_serve::server` feeds it
+//! boxed requests.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::metrics::{ClientStats, LatencyHistogram, LatencySummary};
+use crate::ServeError;
+
+/// What the admission layer does with a query that arrives while the
+/// queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Block the submitting thread until space frees up — classic
+    /// backpressure. Bounds memory but not client-observed latency; the
+    /// baseline the shedding policies are measured against.
+    Block,
+    /// Turn the incoming query away with
+    /// [`RejectReason::QueueFull`]. First-come-first-served: waiting
+    /// work is never discarded.
+    RejectNewest,
+    /// Evict a waiting query (shed with [`ShedReason::Evicted`]) to
+    /// admit the new one — freshest-work-wins. Without fairness the
+    /// victim is the global oldest entry; with fairness it is the
+    /// most-queued client's oldest entry.
+    DropOldest,
+    /// [`OverloadPolicy::DropOldest`] overflow behavior, plus
+    /// deadline-aware shedding: entries whose latency budget has already
+    /// elapsed are shed ([`ShedReason::DeadlineBlown`]) — at overflow to
+    /// make room, and at dequeue so a blown query never costs a forward
+    /// pass. Budgets come from the per-query deadline or
+    /// [`AdmissionConfig::default_deadline`].
+    DeadlineShed,
+}
+
+impl OverloadPolicy {
+    /// Stable lower-case label — the single source of the policy names
+    /// used by `serve_bench`'s `--admission-policies` flag and written
+    /// into `BENCH_admission.json`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OverloadPolicy::Block => "block",
+            OverloadPolicy::RejectNewest => "reject",
+            OverloadPolicy::DropOldest => "drop",
+            OverloadPolicy::DeadlineShed => "deadline",
+        }
+    }
+}
+
+/// Per-client token-bucket rate limiting.
+///
+/// Each client starts with `burst` tokens; a submission costs one token
+/// and tokens refill continuously at `rate_per_s`. A client out of
+/// tokens is rejected with [`RejectReason::RateLimited`] regardless of
+/// queue depth, capping any single client's sustained admitted rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairnessConfig {
+    /// Sustained admitted queries per second per client.
+    pub rate_per_s: f64,
+    /// Bucket size: how far a client may burst above the sustained rate.
+    /// Must be at least 1 for the client to ever admit anything.
+    pub burst: f64,
+}
+
+/// Configuration of the admission layer.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Maximum queued (admitted but not yet batched) queries.
+    pub capacity: usize,
+    /// What to do when the queue is full.
+    pub policy: OverloadPolicy,
+    /// Per-client token-bucket fairness; `None` disables rate limiting
+    /// and fairness-aware victim selection.
+    pub fairness: Option<FairnessConfig>,
+    /// Latency budget applied to queries that do not carry their own
+    /// deadline (only enforced under [`OverloadPolicy::DeadlineShed`]).
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            capacity: 1024,
+            policy: OverloadPolicy::Block,
+            fairness: None,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Why a query was turned away at the door (never entered the queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The queue was full under [`OverloadPolicy::RejectNewest`].
+    QueueFull,
+    /// The client's token bucket was empty ([`FairnessConfig`]).
+    RateLimited,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull => write!(f, "queue full"),
+            RejectReason::RateLimited => write!(f, "client rate limited"),
+        }
+    }
+}
+
+/// Why an *admitted* query was dropped before reaching a forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Evicted to make room for a newer query
+    /// ([`OverloadPolicy::DropOldest`] / overflow under
+    /// [`OverloadPolicy::DeadlineShed`]).
+    Evicted,
+    /// Its latency budget elapsed before a batch slot opened
+    /// ([`OverloadPolicy::DeadlineShed`]).
+    DeadlineBlown,
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedReason::Evicted => write!(f, "evicted under overload"),
+            ShedReason::DeadlineBlown => write!(f, "latency budget blown in queue"),
+        }
+    }
+}
+
+/// One admitted query waiting in (or popped from) the queue.
+#[derive(Debug)]
+pub struct Entry<T> {
+    /// Submitting client's identity (fairness/accounting key).
+    pub client: u64,
+    /// When the entry entered the queue.
+    pub enqueued: Instant,
+    /// Absolute latency deadline, if any.
+    pub deadline: Option<Instant>,
+    /// Caller payload (the server boxes its request here).
+    pub payload: T,
+}
+
+impl<T> Entry<T> {
+    /// True when the entry's deadline (if any) has passed at `now`.
+    fn blown(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+/// Outcome of [`AdmissionQueue::submit`].
+#[derive(Debug)]
+pub enum Submission<T> {
+    /// The query entered the queue. `shed` lists entries that were
+    /// evicted (or found deadline-blown) to make room — the caller owns
+    /// notifying their submitters.
+    Admitted {
+        /// Entries removed from the queue by this admission, tagged with
+        /// why.
+        shed: Vec<(Entry<T>, ShedReason)>,
+    },
+    /// The query was turned away; it never entered the queue.
+    Rejected(RejectReason),
+}
+
+/// Result of one [`AdmissionQueue::pop`] call.
+#[derive(Debug)]
+pub struct Popped<T> {
+    /// Deadline-blown entries removed while looking for a live one
+    /// (always [`ShedReason::DeadlineBlown`]; the caller notifies them).
+    pub shed: Vec<Entry<T>>,
+    /// The next admitted query, if one arrived before the wait deadline.
+    pub item: Option<Entry<T>>,
+    /// True when the queue is closed *and* drained — the consumer should
+    /// exit. While entries remain after [`AdmissionQueue::close`], pops
+    /// keep returning them so already-admitted work is flushed.
+    pub closed: bool,
+}
+
+/// Point-in-time admission accounting (global and per client).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdmissionSnapshot {
+    /// Queries offered to [`AdmissionQueue::submit`] while open.
+    pub submitted: u64,
+    /// Queries turned away at the door (never queued).
+    pub rejected: u64,
+    /// Admitted queries dropped before a forward (evicted or
+    /// deadline-blown).
+    pub shed: u64,
+    /// Of `shed`, those dropped because their deadline passed.
+    pub deadline_shed: u64,
+    /// Admitted queries handed to the consumer so far.
+    pub popped: u64,
+    /// Current queue depth.
+    pub queue_depth: u64,
+    /// Highest queue depth observed since construction.
+    pub queue_depth_peak: u64,
+    /// Per-client accounting ([`ClientStats`]: admission books plus the
+    /// served-side answered count and latency histogram, recorded by the
+    /// workers via [`AdmissionQueue::record_answered`] so both sides live
+    /// in one map under one eviction policy), sorted by client id.
+    pub clients: Vec<ClientStats>,
+}
+
+#[derive(Debug)]
+struct ClientState {
+    tokens: f64,
+    last_refill: Instant,
+    queued: usize,
+    submitted: u64,
+    answered: u64,
+    rejected: u64,
+    shed: u64,
+    hist: LatencyHistogram,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    queue: VecDeque<Entry<T>>,
+    clients: HashMap<u64, ClientState>,
+    /// Ids whose queued count last dropped to 0 — amortized-O(1)
+    /// eviction candidates for the [`MAX_TRACKED_CLIENTS`] bound
+    /// (validated lazily at eviction time; bounded, with a linear-scan
+    /// fallback when stale).
+    idle_candidates: VecDeque<u64>,
+    closed: bool,
+    submitted: u64,
+    rejected: u64,
+    shed: u64,
+    deadline_shed: u64,
+    popped: u64,
+    depth_peak: u64,
+}
+
+/// Cap on tracked per-client states (token bucket + accounting +
+/// latency histogram). Client ids are caller-supplied `u64`s: without a
+/// bound, a server fed one fresh id per connection would grow its client
+/// map — and the cost of every stats snapshot — without limit. Past the
+/// cap, admitting a *new* client evicts an idle (nothing queued)
+/// client's state: its per-client counters leave the breakdown (global
+/// counters are separate and stay exact) and its token bucket resets to
+/// a full burst if it returns, so the per-client breakdown is
+/// best-effort beyond this many distinct ids. Clients with queued
+/// entries are never evicted, and there are at most `capacity` of those.
+pub const MAX_TRACKED_CLIENTS: usize = 8192;
+
+impl<T> Inner<T> {
+    /// Marks `id` as an eviction candidate (its queued count just hit
+    /// 0). Duplicates are fine — candidates are validated at eviction —
+    /// and the list is bounded so it cannot itself become a leak.
+    fn mark_idle(&mut self, id: u64) {
+        if self.idle_candidates.len() < MAX_TRACKED_CLIENTS {
+            self.idle_candidates.push_back(id);
+        }
+    }
+
+    fn client(&mut self, id: u64, now: Instant, burst: f64) -> &mut ClientState {
+        if !self.clients.contains_key(&id) && self.clients.len() >= MAX_TRACKED_CLIENTS {
+            // Amortized-O(1) path: pop candidates until one is still
+            // idle. Each stale candidate is discarded for good, so total
+            // validation work is bounded by total candidate pushes.
+            let mut evicted = false;
+            while let Some(idle) = self.idle_candidates.pop_front() {
+                if self.clients.get(&idle).is_some_and(|s| s.queued == 0) {
+                    self.clients.remove(&idle);
+                    evicted = true;
+                    break;
+                }
+            }
+            if !evicted {
+                // Fallback (candidate list exhausted/stale): linear scan.
+                if let Some(&idle) = self
+                    .clients
+                    .iter()
+                    .find(|(_, s)| s.queued == 0)
+                    .map(|(id, _)| id)
+                {
+                    self.clients.remove(&idle);
+                }
+            }
+        }
+        self.clients.entry(id).or_insert_with(|| ClientState {
+            tokens: burst,
+            last_refill: now,
+            queued: 0,
+            submitted: 0,
+            answered: 0,
+            rejected: 0,
+            shed: 0,
+            hist: LatencyHistogram::new(),
+        })
+    }
+
+    /// Removes the entry at `idx`, updating shed accounting.
+    fn shed_at(&mut self, idx: usize, deadline: bool) -> Entry<T> {
+        let entry = self.queue.remove(idx).expect("index in bounds");
+        self.shed += 1;
+        if deadline {
+            self.deadline_shed += 1;
+        }
+        if let Some(c) = self.clients.get_mut(&entry.client) {
+            c.queued = c.queued.saturating_sub(1);
+            c.shed += 1;
+            if c.queued == 0 {
+                self.mark_idle(entry.client);
+            }
+        }
+        entry
+    }
+
+    /// Sheds every deadline-blown entry (any position). Returns them in
+    /// queue order.
+    fn shed_blown(&mut self, now: Instant) -> Vec<Entry<T>> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].blown(now) {
+                out.push(self.shed_at(i, true));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Index of the eviction victim: with fairness, the oldest entry of
+    /// the client holding the most queued entries (ties: lowest client
+    /// id); without, the global oldest (front).
+    fn victim_index(&self, fair: bool) -> Option<usize> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        if !fair {
+            return Some(0);
+        }
+        let victim_client = self
+            .clients
+            .iter()
+            .filter(|(_, s)| s.queued > 0)
+            .max_by_key(|(id, s)| (s.queued, u64::MAX - *id))
+            .map(|(id, _)| *id)?;
+        self.queue.iter().position(|e| e.client == victim_client)
+    }
+}
+
+/// A bounded, policy-governed, per-client-fair ingress queue.
+///
+/// Producers call [`AdmissionQueue::submit`]; a single consumer (the
+/// server's batcher) calls [`AdmissionQueue::pop`]. All policy decisions
+/// happen under one mutex, so the accounting invariant
+/// `submitted == popped + rejected + shed + depth` is exact at every
+/// instant.
+///
+/// # Examples
+///
+/// ```
+/// use maxk_serve::admission::{
+///     AdmissionConfig, AdmissionQueue, OverloadPolicy, RejectReason, Submission,
+/// };
+///
+/// let q: AdmissionQueue<&str> = AdmissionQueue::new(AdmissionConfig {
+///     capacity: 1,
+///     policy: OverloadPolicy::RejectNewest,
+///     ..AdmissionConfig::default()
+/// });
+/// assert!(matches!(q.submit(0, None, "first"), Ok(Submission::Admitted { .. })));
+/// assert!(matches!(
+///     q.submit(0, None, "second"),
+///     Ok(Submission::Rejected(RejectReason::QueueFull))
+/// ));
+/// let popped = q.pop(Some(std::time::Instant::now()));
+/// assert_eq!(popped.item.unwrap().payload, "first");
+/// ```
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    cfg: AdmissionConfig,
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// Creates an empty queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0` (nothing could ever be admitted), or
+    /// when fairness is configured with `burst < 1` or a negative /
+    /// non-finite refill rate (a sub-1 burst would silently reject every
+    /// query from every client — a total serving outage is a
+    /// misconfiguration, not a policy).
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        assert!(cfg.capacity > 0, "admission capacity must be nonzero");
+        if let Some(fair) = cfg.fairness {
+            assert!(
+                fair.burst.is_finite() && fair.burst >= 1.0,
+                "fairness burst must be >= 1 (got {}); a sub-1 burst admits nothing",
+                fair.burst
+            );
+            assert!(
+                fair.rate_per_s.is_finite() && fair.rate_per_s >= 0.0,
+                "fairness refill rate must be finite and >= 0 (got {})",
+                fair.rate_per_s
+            );
+        }
+        AdmissionQueue {
+            cfg,
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                clients: HashMap::new(),
+                idle_candidates: VecDeque::new(),
+                closed: false,
+                submitted: 0,
+                rejected: 0,
+                shed: 0,
+                deadline_shed: 0,
+                popped: 0,
+                depth_peak: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// The configuration the queue was built with.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Offers one query for admission.
+    ///
+    /// The effective deadline is `deadline`, falling back to
+    /// [`AdmissionConfig::default_deadline`] (deadlines are only
+    /// *enforced* under [`OverloadPolicy::DeadlineShed`], but always
+    /// recorded so the server can count late answers as deadline
+    /// misses). Under [`OverloadPolicy::Block`] this call blocks while
+    /// the queue is full.
+    ///
+    /// **Non-starvation guarantee.** With fairness enabled, a policy of
+    /// `DropOldest` (or `DeadlineShed`, absent deadlines) and
+    /// `capacity` strictly greater than the number of active clients,
+    /// an eviction victim always holds at least two queued entries: the
+    /// queue is only full when some client has ≥ 2 queued (pigeonhole),
+    /// and the most-queued client is the victim. So no client's *last*
+    /// waiting query is ever evicted on another client's behalf — every
+    /// client with nonzero demand keeps at least one query in flight
+    /// until it is popped (the property the admission proptest checks).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ChannelClosed`] when the queue is closed (including
+    /// while blocked under `Block`).
+    pub fn submit(
+        &self,
+        client: u64,
+        deadline: Option<Duration>,
+        payload: T,
+    ) -> Result<Submission<T>, ServeError> {
+        let now = Instant::now();
+        let mut inner = self.inner.lock().expect("admission lock poisoned");
+        if inner.closed {
+            return Err(ServeError::ChannelClosed);
+        }
+        inner.submitted += 1;
+        // Token bucket first: rate limiting applies regardless of depth.
+        if let Some(fair) = self.cfg.fairness {
+            let state = inner.client(client, now, fair.burst);
+            let elapsed = now.duration_since(state.last_refill).as_secs_f64();
+            state.tokens = (state.tokens + elapsed * fair.rate_per_s).min(fair.burst);
+            state.last_refill = now;
+            if state.tokens < 1.0 {
+                state.submitted += 1;
+                state.rejected += 1;
+                inner.rejected += 1;
+                return Ok(Submission::Rejected(RejectReason::RateLimited));
+            }
+            state.tokens -= 1.0;
+        }
+        inner.client(client, now, 0.0).submitted += 1;
+
+        let mut shed = Vec::new();
+        while inner.queue.len() >= self.cfg.capacity {
+            match self.cfg.policy {
+                OverloadPolicy::Block => {
+                    inner = self.not_full.wait(inner).expect("admission lock poisoned");
+                    if inner.closed {
+                        // The submission was counted; un-count it so the
+                        // books stay exact for accepted traffic. The
+                        // client entry may have been evicted (and even
+                        // recreated) while this submitter was blocked,
+                        // so the per-client decrement must saturate
+                        // rather than underflow.
+                        inner.submitted -= 1;
+                        if let Some(c) = inner.clients.get_mut(&client) {
+                            c.submitted = c.submitted.saturating_sub(1);
+                        }
+                        return Err(ServeError::ChannelClosed);
+                    }
+                }
+                OverloadPolicy::RejectNewest => {
+                    inner.rejected += 1;
+                    if let Some(c) = inner.clients.get_mut(&client) {
+                        c.rejected += 1;
+                    }
+                    return Ok(Submission::Rejected(RejectReason::QueueFull));
+                }
+                OverloadPolicy::DropOldest => {
+                    let idx = inner
+                        .victim_index(self.cfg.fairness.is_some())
+                        .expect("full queue has a victim");
+                    shed.push((inner.shed_at(idx, false), ShedReason::Evicted));
+                }
+                OverloadPolicy::DeadlineShed => {
+                    let blown = inner.shed_blown(Instant::now());
+                    if blown.is_empty() {
+                        let idx = inner
+                            .victim_index(self.cfg.fairness.is_some())
+                            .expect("full queue has a victim");
+                        shed.push((inner.shed_at(idx, false), ShedReason::Evicted));
+                    } else {
+                        shed.extend(blown.into_iter().map(|e| (e, ShedReason::DeadlineBlown)));
+                    }
+                }
+            }
+        }
+
+        let deadline = deadline
+            .or(self.cfg.default_deadline)
+            .map(|budget| now + budget);
+        inner.queue.push_back(Entry {
+            client,
+            enqueued: now,
+            deadline,
+            payload,
+        });
+        if let Some(c) = inner.clients.get_mut(&client) {
+            c.queued += 1;
+        }
+        inner.depth_peak = inner.depth_peak.max(inner.queue.len() as u64);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(Submission::Admitted { shed })
+    }
+
+    /// Takes the next admitted query, waiting until `wait_until` (or
+    /// indefinitely when `None`) for one to arrive.
+    ///
+    /// Under [`OverloadPolicy::DeadlineShed`], deadline-blown entries
+    /// are shed (returned in [`Popped::shed`]) rather than handed out,
+    /// so a blown query never costs forward work; when only shed entries
+    /// turn up, the call returns early (item `None`) so the caller can
+    /// notify their submitters instead of holding them hostage for the
+    /// rest of the wait. After [`AdmissionQueue::close`], remaining
+    /// entries are still handed out; [`Popped::closed`] turns true once
+    /// the queue is both closed and drained.
+    pub fn pop(&self, wait_until: Option<Instant>) -> Popped<T> {
+        let mut shed = Vec::new();
+        let mut inner = self.inner.lock().expect("admission lock poisoned");
+        let (item, closed) = loop {
+            if self.cfg.policy == OverloadPolicy::DeadlineShed {
+                shed.extend(inner.shed_blown(Instant::now()));
+            }
+            if let Some(entry) = inner.queue.pop_front() {
+                inner.popped += 1;
+                let now_idle = match inner.clients.get_mut(&entry.client) {
+                    Some(c) => {
+                        c.queued = c.queued.saturating_sub(1);
+                        c.queued == 0
+                    }
+                    None => false,
+                };
+                if now_idle {
+                    inner.mark_idle(entry.client);
+                }
+                break (Some(entry), false);
+            }
+            if inner.closed {
+                break (None, true);
+            }
+            if !shed.is_empty() {
+                // Yield so the caller can notify the shed submitters.
+                break (None, false);
+            }
+            let now = Instant::now();
+            match wait_until {
+                Some(until) if now >= until => break (None, false),
+                Some(until) => {
+                    let (guard, _) = self
+                        .not_empty
+                        .wait_timeout(inner, until - now)
+                        .expect("admission lock poisoned");
+                    inner = guard;
+                }
+                None => {
+                    inner = self.not_empty.wait(inner).expect("admission lock poisoned");
+                }
+            }
+        };
+        drop(inner);
+        // Every removal (popped item or shed entry) frees a slot for
+        // blocked submitters.
+        let freed = usize::from(item.is_some()) + shed.len();
+        if freed == 1 {
+            self.not_full.notify_one();
+        } else if freed > 1 {
+            self.not_full.notify_all();
+        }
+        Popped { shed, item, closed }
+    }
+
+    /// Closes the queue: subsequent submits fail with
+    /// [`ServeError::ChannelClosed`], blocked submitters wake with the
+    /// same error, and pops drain the remaining entries before reporting
+    /// [`Popped::closed`].
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("admission lock poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Records served outcomes: for each `(client, latency_us)` pair,
+    /// bumps the client's answered counter and latency histogram. Called
+    /// by the serving workers once per batch (single lock acquisition),
+    /// so the admission and serving sides of the per-client books live
+    /// in **one** map under one eviction policy and cannot diverge. A
+    /// client whose state was evicted while its query was in flight gets
+    /// a fresh entry (best-effort breakdown past
+    /// [`MAX_TRACKED_CLIENTS`]; the server's global counters are exact
+    /// regardless).
+    pub fn record_answered(&self, outcomes: impl IntoIterator<Item = (u64, u64)>) {
+        let now = Instant::now();
+        let burst = self.cfg.fairness.map_or(0.0, |f| f.burst);
+        let mut inner = self.inner.lock().expect("admission lock poisoned");
+        for (client, us) in outcomes {
+            let state = inner.client(client, now, burst);
+            state.answered += 1;
+            state.hist.record(us);
+        }
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("admission lock poisoned")
+            .queue
+            .len()
+    }
+
+    /// Consistent snapshot of every admission counter.
+    pub fn snapshot(&self) -> AdmissionSnapshot {
+        let inner = self.inner.lock().expect("admission lock poisoned");
+        let mut clients: Vec<ClientStats> = inner
+            .clients
+            .iter()
+            .map(|(&client, s)| ClientStats {
+                client,
+                submitted: s.submitted,
+                answered: s.answered,
+                rejected: s.rejected,
+                shed: s.shed,
+                queued: s.queued as u64,
+                latency: LatencySummary::of(&s.hist),
+            })
+            .collect();
+        clients.sort_by_key(|c| c.client);
+        AdmissionSnapshot {
+            submitted: inner.submitted,
+            rejected: inner.rejected,
+            shed: inner.shed,
+            deadline_shed: inner.deadline_shed,
+            popped: inner.popped,
+            queue_depth: inner.queue.len() as u64,
+            queue_depth_peak: inner.depth_peak,
+            clients,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(capacity: usize, policy: OverloadPolicy) -> AdmissionConfig {
+        AdmissionConfig {
+            capacity,
+            policy,
+            fairness: None,
+            default_deadline: None,
+        }
+    }
+
+    fn admit<T>(q: &AdmissionQueue<T>, client: u64, payload: T) -> Vec<(Entry<T>, ShedReason)> {
+        match q.submit(client, None, payload).expect("queue open") {
+            Submission::Admitted { shed } => shed,
+            Submission::Rejected(r) => panic!("unexpected rejection: {r}"),
+        }
+    }
+
+    fn pop_now<T>(q: &AdmissionQueue<T>) -> Popped<T> {
+        q.pop(Some(Instant::now()))
+    }
+
+    #[test]
+    fn fifo_order_and_depth_gauges() {
+        let q = AdmissionQueue::new(cfg(8, OverloadPolicy::RejectNewest));
+        for i in 0..5u32 {
+            assert!(admit(&q, 0, i).is_empty());
+        }
+        assert_eq!(q.depth(), 5);
+        for i in 0..5u32 {
+            assert_eq!(pop_now(&q).item.unwrap().payload, i);
+        }
+        let snap = q.snapshot();
+        assert_eq!(snap.submitted, 5);
+        assert_eq!(snap.popped, 5);
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.queue_depth_peak, 5);
+        assert_eq!(snap.rejected + snap.shed, 0);
+    }
+
+    #[test]
+    fn reject_newest_turns_away_at_capacity() {
+        let q = AdmissionQueue::new(cfg(2, OverloadPolicy::RejectNewest));
+        admit(&q, 1, "a");
+        admit(&q, 1, "b");
+        match q.submit(2, None, "c").unwrap() {
+            Submission::Rejected(RejectReason::QueueFull) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        let snap = q.snapshot();
+        assert_eq!(snap.submitted, 3);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.queue_depth, 2);
+        let c2 = snap.clients.iter().find(|c| c.client == 2).unwrap();
+        assert_eq!((c2.submitted, c2.rejected), (1, 1));
+    }
+
+    #[test]
+    fn drop_oldest_evicts_the_front() {
+        let q = AdmissionQueue::new(cfg(2, OverloadPolicy::DropOldest));
+        admit(&q, 0, "a");
+        admit(&q, 0, "b");
+        let shed = admit(&q, 0, "c");
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].0.payload, "a");
+        assert_eq!(shed[0].1, ShedReason::Evicted);
+        assert_eq!(pop_now(&q).item.unwrap().payload, "b");
+        assert_eq!(pop_now(&q).item.unwrap().payload, "c");
+        let snap = q.snapshot();
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.submitted, 3);
+        assert_eq!(snap.popped, 2);
+    }
+
+    #[test]
+    fn fair_drop_oldest_targets_the_hoarder() {
+        let q = AdmissionQueue::new(AdmissionConfig {
+            capacity: 4,
+            policy: OverloadPolicy::DropOldest,
+            fairness: Some(FairnessConfig {
+                rate_per_s: 0.0,
+                burst: 16.0,
+            }),
+            default_deadline: None,
+        });
+        // Client 7 floods; client 1 parks a single query first.
+        admit(&q, 1, 100u32);
+        for v in 0..3 {
+            admit(&q, 7, v);
+        }
+        // Queue full; the next flood submission evicts 7's own oldest,
+        // not client 1's only entry.
+        let shed = admit(&q, 7, 3);
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].0.client, 7);
+        assert_eq!(shed[0].0.payload, 0);
+        let first = pop_now(&q).item.unwrap();
+        assert_eq!((first.client, first.payload), (1, 100));
+    }
+
+    #[test]
+    fn token_bucket_rate_limits_per_client() {
+        let q = AdmissionQueue::new(AdmissionConfig {
+            capacity: 64,
+            policy: OverloadPolicy::RejectNewest,
+            fairness: Some(FairnessConfig {
+                rate_per_s: 0.0,
+                burst: 2.0,
+            }),
+            default_deadline: None,
+        });
+        admit(&q, 3, ());
+        admit(&q, 3, ());
+        match q.submit(3, None, ()).unwrap() {
+            Submission::Rejected(RejectReason::RateLimited) => {}
+            other => panic!("expected RateLimited, got {other:?}"),
+        }
+        // A different client still has its full burst.
+        admit(&q, 4, ());
+        let snap = q.snapshot();
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.queue_depth, 3);
+    }
+
+    #[test]
+    fn deadline_shed_drops_blown_entries_at_pop() {
+        let q = AdmissionQueue::new(AdmissionConfig {
+            capacity: 8,
+            policy: OverloadPolicy::DeadlineShed,
+            fairness: None,
+            default_deadline: Some(Duration::ZERO),
+        });
+        admit(&q, 0, "blown");
+        let popped = pop_now(&q);
+        assert!(popped.item.is_none());
+        assert_eq!(popped.shed.len(), 1);
+        assert_eq!(popped.shed[0].payload, "blown");
+        let snap = q.snapshot();
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.deadline_shed, 1);
+    }
+
+    #[test]
+    fn deadline_shed_overflow_prefers_blown_then_evicts() {
+        let q = AdmissionQueue::new(AdmissionConfig {
+            capacity: 2,
+            policy: OverloadPolicy::DeadlineShed,
+            fairness: None,
+            default_deadline: None,
+        });
+        // One blown entry, one live one.
+        match q.submit(0, Some(Duration::ZERO), "blown").unwrap() {
+            Submission::Admitted { shed } => assert!(shed.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        admit(&q, 0, "live");
+        let shed = admit(&q, 0, "new");
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].0.payload, "blown");
+        assert_eq!(shed[0].1, ShedReason::DeadlineBlown);
+        // No blown entries left: a further overflow evicts the oldest.
+        let shed = admit(&q, 0, "newer");
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].0.payload, "live");
+        assert_eq!(shed[0].1, ShedReason::Evicted);
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = AdmissionQueue::new(cfg(4, OverloadPolicy::Block));
+        admit(&q, 0, 1u32);
+        admit(&q, 0, 2u32);
+        q.close();
+        assert!(matches!(
+            q.submit(0, None, 3u32),
+            Err(ServeError::ChannelClosed)
+        ));
+        let p = pop_now(&q);
+        assert_eq!(p.item.unwrap().payload, 1);
+        assert!(!p.closed);
+        assert_eq!(pop_now(&q).item.unwrap().payload, 2);
+        let last = pop_now(&q);
+        assert!(last.item.is_none());
+        assert!(last.closed);
+    }
+
+    #[test]
+    fn block_policy_blocks_until_pop_frees_space() {
+        let q = std::sync::Arc::new(AdmissionQueue::new(cfg(1, OverloadPolicy::Block)));
+        admit(&q, 0, 0u32);
+        let q2 = std::sync::Arc::clone(&q);
+        let submitter = std::thread::spawn(move || {
+            // Blocks until the consumer pops.
+            q2.submit(0, None, 1u32).expect("open")
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.depth(), 1, "submitter must be blocked, not queued");
+        assert_eq!(q.pop(None).item.unwrap().payload, 0);
+        match submitter.join().expect("submitter thread") {
+            Submission::Admitted { shed } => assert!(shed.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.pop(None).item.unwrap().payload, 1);
+    }
+
+    #[test]
+    fn blocked_submitter_wakes_on_close() {
+        let q = std::sync::Arc::new(AdmissionQueue::new(cfg(1, OverloadPolicy::Block)));
+        admit(&q, 0, ());
+        let q2 = std::sync::Arc::clone(&q);
+        let submitter = std::thread::spawn(move || q2.submit(0, None, ()));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(matches!(
+            submitter.join().expect("submitter thread"),
+            Err(ServeError::ChannelClosed)
+        ));
+        // The blocked-then-refused submission must not be counted.
+        let snap = q.snapshot();
+        assert_eq!(snap.submitted, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst must be >= 1")]
+    fn sub_one_burst_is_a_misconfiguration() {
+        let _: AdmissionQueue<()> = AdmissionQueue::new(AdmissionConfig {
+            capacity: 4,
+            policy: OverloadPolicy::RejectNewest,
+            fairness: Some(FairnessConfig {
+                rate_per_s: 100.0,
+                burst: 0.5,
+            }),
+            default_deadline: None,
+        });
+    }
+
+    #[test]
+    fn tracked_client_state_is_bounded() {
+        let q = AdmissionQueue::new(cfg(4, OverloadPolicy::DropOldest));
+        for id in 0..(MAX_TRACKED_CLIENTS as u64 + 100) {
+            let _ = q.submit(id, None, ());
+        }
+        let snap = q.snapshot();
+        assert!(
+            snap.clients.len() <= MAX_TRACKED_CLIENTS,
+            "client map grew to {}",
+            snap.clients.len()
+        );
+        // Global books stay exact even though idle per-client entries
+        // were evicted from the breakdown.
+        assert_eq!(
+            snap.submitted,
+            snap.popped + snap.rejected + snap.shed + snap.queue_depth
+        );
+    }
+
+    #[test]
+    fn accounting_identity_holds() {
+        let q = AdmissionQueue::new(cfg(2, OverloadPolicy::DropOldest));
+        for i in 0..10u32 {
+            let _ = q.submit(u64::from(i % 3), None, i);
+        }
+        let _ = pop_now(&q);
+        let snap = q.snapshot();
+        assert_eq!(
+            snap.submitted,
+            snap.popped + snap.rejected + snap.shed + snap.queue_depth
+        );
+    }
+}

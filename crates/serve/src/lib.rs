@@ -20,14 +20,27 @@
 //!   bitwise-identically to the single engine, so serving capacity
 //!   scales with shard count instead of one machine's memory;
 //! * [`Server`] — a micro-batching request queue (`std::thread` +
-//!   `mpsc`): queries arriving within a configurable window coalesce into
-//!   one batched forward, so a batch of `B` queries costs one forward
-//!   instead of `B`; it drives any [`BatchEngine`] (single or sharded);
-//! * [`LatencyHistogram`] / [`StatsSnapshot`] — p50/p95/p99 latency and
-//!   throughput accounting on the serving path;
-//! * [`replay`] — a closed-loop Zipf-traffic load generator for
-//!   benchmarking batched against unbatched serving (`serve_bench` in
-//!   `maxk-bench`).
+//!   `std::sync`): queries arriving within a configurable window coalesce
+//!   into one batched forward, so a batch of `B` queries costs one
+//!   forward instead of `B`; it drives any [`BatchEngine`] (single or
+//!   sharded);
+//! * [`admission`] — the control plane between clients and the batcher:
+//!   a **bounded ingress queue** with a pluggable overload policy
+//!   ([`OverloadPolicy`]: block, reject-newest, drop-oldest, or
+//!   deadline-aware shedding) and per-client token-bucket fairness
+//!   ([`FairnessConfig`]), so offered load past forward throughput
+//!   yields bounded p99 and explicit [`QueryResponse::Rejected`] /
+//!   [`QueryResponse::Shed`] outcomes instead of unbounded queueing;
+//! * [`LatencyHistogram`] / [`StatsSnapshot`] — p50/p95/p99 latency,
+//!   throughput, admission accounting (submitted/rejected/shed, queue
+//!   depth and its peak) and per-client stats on the serving path;
+//! * [`replay`] / [`open_loop`] — Zipf-traffic load generators with
+//!   deterministic per-client query streams ([`QueryStream`]):
+//!   closed-loop replay for sustainable-throughput benchmarks, and an
+//!   open-loop Poisson process that can push offered load past
+//!   saturation to measure overload behavior (`serve_bench` in
+//!   `maxk-bench` emits both `BENCH_serve.json` and
+//!   `BENCH_admission.json` from them).
 //!
 //! # Quickstart
 //!
@@ -51,28 +64,39 @@
 //! let features = Matrix::xavier(50, 8, &mut rng);
 //! let engine = Arc::new(InferenceEngine::from_snapshot(&snapshot, &graph, features).unwrap());
 //! let server = Server::start(engine, ServeConfig::default());
-//! let response = server.handle().query(&[0, 7, 13]).unwrap();
-//! assert_eq!(response.logits.shape(), (3, 3));
+//! // Under the default `Block` admission policy every valid query is
+//! // answered; overload policies surface Rejected/Shed outcomes here.
+//! let answer = server.handle().query(&[0, 7, 13]).unwrap().into_answer().unwrap();
+//! assert_eq!(answer.logits.shape(), (3, 3));
 //! let stats = server.shutdown();
 //! assert_eq!(stats.queries, 1);
+//! assert_eq!(stats.submitted, 1);
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod engine;
 pub mod loadgen;
 pub mod metrics;
 pub mod router;
 pub mod server;
 
+pub use admission::{AdmissionConfig, FairnessConfig, OverloadPolicy, RejectReason, ShedReason};
 pub use engine::{BatchEngine, BatchLogits, BatchOutcome, InferenceEngine};
-pub use loadgen::{replay, LoadConfig, LoadReport, ZipfSampler};
+pub use loadgen::{
+    open_loop, replay, LoadConfig, LoadReport, OpenLoopConfig, OpenLoopReport, QueryStream,
+    ZipfSampler,
+};
 pub use maxk_graph::shard::ShardStrategy;
 pub use maxk_nn::plan::{ForwardPlan, PlanConfig};
-pub use metrics::{LatencyHistogram, LatencySummary};
+pub use metrics::{ClientStats, LatencyHistogram, LatencySummary};
 pub use router::{ShardConfig, ShardInfo, ShardedEngine};
-pub use server::{QueryResponse, ServeConfig, Server, ServerHandle, StatsSnapshot};
+pub use server::{
+    PendingQuery, QueryAnswer, QueryOptions, QueryResponse, ServeConfig, Server, ServerHandle,
+    StatsSnapshot,
+};
 
 use std::error::Error;
 use std::fmt;

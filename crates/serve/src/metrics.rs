@@ -131,6 +131,34 @@ impl LatencyHistogram {
     }
 }
 
+/// Per-client serving statistics: admission accounting joined with the
+/// served-side latency distribution, keyed by the client identity from
+/// [`crate::QueryOptions`].
+///
+/// Appears in [`crate::StatsSnapshot::clients`] (one entry per client
+/// that ever submitted, sorted by id), so overload experiments can check
+/// fairness — e.g. that a hot client's floods are shed while a light
+/// client's p99 stays bounded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientStats {
+    /// Client identity ([`crate::QueryOptions::client`]).
+    pub client: u64,
+    /// Queries this client offered to admission.
+    pub submitted: u64,
+    /// Queries answered with logits.
+    pub answered: u64,
+    /// Queries turned away at the door (queue full / rate limited).
+    pub rejected: u64,
+    /// Admitted queries dropped before a forward (evicted or
+    /// deadline-blown).
+    pub shed: u64,
+    /// This client's entries currently waiting in the ingress queue.
+    pub queued: u64,
+    /// Latency distribution of this client's *answered* queries
+    /// (enqueue → reply).
+    pub latency: LatencySummary,
+}
+
 /// Compact read-out of a latency distribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencySummary {

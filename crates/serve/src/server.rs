@@ -1,14 +1,18 @@
-//! The micro-batching request queue.
+//! The micro-batching request queue behind the admission layer.
 //!
-//! Architecture (all `std::thread` + `std::sync::mpsc`, no external
+//! Architecture (all `std::thread` + `std::sync` primitives, no external
 //! crates):
 //!
 //! ```text
-//! clients ──ServerHandle::query──▶ ingress channel
+//! clients ──ServerHandle::submit/query──▶ admission layer
+//!              (bounded queue + overload policy + per-client
+//!               token buckets; Rejected/Shed outcomes surface
+//!               here instead of queueing without bound)
 //!                                      │
 //!                                  batcher thread
 //!                 (coalesce queries arriving within `batch_window`,
-//!                  up to `max_batch` per batch)
+//!                  up to `max_batch` per batch; deadline-blown
+//!                  entries are shed before costing a forward)
 //!                                      │
 //!                                 batch channel
 //!                                      │
@@ -25,6 +29,17 @@
 //! to the one-query-per-forward baseline that `serve_bench` compares
 //! against.
 //!
+//! The admission layer ([`crate::admission`]) bounds what reaches the
+//! batcher: when offered load exceeds forward throughput, queries are
+//! rejected or shed (per [`AdmissionConfig::policy`]) instead of growing
+//! an unbounded queue, so p99 latency stays a property of the system
+//! rather than of how long the overload has lasted. Callers see the
+//! outcome as [`QueryResponse::Rejected`] / [`QueryResponse::Shed`]
+//! rather than a hang, and [`StatsSnapshot`] reconciles every submitted
+//! query into answered/rejected/shed exactly (plus, while loaded, the
+//! queued and mid-flight queries still working their way through the
+//! batcher and workers).
+//!
 //! Per batch, the worker hands the batch's **seed union** to the engine
 //! ([`BatchEngine::forward_union`]). The single
 //! [`crate::InferenceEngine`] plans full vs. seed-restricted over the
@@ -35,12 +50,15 @@
 //! [`StatsSnapshot::shard_partial_batches`] counters report how often
 //! each path won and how batches spread over shards.
 
+use crate::admission::{
+    AdmissionConfig, AdmissionQueue, Entry, RejectReason, ShedReason, Submission,
+};
 use crate::engine::{check_seeds, BatchEngine};
-use crate::metrics::{LatencyHistogram, LatencySummary};
+use crate::metrics::{ClientStats, LatencyHistogram, LatencySummary};
 use crate::ServeError;
 use maxk_tensor::Matrix;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -56,6 +74,9 @@ pub struct ServeConfig {
     /// Forward-executor threads. Batches are handed out one at a time, so
     /// extra workers overlap independent batch forwards.
     pub workers: usize,
+    /// Ingress admission control: queue bound, overload policy,
+    /// per-client fairness, default latency budget.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServeConfig {
@@ -64,13 +85,29 @@ impl Default for ServeConfig {
             batch_window: Duration::from_millis(2),
             max_batch: 64,
             workers: 2,
+            admission: AdmissionConfig::default(),
         }
     }
 }
 
-/// Answer to one query.
+/// Per-query submission options: who is asking and how long the answer
+/// is worth waiting for.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOptions {
+    /// Client identity for fairness and per-client accounting
+    /// ([`StatsSnapshot::clients`]). Defaults to 0.
+    pub client: u64,
+    /// Latency budget for this query; overrides
+    /// [`AdmissionConfig::default_deadline`]. Only *enforced* (blown
+    /// queries shed pre-forward) under
+    /// [`crate::admission::OverloadPolicy::DeadlineShed`], but always
+    /// counted toward [`StatsSnapshot::deadline_misses`].
+    pub deadline: Option<Duration>,
+}
+
+/// The logits-bearing payload of an answered query.
 #[derive(Debug, Clone)]
-pub struct QueryResponse {
+pub struct QueryAnswer {
     /// Logit rows for the requested seeds, in request order
     /// (`seeds.len() × out_dim`).
     pub logits: Matrix,
@@ -84,18 +121,55 @@ pub struct QueryResponse {
     pub partial: bool,
 }
 
+/// What happened to one submitted query: answered with logits, or turned
+/// away by the admission layer. Overload is an *outcome*, not an error —
+/// callers always learn which, instead of hanging on an unbounded queue.
+#[derive(Debug, Clone)]
+pub enum QueryResponse {
+    /// The query was admitted, batched and answered.
+    Answered(QueryAnswer),
+    /// The admission layer turned the query away at the door (it never
+    /// occupied queue space).
+    Rejected(RejectReason),
+    /// The query was admitted but dropped before a forward pass —
+    /// evicted under overload or its deadline blew in queue.
+    Shed(ShedReason),
+}
+
+impl QueryResponse {
+    /// The answer, if the query was served.
+    pub fn answer(&self) -> Option<&QueryAnswer> {
+        match self {
+            QueryResponse::Answered(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Consumes the response, yielding the answer if served.
+    pub fn into_answer(self) -> Option<QueryAnswer> {
+        match self {
+            QueryResponse::Answered(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// True when the query was answered with logits.
+    pub fn is_answered(&self) -> bool {
+        matches!(self, QueryResponse::Answered(_))
+    }
+}
+
 struct Request {
     seeds: Vec<u32>,
-    enqueued: Instant,
     reply: mpsc::Sender<Result<QueryResponse, ServeError>>,
 }
 
-/// Ingress protocol. An explicit `Shutdown` marker (rather than relying
-/// on every sender clone being dropped) lets [`Server::shutdown`] stop
-/// the batcher even while client [`ServerHandle`]s are still alive.
-enum Msg {
-    Query(Box<Request>),
-    Shutdown,
+/// Sends the shed notification for entries the admission layer dropped.
+fn notify_shed(entries: impl IntoIterator<Item = (Entry<Request>, ShedReason)>) {
+    for (entry, reason) in entries {
+        // A client that gave up is not an error.
+        let _ = entry.payload.reply.send(Ok(QueryResponse::Shed(reason)));
+    }
 }
 
 /// Aggregate serving counters, shared between workers and observers.
@@ -104,6 +178,9 @@ struct Counters {
     queries: AtomicU64,
     batches: AtomicU64,
     partial_batches: AtomicU64,
+    /// Queries answered *after* their deadline had already passed (the
+    /// shed-side misses are counted by the admission queue).
+    late_answers: AtomicU64,
     /// Batches each shard participated in (length = engine shard count).
     shard_batches: Vec<AtomicU64>,
     /// Of those, how many the shard served via the partial path.
@@ -116,6 +193,7 @@ impl Counters {
             queries: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             partial_batches: AtomicU64::new(0),
+            late_answers: AtomicU64::new(0),
             shard_batches: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
             shard_partial_batches: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -133,6 +211,31 @@ pub struct StatsSnapshot {
     /// seed-restricted partial forward (for an unsharded engine this is
     /// exactly the partial-batch count).
     pub partial_batches: u64,
+    /// Queries offered to admission (excluding invalid ones rejected
+    /// client-side before submission).
+    pub submitted: u64,
+    /// Queries that entered (and stayed in) the admitted pipeline:
+    /// `submitted - rejected - shed` — answered, still queued, or
+    /// mid-flight (popped into the batcher's open batch, the bounded
+    /// batch channel, or a worker's in-progress forward; up to
+    /// `max_batch x (workers + 2)` queries sit there on a loaded
+    /// server). The identity `admitted == queries + queue_depth` only
+    /// holds once that pipeline has drained.
+    pub admitted: u64,
+    /// Queries turned away at the door (queue full / rate limited).
+    pub rejected: u64,
+    /// Admitted queries dropped before a forward (evicted or
+    /// deadline-blown).
+    pub shed: u64,
+    /// Queries that missed their latency budget: shed with a blown
+    /// deadline, plus answered after the deadline had passed.
+    pub deadline_misses: u64,
+    /// Current ingress queue depth.
+    pub queue_depth: u64,
+    /// Peak ingress queue depth since the server started.
+    pub queue_depth_peak: u64,
+    /// Per-client accounting (admission + serving), sorted by client id.
+    pub clients: Vec<ClientStats>,
     /// Per shard: batches the shard participated in (one entry per shard;
     /// a single unsharded engine reports one entry equal to `batches`).
     pub shard_batches: Vec<u64>,
@@ -179,13 +282,13 @@ pub struct StatsSnapshot {
 /// );
 ///
 /// let server = Server::start(engine, ServeConfig::default());
-/// let response = server.handle().query(&[0, 5]).unwrap();
-/// assert_eq!(response.logits.shape(), (2, 2));
+/// let answer = server.handle().query(&[0, 5]).unwrap().into_answer().unwrap();
+/// assert_eq!(answer.logits.shape(), (2, 2));
 /// let stats = server.shutdown();
 /// assert_eq!(stats.queries, 1);
 /// ```
 pub struct Server {
-    ingress: Option<mpsc::Sender<Msg>>,
+    queue: Arc<AdmissionQueue<Request>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     counters: Arc<Counters>,
@@ -202,37 +305,61 @@ impl Server {
         let num_nodes = engine.num_nodes();
         let counters = Arc::new(Counters::new(engine.num_shards()));
         let hist = Arc::new(Mutex::new(LatencyHistogram::new()));
-        let (ingress_tx, ingress_rx) = mpsc::channel::<Msg>();
-        let (batch_tx, batch_rx) = mpsc::channel::<Vec<Box<Request>>>();
+        let queue = Arc::new(AdmissionQueue::<Request>::new(cfg.admission));
+        // The batch channel is bounded (one ready batch beyond what the
+        // workers hold): otherwise the batcher would eagerly drain the
+        // bounded admission queue into an unbounded backlog here, and
+        // overload would hide downstream where no policy can act on it.
+        // With the bound, busy workers stall the batcher, the admission
+        // queue fills, and rejection/shedding happen where they belong.
+        let (batch_tx, batch_rx) = mpsc::sync_channel::<Vec<Entry<Request>>>(1);
         let batch_rx = Arc::new(Mutex::new(batch_rx));
 
         let max_batch = cfg.max_batch.max(1);
         let window = cfg.batch_window;
+        let ingress = Arc::clone(&queue);
         let batcher = std::thread::spawn(move || {
             loop {
-                // Block for the batch's first query; leave on shutdown or
-                // when every sender is gone.
-                let first = match ingress_rx.recv() {
-                    Ok(Msg::Query(r)) => r,
-                    Ok(Msg::Shutdown) | Err(_) => break,
+                // Block for the batch's first query; deadline-blown
+                // entries encountered on the way are shed (they never
+                // cost a forward).
+                let popped = ingress.pop(None);
+                notify_shed(
+                    popped
+                        .shed
+                        .into_iter()
+                        .map(|e| (e, ShedReason::DeadlineBlown)),
+                );
+                let Some(first) = popped.item else {
+                    if popped.closed {
+                        break;
+                    }
+                    continue;
                 };
                 let mut batch = vec![first];
                 let mut stop = false;
                 let deadline = Instant::now() + window;
                 while batch.len() < max_batch {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        break;
-                    }
-                    match ingress_rx.recv_timeout(deadline - now) {
-                        Ok(Msg::Query(r)) => batch.push(r),
-                        Ok(Msg::Shutdown) => {
+                    let popped = ingress.pop(Some(deadline));
+                    notify_shed(
+                        popped
+                            .shed
+                            .into_iter()
+                            .map(|e| (e, ShedReason::DeadlineBlown)),
+                    );
+                    match popped.item {
+                        Some(entry) => batch.push(entry),
+                        None if popped.closed => {
                             stop = true;
                             break;
                         }
-                        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                            break
-                        }
+                        // `pop` also returns item-less early when it only
+                        // found deadline-blown entries to shed — that is
+                        // not window expiry, so keep collecting (exactly
+                        // under shedding overload is when batches must
+                        // not collapse to singletons).
+                        None if Instant::now() >= deadline => break,
+                        None => {}
                     }
                 }
                 // Flush the in-flight batch even when shutting down.
@@ -248,6 +375,7 @@ impl Server {
             let batch_rx = Arc::clone(&batch_rx);
             let counters = Arc::clone(&counters);
             let hist = Arc::clone(&hist);
+            let queue = Arc::clone(&queue);
             workers.push(std::thread::spawn(move || {
                 loop {
                     // The guard is held across the blocking recv: waiting
@@ -262,8 +390,10 @@ impl Server {
                     // its seed union: the engine plans full vs.
                     // seed-restricted per shard (a single engine is one
                     // shard) and returns union-covering logits.
-                    let mut union: Vec<u32> =
-                        batch.iter().flat_map(|r| r.seeds.iter().copied()).collect();
+                    let mut union: Vec<u32> = batch
+                        .iter()
+                        .flat_map(|e| e.payload.seeds.iter().copied())
+                        .collect();
                     union.sort_unstable();
                     union.dedup();
                     let outcome = engine.forward_union(&union);
@@ -280,33 +410,55 @@ impl Server {
                         }
                     }
                     counters.queries.fetch_add(size as u64, Ordering::Relaxed);
-                    let mut latencies = Vec::with_capacity(size);
-                    for req in batch {
-                        let latency = req.enqueued.elapsed();
-                        latencies.push(latency.as_micros().min(u128::from(u64::MAX)) as u64);
-                        let response = QueryResponse {
-                            logits: logits.gather(&req.seeds),
+                    // Gather every reply first (the expensive row copies
+                    // happen without holding any shared lock), then
+                    // record the books *before* sending: once a client
+                    // holds its answer, the counters already include it.
+                    let now = Instant::now();
+                    let mut replies = Vec::with_capacity(size);
+                    for entry in batch {
+                        let latency = now.saturating_duration_since(entry.enqueued);
+                        if entry.deadline.is_some_and(|d| now >= d) {
+                            counters.late_answers.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let answer = QueryAnswer {
+                            logits: logits.gather(&entry.payload.seeds),
                             batch_size: size,
                             latency,
                             partial,
                         };
-                        // A client that gave up is not an error.
-                        let _ = req.reply.send(Ok(response));
+                        replies.push((entry.client, entry.payload.reply, answer));
                     }
-                    // Take the shared lock only after every client has
-                    // its reply, and only for the cheap counter bumps —
-                    // a concurrent worker or stats() reader never waits
-                    // on this batch's row gathering.
-                    let mut hist = hist.lock().expect("histogram poisoned");
-                    for us in latencies {
-                        hist.record(us);
+                    let outcomes: Vec<(u64, u64)> = replies
+                        .iter()
+                        .map(|(client, _, answer)| {
+                            (
+                                *client,
+                                answer.latency.as_micros().min(u128::from(u64::MAX)) as u64,
+                            )
+                        })
+                        .collect();
+                    {
+                        let mut hist = hist.lock().expect("histogram poisoned");
+                        for &(_, us) in &outcomes {
+                            hist.record(us);
+                        }
+                    }
+                    // Per-client answered counts + histograms live in the
+                    // admission queue's one client map (one eviction
+                    // policy, so the books cannot diverge); one lock per
+                    // batch.
+                    queue.record_answered(outcomes);
+                    for (_, reply, answer) in replies {
+                        // A client that gave up is not an error.
+                        let _ = reply.send(Ok(QueryResponse::Answered(answer)));
                     }
                 }
             }));
         }
 
         Server {
-            ingress: Some(ingress_tx),
+            queue,
             batcher: Some(batcher),
             workers,
             counters,
@@ -319,7 +471,7 @@ impl Server {
     /// A cloneable client handle for submitting queries.
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
-            tx: self.ingress.as_ref().expect("server running").clone(),
+            queue: Arc::clone(&self.queue),
             num_nodes: self.num_nodes,
         }
     }
@@ -329,11 +481,22 @@ impl Server {
         let queries = self.counters.queries.load(Ordering::Relaxed);
         let batches = self.counters.batches.load(Ordering::Relaxed);
         let partial_batches = self.counters.partial_batches.load(Ordering::Relaxed);
+        let late_answers = self.counters.late_answers.load(Ordering::Relaxed);
         let uptime_s = self.started.elapsed().as_secs_f64();
+        let admission = self.queue.snapshot();
+        let clients = admission.clients.clone();
         StatsSnapshot {
             queries,
             batches,
             partial_batches,
+            submitted: admission.submitted,
+            admitted: admission.submitted - admission.rejected - admission.shed,
+            rejected: admission.rejected,
+            shed: admission.shed,
+            deadline_misses: admission.deadline_shed + late_answers,
+            queue_depth: admission.queue_depth,
+            queue_depth_peak: admission.queue_depth_peak,
+            clients,
             shard_batches: self
                 .counters
                 .shard_batches
@@ -371,12 +534,11 @@ impl Server {
     }
 
     fn join_threads(&mut self) {
-        // The explicit marker stops the batcher even while client handle
-        // clones keep the ingress channel alive; the batcher exiting
-        // drops its batch sender, which unblocks the workers.
-        if let Some(tx) = self.ingress.take() {
-            let _ = tx.send(Msg::Shutdown);
-        }
+        // Closing the admission queue stops new submissions and wakes
+        // blocked submitters; the batcher drains what was already
+        // admitted, then exits, dropping its batch sender, which
+        // unblocks the workers.
+        self.queue.close();
         if let Some(b) = self.batcher.take() {
             let _ = b.join();
         }
@@ -392,34 +554,103 @@ impl Drop for Server {
     }
 }
 
+/// A query submitted but not yet resolved: the receipt half of
+/// [`ServerHandle::submit`]. Lets open-loop clients fire queries on a
+/// schedule without blocking on each reply.
+#[derive(Debug)]
+pub struct PendingQuery {
+    inner: Pending,
+}
+
+#[derive(Debug)]
+enum Pending {
+    /// Resolved synchronously at admission (a rejection).
+    Immediate(QueryResponse),
+    /// Waiting on the serving pipeline.
+    Waiting(mpsc::Receiver<Result<QueryResponse, ServeError>>),
+}
+
+impl PendingQuery {
+    /// Blocks until the query resolves.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ChannelClosed`] when the server shut down before
+    /// resolving the query.
+    pub fn wait(self) -> Result<QueryResponse, ServeError> {
+        match self.inner {
+            Pending::Immediate(r) => Ok(r),
+            Pending::Waiting(rx) => rx.recv().map_err(|_| ServeError::ChannelClosed)?,
+        }
+    }
+}
+
 /// Cheap cloneable client endpoint of a [`Server`].
 #[derive(Clone)]
 pub struct ServerHandle {
-    tx: mpsc::Sender<Msg>,
+    queue: Arc<AdmissionQueue<Request>>,
     num_nodes: usize,
 }
 
 impl ServerHandle {
-    /// Submits a seed-set query and blocks until its batch completes.
+    /// Submits a seed-set query without waiting for the outcome.
+    ///
+    /// Admission happens synchronously: a rejected query resolves
+    /// immediately (its [`PendingQuery::wait`] returns
+    /// [`QueryResponse::Rejected`] without a channel round-trip), an
+    /// admitted one resolves when its batch completes or the admission
+    /// layer sheds it. Under
+    /// [`crate::admission::OverloadPolicy::Block`] this call blocks
+    /// while the ingress queue is full — that is the policy's
+    /// backpressure.
     ///
     /// # Errors
     ///
     /// [`ServeError::EmptyQuery`] / [`ServeError::SeedOutOfRange`] on bad
-    /// input (validated before enqueueing, so invalid queries never cost a
-    /// forward); [`ServeError::ChannelClosed`] when the server has shut
-    /// down.
-    pub fn query(&self, seeds: &[u32]) -> Result<QueryResponse, ServeError> {
+    /// input (validated before admission, so invalid queries never count
+    /// against a client's budget); [`ServeError::ChannelClosed`] when the
+    /// server has shut down.
+    pub fn submit(&self, seeds: &[u32], opts: QueryOptions) -> Result<PendingQuery, ServeError> {
         check_seeds(seeds, self.num_nodes)?;
         let (reply_tx, reply_rx) = mpsc::channel();
-        let request = Box::new(Request {
+        let request = Request {
             seeds: seeds.to_vec(),
-            enqueued: Instant::now(),
             reply: reply_tx,
-        });
-        self.tx
-            .send(Msg::Query(request))
-            .map_err(|_| ServeError::ChannelClosed)?;
-        reply_rx.recv().map_err(|_| ServeError::ChannelClosed)?
+        };
+        match self.queue.submit(opts.client, opts.deadline, request)? {
+            Submission::Admitted { shed } => {
+                notify_shed(shed);
+                Ok(PendingQuery {
+                    inner: Pending::Waiting(reply_rx),
+                })
+            }
+            Submission::Rejected(reason) => Ok(PendingQuery {
+                inner: Pending::Immediate(QueryResponse::Rejected(reason)),
+            }),
+        }
+    }
+
+    /// Submits a query with options and blocks until it resolves.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServerHandle::submit`].
+    pub fn query_with(
+        &self,
+        seeds: &[u32],
+        opts: QueryOptions,
+    ) -> Result<QueryResponse, ServeError> {
+        self.submit(seeds, opts)?.wait()
+    }
+
+    /// Submits a seed-set query with default options (client 0, no
+    /// per-query deadline) and blocks until it resolves.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServerHandle::submit`].
+    pub fn query(&self, seeds: &[u32]) -> Result<QueryResponse, ServeError> {
+        self.query_with(seeds, QueryOptions::default())
     }
 
     /// Nodes served (valid seeds are `0..num_nodes`).
@@ -431,6 +662,7 @@ impl ServerHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::admission::OverloadPolicy;
     use crate::InferenceEngine;
     use maxk_graph::generate;
     use maxk_nn::snapshot::ModelSnapshot;
@@ -452,13 +684,19 @@ mod tests {
         Arc::new(InferenceEngine::from_snapshot(&snap, &graph, x).unwrap())
     }
 
+    fn answer(resp: Result<QueryResponse, ServeError>) -> QueryAnswer {
+        resp.expect("server running")
+            .into_answer()
+            .expect("query answered")
+    }
+
     #[test]
     fn serves_correct_logits() {
         let engine = engine();
         let expected = engine.forward_all();
         let server = Server::start(Arc::clone(&engine), ServeConfig::default());
         let handle = server.handle();
-        let resp = handle.query(&[3, 59]).unwrap();
+        let resp = answer(handle.query(&[3, 59]));
         assert_eq!(resp.logits.shape(), (2, 3));
         assert_eq!(resp.logits.row(0), expected.row(3));
         assert_eq!(resp.logits.row(1), expected.row(59));
@@ -466,6 +704,9 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.queries, 1);
         assert_eq!(stats.batches, 1);
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.rejected + stats.shed, 0);
     }
 
     #[test]
@@ -477,6 +718,7 @@ mod tests {
                 batch_window: Duration::from_millis(20),
                 max_batch: 64,
                 workers: 1,
+                ..ServeConfig::default()
             },
         );
         let handle = server.handle();
@@ -485,7 +727,13 @@ mod tests {
             for c in 0..clients {
                 let h = handle.clone();
                 s.spawn(move || {
-                    let resp = h.query(&[c as u32]).unwrap();
+                    let resp = answer(h.query_with(
+                        &[c as u32],
+                        QueryOptions {
+                            client: c as u64,
+                            deadline: None,
+                        },
+                    ));
                     assert_eq!(resp.logits.shape(), (1, 3));
                 });
             }
@@ -501,6 +749,14 @@ mod tests {
         );
         assert!(stats.mean_batch > 1.0);
         assert!(stats.latency.p99_us.is_finite());
+        // Per-client books: every client answered exactly once.
+        assert_eq!(stats.clients.len(), clients);
+        for c in &stats.clients {
+            assert_eq!(c.submitted, 1);
+            assert_eq!(c.answered, 1);
+            assert_eq!(c.rejected + c.shed, 0);
+            assert_eq!(c.latency.count, 1);
+        }
     }
 
     #[test]
@@ -512,11 +768,12 @@ mod tests {
                 batch_window: Duration::ZERO,
                 max_batch: 1,
                 workers: 1,
+                ..ServeConfig::default()
             },
         );
         let handle = server.handle();
         for i in 0..5u32 {
-            let resp = handle.query(&[i]).unwrap();
+            let resp = answer(handle.query(&[i]));
             assert_eq!(resp.batch_size, 1);
         }
         let stats = server.shutdown();
@@ -541,7 +798,7 @@ mod tests {
         let server = Server::start(force(1.0, f64::INFINITY), ServeConfig::default());
         let expected = {
             let h = server.handle();
-            let resp = h.query(&[7]).unwrap();
+            let resp = answer(h.query(&[7]));
             assert!(resp.partial);
             resp.logits
         };
@@ -549,7 +806,7 @@ mod tests {
         assert_eq!(stats.partial_batches, 1);
         // Always-full heuristic: same logits bitwise, no partial batches.
         let server = Server::start(force(0.0, 0.0), ServeConfig::default());
-        let resp = server.handle().query(&[7]).unwrap();
+        let resp = answer(server.handle().query(&[7]));
         assert!(!resp.partial);
         assert_eq!(resp.logits, expected);
         let stats = server.shutdown();
@@ -585,7 +842,7 @@ mod tests {
         let handle = server.handle();
         // A query spanning both shards (contiguous: low ids shard 0,
         // high ids shard 1) must return the unsharded rows.
-        let resp = handle.query(&[0, 59, 30]).unwrap();
+        let resp = answer(handle.query(&[0, 59, 30]));
         assert_eq!(resp.logits.row(0), expected.row(0));
         assert_eq!(resp.logits.row(1), expected.row(59));
         assert_eq!(resp.logits.row(2), expected.row(30));
@@ -601,14 +858,14 @@ mod tests {
     fn single_engine_reports_one_shard_counter() {
         let engine = engine();
         let server = Server::start(engine, ServeConfig::default());
-        let _ = server.handle().query(&[1]).unwrap();
+        let _ = answer(server.handle().query(&[1]));
         let stats = server.shutdown();
         assert_eq!(stats.shard_batches, vec![stats.batches]);
         assert_eq!(stats.shard_partial_batches, vec![stats.partial_batches]);
     }
 
     #[test]
-    fn bad_queries_rejected_without_reaching_workers() {
+    fn bad_queries_rejected_without_reaching_admission() {
         let engine = engine();
         let server = Server::start(engine, ServeConfig::default());
         let handle = server.handle();
@@ -620,6 +877,8 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.queries, 0);
         assert_eq!(stats.batches, 0);
+        // Invalid queries never reach admission accounting.
+        assert_eq!(stats.submitted, 0);
     }
 
     #[test]
@@ -629,5 +888,56 @@ mod tests {
         let handle = server.handle();
         let _ = server.shutdown();
         assert!(matches!(handle.query(&[0]), Err(ServeError::ChannelClosed)));
+    }
+
+    #[test]
+    fn deadline_zero_sheds_instead_of_answering() {
+        let engine = engine();
+        let server = Server::start(
+            engine,
+            ServeConfig {
+                admission: AdmissionConfig {
+                    policy: OverloadPolicy::DeadlineShed,
+                    ..AdmissionConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+        );
+        let resp = server
+            .handle()
+            .query_with(
+                &[1],
+                QueryOptions {
+                    client: 9,
+                    deadline: Some(Duration::ZERO),
+                },
+            )
+            .unwrap();
+        assert!(
+            matches!(resp, QueryResponse::Shed(ShedReason::DeadlineBlown)),
+            "expected a deadline shed, got {resp:?}"
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 0, "a blown query must not cost a forward");
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.deadline_misses, 1);
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn stats_books_balance_mid_flight() {
+        let engine = engine();
+        let server = Server::start(engine, ServeConfig::default());
+        let handle = server.handle();
+        for i in 0..7u32 {
+            let _ = answer(handle.query(&[i]));
+        }
+        let stats = server.stats();
+        assert_eq!(
+            stats.submitted,
+            stats.queries + stats.rejected + stats.shed + stats.queue_depth
+        );
+        let _ = server.shutdown();
     }
 }

@@ -12,7 +12,8 @@ use maxk_gnn::graph::shard::ShardStrategy;
 use maxk_gnn::nn::snapshot::ModelSnapshot;
 use maxk_gnn::nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
 use maxk_gnn::serve::{
-    replay, InferenceEngine, LoadConfig, ServeConfig, Server, ShardConfig, ShardedEngine,
+    replay, AdmissionConfig, InferenceEngine, LoadConfig, OverloadPolicy, QueryOptions,
+    QueryResponse, ServeConfig, Server, ShardConfig, ShardedEngine,
 };
 use maxk_gnn::tensor::Matrix;
 use rand::SeedableRng;
@@ -90,12 +91,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             batch_window: Duration::from_millis(2),
             max_batch: 32,
             workers: 2,
+            ..ServeConfig::default()
         },
     );
 
-    // 4. A single seed-set query...
+    // 4. A single seed-set query... (`query` resolves to a QueryResponse:
+    //    Answered under the default Block admission policy; Rejected/Shed
+    //    become possible once an overload policy is configured.)
     let handle = server.handle();
-    let response = handle.query(&[0, 1, 2])?;
+    let response = handle
+        .query(&[0, 1, 2])?
+        .into_answer()
+        .expect("default admission answers every valid query");
     println!(
         "query for 3 seeds -> {}x{} logits (batch of {}, {:.2} ms, {} forward)",
         response.logits.rows(),
@@ -156,12 +163,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "sharded serving must be bitwise exact"
     );
     let server = Server::start(Arc::new(sharded), ServeConfig::default());
-    let resp = server.handle().query(&seeds)?;
+    let resp = server
+        .handle()
+        .query(&seeds)?
+        .into_answer()
+        .expect("default admission answers every valid query");
     assert_eq!(resp.logits, full);
     let stats = server.shutdown();
     println!(
         "sharded server answered bitwise-identically (shard batches {:?})",
         stats.shard_batches
+    );
+
+    // 7. Admission control: the same server API under an overload
+    //    policy. A one-slot RejectNewest queue fed an instant burst of
+    //    non-blocking submissions turns the excess away *at the door* —
+    //    callers see QueryResponse::Rejected instead of waiting on an
+    //    unbounded queue (see `serve_bench --offered ...` and
+    //    BENCH_admission.json for the full open-loop overload sweep).
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            batch_window: Duration::ZERO,
+            max_batch: 1,
+            workers: 1,
+            admission: AdmissionConfig {
+                capacity: 1,
+                policy: OverloadPolicy::RejectNewest,
+                ..AdmissionConfig::default()
+            },
+        },
+    );
+    let handle = server.handle();
+    let pendings: Vec<_> = (0..64u32)
+        .map(|i| handle.submit(&[i % 3], QueryOptions::default()))
+        .collect::<Result<_, _>>()?;
+    let (mut answered, mut rejected, mut shed) = (0u64, 0u64, 0u64);
+    for pending in pendings {
+        match pending.wait()? {
+            QueryResponse::Answered(_) => answered += 1,
+            QueryResponse::Rejected(_) => rejected += 1,
+            QueryResponse::Shed(_) => shed += 1,
+        }
+    }
+    let stats = server.shutdown();
+    println!(
+        "admission burst of 64 into a 1-slot queue: {answered} answered, \
+         {rejected} rejected, {shed} shed"
+    );
+    assert_eq!(answered + rejected + shed, 64, "books must balance");
+    assert_eq!(stats.submitted, 64);
+    assert!(
+        rejected > 0,
+        "a 64-query burst must overflow a 1-slot queue"
+    );
+    println!(
+        "admission books: submitted {} = answered {} + rejected {} + shed {} (queue peak {})",
+        stats.submitted, stats.queries, stats.rejected, stats.shed, stats.queue_depth_peak
     );
     Ok(())
 }

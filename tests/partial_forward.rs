@@ -69,7 +69,11 @@ fn server_partial_batches_serve_exact_logits() {
     let expected = engine.forward_all();
     let server = Server::start(Arc::new(engine), ServeConfig::default());
     let handle = server.handle();
-    let resp = handle.query(&[11, 0, 95]).unwrap();
+    let resp = handle
+        .query(&[11, 0, 95])
+        .unwrap()
+        .into_answer()
+        .expect("default admission answers every valid query");
     assert!(resp.partial, "forced heuristic must pick partial");
     assert_eq!(resp.logits.row(0), expected.row(11));
     assert_eq!(resp.logits.row(1), expected.row(0));

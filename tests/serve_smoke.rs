@@ -76,6 +76,7 @@ fn train_snapshot_serve_round_trip_beats_unbatched_baseline() {
             batch_window: Duration::from_millis(2),
             max_batch: 32,
             workers: 1,
+            ..ServeConfig::default()
         },
     );
     let batched = replay(&batched_server.handle(), &load).expect("batched replay");
@@ -96,6 +97,7 @@ fn train_snapshot_serve_round_trip_beats_unbatched_baseline() {
             batch_window: Duration::ZERO,
             max_batch: 1,
             workers: 1,
+            ..ServeConfig::default()
         },
     );
     let unbatched = replay(
@@ -135,14 +137,16 @@ fn train_snapshot_serve_round_trip_beats_unbatched_baseline() {
                 .field("throughput_qps", batched.throughput_qps)
                 .field("p50_us", batched.latency.p50_us)
                 .field("p99_us", batched.latency.p99_us)
-                .field("mean_batch", batched_stats.mean_batch),
+                .field("mean_batch", batched_stats.mean_batch)
+                .field("queue_depth_peak", batched_stats.queue_depth_peak),
         )
         .field(
             "unbatched",
             JsonObject::new()
                 .field("throughput_qps", unbatched.throughput_qps)
                 .field("p50_us", unbatched.latency.p50_us)
-                .field("p99_us", unbatched.latency.p99_us),
+                .field("p99_us", unbatched.latency.p99_us)
+                .field("queue_depth_peak", unbatched_stats.queue_depth_peak),
         )
         .field(
             "throughput_speedup",

@@ -106,7 +106,11 @@ fn sharded_server_round_trip_matches_single_engine() {
             let expected = &expected;
             s.spawn(move || {
                 let seeds = [c, 139 - c, c, 70];
-                let resp = h.query(&seeds).unwrap();
+                let resp = h
+                    .query(&seeds)
+                    .unwrap()
+                    .into_answer()
+                    .expect("default admission answers every valid query");
                 for (r, &seed) in seeds.iter().enumerate() {
                     assert_eq!(
                         resp.logits.row(r),
