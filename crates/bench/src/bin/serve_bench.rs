@@ -10,6 +10,17 @@
 //! stdout (markdown) and to a machine-readable JSON file
 //! (`BENCH_serve.json` by default).
 //!
+//! After the batched/unbatched comparison it sweeps the **seed-level
+//! logit cache** over Zipf exponents (`--cache-zipf` ×
+//! `--cache-capacity`): each exponent replays the same closed-loop load
+//! uncached and cached, spot-checks cached answers bitwise against the
+//! engine's full forward, asserts the hit/miss/coalesced counters
+//! account for every answered seed instance exactly, and writes
+//! `BENCH_cache.json` (hit rate and throughput vs. exponent vs. the
+//! uncached baseline). `--cache-assert` turns the Zipf ≥ 1.1 smoke
+//! bounds (hit rate > 50%, cached ≥ 2x uncached) into hard failures for
+//! CI; `--skip-cache` skips the sweep.
+//!
 //! Afterwards it sweeps seed-set sizes, timing the full-graph forward
 //! against the seed-restricted partial forward per batch (verifying
 //! bitwise equality at every size, and recording the corrected cost
@@ -68,7 +79,9 @@ fn run_mode<E: BatchEngine + 'static>(
     serve_cfg: ServeConfig,
     load_cfg: &LoadConfig,
 ) -> (LoadReport, StatsSnapshot) {
-    let server = Server::start(Arc::clone(engine), serve_cfg);
+    let server = Server::builder()
+        .config(serve_cfg)
+        .start(Arc::clone(engine));
     let report = replay(&server.handle(), load_cfg).expect("replay against a live server");
     let stats = server.shutdown();
     (report, stats)
@@ -172,13 +185,12 @@ fn admission_sweep(
         let mut points = Vec::new();
         for &mult in offered_mults {
             let offered_qps = mult * capacity_qps;
-            let server = Server::start(
-                Arc::clone(engine),
-                ServeConfig {
+            let server = Server::builder()
+                .config(ServeConfig {
                     admission,
                     ..serve_cfg
-                },
-            );
+                })
+                .start(Arc::clone(engine));
             let report = open_loop(
                 &server.handle(),
                 &OpenLoopConfig {
@@ -290,6 +302,160 @@ fn assert_admission_bounds(points: &[SweepPoint], deadline_ms: u64, offered_mult
                 p.mult
             );
         }
+    }
+}
+
+/// One cache-sweep measurement kept raw for the `--cache-assert` smoke
+/// bounds (the JSON mirror goes to `BENCH_cache.json`).
+struct CachePoint {
+    zipf: f64,
+    hit_rate: f64,
+    speedup: f64,
+}
+
+/// Seed-level logit-cache sweep over Zipf exponents.
+///
+/// For each exponent, replays the same closed-loop Zipf load twice —
+/// once uncached and once with the cache at `cache_capacity` rows —
+/// then spot-checks a seed sample *through the cached server* bitwise
+/// against the engine's reference full forward, and asserts the cache
+/// counter identity: every answered seed instance is exactly one of
+/// hit / miss / coalesced.
+#[allow(clippy::too_many_arguments)]
+fn cache_sweep(
+    engine: &Arc<InferenceEngine>,
+    reference: &Matrix,
+    serve_cfg: ServeConfig,
+    cache_capacity: usize,
+    zipf_exponents: &[f64],
+    clients: usize,
+    queries_per_client: usize,
+    seeds_per_query: usize,
+) -> (Table, Vec<JsonObject>, Vec<CachePoint>) {
+    let n = engine.num_nodes();
+    let mut table = Table::new(vec![
+        "zipf",
+        "uncached q/s",
+        "cached q/s",
+        "speedup",
+        "hit rate",
+        "hits",
+        "misses",
+        "coalesced",
+        "evictions",
+        "cached queries",
+    ]);
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for &zipf in zipf_exponents {
+        let load = LoadConfig {
+            clients,
+            queries_per_client,
+            seeds_per_query,
+            zipf_exponent: zipf,
+            seed: 11,
+        };
+        let (uncached, uncached_stats) = run_mode(engine, serve_cfg, &load);
+        let server = Server::builder()
+            .config(serve_cfg)
+            .cache_capacity(cache_capacity)
+            .start(Arc::clone(engine));
+        let cached = replay(&server.handle(), &load).expect("replay against a live server");
+        // Bitwise spot check through the cache path: after the replay the
+        // hot seeds are resident, so this exercises cached rows, not just
+        // fresh forwards.
+        let handle = server.handle();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let sample = sample_seeds(n, 32.min(n), &mut rng);
+        let mut verified = 0u64;
+        for &s in &sample {
+            let answer = handle
+                .query(&[s])
+                .expect("live server")
+                .into_answer()
+                .expect("Block admission answers every valid query");
+            assert_eq!(
+                answer.logits.row(0),
+                reference.row(s as usize),
+                "cached serving diverged from the reference at seed {s} (zipf {zipf})"
+            );
+            verified += 1;
+        }
+        let stats = server.shutdown();
+        let cache = stats.cache.expect("cache enabled");
+        // Counter identity (acceptance criterion): replay answered
+        // `cached.queries` queries of `seeds_per_query` seeds each, plus
+        // `verified` one-seed checks — every instance accounted exactly
+        // once.
+        let answered_instances = cached.queries * seeds_per_query as u64 + verified;
+        assert_eq!(
+            cache.hits + cache.misses + cache.coalesced,
+            answered_instances,
+            "cache counters must account every answered seed instance (zipf {zipf})"
+        );
+        let speedup = cached.throughput_qps / uncached.throughput_qps;
+        table.row(vec![
+            format!("{zipf:.2}"),
+            format!("{:.1}", uncached.throughput_qps),
+            format!("{:.1}", cached.throughput_qps),
+            maxk_bench::report::fmt_speedup(speedup),
+            format!("{:.1}%", cache.hit_rate() * 100.0),
+            cache.hits.to_string(),
+            cache.misses.to_string(),
+            cache.coalesced.to_string(),
+            cache.evictions.to_string(),
+            stats.cached_queries.to_string(),
+        ]);
+        rows.push(
+            JsonObject::new()
+                .field("zipf_exponent", zipf)
+                .field("uncached", mode_json(&uncached, &uncached_stats))
+                .field(
+                    "cached",
+                    mode_json(&cached, &stats)
+                        .field("cached_queries", stats.cached_queries)
+                        .field("hits", cache.hits)
+                        .field("misses", cache.misses)
+                        .field("coalesced", cache.coalesced)
+                        .field("evictions", cache.evictions)
+                        .field("resident_rows", cache.resident_rows)
+                        .field("resident_bytes", cache.resident_bytes)
+                        .field("hit_rate", cache.hit_rate()),
+                )
+                .field("throughput_speedup", speedup)
+                .field("bitwise_equal", true)
+                .field("counters_exact", true),
+        );
+        points.push(CachePoint {
+            zipf,
+            hit_rate: cache.hit_rate(),
+            speedup,
+        });
+    }
+    (table, rows, points)
+}
+
+/// CI smoke bounds over the cache sweep, applied at Zipf ≥ 1.1 (below
+/// that, traffic is too flat for a bounded cache to pay): the hit rate
+/// must clear 50% and cached throughput must be at least 2x uncached.
+fn assert_cache_bounds(points: &[CachePoint]) {
+    assert!(
+        points.iter().any(|p| p.zipf >= 1.1),
+        "--cache-assert needs a --cache-zipf point >= 1.1"
+    );
+    for p in points.iter().filter(|p| p.zipf >= 1.1) {
+        assert!(
+            p.hit_rate > 0.5,
+            "cache hit rate {:.1}% at zipf {} below the 50% smoke bound",
+            p.hit_rate * 100.0,
+            p.zipf
+        );
+        assert!(
+            p.speedup >= 2.0,
+            "cached throughput {:.2}x uncached at zipf {} below the 2x smoke bound",
+            p.speedup,
+            p.zipf
+        );
     }
 }
 
@@ -525,6 +691,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seeds_per_query = args.get("seeds-per-query", 1usize);
     let zipf = args.get("zipf", 1.1f64);
     let out_path = args.get_str("out", "BENCH_serve.json");
+    let skip_cache = args.flag("skip-cache");
+    let cache_assert = args.flag("cache-assert");
+    let cache_capacity = args.get("cache-capacity", 4096usize);
+    let cache_zipfs: Vec<f64> = args
+        .get_list("cache-zipf", &["0.8", "1.1", "1.4"])
+        .iter()
+        .map(|s| s.parse().expect("numeric --cache-zipf entry"))
+        .collect();
+    let cache_out = args.get_str("cache-out", "BENCH_cache.json");
     let partial_reps = args.get("partial-reps", 5usize);
     let partial_out = args.get_str("partial-out", "BENCH_partial.json");
     let partial_sizes: Vec<usize> = args
@@ -713,6 +888,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .field("throughput_speedup", speedup);
     save_json(&out_path, &json)?;
     println!("wrote {out_path}");
+
+    // 5b. Logit-cache sweep: cached vs. uncached replay per Zipf
+    //     exponent, bitwise-verified against the reference forward, with
+    //     the exact hit/miss/coalesced accounting asserted per point.
+    if skip_cache {
+        println!("cache sweep skipped (--skip-cache)");
+    } else {
+        println!("logit-cache sweep: {cache_capacity}-row cache, zipf exponents {cache_zipfs:?}");
+        let (ctable, crows, cpoints) = cache_sweep(
+            &engine,
+            &reloaded_eval,
+            ServeConfig {
+                batch_window: Duration::from_micros(window_us),
+                max_batch,
+                workers,
+                ..ServeConfig::default()
+            },
+            cache_capacity,
+            &cache_zipfs,
+            clients,
+            queries.div_ceil(clients),
+            seeds_per_query,
+        );
+        ctable.print();
+        if cache_assert {
+            assert_cache_bounds(&cpoints);
+            println!(
+                "cache assertions passed: >50% hit rate and >=2x cached throughput at zipf >= 1.1"
+            );
+        }
+        let cjson = JsonObject::new()
+            .field("bench", "logit_cache")
+            .field("dataset", "Flickr")
+            .field("scale", scale_name.as_str())
+            .field("nodes", data.csr.num_nodes())
+            .field("edges", data.csr.num_edges())
+            .field("arch", "SAGE")
+            .field("k", k)
+            .field("hidden_dim", hidden)
+            .field("cache_capacity", cache_capacity)
+            .field("clients", clients)
+            .field("queries_per_client", queries.div_ceil(clients))
+            .field("seeds_per_query", seeds_per_query)
+            .field("window_us", window_us)
+            .field("max_batch", max_batch)
+            .field("workers", workers)
+            .field(
+                "points",
+                JsonValue::Array(crows.into_iter().map(JsonValue::Object).collect()),
+            );
+        save_json(&cache_out, &cjson)?;
+        println!("wrote {cache_out}");
+    }
 
     // 6. Full-vs-partial forward sweep across seed-set sizes.
     let n = data.csr.num_nodes();

@@ -62,6 +62,10 @@ pub struct GraphContext {
     pub adj_t: Csr,
     /// Edge-Group partition used by SpGEMM and the grouped baselines.
     pub part: WarpPartition,
+    /// Process-local identity of this graph operand, minted at build
+    /// time; clones (and engines sharing this context) share it. Cache
+    /// layers key logit rows by it.
+    pub version: crate::version::GraphVersion,
 }
 
 impl GraphContext {
@@ -71,7 +75,12 @@ impl GraphContext {
         let adj = Self::normalized_adjacency(graph, arch);
         let adj_t = adj.transpose();
         let part = WarpPartition::build(&adj, w);
-        GraphContext { adj, adj_t, part }
+        GraphContext {
+            adj,
+            adj_t,
+            part,
+            version: crate::version::GraphVersion::mint(),
+        }
     }
 
     /// Just the normalized aggregation operand, without the transpose or

@@ -27,9 +27,11 @@ pub mod model;
 pub mod plan;
 pub mod snapshot;
 pub mod train;
+pub mod version;
 
 pub use conv::{Activation, Arch, Conv, GraphContext};
 pub use model::{GnnModel, ModelConfig, PhaseTimers};
 pub use plan::{ForwardPlan, LayerCost, PlanConfig, PlanLayer};
 pub use snapshot::{ModelSnapshot, SnapshotError};
 pub use train::{train_full_batch, EpochStats, TrainConfig, TrainResult};
+pub use version::{GraphVersion, SnapshotGeneration};

@@ -39,6 +39,7 @@
 
 use crate::conv::{Activation, Arch, Conv};
 use crate::model::{GnnModel, ModelConfig};
+use crate::version::SnapshotGeneration;
 use maxk_graph::Csr;
 use maxk_tensor::{Linear, Matrix};
 use std::error::Error;
@@ -130,12 +131,27 @@ pub struct LayerSnapshot {
 }
 
 /// A complete serializable model: configuration plus per-layer weights.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ModelSnapshot {
     /// The captured model configuration.
     pub config: ModelConfig,
     /// Per-layer parameters, input layer first.
     pub layers: Vec<LayerSnapshot>,
+    /// Process-local identity of this weight set, minted when the
+    /// snapshot is captured or loaded. Not persisted in the byte format
+    /// and excluded from equality: it names a runtime incarnation, not
+    /// the weights' values. Clones share the generation; a reload of the
+    /// same file mints a new one.
+    pub generation: SnapshotGeneration,
+}
+
+// Equality deliberately ignores `generation`: two snapshots with the
+// same config and weights compare equal even across save/load round
+// trips, while the runtime identity stays distinct for cache keying.
+impl PartialEq for ModelSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config && self.layers == other.layers
+    }
 }
 
 impl ModelSnapshot {
@@ -157,6 +173,7 @@ impl ModelSnapshot {
         ModelSnapshot {
             config: model.config().clone(),
             layers,
+            generation: SnapshotGeneration::mint(),
         }
     }
 
@@ -401,7 +418,11 @@ impl ModelSnapshot {
                 expected - 4 - r.pos
             )));
         }
-        let snap = ModelSnapshot { config, layers };
+        let snap = ModelSnapshot {
+            config,
+            layers,
+            generation: SnapshotGeneration::mint(),
+        };
         snap.check_consistency()?;
         Ok(snap)
     }

@@ -1,0 +1,157 @@
+//! Runtime identity newtypes for model snapshots and graph contexts.
+//!
+//! Serving-side caching and hot reload need an answer to "what computed
+//! this logit row?". Two coordinates pin it down:
+//!
+//! * [`SnapshotGeneration`] — which captured weight set. Minted when a
+//!   snapshot comes into existence in this process
+//!   ([`crate::ModelSnapshot::capture`] or a byte-format load), so two
+//!   loads of the same file are *different* generations: the runtime
+//!   cannot prove they are the same weights, and a cache keyed by
+//!   generation must never alias rows across that doubt.
+//! * [`GraphVersion`] — which normalized graph operand. Minted by
+//!   [`crate::GraphContext::build`]; engines sharing one context (the
+//!   renormalization-cache path, or every shard of a sharded router)
+//!   share its version.
+//!
+//! Both are process-local identities, **not** persisted in the snapshot
+//! byte format and excluded from snapshot equality — they identify a
+//! runtime incarnation, not the weights' values. Identifiers are minted
+//! from a global counter, so they are unique within a process and
+//! totally ordered by mint time (useful for "newest generation wins"
+//! hot-reload policies).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mints the next identity from a shared process-wide counter, starting
+/// at 1 so 0 can never collide with a minted id.
+fn next_id(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Process-local identity of one captured weight set.
+///
+/// See the [module docs](self) for when generations are minted and why
+/// they are not persisted.
+///
+/// # Examples
+///
+/// ```
+/// use maxk_nn::SnapshotGeneration;
+///
+/// let a = SnapshotGeneration::mint();
+/// let b = SnapshotGeneration::mint();
+/// assert_ne!(a, b);
+/// assert!(b > a, "later mints order after earlier ones");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SnapshotGeneration(u64);
+
+impl SnapshotGeneration {
+    /// Mints a fresh, process-unique generation.
+    pub fn mint() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        SnapshotGeneration(next_id(&NEXT))
+    }
+
+    /// The raw identity (for logs and reports).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SnapshotGeneration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gen#{}", self.0)
+    }
+}
+
+/// Process-local identity of one normalized graph operand
+/// ([`crate::GraphContext`]).
+///
+/// See the [module docs](self) for when versions are minted.
+///
+/// # Examples
+///
+/// ```
+/// use maxk_nn::GraphVersion;
+///
+/// let a = GraphVersion::mint();
+/// let b = GraphVersion::mint();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphVersion(u64);
+
+impl GraphVersion {
+    /// Mints a fresh, process-unique graph version.
+    pub fn mint() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        GraphVersion(next_id(&NEXT))
+    }
+
+    /// The raw identity (for logs and reports).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for GraphVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mints_are_unique_and_ordered() {
+        let g1 = SnapshotGeneration::mint();
+        let g2 = SnapshotGeneration::mint();
+        assert!(g2 > g1);
+        assert_ne!(g1.as_u64(), g2.as_u64());
+        let v1 = GraphVersion::mint();
+        let v2 = GraphVersion::mint();
+        assert!(v2 > v1);
+    }
+
+    #[test]
+    fn zero_is_never_minted() {
+        assert_ne!(SnapshotGeneration::mint().as_u64(), 0);
+        assert_ne!(GraphVersion::mint().as_u64(), 0);
+    }
+
+    #[test]
+    fn display_is_labelled() {
+        let g = SnapshotGeneration::mint();
+        assert!(format!("{g}").starts_with("gen#"));
+        let v = GraphVersion::mint();
+        assert!(format!("{v}").starts_with("graph#"));
+    }
+
+    #[test]
+    fn mints_are_unique_across_threads() {
+        let ids: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..100)
+                            .map(|_| GraphVersion::mint().as_u64())
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("minter thread"))
+                .collect()
+        });
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate minted ids");
+    }
+}

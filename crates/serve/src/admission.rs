@@ -37,7 +37,7 @@ use std::fmt;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::metrics::{ClientStats, LatencyHistogram, LatencySummary};
+use crate::metrics::{ClientStats, EvictedClientStats, LatencyHistogram, LatencySummary};
 use crate::ServeError;
 
 /// What the admission layer does with a query that arrives while the
@@ -232,10 +232,21 @@ pub struct AdmissionSnapshot {
     /// workers via [`AdmissionQueue::record_answered`] so both sides live
     /// in one map under one eviction policy), sorted by client id.
     pub clients: Vec<ClientStats>,
+    /// Aggregate of per-client states evicted to honor
+    /// [`MAX_TRACKED_CLIENTS`]. Each evicted `(client, epoch)` state is
+    /// merged exactly once, so `Σ clients + evicted` reconciles with the
+    /// global counters even under eviction churn.
+    pub evicted: EvictedClientStats,
 }
 
 #[derive(Debug)]
 struct ClientState {
+    /// Accounting epoch, minted per tracking incarnation. Idle-candidate
+    /// entries carry the epoch they were enqueued under and only match a
+    /// state with the same epoch, so an id that was evicted and
+    /// re-tracked is never confused with its previous incarnation — the
+    /// dedup that keeps each state's histogram merged exactly once.
+    epoch: u64,
     tokens: f64,
     last_refill: Instant,
     queued: usize,
@@ -246,15 +257,44 @@ struct ClientState {
     hist: LatencyHistogram,
 }
 
+/// Aggregate the evicted per-client states merge into (exactly once per
+/// state, keyed by accounting epoch).
+#[derive(Debug, Default)]
+struct EvictedAggregate {
+    clients: u64,
+    submitted: u64,
+    answered: u64,
+    rejected: u64,
+    shed: u64,
+    hist: LatencyHistogram,
+}
+
+impl EvictedAggregate {
+    fn merge(&mut self, state: &ClientState) {
+        self.clients += 1;
+        self.submitted += state.submitted;
+        self.answered += state.answered;
+        self.rejected += state.rejected;
+        self.shed += state.shed;
+        self.hist.merge(&state.hist);
+    }
+}
+
 #[derive(Debug)]
 struct Inner<T> {
     queue: VecDeque<Entry<T>>,
     clients: HashMap<u64, ClientState>,
-    /// Ids whose queued count last dropped to 0 — amortized-O(1)
-    /// eviction candidates for the [`MAX_TRACKED_CLIENTS`] bound
-    /// (validated lazily at eviction time; bounded, with a linear-scan
-    /// fallback when stale).
-    idle_candidates: VecDeque<u64>,
+    /// `(id, epoch)` pairs whose queued count last dropped to 0 —
+    /// amortized-O(1) eviction candidates for the
+    /// [`MAX_TRACKED_CLIENTS`] bound (validated lazily at eviction time;
+    /// bounded, with a linear-scan fallback when stale). The epoch pins
+    /// the candidate to one tracking incarnation, so a stale candidate
+    /// can never evict — and merge — a later incarnation of the same id.
+    idle_candidates: VecDeque<(u64, u64)>,
+    /// Epoch minted for the next fresh [`ClientState`].
+    next_epoch: u64,
+    /// Where evicted per-client states go; merged exactly once each.
+    evicted: EvictedAggregate,
     closed: bool,
     submitted: u64,
     rejected: u64,
@@ -269,58 +309,82 @@ struct Inner<T> {
 /// bound, a server fed one fresh id per connection would grow its client
 /// map — and the cost of every stats snapshot — without limit. Past the
 /// cap, admitting a *new* client evicts an idle (nothing queued)
-/// client's state: its per-client counters leave the breakdown (global
-/// counters are separate and stay exact) and its token bucket resets to
-/// a full burst if it returns, so the per-client breakdown is
-/// best-effort beyond this many distinct ids. Clients with queued
-/// entries are never evicted, and there are at most `capacity` of those.
+/// client's state: its counters and latency histogram merge — exactly
+/// once, deduped by accounting epoch — into the
+/// [`AdmissionSnapshot::evicted`] aggregate (so totals still reconcile),
+/// its per-client breakdown entry disappears, and its token bucket
+/// resets to a full burst if it returns. Clients with queued entries are
+/// never evicted, and there are at most `capacity` of those.
 pub const MAX_TRACKED_CLIENTS: usize = 8192;
 
 impl<T> Inner<T> {
-    /// Marks `id` as an eviction candidate (its queued count just hit
-    /// 0). Duplicates are fine — candidates are validated at eviction —
-    /// and the list is bounded so it cannot itself become a leak.
-    fn mark_idle(&mut self, id: u64) {
+    /// Marks `(id, epoch)` as an eviction candidate (the state's queued
+    /// count just hit 0). Duplicates are fine — candidates are validated
+    /// against the live state's epoch at eviction — and the list is
+    /// bounded so it cannot itself become a leak.
+    fn mark_idle(&mut self, id: u64, epoch: u64) {
         if self.idle_candidates.len() < MAX_TRACKED_CLIENTS {
-            self.idle_candidates.push_back(id);
+            self.idle_candidates.push_back((id, epoch));
         }
     }
 
+    /// Removes `id`'s state and merges it into the evicted aggregate.
+    fn evict(&mut self, id: u64) {
+        let state = self.clients.remove(&id).expect("evicting a tracked id");
+        self.evicted.merge(&state);
+    }
+
     fn client(&mut self, id: u64, now: Instant, burst: f64) -> &mut ClientState {
-        if !self.clients.contains_key(&id) && self.clients.len() >= MAX_TRACKED_CLIENTS {
-            // Amortized-O(1) path: pop candidates until one is still
-            // idle. Each stale candidate is discarded for good, so total
-            // validation work is bounded by total candidate pushes.
-            let mut evicted = false;
-            while let Some(idle) = self.idle_candidates.pop_front() {
-                if self.clients.get(&idle).is_some_and(|s| s.queued == 0) {
-                    self.clients.remove(&idle);
-                    evicted = true;
-                    break;
+        if !self.clients.contains_key(&id) {
+            if self.clients.len() >= MAX_TRACKED_CLIENTS {
+                // Amortized-O(1) path: pop candidates until one matches a
+                // live idle state *of the same epoch*. Each stale
+                // candidate is discarded for good, so total validation
+                // work is bounded by total candidate pushes; the epoch
+                // check keeps a candidate from an evicted incarnation
+                // from touching a re-tracked one.
+                let mut evicted = false;
+                while let Some((idle, epoch)) = self.idle_candidates.pop_front() {
+                    if self
+                        .clients
+                        .get(&idle)
+                        .is_some_and(|s| s.epoch == epoch && s.queued == 0)
+                    {
+                        self.evict(idle);
+                        evicted = true;
+                        break;
+                    }
+                }
+                if !evicted {
+                    // Fallback (candidate list exhausted/stale): linear scan.
+                    if let Some(&idle) = self
+                        .clients
+                        .iter()
+                        .find(|(_, s)| s.queued == 0)
+                        .map(|(id, _)| id)
+                    {
+                        self.evict(idle);
+                    }
                 }
             }
-            if !evicted {
-                // Fallback (candidate list exhausted/stale): linear scan.
-                if let Some(&idle) = self
-                    .clients
-                    .iter()
-                    .find(|(_, s)| s.queued == 0)
-                    .map(|(id, _)| id)
-                {
-                    self.clients.remove(&idle);
-                }
-            }
+            let epoch = self.next_epoch;
+            self.next_epoch += 1;
+            self.clients.insert(
+                id,
+                ClientState {
+                    epoch,
+                    tokens: burst,
+                    last_refill: now,
+                    queued: 0,
+                    submitted: 0,
+                    answered: 0,
+                    rejected: 0,
+                    shed: 0,
+                    hist: LatencyHistogram::new(),
+                },
+            );
         }
-        self.clients.entry(id).or_insert_with(|| ClientState {
-            tokens: burst,
-            last_refill: now,
-            queued: 0,
-            submitted: 0,
-            answered: 0,
-            rejected: 0,
-            shed: 0,
-            hist: LatencyHistogram::new(),
-        })
+        self.clients.get_mut(&id).expect("present or just inserted")
     }
 
     /// Removes the entry at `idx`, updating shed accounting.
@@ -333,8 +397,9 @@ impl<T> Inner<T> {
         if let Some(c) = self.clients.get_mut(&entry.client) {
             c.queued = c.queued.saturating_sub(1);
             c.shed += 1;
+            let epoch = c.epoch;
             if c.queued == 0 {
-                self.mark_idle(entry.client);
+                self.mark_idle(entry.client, epoch);
             }
         }
         entry
@@ -441,6 +506,8 @@ impl<T> AdmissionQueue<T> {
                 queue: VecDeque::new(),
                 clients: HashMap::new(),
                 idle_candidates: VecDeque::new(),
+                next_epoch: 0,
+                evicted: EvictedAggregate::default(),
                 closed: false,
                 submitted: 0,
                 rejected: 0,
@@ -597,12 +664,12 @@ impl<T> AdmissionQueue<T> {
                 let now_idle = match inner.clients.get_mut(&entry.client) {
                     Some(c) => {
                         c.queued = c.queued.saturating_sub(1);
-                        c.queued == 0
+                        (c.queued == 0).then_some(c.epoch)
                     }
-                    None => false,
+                    None => None,
                 };
-                if now_idle {
-                    inner.mark_idle(entry.client);
+                if let Some(epoch) = now_idle {
+                    inner.mark_idle(entry.client, epoch);
                 }
                 break (Some(entry), false);
             }
@@ -658,9 +725,10 @@ impl<T> AdmissionQueue<T> {
     /// so the admission and serving sides of the per-client books live
     /// in **one** map under one eviction policy and cannot diverge. A
     /// client whose state was evicted while its query was in flight gets
-    /// a fresh entry (best-effort breakdown past
-    /// [`MAX_TRACKED_CLIENTS`]; the server's global counters are exact
-    /// regardless).
+    /// a fresh entry (a new accounting epoch); its pre-eviction
+    /// observations live on in [`AdmissionSnapshot::evicted`], merged
+    /// exactly once, so totals reconcile even past
+    /// [`MAX_TRACKED_CLIENTS`].
     pub fn record_answered(&self, outcomes: impl IntoIterator<Item = (u64, u64)>) {
         let now = Instant::now();
         let burst = self.cfg.fairness.map_or(0.0, |f| f.burst);
@@ -707,6 +775,14 @@ impl<T> AdmissionQueue<T> {
             queue_depth: inner.queue.len() as u64,
             queue_depth_peak: inner.depth_peak,
             clients,
+            evicted: EvictedClientStats {
+                clients: inner.evicted.clients,
+                submitted: inner.evicted.submitted,
+                answered: inner.evicted.answered,
+                rejected: inner.evicted.rejected,
+                shed: inner.evicted.shed,
+                latency: LatencySummary::of(&inner.evicted.hist),
+            },
         }
     }
 }
@@ -967,6 +1043,56 @@ mod tests {
             snap.submitted,
             snap.popped + snap.rejected + snap.shed + snap.queue_depth
         );
+    }
+
+    #[test]
+    fn eviction_churn_merges_each_state_exactly_once() {
+        // Evict → re-track → evict churn within one snapshot window: the
+        // per-client books (tracked + evicted aggregate) must reconcile
+        // with the global counters, with no observation counted twice
+        // and none lost. Before the epoch-deduped merge, evicted state
+        // was silently discarded (and a stale idle candidate could hit a
+        // re-tracked incarnation), so these sums drifted under churn.
+        let q = AdmissionQueue::new(cfg(4, OverloadPolicy::DropOldest));
+        let mut answered_recorded = 0u64;
+        // Three churn rounds: flood past the tracking bound, answering a
+        // few along the way so evicted histograms are non-empty; the
+        // repeating low ids are evicted and re-tracked each round.
+        for round in 0..3u64 {
+            for i in 0..(MAX_TRACKED_CLIENTS as u64 / 2 + 50) {
+                // Hot ids 0..5 recur every round (evicted idle, then
+                // re-tracked under a fresh epoch); cold ids are fresh
+                // each round, so round 2 onward pushes past the bound.
+                let id = if i < 5 { i } else { round * 1_000_000 + i };
+                let _ = q.submit(id, None, ());
+                if id < 5 {
+                    // Drain and answer the hot ids' queries immediately,
+                    // touching their histograms in every incarnation.
+                    while pop_now(&q).item.is_some() {}
+                    q.record_answered([(id, 10 * (round + 1))]);
+                    answered_recorded += 1;
+                }
+            }
+        }
+        let snap = q.snapshot();
+        assert!(snap.clients.len() <= MAX_TRACKED_CLIENTS);
+        assert!(snap.evicted.clients > 0, "churn must evict");
+        // Conservation: tracked + evicted == global, per counter.
+        let tracked_submitted: u64 = snap.clients.iter().map(|c| c.submitted).sum();
+        assert_eq!(tracked_submitted + snap.evicted.submitted, snap.submitted);
+        let tracked_shed: u64 = snap.clients.iter().map(|c| c.shed).sum();
+        assert_eq!(tracked_shed + snap.evicted.shed, snap.shed);
+        let tracked_rejected: u64 = snap.clients.iter().map(|c| c.rejected).sum();
+        assert_eq!(tracked_rejected + snap.evicted.rejected, snap.rejected);
+        // Histogram conservation: every recorded answer is in exactly
+        // one histogram (the double-count this test guards against).
+        let tracked_answers: u64 = snap.clients.iter().map(|c| c.latency.count).sum();
+        assert_eq!(
+            tracked_answers + snap.evicted.latency.count,
+            answered_recorded
+        );
+        let tracked_answered: u64 = snap.clients.iter().map(|c| c.answered).sum();
+        assert_eq!(tracked_answered + snap.evicted.answered, answered_recorded);
     }
 
     #[test]

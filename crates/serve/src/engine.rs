@@ -21,7 +21,7 @@ use maxk_core::spmm::spmm_rowwise;
 use maxk_graph::{Csr, Frontier, NodeSet};
 use maxk_nn::plan::{partial_forward, ForwardPlan, LayerCost, PlanConfig, PlanLayer};
 use maxk_nn::snapshot::ModelSnapshot;
-use maxk_nn::{Activation, Arch, GraphContext};
+use maxk_nn::{Activation, Arch, GraphContext, GraphVersion, SnapshotGeneration};
 use maxk_tensor::{ops, Matrix};
 
 /// One inference layer: immutable weights plus the layer activation.
@@ -182,6 +182,9 @@ pub struct InferenceEngine {
     features: Matrix,
     out_dim: usize,
     plan_cfg: PlanConfig,
+    /// The weight set this engine serves (copied from the snapshot at
+    /// construction); cache keys and [`crate::QueryAnswer`] carry it.
+    generation: SnapshotGeneration,
 }
 
 impl InferenceEngine {
@@ -278,6 +281,7 @@ impl InferenceEngine {
             out_dim: cfg.out_dim,
             features,
             plan_cfg: PlanConfig::default(),
+            generation: snapshot.generation,
         })
     }
 
@@ -316,21 +320,35 @@ impl InferenceEngine {
         &self.ctx
     }
 
+    /// The weight set this engine serves, inherited from the snapshot it
+    /// was built from.
+    pub fn generation(&self) -> SnapshotGeneration {
+        self.generation
+    }
+
+    /// The graph operand this engine serves, inherited from its
+    /// [`GraphContext`]. Engines sharing a context (the
+    /// [`InferenceEngine::with_context`] renormalization-cache path)
+    /// share the version.
+    pub fn graph_version(&self) -> GraphVersion {
+        self.ctx.version
+    }
+
     /// Full-graph eval forward: logits for every node.
     ///
     /// One call serves an entire micro-batch — every query in the batch
     /// gathers its seed rows from this one result, which is what makes
     /// request coalescing pay off.
     ///
-    /// The server intentionally recomputes this per batch rather than
-    /// caching one logits matrix forever: the serving model is that each
-    /// batch answers against the *current* feature/weight state (the
-    /// ROADMAP's hot-snapshot-reload and feature-staleness items mutate
-    /// both). With the static features of today's benchmarks a
-    /// precomputed cache would trivially win; `serve_bench`'s
-    /// batched-vs-unbatched comparison therefore measures how well
-    /// coalescing amortizes a mandatory recomputation, not the best
-    /// possible static-serving configuration.
+    /// The engine itself never memoizes this result: each call answers
+    /// against the *current* feature/weight state (the ROADMAP's
+    /// hot-snapshot-reload and feature-staleness items mutate both).
+    /// Reuse across batches is the job of the opt-in seed-level
+    /// [`crate::LogitCache`], whose `(SnapshotGeneration, GraphVersion,
+    /// seed)` keys make stale rows unreachable the moment either
+    /// identity changes — `serve_bench`'s batched-vs-unbatched
+    /// comparison still runs uncached, measuring how well coalescing
+    /// amortizes a mandatory recomputation.
     #[must_use]
     pub fn forward_all(&self) -> Matrix {
         // check_consistency guarantees >= 2 layers, so the first-layer
@@ -487,6 +505,14 @@ pub trait BatchEngine: Send + Sync {
     /// server's per-shard counters.
     fn num_shards(&self) -> usize;
 
+    /// The weight set every answer is computed from; cache keys and
+    /// [`crate::QueryAnswer`] carry it.
+    fn generation(&self) -> SnapshotGeneration;
+
+    /// The graph operand every answer is computed over. A sharded engine
+    /// reports the one version shared by all its shard contexts.
+    fn graph_version(&self) -> GraphVersion;
+
     /// Runs one forward covering every seed in `union`.
     ///
     /// `union` is validated, sorted and deduplicated by the caller; the
@@ -506,6 +532,14 @@ impl BatchEngine for InferenceEngine {
 
     fn num_shards(&self) -> usize {
         1
+    }
+
+    fn generation(&self) -> SnapshotGeneration {
+        InferenceEngine::generation(self)
+    }
+
+    fn graph_version(&self) -> GraphVersion {
+        InferenceEngine::graph_version(self)
     }
 
     fn forward_union(&self, union: &[u32]) -> BatchOutcome {

@@ -24,6 +24,14 @@
 //!   into one batched forward, so a batch of `B` queries costs one
 //!   forward instead of `B`; it drives any [`BatchEngine`] (single or
 //!   sharded);
+//! * [`LogitCache`] — an opt-in bounded seed-level logit cache keyed by
+//!   `(SnapshotGeneration, GraphVersion, seed)` with CLOCK eviction and
+//!   in-flight coalescing: under Zipf traffic a hot seed is computed
+//!   once per weight/graph identity, repeats are answered without
+//!   touching the engine, and identical seeds wanted by overlapping
+//!   batches share one computation ([`ServerBuilder::cache_capacity`]
+//!   enables it; [`StatsSnapshot::cache`] reports
+//!   hits/misses/coalesced/evictions);
 //! * [`admission`] — the control plane between clients and the batcher:
 //!   a **bounded ingress queue** with a pluggable overload policy
 //!   ([`OverloadPolicy`]: block, reject-newest, drop-oldest, or
@@ -45,7 +53,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use maxk_serve::{InferenceEngine, ServeConfig, Server};
+//! use maxk_serve::{InferenceEngine, Server};
 //! use maxk_nn::snapshot::ModelSnapshot;
 //! use maxk_nn::{Activation, Arch, GnnModel, ModelConfig};
 //! use maxk_graph::generate;
@@ -63,20 +71,28 @@
 //!
 //! let features = Matrix::xavier(50, 8, &mut rng);
 //! let engine = Arc::new(InferenceEngine::from_snapshot(&snapshot, &graph, features).unwrap());
-//! let server = Server::start(engine, ServeConfig::default());
+//! let server = Server::builder()
+//!     .cache_capacity(1024) // seed-level logit cache (optional)
+//!     .start(engine);
 //! // Under the default `Block` admission policy every valid query is
 //! // answered; overload policies surface Rejected/Shed outcomes here.
 //! let answer = server.handle().query(&[0, 7, 13]).unwrap().into_answer().unwrap();
 //! assert_eq!(answer.logits.shape(), (3, 3));
+//! // A repeat of hot seeds is served from the cache, bitwise-identical:
+//! let again = server.handle().query(&[0, 7, 13]).unwrap().into_answer().unwrap();
+//! assert!(again.cached);
+//! assert_eq!(again.logits, answer.logits);
 //! let stats = server.shutdown();
-//! assert_eq!(stats.queries, 1);
-//! assert_eq!(stats.submitted, 1);
+//! assert_eq!(stats.queries, 2);
+//! assert_eq!(stats.cached_queries, 1);
+//! assert_eq!(stats.submitted, 2);
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod admission;
+pub mod cache;
 pub mod engine;
 pub mod loadgen;
 pub mod metrics;
@@ -84,6 +100,7 @@ pub mod router;
 pub mod server;
 
 pub use admission::{AdmissionConfig, FairnessConfig, OverloadPolicy, RejectReason, ShedReason};
+pub use cache::{CacheConfig, CacheKey, CacheSnapshot, LogitCache};
 pub use engine::{BatchEngine, BatchLogits, BatchOutcome, InferenceEngine};
 pub use loadgen::{
     open_loop, replay, LoadConfig, LoadReport, OpenLoopConfig, OpenLoopReport, QueryStream,
@@ -91,11 +108,12 @@ pub use loadgen::{
 };
 pub use maxk_graph::shard::ShardStrategy;
 pub use maxk_nn::plan::{ForwardPlan, PlanConfig};
-pub use metrics::{ClientStats, LatencyHistogram, LatencySummary};
+pub use maxk_nn::{GraphVersion, SnapshotGeneration};
+pub use metrics::{ClientStats, EvictedClientStats, LatencyHistogram, LatencySummary};
 pub use router::{ShardConfig, ShardInfo, ShardedEngine};
 pub use server::{
-    PendingQuery, QueryAnswer, QueryOptions, QueryResponse, ServeConfig, Server, ServerHandle,
-    StatsSnapshot,
+    PendingQuery, QueryAnswer, QueryOptions, QueryResponse, ServeConfig, Server, ServerBuilder,
+    ServerHandle, StatsSnapshot,
 };
 
 use std::error::Error;

@@ -246,17 +246,14 @@ pub fn replay(handle: &ServerHandle, cfg: &LoadConfig) -> Result<LoadReport, Ser
                     cfg.seed,
                     client as u64,
                 );
-                let opts = QueryOptions {
-                    client: client as u64,
-                    deadline: None,
-                };
+                let opts = QueryOptions::new().for_client(client as u64);
                 let mut local = LatencyHistogram::new();
                 let mut local_rejected = 0u64;
                 let mut local_shed = 0u64;
                 for _ in 0..cfg.queries_per_client {
                     let seeds = stream.next_query();
                     let issued = Instant::now();
-                    match handle.query_with(&seeds, opts) {
+                    match handle.request(&seeds, opts).and_then(|p| p.wait()) {
                         Ok(QueryResponse::Answered(_)) => {
                             let us = issued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                             local.record(us);
@@ -433,9 +430,12 @@ pub fn open_loop(
                     cfg.seed ^ 0xA5A5_5A5A_F00D_CAFE,
                     client as u64,
                 ));
-                let opts = QueryOptions {
-                    client: client as u64,
-                    deadline: cfg.deadline,
+                let opts = {
+                    let o = QueryOptions::new().for_client(client as u64);
+                    match cfg.deadline {
+                        Some(d) => o.with_deadline(d),
+                        None => o,
+                    }
                 };
 
                 // Collector: waits on pending queries in submission
@@ -485,7 +485,7 @@ pub fn open_loop(
                     }
                     let seeds = stream.next_query();
                     let issued = Instant::now();
-                    match handle.submit(&seeds, opts) {
+                    match handle.request(&seeds, opts) {
                         Ok(pending) => {
                             submitted += 1;
                             if pending_tx.send((pending, issued)).is_err() {
@@ -545,7 +545,7 @@ mod tests {
     use super::*;
     use crate::admission::{AdmissionConfig, OverloadPolicy};
     use crate::engine::InferenceEngine;
-    use crate::server::{ServeConfig, Server};
+    use crate::server::Server;
     use maxk_graph::generate;
     use maxk_nn::snapshot::ModelSnapshot;
     use maxk_nn::{Activation, Arch, GnnModel, ModelConfig};
@@ -621,15 +621,12 @@ mod tests {
         let x = Matrix::xavier(50, 4, &mut rng);
         let snap = ModelSnapshot::capture(&model);
         let engine = Arc::new(InferenceEngine::from_snapshot(&snap, &graph, x).unwrap());
-        Server::start(
-            engine,
-            ServeConfig {
-                batch_window: Duration::from_millis(window_ms),
-                max_batch,
-                workers: 1,
-                admission,
-            },
-        )
+        Server::builder()
+            .batch_window(Duration::from_millis(window_ms))
+            .max_batch(max_batch)
+            .workers(1)
+            .admission(admission)
+            .start(engine)
     }
 
     #[test]

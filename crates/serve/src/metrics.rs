@@ -192,6 +192,47 @@ impl LatencySummary {
     }
 }
 
+/// Aggregate statistics of clients whose per-client tracking state was
+/// evicted to honor the admission tracking bound
+/// ([`crate::admission::MAX_TRACKED_CLIENTS`]).
+///
+/// Each evicted `(client, accounting epoch)` state is merged here exactly
+/// once at eviction time — a client re-appearing after eviction starts a
+/// fresh epoch, so no observation is ever merged twice even when eviction
+/// and re-tracking churn within one snapshot window. Global totals
+/// therefore satisfy `Σ tracked clients + evicted == submitted` (and
+/// likewise per counter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvictedClientStats {
+    /// Evicted `(client, epoch)` states merged in (a churning client can
+    /// contribute several).
+    pub clients: u64,
+    /// Queries those states had submitted.
+    pub submitted: u64,
+    /// Queries those states had answered.
+    pub answered: u64,
+    /// Queries those states had rejected.
+    pub rejected: u64,
+    /// Queries those states had shed.
+    pub shed: u64,
+    /// Merged latency distribution of the evicted states' answered
+    /// queries.
+    pub latency: LatencySummary,
+}
+
+impl Default for EvictedClientStats {
+    fn default() -> Self {
+        EvictedClientStats {
+            clients: 0,
+            submitted: 0,
+            answered: 0,
+            rejected: 0,
+            shed: 0,
+            latency: LatencySummary::of(&LatencyHistogram::new()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

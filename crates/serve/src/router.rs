@@ -20,14 +20,16 @@
 //! [`crate::Server`] drives it through the same `Server`/`ServerHandle`
 //! API as the single engine.
 
+use crate::cache::LogitCache;
 use crate::engine::{check_seeds, BatchEngine, BatchLogits, BatchOutcome, InferenceEngine};
 use crate::ServeError;
 use maxk_graph::shard::{ShardStrategy, Sharding};
 use maxk_graph::{Csr, NodeSet, WarpPartition};
 use maxk_nn::plan::{ForwardPlan, PlanConfig};
 use maxk_nn::snapshot::ModelSnapshot;
-use maxk_nn::GraphContext;
+use maxk_nn::{GraphContext, GraphVersion, SnapshotGeneration};
 use maxk_tensor::Matrix;
+use std::sync::Arc;
 
 /// How [`ShardedEngine::from_snapshot`] partitions the graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +113,15 @@ pub struct ShardedEngine {
     owner: Vec<u32>,
     num_nodes: usize,
     out_dim: usize,
+    /// The weight set all shard engines were built from.
+    generation: SnapshotGeneration,
+    /// One version shared by every shard context: the shards are slices
+    /// of a single normalized operand, so they form one cacheable graph
+    /// identity.
+    graph_version: GraphVersion,
+    /// Optional router-level logit cache: probe before scatter, fill
+    /// after gather.
+    cache: Option<Arc<LogitCache>>,
 }
 
 impl ShardedEngine {
@@ -154,6 +165,10 @@ impl ShardedEngine {
         let sharding = Sharding::build(&adj, cfg.num_shards, mcfg.num_layers, cfg.strategy)
             .map_err(|e| ServeError::BadModel(e.to_string()))?;
         let (shards, owner) = sharding.into_parts();
+        // All shards slice one normalized operand, so they share one
+        // graph identity — a cache row computed by any shard is valid
+        // for the whole router.
+        let graph_version = GraphVersion::mint();
         let mut slots = Vec::with_capacity(shards.len());
         for shard in shards {
             let (owned, local, sub_adj) = shard.into_parts();
@@ -172,6 +187,7 @@ impl ShardedEngine {
                 adj_t: sub_adj.transpose(),
                 part: WarpPartition::build(&sub_adj, mcfg.eg_width),
                 adj: sub_adj,
+                version: graph_version,
             };
             let engine = InferenceEngine::with_context(snapshot, local_ctx, local_features)?;
             slots.push(ShardSlot {
@@ -187,6 +203,9 @@ impl ShardedEngine {
             owner,
             num_nodes,
             out_dim,
+            generation: snapshot.generation,
+            graph_version,
+            cache: None,
         })
     }
 
@@ -197,6 +216,22 @@ impl ShardedEngine {
         for slot in &mut self.slots {
             slot.engine.set_plan_config(cfg);
         }
+        self
+    }
+
+    /// Attaches a router-level logit cache (builder style): every
+    /// [`BatchEngine::forward_union`] probes it before scattering —
+    /// resident seeds never reach a shard — and fills the computed rows
+    /// after the gather.
+    ///
+    /// This is for driving the router directly (e.g. embedded in another
+    /// service). When the router sits behind a [`crate::Server`] with a
+    /// server-level cache, do **not** also attach one here: the server
+    /// already probes and coalesces ahead of the batcher, so a second
+    /// layer only double-copies rows and double-counts hit/miss books.
+    #[must_use]
+    pub fn with_logit_cache(mut self, cache: Arc<LogitCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -255,22 +290,9 @@ impl ShardedEngine {
         union.dedup();
         Ok(self.forward_union(&union).logits.gather(seeds))
     }
-}
 
-impl BatchEngine for ShardedEngine {
-    fn num_nodes(&self) -> usize {
-        self.num_nodes
-    }
-
-    fn out_dim(&self) -> usize {
-        self.out_dim
-    }
-
-    fn num_shards(&self) -> usize {
-        self.slots.len()
-    }
-
-    fn forward_union(&self, union: &[u32]) -> BatchOutcome {
+    /// The scatter/gather core over owner shards, ignoring the cache.
+    fn scatter_gather(&self, union: &[u32]) -> BatchOutcome {
         let set = NodeSet::from_unsorted(union, self.num_nodes)
             .expect("server validates seeds before batching");
         // Scatter: per shard, the local seed ids plus each seed's row
@@ -332,6 +354,86 @@ impl BatchEngine for ShardedEngine {
         BatchOutcome {
             logits: BatchLogits::compact(logits, set),
             shards,
+        }
+    }
+}
+
+impl BatchEngine for ShardedEngine {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    fn num_shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn generation(&self) -> SnapshotGeneration {
+        self.generation
+    }
+
+    fn graph_version(&self) -> GraphVersion {
+        self.graph_version
+    }
+
+    fn forward_union(&self, union: &[u32]) -> BatchOutcome {
+        let Some(cache) = &self.cache else {
+            return self.scatter_gather(union);
+        };
+        // Probe before scatter: resident seeds never reach a shard.
+        let mut missing: Vec<u32> = Vec::new();
+        let mut hit_rows: Vec<(usize, Arc<[f32]>)> = Vec::new();
+        for (pos, &g) in union.iter().enumerate() {
+            match cache.probe(self.generation, self.graph_version, g) {
+                Some(row) => hit_rows.push((pos, row)),
+                None => missing.push(g),
+            }
+        }
+        cache.record_misses(missing.len() as u64);
+        if missing.is_empty() {
+            // Fully hot: assemble from cache, no shard participates.
+            let set = NodeSet::from_unsorted(union, self.num_nodes)
+                .expect("server validates seeds before batching");
+            let mut logits = Matrix::zeros(union.len(), self.out_dim);
+            for (pos, row) in hit_rows {
+                logits.row_mut(pos).copy_from_slice(&row);
+            }
+            return BatchOutcome {
+                logits: BatchLogits::compact(logits, set),
+                shards: Vec::new(),
+            };
+        }
+        let computed = self.scatter_gather(&missing);
+        // Fill after gather: `missing` preserves the union's sorted order,
+        // matching the compact row order of the gathered logits.
+        cache.fill_rows(
+            self.generation,
+            self.graph_version,
+            &missing,
+            computed.logits.logits(),
+        );
+        if hit_rows.is_empty() {
+            return computed;
+        }
+        // Merge cached and computed rows back into union-compact order.
+        let set = NodeSet::from_unsorted(union, self.num_nodes)
+            .expect("server validates seeds before batching");
+        let mut logits = Matrix::zeros(union.len(), self.out_dim);
+        for (pos, row) in hit_rows {
+            logits.row_mut(pos).copy_from_slice(&row);
+        }
+        for (r, &seed) in missing.iter().enumerate() {
+            let pos = set.compact(seed).expect("missing seed is in the union");
+            logits
+                .row_mut(pos)
+                .copy_from_slice(computed.logits.logits().row(r));
+        }
+        BatchOutcome {
+            logits: BatchLogits::compact(logits, set),
+            shards: computed.shards,
         }
     }
 }

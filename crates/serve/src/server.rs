@@ -4,22 +4,27 @@
 //! crates):
 //!
 //! ```text
-//! clients ──ServerHandle::submit/query──▶ admission layer
+//! clients ──ServerHandle::request/query──▶ admission layer
 //!              (bounded queue + overload policy + per-client
 //!               token buckets; Rejected/Shed outcomes surface
 //!               here instead of queueing without bound)
 //!                                      │
 //!                                  batcher thread
-//!                 (coalesce queries arriving within `batch_window`,
+//!                 (cache probe per popped query — a fully-hot
+//!                  query is answered inline and never joins a
+//!                  batch; the rest coalesce within `batch_window`,
 //!                  up to `max_batch` per batch; deadline-blown
 //!                  entries are shed before costing a forward)
 //!                                      │
 //!                                 batch channel
 //!                                      │
 //!                        worker pool (`workers` threads)
-//!               (one shared forward per batch — full-graph or
-//!                seed-restricted per the cost heuristic — gather
-//!                seed rows, reply per query, record latency)
+//!               (claim the batch's still-missing seeds: lead
+//!                seeds shrink the union handed to the plan,
+//!                follower seeds park on another batch's in-flight
+//!                computation; one shared forward for the lead
+//!                union, fill the cache, gather rows, reply per
+//!                query, record latency)
 //! ```
 //!
 //! Each batch costs **one** engine forward regardless of how many queries
@@ -28,6 +33,17 @@
 //! aggregation amortization. Setting `max_batch = 1` (window 0) degrades
 //! to the one-query-per-forward baseline that `serve_bench` compares
 //! against.
+//!
+//! On top of coalescing, an opt-in seed-level logit cache
+//! ([`ServeConfig::cache`] / [`ServerBuilder::cache`]) reuses rows
+//! *across* batches: under Zipf traffic a hot seed is computed once per
+//! `(SnapshotGeneration, GraphVersion)` identity and every repeat is a
+//! cache hit — a fully-hot query never reaches the engine at all, and
+//! partial hits shrink the seed union handed to the forward planner.
+//! Identical seeds wanted by overlapping batches share one in-flight
+//! computation ([`crate::LogitCache`] coalescing). [`StatsSnapshot::cache`]
+//! reports hits/misses/coalesced/evictions; the counters exactly account
+//! for every answered seed instance.
 //!
 //! The admission layer ([`crate::admission`]) bounds what reaches the
 //! batcher: when offered load exceeds forward throughput, queries are
@@ -40,23 +56,28 @@
 //! queued and mid-flight queries still working their way through the
 //! batcher and workers).
 //!
-//! Per batch, the worker hands the batch's **seed union** to the engine
-//! ([`BatchEngine::forward_union`]). The single
-//! [`crate::InferenceEngine`] plans full vs. seed-restricted over the
-//! union (partial when the union's reverse L-hop frontier is small); the
-//! sharded [`crate::ShardedEngine`] scatters the union to owner shards,
-//! each planning independently. [`StatsSnapshot::partial_batches`] and
-//! the per-shard [`StatsSnapshot::shard_batches`] /
+//! Per batch, the worker hands the batch's **seed union** (minus cached
+//! and in-flight seeds) to the engine ([`BatchEngine::forward_union`]).
+//! The single [`crate::InferenceEngine`] plans full vs. seed-restricted
+//! over the union (partial when the union's reverse L-hop frontier is
+//! small); the sharded [`crate::ShardedEngine`] scatters the union to
+//! owner shards, each planning independently.
+//! [`StatsSnapshot::partial_batches`] and the per-shard
+//! [`StatsSnapshot::shard_batches`] /
 //! [`StatsSnapshot::shard_partial_batches`] counters report how often
 //! each path won and how batches spread over shards.
 
 use crate::admission::{
-    AdmissionConfig, AdmissionQueue, Entry, RejectReason, ShedReason, Submission,
+    AdmissionConfig, AdmissionQueue, Entry, FairnessConfig, OverloadPolicy, RejectReason,
+    ShedReason, Submission,
 };
+use crate::cache::{CacheConfig, CacheSnapshot, LogitCache};
 use crate::engine::{check_seeds, BatchEngine};
-use crate::metrics::{ClientStats, LatencyHistogram, LatencySummary};
+use crate::metrics::{ClientStats, EvictedClientStats, LatencyHistogram, LatencySummary};
 use crate::ServeError;
+use maxk_nn::{GraphVersion, SnapshotGeneration};
 use maxk_tensor::Matrix;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -64,6 +85,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Micro-batching configuration.
+///
+/// Prefer assembling one via [`Server::builder`], which covers every
+/// knob (including admission and cache sub-configs) without literal
+/// struct soup.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
     /// How long the batcher keeps a batch open after its first query,
@@ -77,6 +102,9 @@ pub struct ServeConfig {
     /// Ingress admission control: queue bound, overload policy,
     /// per-client fairness, default latency budget.
     pub admission: AdmissionConfig,
+    /// Seed-level logit cache; `None` (the default) disables caching and
+    /// serves every batch through the engine.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for ServeConfig {
@@ -86,13 +114,32 @@ impl Default for ServeConfig {
             max_batch: 64,
             workers: 2,
             admission: AdmissionConfig::default(),
+            cache: None,
         }
     }
 }
 
 /// Per-query submission options: who is asking and how long the answer
 /// is worth waiting for.
+///
+/// Non-exhaustive so future fields (priority class, cache bypass) stay
+/// non-breaking: construct via [`QueryOptions::new`] /
+/// [`QueryOptions::default`] and the builder methods.
+///
+/// # Examples
+///
+/// ```
+/// use maxk_serve::QueryOptions;
+/// use std::time::Duration;
+///
+/// let opts = QueryOptions::new()
+///     .for_client(7)
+///     .with_deadline(Duration::from_millis(50));
+/// assert_eq!(opts.client, 7);
+/// assert_eq!(opts.deadline, Some(Duration::from_millis(50)));
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
 pub struct QueryOptions {
     /// Client identity for fairness and per-client accounting
     /// ([`StatsSnapshot::clients`]). Defaults to 0.
@@ -105,20 +152,52 @@ pub struct QueryOptions {
     pub deadline: Option<Duration>,
 }
 
+impl QueryOptions {
+    /// Default options: client 0, no per-query deadline.
+    pub fn new() -> Self {
+        QueryOptions::default()
+    }
+
+    /// Sets the client identity.
+    #[must_use]
+    pub fn for_client(mut self, client: u64) -> Self {
+        self.client = client;
+        self
+    }
+
+    /// Sets the per-query latency budget.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
 /// The logits-bearing payload of an answered query.
 #[derive(Debug, Clone)]
 pub struct QueryAnswer {
     /// Logit rows for the requested seeds, in request order
     /// (`seeds.len() × out_dim`).
     pub logits: Matrix,
-    /// How many queries shared this forward pass.
+    /// How many queries shared this forward pass (1 for a cache-answered
+    /// query that never joined a batch).
     pub batch_size: usize,
     /// Queue + compute latency observed by the server.
     pub latency: Duration,
     /// Whether at least one shard serving this batch ran the
     /// seed-restricted partial forward (for an unsharded engine: whether
-    /// the batch's one forward was partial).
+    /// the batch's one forward was partial; always `false` for a
+    /// cache-answered query, which ran no forward).
     pub partial: bool,
+    /// The weight set that computed these logits — the identity callers
+    /// key caches and staleness decisions on across hot reloads.
+    pub generation: SnapshotGeneration,
+    /// The graph operand these logits were computed over.
+    pub graph_version: GraphVersion,
+    /// True when every requested row came from the logit cache (resident
+    /// or another batch's in-flight computation) — this query triggered
+    /// no forward work of its own.
+    pub cached: bool,
 }
 
 /// What happened to one submitted query: answered with logits, or turned
@@ -164,6 +243,15 @@ struct Request {
     reply: mpsc::Sender<Result<QueryResponse, ServeError>>,
 }
 
+/// One batched query plus its per-seed cache probe results (aligned with
+/// `entry.payload.seeds`; empty when caching is disabled). Probing
+/// happens in the batcher so hit rows are pinned before batch assembly
+/// and a fully-hot query never occupies a batch slot.
+struct BatchItem {
+    entry: Entry<Request>,
+    hits: Vec<Option<Arc<[f32]>>>,
+}
+
 /// Sends the shed notification for entries the admission layer dropped.
 fn notify_shed(entries: impl IntoIterator<Item = (Entry<Request>, ShedReason)>) {
     for (entry, reason) in entries {
@@ -172,12 +260,23 @@ fn notify_shed(entries: impl IntoIterator<Item = (Entry<Request>, ShedReason)>) 
     }
 }
 
+fn duration_us(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
 /// Aggregate serving counters, shared between workers and observers.
 #[derive(Debug)]
 struct Counters {
     queries: AtomicU64,
     batches: AtomicU64,
     partial_batches: AtomicU64,
+    /// Queries answered entirely from the cache (no forward of their
+    /// own): the batcher's inline answers plus worker-side queries whose
+    /// every row came from residency or another batch's computation.
+    cached_queries: AtomicU64,
+    /// Of `cached_queries`, those answered inline by the batcher (they
+    /// never joined a batch — excluded from mean batch occupancy).
+    inline_queries: AtomicU64,
     /// Queries answered *after* their deadline had already passed (the
     /// shed-side misses are counted by the admission queue).
     late_answers: AtomicU64,
@@ -193,9 +292,24 @@ impl Counters {
             queries: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             partial_batches: AtomicU64::new(0),
+            cached_queries: AtomicU64::new(0),
+            inline_queries: AtomicU64::new(0),
             late_answers: AtomicU64::new(0),
             shard_batches: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
             shard_partial_batches: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn count_forward(&self, outcome: &crate::engine::BatchOutcome) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if outcome.any_partial() {
+            self.partial_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        for &(s, shard_partial) in &outcome.shards {
+            self.shard_batches[s].fetch_add(1, Ordering::Relaxed);
+            if shard_partial {
+                self.shard_partial_batches[s].fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -211,6 +325,9 @@ pub struct StatsSnapshot {
     /// seed-restricted partial forward (for an unsharded engine this is
     /// exactly the partial-batch count).
     pub partial_batches: u64,
+    /// Of `queries`, those answered entirely from the logit cache —
+    /// no forward work of their own (see [`QueryAnswer::cached`]).
+    pub cached_queries: u64,
     /// Queries offered to admission (excluding invalid ones rejected
     /// client-side before submission).
     pub submitted: u64,
@@ -236,12 +353,22 @@ pub struct StatsSnapshot {
     pub queue_depth_peak: u64,
     /// Per-client accounting (admission + serving), sorted by client id.
     pub clients: Vec<ClientStats>,
+    /// Aggregate of per-client states evicted past the tracking bound
+    /// (merged exactly once per accounting epoch, so
+    /// `Σ clients + evicted_clients` reconciles with the global books).
+    pub evicted_clients: EvictedClientStats,
     /// Per shard: batches the shard participated in (one entry per shard;
     /// a single unsharded engine reports one entry equal to `batches`).
     pub shard_batches: Vec<u64>,
     /// Per shard: batches the shard served via the partial path.
     pub shard_partial_batches: Vec<u64>,
-    /// Mean queries per batch (1.0 means batching bought nothing).
+    /// Logit-cache counters, when caching is enabled. Per answered seed
+    /// instance exactly one of hits/misses/coalesced is counted, so
+    /// `hits + misses + coalesced` equals the answered seed instances.
+    pub cache: Option<CacheSnapshot>,
+    /// Mean queries per executed batch (1.0 means batching bought
+    /// nothing). Cache-answered queries that never joined a batch are
+    /// excluded, so this stays a read-out of coalescing, not of caching.
     pub mean_batch: f64,
     /// Seconds since the server started.
     pub uptime_s: f64,
@@ -249,6 +376,154 @@ pub struct StatsSnapshot {
     pub throughput_qps: f64,
     /// Server-side latency distribution (enqueue → reply).
     pub latency: LatencySummary,
+}
+
+/// Builder for a [`Server`]: one place for every serving knob — batching,
+/// admission control, fairness and the logit cache — instead of nested
+/// config-struct literals.
+///
+/// # Examples
+///
+/// ```
+/// use maxk_serve::{InferenceEngine, OverloadPolicy, Server};
+/// use maxk_nn::snapshot::ModelSnapshot;
+/// use maxk_nn::{Activation, Arch, GnnModel, ModelConfig};
+/// use maxk_graph::generate;
+/// use maxk_tensor::Matrix;
+/// use rand::SeedableRng;
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let graph = generate::chung_lu_power_law(40, 5.0, 2.3, 1).to_csr().unwrap();
+/// let mut cfg = ModelConfig::new(Arch::Gcn, Activation::Relu, 6, 2);
+/// cfg.hidden_dim = 8;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = GnnModel::new(cfg, &graph, &mut rng);
+/// let engine = Arc::new(
+///     InferenceEngine::from_snapshot(
+///         &ModelSnapshot::capture(&model),
+///         &graph,
+///         Matrix::xavier(40, 6, &mut rng),
+///     )
+///     .unwrap(),
+/// );
+///
+/// let server = Server::builder()
+///     .batch_window(Duration::from_millis(5))
+///     .max_batch(32)
+///     .workers(2)
+///     .admission_capacity(256)
+///     .overload_policy(OverloadPolicy::Block)
+///     .cache_capacity(1024) // enable the seed-level logit cache
+///     .start(engine);
+///
+/// let answer = server.handle().query(&[0, 5]).unwrap().into_answer().unwrap();
+/// assert_eq!(answer.logits.shape(), (2, 2));
+/// // Repeats of a hot seed are served from the cache:
+/// let again = server.handle().query(&[0, 5]).unwrap().into_answer().unwrap();
+/// assert!(again.cached);
+/// assert_eq!(again.logits, answer.logits);
+/// assert_eq!(again.generation, answer.generation);
+/// let stats = server.shutdown();
+/// assert_eq!(stats.queries, 2);
+/// assert_eq!(stats.cached_queries, 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ServerBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServerBuilder {
+    /// Replaces the whole configuration at once (escape hatch for a
+    /// prebuilt [`ServeConfig`]).
+    #[must_use]
+    pub fn config(mut self, cfg: ServeConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// How long the batcher keeps a batch open after its first query.
+    #[must_use]
+    pub fn batch_window(mut self, window: Duration) -> Self {
+        self.cfg.batch_window = window;
+        self
+    }
+
+    /// Hard cap on queries per batch (1 = unbatched baseline).
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.cfg.max_batch = max_batch;
+        self
+    }
+
+    /// Forward-executor threads.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Replaces the whole admission configuration.
+    #[must_use]
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.cfg.admission = admission;
+        self
+    }
+
+    /// Bound on queued (admitted but unbatched) queries.
+    #[must_use]
+    pub fn admission_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.admission.capacity = capacity;
+        self
+    }
+
+    /// What happens when a query arrives and the queue is full.
+    #[must_use]
+    pub fn overload_policy(mut self, policy: OverloadPolicy) -> Self {
+        self.cfg.admission.policy = policy;
+        self
+    }
+
+    /// Per-client token-bucket fairness.
+    #[must_use]
+    pub fn fairness(mut self, fairness: FairnessConfig) -> Self {
+        self.cfg.admission.fairness = Some(fairness);
+        self
+    }
+
+    /// Latency budget applied to queries without their own deadline.
+    #[must_use]
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.cfg.admission.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Enables the seed-level logit cache with the given configuration.
+    #[must_use]
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cfg.cache = Some(cache);
+        self
+    }
+
+    /// Enables the seed-level logit cache bounded to `rows` resident
+    /// rows (shorthand for [`ServerBuilder::cache`]).
+    #[must_use]
+    pub fn cache_capacity(self, rows: usize) -> Self {
+        self.cache(CacheConfig { capacity: rows })
+    }
+
+    /// The assembled configuration (inspectable before starting).
+    pub fn build_config(&self) -> ServeConfig {
+        self.cfg
+    }
+
+    /// Starts the server over `engine` — the single
+    /// [`crate::InferenceEngine`] or the sharded
+    /// [`crate::ShardedEngine`] router, anything implementing
+    /// [`BatchEngine`].
+    pub fn start<E: BatchEngine + 'static>(self, engine: Arc<E>) -> Server {
+        Server::spawn(engine, self.cfg)
+    }
 }
 
 /// A running micro-batched inference server.
@@ -259,7 +534,7 @@ pub struct StatsSnapshot {
 /// # Examples
 ///
 /// ```
-/// use maxk_serve::{InferenceEngine, ServeConfig, Server};
+/// use maxk_serve::{InferenceEngine, Server};
 /// use maxk_nn::snapshot::ModelSnapshot;
 /// use maxk_nn::{Activation, Arch, GnnModel, ModelConfig};
 /// use maxk_graph::generate;
@@ -281,7 +556,7 @@ pub struct StatsSnapshot {
 ///     .unwrap(),
 /// );
 ///
-/// let server = Server::start(engine, ServeConfig::default());
+/// let server = Server::builder().start(engine);
 /// let answer = server.handle().query(&[0, 5]).unwrap().into_answer().unwrap();
 /// assert_eq!(answer.logits.shape(), (2, 2));
 /// let stats = server.shutdown();
@@ -293,48 +568,135 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
     counters: Arc<Counters>,
     hist: Arc<Mutex<LatencyHistogram>>,
+    cache: Option<Arc<LogitCache>>,
     started: Instant,
     num_nodes: usize,
 }
 
 impl Server {
-    /// Starts the batcher and worker threads over `engine` — the single
-    /// [`crate::InferenceEngine`] or the sharded [`crate::ShardedEngine`]
-    /// router, anything implementing [`BatchEngine`].
+    /// The entry point for configuring and starting a server.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder {
+            cfg: ServeConfig::default(),
+        }
+    }
+
+    /// Starts the batcher and worker threads over `engine`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Server::builder()…start(engine), which also exposes the admission and cache knobs"
+    )]
     pub fn start<E: BatchEngine + 'static>(engine: Arc<E>, cfg: ServeConfig) -> Server {
+        Server::spawn(engine, cfg)
+    }
+
+    fn spawn<E: BatchEngine + 'static>(engine: Arc<E>, cfg: ServeConfig) -> Server {
         let num_nodes = engine.num_nodes();
+        let out_dim = engine.out_dim();
+        let generation = engine.generation();
+        let graph_version = engine.graph_version();
         let counters = Arc::new(Counters::new(engine.num_shards()));
         let hist = Arc::new(Mutex::new(LatencyHistogram::new()));
         let queue = Arc::new(AdmissionQueue::<Request>::new(cfg.admission));
+        let cache = cfg.cache.map(|c| Arc::new(LogitCache::new(c)));
         // The batch channel is bounded (one ready batch beyond what the
         // workers hold): otherwise the batcher would eagerly drain the
         // bounded admission queue into an unbounded backlog here, and
         // overload would hide downstream where no policy can act on it.
         // With the bound, busy workers stall the batcher, the admission
         // queue fills, and rejection/shedding happen where they belong.
-        let (batch_tx, batch_rx) = mpsc::sync_channel::<Vec<Entry<Request>>>(1);
+        let (batch_tx, batch_rx) = mpsc::sync_channel::<Vec<BatchItem>>(1);
         let batch_rx = Arc::new(Mutex::new(batch_rx));
 
         let max_batch = cfg.max_batch.max(1);
         let window = cfg.batch_window;
         let ingress = Arc::clone(&queue);
+        let batcher_counters = Arc::clone(&counters);
+        let batcher_hist = Arc::clone(&hist);
+        let batcher_cache = cache.clone();
         let batcher = std::thread::spawn(move || {
-            loop {
+            // Probes a popped entry against the cache. A fully-hot entry
+            // is answered inline — batch size 1, no forward, never
+            // occupies a batch slot — and `None` is returned; otherwise
+            // the entry is wrapped with its pinned hit rows. Every probe
+            // hit is counted by the cache, which is sound because popped
+            // entries are always answered (shedding happens inside
+            // `pop`, before the probe).
+            let prepare = |entry: Entry<Request>| -> Option<BatchItem> {
+                let Some(cache) = &batcher_cache else {
+                    return Some(BatchItem {
+                        entry,
+                        hits: Vec::new(),
+                    });
+                };
+                let hits: Vec<Option<Arc<[f32]>>> = entry
+                    .payload
+                    .seeds
+                    .iter()
+                    .map(|&s| cache.probe(generation, graph_version, s))
+                    .collect();
+                if hits.iter().any(|h| h.is_none()) {
+                    return Some(BatchItem { entry, hits });
+                }
+                let now = Instant::now();
+                let latency = now.saturating_duration_since(entry.enqueued);
+                if entry.deadline.is_some_and(|d| now >= d) {
+                    batcher_counters
+                        .late_answers
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                batcher_counters.queries.fetch_add(1, Ordering::Relaxed);
+                batcher_counters
+                    .cached_queries
+                    .fetch_add(1, Ordering::Relaxed);
+                batcher_counters
+                    .inline_queries
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut logits = Matrix::zeros(entry.payload.seeds.len(), out_dim);
+                for (i, h) in hits.iter().enumerate() {
+                    logits
+                        .row_mut(i)
+                        .copy_from_slice(h.as_ref().expect("fully-hot entry"));
+                }
+                let us = duration_us(latency);
+                batcher_hist.lock().expect("histogram poisoned").record(us);
+                ingress.record_answered([(entry.client, us)]);
+                let _ = entry
+                    .payload
+                    .reply
+                    .send(Ok(QueryResponse::Answered(QueryAnswer {
+                        logits,
+                        batch_size: 1,
+                        latency,
+                        partial: false,
+                        generation,
+                        graph_version,
+                        cached: true,
+                    })));
+                None
+            };
+            'batching: loop {
                 // Block for the batch's first query; deadline-blown
                 // entries encountered on the way are shed (they never
-                // cost a forward).
-                let popped = ingress.pop(None);
-                notify_shed(
-                    popped
-                        .shed
-                        .into_iter()
-                        .map(|e| (e, ShedReason::DeadlineBlown)),
-                );
-                let Some(first) = popped.item else {
-                    if popped.closed {
-                        break;
+                // cost a forward), and fully-hot entries are answered
+                // inline without opening a batch window.
+                let first = loop {
+                    let popped = ingress.pop(None);
+                    notify_shed(
+                        popped
+                            .shed
+                            .into_iter()
+                            .map(|e| (e, ShedReason::DeadlineBlown)),
+                    );
+                    match popped.item {
+                        Some(entry) => {
+                            if let Some(item) = prepare(entry) {
+                                break item;
+                            }
+                        }
+                        None if popped.closed => break 'batching,
+                        None => {}
                     }
-                    continue;
                 };
                 let mut batch = vec![first];
                 let mut stop = false;
@@ -348,7 +710,11 @@ impl Server {
                             .map(|e| (e, ShedReason::DeadlineBlown)),
                     );
                     match popped.item {
-                        Some(entry) => batch.push(entry),
+                        Some(entry) => {
+                            if let Some(item) = prepare(entry) {
+                                batch.push(item);
+                            }
+                        }
                         None if popped.closed => {
                             stop = true;
                             break;
@@ -376,6 +742,7 @@ impl Server {
             let counters = Arc::clone(&counters);
             let hist = Arc::clone(&hist);
             let queue = Arc::clone(&queue);
+            let cache = cache.clone();
             workers.push(std::thread::spawn(move || {
                 loop {
                     // The guard is held across the blocking recv: waiting
@@ -386,29 +753,17 @@ impl Server {
                         Err(_) => break,
                     };
                     let size = batch.len();
-                    // One shared forward pass for the whole batch over
-                    // its seed union: the engine plans full vs.
-                    // seed-restricted per shard (a single engine is one
-                    // shard) and returns union-covering logits.
-                    let mut union: Vec<u32> = batch
-                        .iter()
-                        .flat_map(|e| e.payload.seeds.iter().copied())
-                        .collect();
-                    union.sort_unstable();
-                    union.dedup();
-                    let outcome = engine.forward_union(&union);
-                    let partial = outcome.any_partial();
-                    let logits = outcome.logits;
-                    counters.batches.fetch_add(1, Ordering::Relaxed);
-                    if partial {
-                        counters.partial_batches.fetch_add(1, Ordering::Relaxed);
-                    }
-                    for &(s, shard_partial) in &outcome.shards {
-                        counters.shard_batches[s].fetch_add(1, Ordering::Relaxed);
-                        if shard_partial {
-                            counters.shard_partial_batches[s].fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
+                    let (answers, partial) = match &cache {
+                        None => run_batch_uncached(engine.as_ref(), &counters, &batch),
+                        Some(cache) => run_batch_cached(
+                            engine.as_ref(),
+                            &counters,
+                            cache,
+                            generation,
+                            graph_version,
+                            &batch,
+                        ),
+                    };
                     counters.queries.fetch_add(size as u64, Ordering::Relaxed);
                     // Gather every reply first (the expensive row copies
                     // happen without holding any shared lock), then
@@ -416,27 +771,29 @@ impl Server {
                     // holds its answer, the counters already include it.
                     let now = Instant::now();
                     let mut replies = Vec::with_capacity(size);
-                    for entry in batch {
+                    for (item, (logits, cached)) in batch.into_iter().zip(answers) {
+                        let entry = item.entry;
                         let latency = now.saturating_duration_since(entry.enqueued);
                         if entry.deadline.is_some_and(|d| now >= d) {
                             counters.late_answers.fetch_add(1, Ordering::Relaxed);
                         }
+                        if cached {
+                            counters.cached_queries.fetch_add(1, Ordering::Relaxed);
+                        }
                         let answer = QueryAnswer {
-                            logits: logits.gather(&entry.payload.seeds),
+                            logits,
                             batch_size: size,
                             latency,
                             partial,
+                            generation,
+                            graph_version,
+                            cached,
                         };
                         replies.push((entry.client, entry.payload.reply, answer));
                     }
                     let outcomes: Vec<(u64, u64)> = replies
                         .iter()
-                        .map(|(client, _, answer)| {
-                            (
-                                *client,
-                                answer.latency.as_micros().min(u128::from(u64::MAX)) as u64,
-                            )
-                        })
+                        .map(|(client, _, answer)| (*client, duration_us(answer.latency)))
                         .collect();
                     {
                         let mut hist = hist.lock().expect("histogram poisoned");
@@ -463,6 +820,7 @@ impl Server {
             workers,
             counters,
             hist,
+            cache,
             started: Instant::now(),
             num_nodes,
         }
@@ -481,14 +839,18 @@ impl Server {
         let queries = self.counters.queries.load(Ordering::Relaxed);
         let batches = self.counters.batches.load(Ordering::Relaxed);
         let partial_batches = self.counters.partial_batches.load(Ordering::Relaxed);
+        let cached_queries = self.counters.cached_queries.load(Ordering::Relaxed);
+        let inline_queries = self.counters.inline_queries.load(Ordering::Relaxed);
         let late_answers = self.counters.late_answers.load(Ordering::Relaxed);
         let uptime_s = self.started.elapsed().as_secs_f64();
         let admission = self.queue.snapshot();
         let clients = admission.clients.clone();
+        let batched_queries = queries - inline_queries;
         StatsSnapshot {
             queries,
             batches,
             partial_batches,
+            cached_queries,
             submitted: admission.submitted,
             admitted: admission.submitted - admission.rejected - admission.shed,
             rejected: admission.rejected,
@@ -497,6 +859,7 @@ impl Server {
             queue_depth: admission.queue_depth,
             queue_depth_peak: admission.queue_depth_peak,
             clients,
+            evicted_clients: admission.evicted,
             shard_batches: self
                 .counters
                 .shard_batches
@@ -509,12 +872,15 @@ impl Server {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
-            // Every served query belongs to exactly one batch, so the
-            // mean occupancy is just the ratio of the two counters.
+            cache: self.cache.as_ref().map(|c| c.snapshot()),
+            // Every batched query belongs to exactly one batch, so the
+            // mean occupancy is just the ratio of the two counters
+            // (inline cache answers never joined a batch and are
+            // excluded).
             mean_batch: if batches == 0 {
                 0.0
             } else {
-                queries as f64 / batches as f64
+                batched_queries as f64 / batches as f64
             },
             uptime_s,
             throughput_qps: if uptime_s > 0.0 {
@@ -548,6 +914,132 @@ impl Server {
     }
 }
 
+/// The uncached batch path: one forward over the whole seed union.
+/// Returns each query's `(logits, cached)` in batch order plus the
+/// batch-level partial flag.
+fn run_batch_uncached<E: BatchEngine + ?Sized>(
+    engine: &E,
+    counters: &Counters,
+    batch: &[BatchItem],
+) -> (Vec<(Matrix, bool)>, bool) {
+    let mut union: Vec<u32> = batch
+        .iter()
+        .flat_map(|item| item.entry.payload.seeds.iter().copied())
+        .collect();
+    union.sort_unstable();
+    union.dedup();
+    let outcome = engine.forward_union(&union);
+    counters.count_forward(&outcome);
+    let partial = outcome.any_partial();
+    let answers = batch
+        .iter()
+        .map(|item| (outcome.logits.gather(&item.entry.payload.seeds), false))
+        .collect();
+    (answers, partial)
+}
+
+/// The cached batch path: claim the batch's missing seeds, forward only
+/// the claimed lead union, fill the cache, park on other batches' work
+/// for follower seeds, and assemble each query's rows from probe hits +
+/// claim results. Returns each query's `(logits, cached)` in batch order
+/// plus the batch-level partial flag.
+fn run_batch_cached<E: BatchEngine + ?Sized>(
+    engine: &E,
+    counters: &Counters,
+    cache: &Arc<LogitCache>,
+    generation: SnapshotGeneration,
+    graph_version: GraphVersion,
+    batch: &[BatchItem],
+) -> (Vec<(Matrix, bool)>, bool) {
+    // Aggregate the probe misses: per unique seed, how many answered
+    // instances in this batch want it (the occurrence counts keep the
+    // cache's per-instance books exact). BTreeMap iteration yields the
+    // sorted order `forward_union` requires.
+    let mut missing: BTreeMap<u32, u32> = BTreeMap::new();
+    for item in batch {
+        for (i, &s) in item.entry.payload.seeds.iter().enumerate() {
+            if item.hits[i].is_none() {
+                *missing.entry(s).or_insert(0) += 1;
+            }
+        }
+    }
+    let missing: Vec<(u32, u32)> = missing.into_iter().collect();
+    let claim = cache.claim(generation, graph_version, &missing);
+    let mut rows: HashMap<u32, Arc<[f32]>> = HashMap::new();
+    // Seeds whose rows this batch computed itself — queries touching one
+    // are not "cached" answers.
+    let mut computed_here: HashSet<u32> = HashSet::new();
+    for (s, row) in &claim.hits {
+        rows.insert(*s, Arc::clone(row));
+    }
+    let mut partial = false;
+    // Lead seeds: the shrunken union this batch actually forwards. The
+    // leader fills *before* waiting on any follows, so two batches
+    // leading/following each other's seeds can never deadlock.
+    let lead_seeds = claim.lead.seeds();
+    if !claim.lead.is_empty() {
+        let outcome = engine.forward_union(&lead_seeds);
+        counters.count_forward(&outcome);
+        partial |= outcome.any_partial();
+        let gathered = outcome.logits.gather(&lead_seeds);
+        for (s, row) in claim.lead.fill(&gathered) {
+            computed_here.insert(s);
+            rows.insert(s, row);
+        }
+    }
+    // Follower seeds: park on the owning batch's computation. An aborted
+    // leader (its worker died before filling) yields `None`; those seeds
+    // fall back to a forward of our own rather than hanging.
+    let mut fallback: Vec<u32> = Vec::new();
+    for (s, handle) in claim.follows {
+        match handle.wait() {
+            Some(row) => {
+                rows.insert(s, row);
+            }
+            None => fallback.push(s),
+        }
+    }
+    if !fallback.is_empty() {
+        fallback.sort_unstable();
+        fallback.dedup();
+        let outcome = engine.forward_union(&fallback);
+        counters.count_forward(&outcome);
+        partial |= outcome.any_partial();
+        let gathered = outcome.logits.gather(&fallback);
+        cache.fill_rows(generation, graph_version, &fallback, &gathered);
+        for (i, &s) in fallback.iter().enumerate() {
+            computed_here.insert(s);
+            rows.insert(s, Arc::from(gathered.row(i)));
+        }
+    }
+    // Assemble each query's rows in request order and decide its cached
+    // flag: true iff none of its rows came from this batch's own
+    // forwards.
+    let out_dim = engine.out_dim();
+    let answers = batch
+        .iter()
+        .map(|item| {
+            let seeds = &item.entry.payload.seeds;
+            let mut logits = Matrix::zeros(seeds.len(), out_dim);
+            let mut cached = true;
+            for (i, &s) in seeds.iter().enumerate() {
+                let row: &[f32] = match &item.hits[i] {
+                    Some(row) => row,
+                    None => {
+                        if computed_here.contains(&s) {
+                            cached = false;
+                        }
+                        rows.get(&s).expect("every missing seed resolved")
+                    }
+                };
+                logits.row_mut(i).copy_from_slice(row);
+            }
+            (logits, cached)
+        })
+        .collect();
+    (answers, partial)
+}
+
 impl Drop for Server {
     fn drop(&mut self) {
         self.join_threads();
@@ -555,7 +1047,7 @@ impl Drop for Server {
 }
 
 /// A query submitted but not yet resolved: the receipt half of
-/// [`ServerHandle::submit`]. Lets open-loop clients fire queries on a
+/// [`ServerHandle::request`]. Lets open-loop clients fire queries on a
 /// schedule without blocking on each reply.
 #[derive(Debug)]
 pub struct PendingQuery {
@@ -586,6 +1078,12 @@ impl PendingQuery {
 }
 
 /// Cheap cloneable client endpoint of a [`Server`].
+///
+/// Two entry points: [`ServerHandle::query`] for the common blocking
+/// default-options case, and [`ServerHandle::request`] for everything
+/// else — it takes [`QueryOptions`] and returns a [`PendingQuery`]
+/// receipt, so callers choose per call whether to block
+/// ([`PendingQuery::wait`]) or fire-and-collect.
 #[derive(Clone)]
 pub struct ServerHandle {
     queue: Arc<AdmissionQueue<Request>>,
@@ -593,7 +1091,8 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Submits a seed-set query without waiting for the outcome.
+    /// Submits a seed-set query, returning a [`PendingQuery`] receipt
+    /// without waiting for the outcome.
     ///
     /// Admission happens synchronously: a rejected query resolves
     /// immediately (its [`PendingQuery::wait`] returns
@@ -604,13 +1103,32 @@ impl ServerHandle {
     /// while the ingress queue is full — that is the policy's
     /// backpressure.
     ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// # fn demo(handle: &maxk_serve::ServerHandle) -> Result<(), maxk_serve::ServeError> {
+    /// use maxk_serve::QueryOptions;
+    /// use std::time::Duration;
+    ///
+    /// let pending = handle.request(
+    ///     &[3, 14, 15],
+    ///     QueryOptions::new()
+    ///         .for_client(42)
+    ///         .with_deadline(Duration::from_millis(100)),
+    /// )?;
+    /// let response = pending.wait()?; // Answered, Rejected or Shed
+    /// # let _ = response;
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`ServeError::EmptyQuery`] / [`ServeError::SeedOutOfRange`] on bad
     /// input (validated before admission, so invalid queries never count
     /// against a client's budget); [`ServeError::ChannelClosed`] when the
     /// server has shut down.
-    pub fn submit(&self, seeds: &[u32], opts: QueryOptions) -> Result<PendingQuery, ServeError> {
+    pub fn request(&self, seeds: &[u32], opts: QueryOptions) -> Result<PendingQuery, ServeError> {
         check_seeds(seeds, self.num_nodes)?;
         let (reply_tx, reply_rx) = mpsc::channel();
         let request = Request {
@@ -630,27 +1148,41 @@ impl ServerHandle {
         }
     }
 
-    /// Submits a query with options and blocks until it resolves.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`ServerHandle::submit`].
-    pub fn query_with(
-        &self,
-        seeds: &[u32],
-        opts: QueryOptions,
-    ) -> Result<QueryResponse, ServeError> {
-        self.submit(seeds, opts)?.wait()
-    }
-
     /// Submits a seed-set query with default options (client 0, no
     /// per-query deadline) and blocks until it resolves.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`ServerHandle::submit`].
+    /// Same conditions as [`ServerHandle::request`].
     pub fn query(&self, seeds: &[u32]) -> Result<QueryResponse, ServeError> {
-        self.query_with(seeds, QueryOptions::default())
+        self.request(seeds, QueryOptions::new())?.wait()
+    }
+
+    /// Submits a seed-set query without waiting for the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServerHandle::request`].
+    #[deprecated(since = "0.1.0", note = "renamed to ServerHandle::request")]
+    pub fn submit(&self, seeds: &[u32], opts: QueryOptions) -> Result<PendingQuery, ServeError> {
+        self.request(seeds, opts)
+    }
+
+    /// Submits a query with options and blocks until it resolves.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServerHandle::request`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ServerHandle::request(seeds, opts)?.wait()"
+    )]
+    pub fn query_with(
+        &self,
+        seeds: &[u32],
+        opts: QueryOptions,
+    ) -> Result<QueryResponse, ServeError> {
+        self.request(seeds, opts)?.wait()
     }
 
     /// Nodes served (valid seeds are `0..num_nodes`).
@@ -694,46 +1226,44 @@ mod tests {
     fn serves_correct_logits() {
         let engine = engine();
         let expected = engine.forward_all();
-        let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+        let server = Server::builder().start(Arc::clone(&engine));
         let handle = server.handle();
         let resp = answer(handle.query(&[3, 59]));
         assert_eq!(resp.logits.shape(), (2, 3));
         assert_eq!(resp.logits.row(0), expected.row(3));
         assert_eq!(resp.logits.row(1), expected.row(59));
         assert!(resp.batch_size >= 1);
+        assert!(!resp.cached, "no cache configured");
+        assert_eq!(resp.generation, engine.generation());
+        assert_eq!(resp.graph_version, engine.graph_version());
         let stats = server.shutdown();
         assert_eq!(stats.queries, 1);
         assert_eq!(stats.batches, 1);
         assert_eq!(stats.submitted, 1);
         assert_eq!(stats.admitted, 1);
         assert_eq!(stats.rejected + stats.shed, 0);
+        assert_eq!(stats.cached_queries, 0);
+        assert!(stats.cache.is_none());
     }
 
     #[test]
     fn concurrent_queries_coalesce() {
         let engine = engine();
-        let server = Server::start(
-            engine,
-            ServeConfig {
-                batch_window: Duration::from_millis(20),
-                max_batch: 64,
-                workers: 1,
-                ..ServeConfig::default()
-            },
-        );
+        let server = Server::builder()
+            .batch_window(Duration::from_millis(20))
+            .max_batch(64)
+            .workers(1)
+            .start(engine);
         let handle = server.handle();
         let clients = 8;
         std::thread::scope(|s| {
             for c in 0..clients {
                 let h = handle.clone();
                 s.spawn(move || {
-                    let resp = answer(h.query_with(
-                        &[c as u32],
-                        QueryOptions {
-                            client: c as u64,
-                            deadline: None,
-                        },
-                    ));
+                    let resp = answer(
+                        h.request(&[c as u32], QueryOptions::new().for_client(c as u64))
+                            .and_then(PendingQuery::wait),
+                    );
                     assert_eq!(resp.logits.shape(), (1, 3));
                 });
             }
@@ -762,15 +1292,11 @@ mod tests {
     #[test]
     fn unbatched_config_serves_one_query_per_forward() {
         let engine = engine();
-        let server = Server::start(
-            engine,
-            ServeConfig {
-                batch_window: Duration::ZERO,
-                max_batch: 1,
-                workers: 1,
-                ..ServeConfig::default()
-            },
-        );
+        let server = Server::builder()
+            .batch_window(Duration::ZERO)
+            .max_batch(1)
+            .workers(1)
+            .start(engine);
         let handle = server.handle();
         for i in 0..5u32 {
             let resp = answer(handle.query(&[i]));
@@ -795,7 +1321,7 @@ mod tests {
             Arc::new(e)
         };
         // Always-partial heuristic: the response and counters must say so.
-        let server = Server::start(force(1.0, f64::INFINITY), ServeConfig::default());
+        let server = Server::builder().start(force(1.0, f64::INFINITY));
         let expected = {
             let h = server.handle();
             let resp = answer(h.query(&[7]));
@@ -805,7 +1331,7 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.partial_batches, 1);
         // Always-full heuristic: same logits bitwise, no partial batches.
-        let server = Server::start(force(0.0, 0.0), ServeConfig::default());
+        let server = Server::builder().start(force(0.0, 0.0));
         let resp = answer(server.handle().query(&[7]));
         assert!(!resp.partial);
         assert_eq!(resp.logits, expected);
@@ -838,7 +1364,11 @@ mod tests {
             },
         )
         .unwrap();
-        let server = Server::start(Arc::new(sharded), ServeConfig::default());
+        // Sharded and single engines share the snapshot's generation but
+        // have distinct graph operands (distinct versions).
+        assert_eq!(sharded.generation(), single.generation());
+        assert_ne!(BatchEngine::graph_version(&sharded), single.graph_version());
+        let server = Server::builder().start(Arc::new(sharded));
         let handle = server.handle();
         // A query spanning both shards (contiguous: low ids shard 0,
         // high ids shard 1) must return the unsharded rows.
@@ -857,7 +1387,7 @@ mod tests {
     #[test]
     fn single_engine_reports_one_shard_counter() {
         let engine = engine();
-        let server = Server::start(engine, ServeConfig::default());
+        let server = Server::builder().start(engine);
         let _ = answer(server.handle().query(&[1]));
         let stats = server.shutdown();
         assert_eq!(stats.shard_batches, vec![stats.batches]);
@@ -867,7 +1397,7 @@ mod tests {
     #[test]
     fn bad_queries_rejected_without_reaching_admission() {
         let engine = engine();
-        let server = Server::start(engine, ServeConfig::default());
+        let server = Server::builder().start(engine);
         let handle = server.handle();
         assert!(matches!(handle.query(&[]), Err(ServeError::EmptyQuery)));
         assert!(matches!(
@@ -884,7 +1414,7 @@ mod tests {
     #[test]
     fn query_after_shutdown_fails_cleanly() {
         let engine = engine();
-        let server = Server::start(engine, ServeConfig::default());
+        let server = Server::builder().start(engine);
         let handle = server.handle();
         let _ = server.shutdown();
         assert!(matches!(handle.query(&[0]), Err(ServeError::ChannelClosed)));
@@ -893,25 +1423,18 @@ mod tests {
     #[test]
     fn deadline_zero_sheds_instead_of_answering() {
         let engine = engine();
-        let server = Server::start(
-            engine,
-            ServeConfig {
-                admission: AdmissionConfig {
-                    policy: OverloadPolicy::DeadlineShed,
-                    ..AdmissionConfig::default()
-                },
-                ..ServeConfig::default()
-            },
-        );
+        let server = Server::builder()
+            .overload_policy(OverloadPolicy::DeadlineShed)
+            .start(engine);
         let resp = server
             .handle()
-            .query_with(
+            .request(
                 &[1],
-                QueryOptions {
-                    client: 9,
-                    deadline: Some(Duration::ZERO),
-                },
+                QueryOptions::new()
+                    .for_client(9)
+                    .with_deadline(Duration::ZERO),
             )
+            .and_then(PendingQuery::wait)
             .unwrap();
         assert!(
             matches!(resp, QueryResponse::Shed(ShedReason::DeadlineBlown)),
@@ -928,7 +1451,7 @@ mod tests {
     #[test]
     fn stats_books_balance_mid_flight() {
         let engine = engine();
-        let server = Server::start(engine, ServeConfig::default());
+        let server = Server::builder().start(engine);
         let handle = server.handle();
         for i in 0..7u32 {
             let _ = answer(handle.query(&[i]));
@@ -939,5 +1462,118 @@ mod tests {
             stats.queries + stats.rejected + stats.shed + stats.queue_depth
         );
         let _ = server.shutdown();
+    }
+
+    #[test]
+    fn repeated_seed_served_from_cache_bitwise() {
+        let engine = engine();
+        let expected = engine.forward_all();
+        let server = Server::builder()
+            .cache_capacity(128)
+            .start(Arc::clone(&engine));
+        let handle = server.handle();
+        let first = answer(handle.query(&[9, 3]));
+        assert!(!first.cached, "first touch computes");
+        // Every repeat is fully hot: answered inline, no new batch.
+        for _ in 0..3 {
+            let again = answer(handle.query(&[9, 3]));
+            assert!(again.cached);
+            assert!(!again.partial);
+            assert_eq!(again.batch_size, 1);
+            assert_eq!(again.logits, first.logits);
+            assert_eq!(again.generation, first.generation);
+            assert_eq!(again.graph_version, first.graph_version);
+        }
+        assert_eq!(first.logits.row(0), expected.row(9));
+        assert_eq!(first.logits.row(1), expected.row(3));
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 4);
+        assert_eq!(stats.cached_queries, 3);
+        assert_eq!(
+            stats.batches, 1,
+            "a fully-hot query never reaches the engine"
+        );
+        let cache = stats.cache.expect("cache enabled");
+        // 2 seeds missed on first touch; 3 x 2 instances hit after.
+        assert_eq!(cache.misses, 2);
+        assert_eq!(cache.hits, 6);
+        assert_eq!(cache.coalesced, 0);
+        assert_eq!(cache.resident_rows, 2);
+    }
+
+    #[test]
+    fn partial_hit_shrinks_the_union_and_mixes_rows() {
+        let engine = engine();
+        let expected = engine.forward_all();
+        let server = Server::builder()
+            .cache_capacity(128)
+            .start(Arc::clone(&engine));
+        let handle = server.handle();
+        let _ = answer(handle.query(&[5]));
+        // Seed 5 is resident; 11 is not. The answer mixes a cached row
+        // with a fresh one, so `cached` is false but both rows are exact.
+        let mixed = answer(handle.query(&[5, 11]));
+        assert!(!mixed.cached);
+        assert_eq!(mixed.logits.row(0), expected.row(5));
+        assert_eq!(mixed.logits.row(1), expected.row(11));
+        let stats = server.shutdown();
+        let cache = stats.cache.expect("cache enabled");
+        assert_eq!(cache.misses, 2, "seed 5 once, seed 11 once");
+        assert_eq!(cache.hits, 1, "seed 5's repeat");
+        // Identity: every answered seed instance is counted once.
+        assert_eq!(cache.hits + cache.misses + cache.coalesced, 3);
+    }
+
+    #[test]
+    fn cache_counters_account_every_admitted_query() {
+        let engine = engine();
+        let server = Server::builder()
+            .cache_capacity(64)
+            .batch_window(Duration::from_millis(5))
+            .workers(2)
+            .start(engine);
+        let handle = server.handle();
+        // Concurrent Zipf-ish repetition: lots of duplicate seeds across
+        // overlapping batches.
+        std::thread::scope(|s| {
+            for c in 0..6u64 {
+                let h = handle.clone();
+                s.spawn(move || {
+                    for i in 0..30u32 {
+                        let seed = (i * (c as u32 + 1)) % 7;
+                        let _ = answer(
+                            h.request(&[seed], QueryOptions::new().for_client(c))
+                                .and_then(PendingQuery::wait),
+                        );
+                    }
+                });
+            }
+        });
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 180);
+        let cache = stats.cache.expect("cache enabled");
+        // Exact per-instance account: one seed per query here, so
+        // hits + misses + coalesced == answered queries.
+        assert_eq!(
+            cache.hits + cache.misses + cache.coalesced,
+            stats.queries,
+            "cache books must account every answered seed instance"
+        );
+        assert_eq!(cache.misses, 7, "seven distinct seeds computed once each");
+        assert!(stats.cached_queries > 0);
+    }
+
+    #[test]
+    fn deprecated_entry_points_still_serve() {
+        #![allow(deprecated)]
+        let engine = engine();
+        let server = Server::start(engine, ServeConfig::default());
+        let handle = server.handle();
+        let resp = answer(handle.query_with(&[2], QueryOptions::new()));
+        assert_eq!(resp.logits.shape(), (1, 3));
+        let pending = handle.submit(&[4], QueryOptions::new()).unwrap();
+        assert!(pending.wait().unwrap().is_answered());
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 2);
     }
 }

@@ -12,8 +12,8 @@ use maxk_gnn::graph::shard::ShardStrategy;
 use maxk_gnn::nn::snapshot::ModelSnapshot;
 use maxk_gnn::nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
 use maxk_gnn::serve::{
-    replay, AdmissionConfig, InferenceEngine, LoadConfig, OverloadPolicy, QueryOptions,
-    QueryResponse, ServeConfig, Server, ShardConfig, ShardedEngine,
+    replay, InferenceEngine, LoadConfig, OverloadPolicy, QueryOptions, QueryResponse, Server,
+    ShardConfig, ShardedEngine,
 };
 use maxk_gnn::tensor::Matrix;
 use rand::SeedableRng;
@@ -84,16 +84,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3c. Start the micro-batching server; each batch plans full vs.
-    //     partial over its seed union automatically.
-    let server = Server::start(
-        Arc::clone(&engine),
-        ServeConfig {
-            batch_window: Duration::from_millis(2),
-            max_batch: 32,
-            workers: 2,
-            ..ServeConfig::default()
-        },
-    );
+    //     partial over its seed union automatically. The seed-level
+    //     logit cache makes repeats of hot Zipf seeds free: a fully-hot
+    //     query is answered inline without reaching the engine.
+    let server = Server::builder()
+        .batch_window(Duration::from_millis(2))
+        .max_batch(32)
+        .workers(2)
+        .cache_capacity(4096)
+        .start(Arc::clone(&engine));
 
     // 4. A single seed-set query... (`query` resolves to a QueryResponse:
     //    Answered under the default Block admission policy; Rejected/Shed
@@ -135,6 +134,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.latency.p50_us,
         report.latency.p99_us
     );
+    if let Some(cache) = stats.cache {
+        println!(
+            "logit cache on Zipf(1.1): {} hits / {} misses / {} coalesced \
+             ({:.0}% hit rate), {} of {} queries answered without forward work",
+            cache.hits,
+            cache.misses,
+            cache.coalesced,
+            cache.hit_rate() * 100.0,
+            stats.cached_queries,
+            stats.queries
+        );
+    }
 
     // 6. Sharded serving: split the graph into 2 halo-augmented shards,
     //    one engine per shard behind a scatter/gather router — same
@@ -162,7 +173,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sharded_logits, full,
         "sharded serving must be bitwise exact"
     );
-    let server = Server::start(Arc::new(sharded), ServeConfig::default());
+    let server = Server::builder().start(Arc::new(sharded));
     let resp = server
         .handle()
         .query(&seeds)?
@@ -181,22 +192,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    callers see QueryResponse::Rejected instead of waiting on an
     //    unbounded queue (see `serve_bench --offered ...` and
     //    BENCH_admission.json for the full open-loop overload sweep).
-    let server = Server::start(
-        Arc::clone(&engine),
-        ServeConfig {
-            batch_window: Duration::ZERO,
-            max_batch: 1,
-            workers: 1,
-            admission: AdmissionConfig {
-                capacity: 1,
-                policy: OverloadPolicy::RejectNewest,
-                ..AdmissionConfig::default()
-            },
-        },
-    );
+    let server = Server::builder()
+        .batch_window(Duration::ZERO)
+        .max_batch(1)
+        .workers(1)
+        .admission_capacity(1)
+        .overload_policy(OverloadPolicy::RejectNewest)
+        .start(Arc::clone(&engine));
     let handle = server.handle();
     let pendings: Vec<_> = (0..64u32)
-        .map(|i| handle.submit(&[i % 3], QueryOptions::default()))
+        .map(|i| handle.request(&[i % 3], QueryOptions::new()))
         .collect::<Result<_, _>>()?;
     let (mut answered, mut rejected, mut shed) = (0u64, 0u64, 0u64);
     for pending in pendings {

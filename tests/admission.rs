@@ -16,7 +16,7 @@ use maxk_gnn::nn::{Activation, Arch, GnnModel, ModelConfig};
 use maxk_gnn::serve::admission::{AdmissionQueue, Submission};
 use maxk_gnn::serve::{
     AdmissionConfig, FairnessConfig, InferenceEngine, OverloadPolicy, QueryOptions, QueryResponse,
-    ServeConfig, Server, ShardConfig, ShardedEngine,
+    Server, ShardConfig, ShardedEngine,
 };
 use maxk_gnn::tensor::Matrix;
 use proptest::prelude::*;
@@ -52,20 +52,13 @@ fn engine() -> Arc<InferenceEngine> {
 #[test]
 fn accounting_is_exact_under_reject_newest_contention() {
     let engine = engine();
-    let server = Server::start(
-        engine,
-        ServeConfig {
-            batch_window: Duration::from_millis(1),
-            max_batch: 4,
-            workers: 1,
-            admission: AdmissionConfig {
-                capacity: 2,
-                policy: OverloadPolicy::RejectNewest,
-                fairness: None,
-                default_deadline: None,
-            },
-        },
-    );
+    let server = Server::builder()
+        .batch_window(Duration::from_millis(1))
+        .max_batch(4)
+        .workers(1)
+        .admission_capacity(2)
+        .overload_policy(OverloadPolicy::RejectNewest)
+        .start(engine);
     let handle = server.handle();
     let clients = 6usize;
     let per_client = 40usize;
@@ -74,13 +67,13 @@ fn accounting_is_exact_under_reject_newest_contention() {
         for c in 0..clients {
             let h = handle.clone();
             joins.push(s.spawn(move || {
-                let opts = QueryOptions {
-                    client: c as u64,
-                    deadline: None,
-                };
+                let opts = QueryOptions::new().for_client(c as u64);
                 let (mut a, mut r, mut sh) = (0u64, 0u64, 0u64);
                 for i in 0..per_client {
-                    match h.query_with(&[((c * per_client + i) % NODES) as u32], opts) {
+                    match h
+                        .request(&[((c * per_client + i) % NODES) as u32], opts)
+                        .and_then(|p| p.wait())
+                    {
                         Ok(QueryResponse::Answered(_)) => a += 1,
                         Ok(QueryResponse::Rejected(_)) => r += 1,
                         Ok(QueryResponse::Shed(_)) => sh += 1,
@@ -130,20 +123,14 @@ fn accounting_is_exact_under_reject_newest_contention() {
 #[test]
 fn blown_deadlines_never_cost_forwards() {
     let engine = engine();
-    let server = Server::start(
-        engine,
-        ServeConfig {
-            batch_window: Duration::from_millis(1),
-            max_batch: 8,
-            workers: 1,
-            admission: AdmissionConfig {
-                capacity: 16,
-                policy: OverloadPolicy::DeadlineShed,
-                fairness: None,
-                default_deadline: Some(Duration::ZERO),
-            },
-        },
-    );
+    let server = Server::builder()
+        .batch_window(Duration::from_millis(1))
+        .max_batch(8)
+        .workers(1)
+        .admission_capacity(16)
+        .overload_policy(OverloadPolicy::DeadlineShed)
+        .default_deadline(Duration::ZERO)
+        .start(engine);
     let handle = server.handle();
     for i in 0..20u32 {
         match handle.query(&[i % NODES as u32]) {
@@ -163,31 +150,22 @@ fn blown_deadlines_never_cost_forwards() {
 #[test]
 fn token_bucket_caps_a_flooding_client() {
     let engine = engine();
-    let server = Server::start(
-        engine,
-        ServeConfig {
-            batch_window: Duration::ZERO,
-            max_batch: 1,
-            workers: 1,
-            admission: AdmissionConfig {
-                capacity: 64,
-                policy: OverloadPolicy::RejectNewest,
-                fairness: Some(FairnessConfig {
-                    rate_per_s: 0.0,
-                    burst: 3.0,
-                }),
-                default_deadline: None,
-            },
-        },
-    );
+    let server = Server::builder()
+        .batch_window(Duration::ZERO)
+        .max_batch(1)
+        .workers(1)
+        .admission_capacity(64)
+        .overload_policy(OverloadPolicy::RejectNewest)
+        .fairness(FairnessConfig {
+            rate_per_s: 0.0,
+            burst: 3.0,
+        })
+        .start(engine);
     let handle = server.handle();
-    let opts = QueryOptions {
-        client: 42,
-        deadline: None,
-    };
+    let opts = QueryOptions::new().for_client(42);
     let mut admitted = 0u64;
     for i in 0..10u32 {
-        match handle.query_with(&[i], opts).unwrap() {
+        match handle.request(&[i], opts).and_then(|p| p.wait()).unwrap() {
             QueryResponse::Answered(_) => admitted += 1,
             QueryResponse::Rejected(_) => {}
             QueryResponse::Shed(_) => panic!("nothing should be shed here"),
@@ -220,20 +198,16 @@ fn admitted_queries_identical_across_single_and_sharded_paths() {
         )
         .unwrap(),
     );
-    let serve_cfg = ServeConfig {
-        batch_window: Duration::from_millis(1),
-        max_batch: 8,
-        workers: 2,
-        admission: AdmissionConfig {
-            capacity: 4,
-            policy: OverloadPolicy::DropOldest,
-            fairness: Some(FairnessConfig {
-                rate_per_s: 1e6,
-                burst: 8.0,
-            }),
-            default_deadline: None,
-        },
-    };
+    let builder = Server::builder()
+        .batch_window(Duration::from_millis(1))
+        .max_batch(8)
+        .workers(2)
+        .admission_capacity(4)
+        .overload_policy(OverloadPolicy::DropOldest)
+        .fairness(FairnessConfig {
+            rate_per_s: 1e6,
+            burst: 8.0,
+        });
     let queries: Vec<Vec<u32>> = (0..30)
         .map(|i| vec![(i * 7 % NODES) as u32, (i * 13 % NODES) as u32])
         .collect();
@@ -241,11 +215,8 @@ fn admitted_queries_identical_across_single_and_sharded_paths() {
         let handle = server.handle();
         let mut answered = 0u64;
         for (i, seeds) in queries.iter().enumerate() {
-            let opts = QueryOptions {
-                client: (i % 3) as u64,
-                deadline: None,
-            };
-            match handle.query_with(seeds, opts).unwrap() {
+            let opts = QueryOptions::new().for_client((i % 3) as u64);
+            match handle.request(seeds, opts).and_then(|p| p.wait()).unwrap() {
                 QueryResponse::Answered(a) => {
                     answered += 1;
                     for (r, &seed) in seeds.iter().enumerate() {
@@ -262,8 +233,8 @@ fn admitted_queries_identical_across_single_and_sharded_paths() {
         let stats = server.shutdown();
         (answered, stats.queries)
     };
-    let (single_answered, single_served) = run(Server::start(single, serve_cfg));
-    let (sharded_answered, sharded_served) = run(Server::start(sharded, serve_cfg));
+    let (single_answered, single_served) = run(builder.start(single));
+    let (sharded_answered, sharded_served) = run(builder.start(sharded));
     assert_eq!(single_answered, single_served);
     assert_eq!(sharded_answered, sharded_served);
     assert!(single_answered > 0 && sharded_answered > 0);

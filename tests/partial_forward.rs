@@ -8,7 +8,7 @@ use maxk_gnn::graph::datasets::{Scale, TrainingDataset};
 use maxk_gnn::graph::Frontier;
 use maxk_gnn::nn::snapshot::ModelSnapshot;
 use maxk_gnn::nn::{Activation, Arch, ForwardPlan, GnnModel, ModelConfig, PlanConfig};
-use maxk_gnn::serve::{InferenceEngine, ServeConfig, Server};
+use maxk_gnn::serve::{InferenceEngine, Server};
 use maxk_gnn::tensor::Matrix;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -67,7 +67,7 @@ fn server_partial_batches_serve_exact_logits() {
             work_ratio: f64::INFINITY,
         });
     let expected = engine.forward_all();
-    let server = Server::start(Arc::new(engine), ServeConfig::default());
+    let server = Server::builder().start(Arc::new(engine));
     let handle = server.handle();
     let resp = handle
         .query(&[11, 0, 95])

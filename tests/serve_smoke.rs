@@ -8,7 +8,7 @@ use maxk_bench::report::JsonObject;
 use maxk_gnn::graph::datasets::{Scale, TrainingDataset};
 use maxk_gnn::nn::snapshot::ModelSnapshot;
 use maxk_gnn::nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
-use maxk_gnn::serve::{replay, InferenceEngine, LoadConfig, ServeConfig, Server};
+use maxk_gnn::serve::{replay, InferenceEngine, LoadConfig, Server};
 use maxk_gnn::tensor::Matrix;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -70,15 +70,11 @@ fn train_snapshot_serve_round_trip_beats_unbatched_baseline() {
         zipf_exponent: 1.1,
         seed: 7,
     };
-    let batched_server = Server::start(
-        Arc::clone(&engine),
-        ServeConfig {
-            batch_window: Duration::from_millis(2),
-            max_batch: 32,
-            workers: 1,
-            ..ServeConfig::default()
-        },
-    );
+    let batched_server = Server::builder()
+        .batch_window(Duration::from_millis(2))
+        .max_batch(32)
+        .workers(1)
+        .start(Arc::clone(&engine));
     let batched = replay(&batched_server.handle(), &load).expect("batched replay");
     let batched_stats = batched_server.shutdown();
     assert!(batched.queries >= 1000, "served {}", batched.queries);
@@ -91,15 +87,11 @@ fn train_snapshot_serve_round_trip_beats_unbatched_baseline() {
 
     // --- One-query-per-forward baseline (fewer queries; throughput is
     //     per-second, so the comparison stays fair) ---
-    let unbatched_server = Server::start(
-        Arc::clone(&engine),
-        ServeConfig {
-            batch_window: Duration::ZERO,
-            max_batch: 1,
-            workers: 1,
-            ..ServeConfig::default()
-        },
-    );
+    let unbatched_server = Server::builder()
+        .batch_window(Duration::ZERO)
+        .max_batch(1)
+        .workers(1)
+        .start(Arc::clone(&engine));
     let unbatched = replay(
         &unbatched_server.handle(),
         &LoadConfig {

@@ -9,7 +9,7 @@ use maxk_gnn::graph::datasets::{Scale, TrainingDataset};
 use maxk_gnn::graph::shard::ShardStrategy;
 use maxk_gnn::nn::snapshot::ModelSnapshot;
 use maxk_gnn::nn::{Activation, Arch, GnnModel, ModelConfig};
-use maxk_gnn::serve::{InferenceEngine, ServeConfig, Server, ShardConfig, ShardedEngine};
+use maxk_gnn::serve::{InferenceEngine, Server, ShardConfig, ShardedEngine};
 use maxk_gnn::tensor::Matrix;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -97,7 +97,7 @@ fn sharded_server_round_trip_matches_single_engine() {
     let single = InferenceEngine::from_snapshot(&snap, &graph, x.clone()).unwrap();
     let expected = single.forward_all();
     let engine = Arc::new(sharded(&snap, &graph, &x, 2, ShardStrategy::DegreeBalanced));
-    let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+    let server = Server::builder().start(Arc::clone(&engine));
     let handle = server.handle();
     // Concurrent clients with overlapping, cross-shard seed sets.
     std::thread::scope(|s| {
