@@ -30,6 +30,18 @@
 //! single engine and recording replay throughput plus the peak per-shard
 //! resident edge/feature footprint, into `BENCH_shard.json`.
 //!
+//! After the cache sweep it measures **telemetry overhead**
+//! (`BENCH_telemetry.json`): the same closed-loop Zipf replay at trace
+//! sampling 0% (metrics only), 1% and 100%, against a
+//! telemetry-disabled baseline (best-of-`--telemetry-reps` throughput
+//! per mode to damp scheduler noise), plus the per-stage
+//! queue-wait/batch-wait/service breakdown and the per-layer kernel
+//! timing totals from the instrumented runs. `--trace-out FILE` writes
+//! the 100%-sampled run's Chrome `trace_event` JSON; `--telemetry-assert`
+//! turns the overhead bounds (≤5% at full sampling, ≤2% at 1%) into
+//! hard failures for CI; `--skip-telemetry` skips the sweep and
+//! `--telemetry-off` disables telemetry everywhere else too.
+//!
 //! Finally it sweeps **offered load vs. admission policy**
 //! (`--offered` multipliers of the measured full-batch saturation
 //! capacity × `--admission-policies`) with the open-loop Poisson
@@ -56,9 +68,9 @@ use maxk_nn::plan::{full_cost, partial_cost};
 use maxk_nn::snapshot::ModelSnapshot;
 use maxk_nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
 use maxk_serve::{
-    open_loop, replay, AdmissionConfig, BatchEngine, FairnessConfig, InferenceEngine, LoadConfig,
-    LoadReport, OpenLoopConfig, OverloadPolicy, ServeConfig, Server, ShardConfig, ShardedEngine,
-    StatsSnapshot,
+    open_loop, replay, AdmissionConfig, BatchEngine, FairnessConfig, InferenceEngine,
+    LatencySummary, LoadConfig, LoadReport, OpenLoopConfig, OverloadPolicy, ServeConfig, Server,
+    ShardConfig, ShardedEngine, StatsSnapshot, TelemetryConfig,
 };
 use maxk_tensor::Matrix;
 use rand::{Rng, SeedableRng};
@@ -459,6 +471,85 @@ fn assert_cache_bounds(points: &[CachePoint]) {
     }
 }
 
+/// One instrumented replay for the telemetry sweep: the load report,
+/// final stats, per-layer kernel counter rows, the summed
+/// kernel-vs-forward wall time, and (optionally) the Chrome trace.
+struct TelemetrySample {
+    report: LoadReport,
+    stats: StatsSnapshot,
+    kernels: Vec<JsonObject>,
+    kernel_us: u64,
+    forward_us: u64,
+    trace: Option<String>,
+}
+
+/// Replays `load_cfg` once under `serve_cfg` and drains the telemetry
+/// hub (registry counters, optional Chrome trace) before shutdown.
+fn telemetry_mode_run(
+    engine: &Arc<InferenceEngine>,
+    serve_cfg: ServeConfig,
+    load_cfg: &LoadConfig,
+    capture_trace: bool,
+) -> TelemetrySample {
+    let server = Server::builder()
+        .config(serve_cfg)
+        .start(Arc::clone(engine));
+    let report = replay(&server.handle(), load_cfg).expect("replay against a live server");
+    let mut kernels = Vec::new();
+    let mut kernel_us = 0u64;
+    let mut forward_us = 0u64;
+    let mut trace = None;
+    if let Some(tel) = server.telemetry() {
+        let reg = tel.registry().snapshot();
+        for s in &reg.counters {
+            let label = |k: &str| {
+                s.labels
+                    .iter()
+                    .find(|(n, _)| *n == k)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default()
+            };
+            match s.name {
+                "maxk_serve_kernel_time_us_total" => {
+                    kernel_us += s.value;
+                    kernels.push(
+                        JsonObject::new()
+                            .field("path", label("path"))
+                            .field("layer", label("layer"))
+                            .field("kernel", label("kernel"))
+                            .field("time_us", s.value),
+                    );
+                }
+                "maxk_serve_forward_time_us_total" => forward_us += s.value,
+                _ => {}
+            }
+        }
+        if capture_trace {
+            trace = Some(tel.chrome_trace());
+        }
+    }
+    let stats = server.shutdown();
+    TelemetrySample {
+        report,
+        stats,
+        kernels,
+        kernel_us,
+        forward_us,
+        trace,
+    }
+}
+
+/// One stage summary as JSON (count plus the latency quantiles).
+fn summary_json(s: &LatencySummary) -> JsonObject {
+    JsonObject::new()
+        .field("count", s.count)
+        .field("mean_us", s.mean_us)
+        .field("p50_us", s.p50_us)
+        .field("p95_us", s.p95_us)
+        .field("p99_us", s.p99_us)
+        .field("max_us", s.max_us)
+}
+
 /// Distinct uniform-random seed ids.
 fn sample_seeds(n: usize, count: usize, rng: &mut rand::rngs::StdRng) -> Vec<u32> {
     let mut seeds = Vec::with_capacity(count);
@@ -700,6 +791,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| s.parse().expect("numeric --cache-zipf entry"))
         .collect();
     let cache_out = args.get_str("cache-out", "BENCH_cache.json");
+    let skip_telemetry = args.flag("skip-telemetry");
+    let telemetry_off = args.flag("telemetry-off");
+    let telemetry_assert = args.flag("telemetry-assert");
+    let telemetry_reps = args.get("telemetry-reps", 3usize).max(1);
+    let telemetry_out = args.get_str("telemetry-out", "BENCH_telemetry.json");
+    let trace_out = args.get_str("trace-out", "");
     let partial_reps = args.get("partial-reps", 5usize);
     let partial_out = args.get_str("partial-out", "BENCH_partial.json");
     let partial_sizes: Vec<usize> = args
@@ -737,6 +834,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fair_rate = args.get("fair-rate", 0.0f64);
     let fair_burst = args.get("fair-burst", 8.0f64);
     let admission_out = args.get_str("admission-out", "BENCH_admission.json");
+
+    // Telemetry default for every server this binary starts:
+    // `--telemetry-off` strips even the always-on metrics (the sweep in
+    // section 5c still builds its own per-mode configs explicitly).
+    let serve_base = ServeConfig {
+        telemetry: if telemetry_off {
+            TelemetryConfig::off()
+        } else {
+            TelemetryConfig::default()
+        },
+        ..ServeConfig::default()
+    };
 
     // 1. Train.
     let data = TrainingDataset::Flickr.generate(scale, 42)?;
@@ -813,7 +922,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             batch_window: Duration::from_micros(window_us),
             max_batch,
             workers,
-            ..ServeConfig::default()
+            ..serve_base
         },
         &batched_load,
     );
@@ -832,7 +941,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             batch_window: Duration::ZERO,
             max_batch: 1,
             workers,
-            ..ServeConfig::default()
+            ..serve_base
         },
         &unbatched_load,
     );
@@ -903,7 +1012,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 batch_window: Duration::from_micros(window_us),
                 max_batch,
                 workers,
-                ..ServeConfig::default()
+                ..serve_base
             },
             cache_capacity,
             &cache_zipfs,
@@ -940,6 +1049,199 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         save_json(&cache_out, &cjson)?;
         println!("wrote {cache_out}");
+    }
+
+    // 5c. Telemetry overhead sweep: the same closed-loop replay with the
+    //     observability stack disabled, metrics-only, and trace-sampled
+    //     at 1% and 100%. Best-of-reps throughput per mode damps
+    //     scheduler noise; the instrumented runs also contribute the
+    //     per-stage breakdown and per-layer kernel timing totals.
+    if skip_telemetry {
+        println!("telemetry sweep skipped (--skip-telemetry)");
+    } else {
+        let modes: [(&str, TelemetryConfig); 4] = [
+            ("off", TelemetryConfig::off()),
+            (
+                "metrics_only",
+                TelemetryConfig {
+                    sampling: 0.0,
+                    ..TelemetryConfig::default()
+                },
+            ),
+            (
+                "sampled_1pct",
+                TelemetryConfig {
+                    sampling: 0.01,
+                    ..TelemetryConfig::default()
+                },
+            ),
+            (
+                "sampled_100pct",
+                TelemetryConfig {
+                    sampling: 1.0,
+                    ..TelemetryConfig::default()
+                },
+            ),
+        ];
+        println!(
+            "telemetry sweep: {} modes x {telemetry_reps} reps of the batched replay",
+            modes.len()
+        );
+        let mut ttable = Table::new(vec![
+            "mode",
+            "sampling",
+            "q/s (best)",
+            "overhead",
+            "p50",
+            "p99",
+        ]);
+        let mut best_runs: Vec<(&str, f64, Vec<f64>, TelemetrySample)> = Vec::new();
+        let mut trace_json: Option<String> = None;
+        for (label, tcfg) in modes {
+            let mut runs = Vec::new();
+            let mut best: Option<TelemetrySample> = None;
+            for rep in 0..telemetry_reps {
+                let capture =
+                    tcfg.enabled && tcfg.sampling >= 1.0 && rep == 0 && !trace_out.is_empty();
+                let sample = telemetry_mode_run(
+                    &engine,
+                    ServeConfig {
+                        batch_window: Duration::from_micros(window_us),
+                        max_batch,
+                        workers,
+                        telemetry: tcfg,
+                        ..serve_base
+                    },
+                    &batched_load,
+                    capture,
+                );
+                runs.push(sample.report.throughput_qps);
+                if let Some(t) = &sample.trace {
+                    trace_json = Some(t.clone());
+                }
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| sample.report.throughput_qps > b.report.throughput_qps);
+                if better {
+                    best = Some(sample);
+                }
+            }
+            let best = best.expect("at least one rep per mode");
+            best_runs.push((label, tcfg.sampling, runs, best));
+        }
+        let baseline_qps = best_runs[0].3.report.throughput_qps;
+        let mut tpoints = Vec::new();
+        for (label, sampling, runs, sample) in &best_runs {
+            let qps = sample.report.throughput_qps;
+            let overhead_pct = (1.0 - qps / baseline_qps) * 100.0;
+            ttable.row(vec![
+                label.to_string(),
+                format!("{:.0}%", sampling * 100.0),
+                format!("{qps:.1}"),
+                if *label == "off" {
+                    "baseline".to_string()
+                } else {
+                    format!("{overhead_pct:+.1}%")
+                },
+                format!("{:.0}us", sample.report.latency.p50_us),
+                format!("{:.0}us", sample.report.latency.p99_us),
+            ]);
+            let mut point = JsonObject::new()
+                .field("mode", *label)
+                .field("sampling", *sampling)
+                .field("throughput_qps", qps)
+                .field(
+                    "throughput_runs",
+                    JsonValue::Array(runs.iter().map(|&q| JsonValue::from(q)).collect()),
+                )
+                .field("overhead_pct", overhead_pct)
+                .field("p50_us", sample.report.latency.p50_us)
+                .field("p99_us", sample.report.latency.p99_us)
+                .field("mean_batch", sample.stats.mean_batch)
+                .field("kernel_time_us", sample.kernel_us)
+                .field("forward_time_us", sample.forward_us);
+            if let Some(stages) = &sample.stats.stages {
+                point = point.field(
+                    "stages",
+                    JsonObject::new()
+                        .field("queue_wait", summary_json(&stages.queue_wait))
+                        .field("batch_wait", summary_json(&stages.batch_wait))
+                        .field("service", summary_json(&stages.service))
+                        .field("e2e", summary_json(&stages.e2e)),
+                );
+            }
+            if !sample.kernels.is_empty() {
+                point = point.field(
+                    "kernels",
+                    JsonValue::Array(
+                        sample
+                            .kernels
+                            .iter()
+                            .cloned()
+                            .map(JsonValue::Object)
+                            .collect(),
+                    ),
+                );
+            }
+            tpoints.push(point);
+        }
+        ttable.print();
+        if telemetry_assert {
+            for (label, _, _, sample) in &best_runs {
+                let overhead = (1.0 - sample.report.throughput_qps / baseline_qps) * 100.0;
+                let bound = match *label {
+                    "sampled_100pct" => 5.0,
+                    "metrics_only" | "sampled_1pct" => 2.0,
+                    _ => continue,
+                };
+                assert!(
+                    overhead <= bound,
+                    "telemetry mode {label} costs {overhead:.1}% throughput \
+                     (bound {bound}%, baseline {baseline_qps:.1} q/s)"
+                );
+            }
+            println!("telemetry assertions passed: <=2% overhead metrics-only/1%, <=5% at 100%");
+        }
+        if !trace_out.is_empty() {
+            let trace = trace_json
+                .as_ref()
+                .expect("the 100%-sampled mode captures a trace");
+            std::fs::write(&trace_out, trace)?;
+            println!("wrote {trace_out} ({} bytes)", trace.len());
+        }
+        let instrumented = &best_runs[1].3;
+        let tjson = JsonObject::new()
+            .field("bench", "telemetry")
+            .field("dataset", "Flickr")
+            .field("scale", scale_name.as_str())
+            .field("nodes", data.csr.num_nodes())
+            .field("edges", data.csr.num_edges())
+            .field("arch", "SAGE")
+            .field("k", k)
+            .field("hidden_dim", hidden)
+            .field("clients", clients)
+            .field("queries_per_client", queries.div_ceil(clients))
+            .field("seeds_per_query", seeds_per_query)
+            .field("window_us", window_us)
+            .field("max_batch", max_batch)
+            .field("workers", workers)
+            .field("zipf_exponent", zipf)
+            .field("reps", telemetry_reps)
+            .field("baseline_qps", baseline_qps)
+            .field(
+                "kernel_lap_coverage",
+                if instrumented.forward_us > 0 {
+                    instrumented.kernel_us as f64 / instrumented.forward_us as f64
+                } else {
+                    0.0
+                },
+            )
+            .field(
+                "points",
+                JsonValue::Array(tpoints.into_iter().map(JsonValue::Object).collect()),
+            );
+        save_json(&telemetry_out, &tjson)?;
+        println!("wrote {telemetry_out}");
     }
 
     // 6. Full-vs-partial forward sweep across seed-set sizes.
@@ -1046,7 +1348,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             batch_window: Duration::from_micros(window_us),
             max_batch,
             workers,
-            ..ServeConfig::default()
+            ..serve_base
         },
         &batched_load,
     );
@@ -1142,7 +1444,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             batch_window: Duration::from_micros(window_us),
             max_batch,
             workers,
-            ..ServeConfig::default()
+            ..serve_base
         },
         capacity_qps,
         &admission_policies,

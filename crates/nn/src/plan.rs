@@ -22,6 +22,91 @@ use maxk_core::maxk::maxk_forward;
 use maxk_core::subset::{spmm_rows, sspmm_rows};
 use maxk_graph::{Csr, Frontier, GraphError, NodeSet};
 use maxk_tensor::{ops, Matrix};
+use std::time::{Duration, Instant};
+
+/// The kernel classes a forward pass spends its time in, for per-layer
+/// timing ([`ForwardTimer`]). MaxK-GNN's own analysis starts from exactly
+/// this breakdown: which fraction of a layer goes to the dense linear
+/// transform vs. the sparse aggregation, and whether the aggregation runs
+/// the dense-operand SpMM or the CBSR SSpMM path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelKind {
+    /// Dense linear transform (`matmul` + bias, SAGE self path, GIN
+    /// scale-and-add).
+    DenseLinear,
+    /// Row-wise SpMM aggregation over a dense operand (ReLU / linear
+    /// activations).
+    SpMM,
+    /// SSpMM / SpGEMM aggregation over the sparse CBSR operand (MaxK
+    /// activations).
+    SSpMM,
+    /// MaxK selection (CBSR construction) and its backward-style scatter.
+    MaxK,
+    /// Row gathers/scatters that remap between full-graph and
+    /// frontier-compact indexing on the partial path.
+    Gather,
+}
+
+impl KernelKind {
+    /// Stable lowercase label (metric label values, JSON keys).
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelKind::DenseLinear => "dense_linear",
+            KernelKind::SpMM => "spmm",
+            KernelKind::SSpMM => "sspmm",
+            KernelKind::MaxK => "maxk",
+            KernelKind::Gather => "gather",
+        }
+    }
+}
+
+/// Wall-clock accumulator for one forward pass: every timed kernel call
+/// appends a `(layer, kernel, elapsed)` lap. The laps cover essentially
+/// all of a layer's work, so their sum tracks the forward's wall time
+/// closely (the telemetry acceptance check holds it within 10%).
+#[derive(Debug, Clone, Default)]
+pub struct ForwardTimer {
+    laps: Vec<(usize, KernelKind, Duration)>,
+}
+
+impl ForwardTimer {
+    /// An empty timer.
+    pub fn new() -> Self {
+        ForwardTimer::default()
+    }
+
+    /// Runs `f`, recording its wall time as a lap of `kernel` in `layer`.
+    pub fn lap<R>(&mut self, layer: usize, kernel: KernelKind, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.laps.push((layer, kernel, start.elapsed()));
+        out
+    }
+
+    /// Every recorded lap, in execution order.
+    pub fn laps(&self) -> &[(usize, KernelKind, Duration)] {
+        &self.laps
+    }
+
+    /// Sum of all lap durations.
+    pub fn total(&self) -> Duration {
+        self.laps.iter().map(|&(_, _, d)| d).sum()
+    }
+}
+
+/// Runs `f`, timing it as a `(layer, kernel)` lap when a timer slot is
+/// present (the `Option<(&mut ForwardTimer, layer)>` shape both the full
+/// and partial layer paths thread down their call trees).
+pub fn timed_lap<R>(
+    slot: &mut Option<(&mut ForwardTimer, usize)>,
+    kernel: KernelKind,
+    f: impl FnOnce() -> R,
+) -> R {
+    match slot {
+        Some((timer, layer)) => timer.lap(*layer, kernel, f),
+        None => f(),
+    }
+}
 
 /// Cost-heuristic knobs for [`ForwardPlan::choose`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -268,6 +353,26 @@ pub fn partial_forward(
     frontier: &Frontier,
     features: &Matrix,
 ) -> Matrix {
+    partial_forward_timed(adj, arch, layers, frontier, features, None)
+}
+
+/// [`partial_forward`] with optional per-layer kernel timing: when
+/// `timer` is present, every kernel call is recorded as a
+/// `(layer, `[`KernelKind`]`)` lap. The computation is identical either
+/// way (the timer only wraps calls in wall-clock reads).
+///
+/// # Panics
+///
+/// Same conditions as [`partial_forward`].
+#[must_use]
+pub fn partial_forward_timed(
+    adj: &Csr,
+    arch: Arch,
+    layers: &[PlanLayer<'_>],
+    frontier: &Frontier,
+    features: &Matrix,
+    mut timer: Option<&mut ForwardTimer>,
+) -> Matrix {
     assert_eq!(
         frontier.hops(),
         layers.len(),
@@ -279,14 +384,20 @@ pub fn partial_forward(
         "feature rows must match graph nodes"
     );
     let hops = layers.len();
-    let mut x = gather_rows_at(
-        features,
-        frontier.inputs().ids().iter().map(|&id| id as usize),
-    );
+    let mut x = {
+        let mut slot0 = timer.as_deref_mut().map(|t| (t, 0usize));
+        timed_lap(&mut slot0, KernelKind::Gather, || {
+            gather_rows_at(
+                features,
+                frontier.inputs().ids().iter().map(|&id| id as usize),
+            )
+        })
+    };
     for (l, layer) in layers.iter().enumerate() {
         let in_set = frontier.level(hops - l);
         let out_set = frontier.level(hops - l - 1);
-        x = partial_layer(adj, arch, layer, &x, out_set, in_set);
+        let slot = timer.as_deref_mut().map(|t| (t, l));
+        x = partial_layer(adj, arch, layer, &x, out_set, in_set, slot);
     }
     x
 }
@@ -300,31 +411,47 @@ fn partial_layer(
     x: &Matrix,
     out_set: &NodeSet,
     in_set: &NodeSet,
+    mut timer: Option<(&mut ForwardTimer, usize)>,
 ) -> Matrix {
     // Linear transform at every input node (each feeds some output row).
-    let mut z = ops::matmul(x, layer.neigh_weight);
-    ops::add_bias(&mut z, layer.neigh_bias);
+    let z = timed_lap(&mut timer, KernelKind::DenseLinear, || {
+        let mut z = ops::matmul(x, layer.neigh_weight);
+        ops::add_bias(&mut z, layer.neigh_bias);
+        z
+    });
 
     let out_positions = positions_in(out_set, in_set);
     let mut pattern = None;
     let mut y = match layer.activation {
         Some(Activation::MaxK(k)) => {
-            let hs = maxk_forward(&z, k).expect("k validated at model construction");
-            let y = sspmm_rows(adj, &hs, out_set, in_set);
+            let hs = timed_lap(&mut timer, KernelKind::MaxK, || {
+                maxk_forward(&z, k).expect("k validated at model construction")
+            });
+            let y = timed_lap(&mut timer, KernelKind::SSpMM, || {
+                sspmm_rows(adj, &hs, out_set, in_set)
+            });
             pattern = Some(hs);
             y
         }
-        Some(Activation::Relu) => spmm_rows(adj, &ops::relu(&z), out_set, in_set),
-        None => spmm_rows(adj, &z, out_set, in_set),
+        Some(Activation::Relu) => timed_lap(&mut timer, KernelKind::SpMM, || {
+            spmm_rows(adj, &ops::relu(&z), out_set, in_set)
+        }),
+        None => timed_lap(&mut timer, KernelKind::SpMM, || {
+            spmm_rows(adj, &z, out_set, in_set)
+        }),
     };
 
     match arch {
         Arch::Sage => {
             let (w, b) = layer.self_path.expect("SAGE has a self linear");
-            let x_out = gather_rows_at(x, out_positions.iter().copied());
-            let mut self_y = ops::matmul(&x_out, w);
-            ops::add_bias(&mut self_y, b);
-            ops::add_assign(&mut y, &self_y);
+            let x_out = timed_lap(&mut timer, KernelKind::Gather, || {
+                gather_rows_at(x, out_positions.iter().copied())
+            });
+            timed_lap(&mut timer, KernelKind::DenseLinear, || {
+                let mut self_y = ops::matmul(&x_out, w);
+                ops::add_bias(&mut self_y, b);
+                ops::add_assign(&mut y, &self_y);
+            });
         }
         Arch::Gin => {
             let scale = 1.0 + layer.eps;
@@ -332,26 +459,32 @@ fn partial_layer(
                 (Some(Activation::MaxK(_)), Some(hs)) => {
                     // Row-subset maxk_backward: scatter the out rows'
                     // pattern densely, then scale+add like the full path.
-                    let k = hs.k();
-                    let mut d = Matrix::zeros(out_set.len(), hs.dim_origin());
-                    for (r, &c) in out_positions.iter().enumerate() {
-                        let row = d.row_mut(r);
-                        for t in 0..k {
-                            row[hs.index_at(c, t)] = hs.row_data(c)[t];
+                    timed_lap(&mut timer, KernelKind::MaxK, || {
+                        let k = hs.k();
+                        let mut d = Matrix::zeros(out_set.len(), hs.dim_origin());
+                        for (r, &c) in out_positions.iter().enumerate() {
+                            let row = d.row_mut(r);
+                            for t in 0..k {
+                                row[hs.index_at(c, t)] = hs.row_data(c)[t];
+                            }
                         }
-                    }
-                    ops::scale_assign(&mut d, scale);
-                    ops::add_assign(&mut y, &d);
+                        ops::scale_assign(&mut d, scale);
+                        ops::add_assign(&mut y, &d);
+                    });
                 }
                 (Some(Activation::Relu), _) => {
-                    let mut h = ops::relu(&gather_rows_at(&z, out_positions.iter().copied()));
-                    ops::scale_assign(&mut h, scale);
-                    ops::add_assign(&mut y, &h);
+                    timed_lap(&mut timer, KernelKind::DenseLinear, || {
+                        let mut h = ops::relu(&gather_rows_at(&z, out_positions.iter().copied()));
+                        ops::scale_assign(&mut h, scale);
+                        ops::add_assign(&mut y, &h);
+                    });
                 }
                 _ => {
-                    let mut zz = gather_rows_at(&z, out_positions.iter().copied());
-                    ops::scale_assign(&mut zz, scale);
-                    ops::add_assign(&mut y, &zz);
+                    timed_lap(&mut timer, KernelKind::DenseLinear, || {
+                        let mut zz = gather_rows_at(&z, out_positions.iter().copied());
+                        ops::scale_assign(&mut zz, scale);
+                        ops::add_assign(&mut y, &zz);
+                    });
                 }
             }
         }

@@ -14,15 +14,20 @@
 //! [`InferenceEngine::with_context`] let several engines (e.g. different
 //! snapshot generations of the same model) share one copy.
 
+use crate::telemetry::Telemetry;
 use crate::ServeError;
 use maxk_core::maxk::{maxk_backward, maxk_forward};
 use maxk_core::spgemm::spgemm_forward;
 use maxk_core::spmm::spmm_rowwise;
 use maxk_graph::{Csr, Frontier, NodeSet};
-use maxk_nn::plan::{partial_forward, ForwardPlan, LayerCost, PlanConfig, PlanLayer};
+use maxk_nn::plan::{
+    partial_forward_timed, timed_lap, ForwardPlan, ForwardTimer, KernelKind, LayerCost, PlanConfig,
+    PlanLayer,
+};
 use maxk_nn::snapshot::ModelSnapshot;
 use maxk_nn::{Activation, Arch, GraphContext, GraphVersion, SnapshotGeneration};
 use maxk_tensor::{ops, Matrix};
+use std::time::Instant;
 
 /// One inference layer: immutable weights plus the layer activation.
 #[derive(Debug, Clone)]
@@ -37,47 +42,71 @@ struct InferLayer {
 impl InferLayer {
     /// Eval-mode forward, mirroring `Conv::forward` with `train = false`
     /// (same kernels in the same order, so logits are bit-identical to the
-    /// training model's eval pass).
-    fn forward(&self, ctx: &GraphContext, arch: Arch, x: &Matrix) -> Matrix {
-        let mut z = ops::matmul(x, &self.neigh_weight);
-        ops::add_bias(&mut z, &self.neigh_bias);
+    /// training model's eval pass). When `timer` is set, each kernel call
+    /// is timed as a [`KernelKind`] lap against the carried layer index.
+    fn forward(
+        &self,
+        ctx: &GraphContext,
+        arch: Arch,
+        x: &Matrix,
+        mut timer: Option<(&mut ForwardTimer, usize)>,
+    ) -> Matrix {
+        let z = timed_lap(&mut timer, KernelKind::DenseLinear, || {
+            let mut z = ops::matmul(x, &self.neigh_weight);
+            ops::add_bias(&mut z, &self.neigh_bias);
+            z
+        });
 
         let mut pattern = None;
         let mut y = match self.activation {
             Some(Activation::MaxK(k)) => {
-                let hs = maxk_forward(&z, k).expect("k validated at engine construction");
-                let y = spgemm_forward(&ctx.adj, &hs, &ctx.part);
+                let hs = timed_lap(&mut timer, KernelKind::MaxK, || {
+                    maxk_forward(&z, k).expect("k validated at engine construction")
+                });
+                let y = timed_lap(&mut timer, KernelKind::SSpMM, || {
+                    spgemm_forward(&ctx.adj, &hs, &ctx.part)
+                });
                 pattern = Some(hs);
                 y
             }
-            Some(Activation::Relu) => spmm_rowwise(&ctx.adj, &ops::relu(&z)),
-            None => spmm_rowwise(&ctx.adj, &z),
+            Some(Activation::Relu) => timed_lap(&mut timer, KernelKind::SpMM, || {
+                spmm_rowwise(&ctx.adj, &ops::relu(&z))
+            }),
+            None => timed_lap(&mut timer, KernelKind::SpMM, || spmm_rowwise(&ctx.adj, &z)),
         };
 
         match arch {
             Arch::Sage => {
                 let (w, b) = self.self_path.as_ref().expect("SAGE has a self linear");
-                let mut self_y = ops::matmul(x, w);
-                ops::add_bias(&mut self_y, b);
-                ops::add_assign(&mut y, &self_y);
+                timed_lap(&mut timer, KernelKind::DenseLinear, || {
+                    let mut self_y = ops::matmul(x, w);
+                    ops::add_bias(&mut self_y, b);
+                    ops::add_assign(&mut y, &self_y);
+                });
             }
             Arch::Gin => {
                 let scale = 1.0 + self.eps;
                 match (&self.activation, &pattern) {
                     (Some(Activation::MaxK(_)), Some(hs)) => {
-                        let mut d = maxk_backward(hs);
-                        ops::scale_assign(&mut d, scale);
-                        ops::add_assign(&mut y, &d);
+                        timed_lap(&mut timer, KernelKind::MaxK, || {
+                            let mut d = maxk_backward(hs);
+                            ops::scale_assign(&mut d, scale);
+                            ops::add_assign(&mut y, &d);
+                        });
                     }
                     (Some(Activation::Relu), _) => {
-                        let mut h = ops::relu(&z);
-                        ops::scale_assign(&mut h, scale);
-                        ops::add_assign(&mut y, &h);
+                        timed_lap(&mut timer, KernelKind::DenseLinear, || {
+                            let mut h = ops::relu(&z);
+                            ops::scale_assign(&mut h, scale);
+                            ops::add_assign(&mut y, &h);
+                        });
                     }
                     _ => {
-                        let mut zz = z.clone();
-                        ops::scale_assign(&mut zz, scale);
-                        ops::add_assign(&mut y, &zz);
+                        timed_lap(&mut timer, KernelKind::DenseLinear, || {
+                            let mut zz = z.clone();
+                            ops::scale_assign(&mut zz, scale);
+                            ops::add_assign(&mut y, &zz);
+                        });
                     }
                 }
             }
@@ -351,11 +380,21 @@ impl InferenceEngine {
     /// amortizes a mandatory recomputation.
     #[must_use]
     pub fn forward_all(&self) -> Matrix {
+        self.forward_all_timed(None)
+    }
+
+    /// [`InferenceEngine::forward_all`] with optional per-layer kernel
+    /// timing: every kernel call lands as a `(layer, kernel, duration)`
+    /// lap in `timer`.
+    #[must_use]
+    pub fn forward_all_timed(&self, mut timer: Option<&mut ForwardTimer>) -> Matrix {
         // check_consistency guarantees >= 2 layers, so the first-layer
         // borrow avoids cloning the full feature matrix per forward.
-        let mut h = self.layers[0].forward(&self.ctx, self.arch, &self.features);
-        for layer in &self.layers[1..] {
-            h = layer.forward(&self.ctx, self.arch, &h);
+        let slot = timer.as_deref_mut().map(|t| (t, 0));
+        let mut h = self.layers[0].forward(&self.ctx, self.arch, &self.features, slot);
+        for (l, layer) in self.layers.iter().enumerate().skip(1) {
+            let slot = timer.as_deref_mut().map(|t| (t, l));
+            h = layer.forward(&self.ctx, self.arch, &h, slot);
         }
         h
     }
@@ -386,13 +425,24 @@ impl InferenceEngine {
     /// bitwise-identical rows for every seed the plan covers.
     #[must_use]
     pub fn forward_planned(&self, plan: &ForwardPlan) -> BatchLogits {
+        self.forward_planned_timed(plan, None)
+    }
+
+    /// [`InferenceEngine::forward_planned`] with optional per-layer kernel
+    /// timing (laps land in `timer` whichever path the plan takes).
+    #[must_use]
+    pub fn forward_planned_timed(
+        &self,
+        plan: &ForwardPlan,
+        timer: Option<&mut ForwardTimer>,
+    ) -> BatchLogits {
         match plan {
             ForwardPlan::Full => BatchLogits {
-                logits: self.forward_all(),
+                logits: self.forward_all_timed(timer),
                 seeds: None,
             },
             ForwardPlan::Partial(frontier) => BatchLogits {
-                logits: self.forward_partial(frontier),
+                logits: self.forward_partial_timed(frontier, timer),
                 seeds: Some(frontier.seeds().clone()),
             },
         }
@@ -407,6 +457,18 @@ impl InferenceEngine {
     /// Panics when the frontier depth does not match the model.
     #[must_use]
     pub fn forward_partial(&self, frontier: &Frontier) -> Matrix {
+        self.forward_partial_timed(frontier, None)
+    }
+
+    /// [`InferenceEngine::forward_partial`] with optional per-layer kernel
+    /// timing over the subset kernels (SSpMM/SpMM-on-rows laps instead of
+    /// the full-graph ones).
+    #[must_use]
+    pub fn forward_partial_timed(
+        &self,
+        frontier: &Frontier,
+        timer: Option<&mut ForwardTimer>,
+    ) -> Matrix {
         let layers: Vec<PlanLayer<'_>> = self
             .layers
             .iter()
@@ -418,7 +480,14 @@ impl InferenceEngine {
                 self_path: l.self_path.as_ref().map(|(w, b)| (w, b.as_slice())),
             })
             .collect();
-        partial_forward(&self.ctx.adj, self.arch, &layers, frontier, &self.features)
+        partial_forward_timed(
+            &self.ctx.adj,
+            self.arch,
+            &layers,
+            frontier,
+            &self.features,
+            timer,
+        )
     }
 
     /// Convenience single-query path: plans the forward with the cost
@@ -519,6 +588,22 @@ pub trait BatchEngine: Send + Sync {
     /// returned logits must gather bitwise-identical rows to a full-graph
     /// forward for every seed in it.
     fn forward_union(&self, union: &[u32]) -> BatchOutcome;
+
+    /// [`BatchEngine::forward_union`] with telemetry: when `obs` carries
+    /// the server's [`Telemetry`] hub and the batch id, the engine
+    /// records plan time, forward wall time and (when
+    /// [`crate::TelemetryConfig::kernel_timing`] is on) per-layer kernel
+    /// laps into the hub's registry, plus batch-level spans when span
+    /// recording is enabled. The default implementation ignores `obs` —
+    /// results are identical either way.
+    fn forward_union_observed(
+        &self,
+        union: &[u32],
+        obs: Option<(&Telemetry, u64)>,
+    ) -> BatchOutcome {
+        let _ = obs;
+        self.forward_union(union)
+    }
 }
 
 impl BatchEngine for InferenceEngine {
@@ -549,6 +634,43 @@ impl BatchEngine for InferenceEngine {
         let partial = plan.is_partial();
         BatchOutcome {
             logits: self.forward_planned(&plan),
+            shards: vec![(0, partial)],
+        }
+    }
+
+    fn forward_union_observed(
+        &self,
+        union: &[u32],
+        obs: Option<(&Telemetry, u64)>,
+    ) -> BatchOutcome {
+        let Some((tel, batch_id)) = obs else {
+            return self.forward_union(union);
+        };
+        let plan_start = Instant::now();
+        let plan = self.plan_for(union).unwrap_or(ForwardPlan::Full);
+        let plan_dur = plan_start.elapsed();
+        tel.record_plan(plan_dur);
+        if tel.spans_enabled() {
+            tel.push_span("plan", batch_id, plan_start, plan_dur, union.len() as u64);
+        }
+        let partial = plan.is_partial();
+        let path = if partial { "partial" } else { "full" };
+        let fwd_start = Instant::now();
+        let logits = if tel.config().kernel_timing {
+            let mut timer = ForwardTimer::new();
+            let out = self.forward_planned_timed(&plan, Some(&mut timer));
+            tel.record_kernel_laps(path, timer.laps());
+            out
+        } else {
+            self.forward_planned(&plan)
+        };
+        let fwd_dur = fwd_start.elapsed();
+        tel.record_forward(path, fwd_dur);
+        if tel.spans_enabled() {
+            tel.push_span("forward", batch_id, fwd_start, fwd_dur, union.len() as u64);
+        }
+        BatchOutcome {
+            logits,
             shards: vec![(0, partial)],
         }
     }

@@ -98,6 +98,7 @@ pub mod loadgen;
 pub mod metrics;
 pub mod router;
 pub mod server;
+pub mod telemetry;
 
 pub use admission::{AdmissionConfig, FairnessConfig, OverloadPolicy, RejectReason, ShedReason};
 pub use cache::{CacheConfig, CacheKey, CacheSnapshot, LogitCache};
@@ -113,7 +114,11 @@ pub use metrics::{ClientStats, EvictedClientStats, LatencyHistogram, LatencySumm
 pub use router::{ShardConfig, ShardInfo, ShardedEngine};
 pub use server::{
     PendingQuery, QueryAnswer, QueryOptions, QueryResponse, ServeConfig, Server, ServerBuilder,
-    ServerHandle, StatsSnapshot,
+    ServerHandle, StatsSnapshot, StatsSource,
+};
+pub use telemetry::{
+    MetricsExporter, Registry, SpanRecord, Stage, StageBreakdown, Telemetry, TelemetryConfig,
+    TraceContext, TraceRing,
 };
 
 use std::error::Error;

@@ -10,10 +10,20 @@
 //! observations), and the result is always finite.
 
 /// Fixed-size log₂-bucketed latency histogram (microseconds).
+///
+/// Bucket 0 spans `[0, 1]` µs and true-zero observations keep exact
+/// semantics: a separate zero count lets [`LatencyHistogram::quantile`]
+/// return exactly 0 for ranks covered by zero observations and exactly 1
+/// for the bucket's 1µs observations (an earlier version silently
+/// bucketed 0µs as 1µs while `sum_us`/`max_us` saw 0, so the mean and
+/// the quantiles disagreed about whether zeros existed).
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     counts: [u64; 64],
     count: u64,
+    /// Of `counts[0]`, how many observations were exactly 0µs (bucket 0
+    /// holds both 0 and 1).
+    zeros: u64,
     sum_us: u64,
     max_us: u64,
 }
@@ -30,15 +40,21 @@ impl LatencyHistogram {
         LatencyHistogram {
             counts: [0; 64],
             count: 0,
+            zeros: 0,
             sum_us: 0,
             max_us: 0,
         }
     }
 
-    /// Records one latency observation in microseconds.
+    /// Records one latency observation in microseconds. A 0µs observation
+    /// lands in bucket 0 with true zero semantics (tracked separately from
+    /// the bucket's 1µs observations), consistent with `sum`/`max`.
     pub fn record(&mut self, us: u64) {
         let bucket = 63 - us.max(1).leading_zeros() as usize;
         self.counts[bucket] += 1;
+        if us == 0 {
+            self.zeros += 1;
+        }
         self.count += 1;
         self.sum_us = self.sum_us.saturating_add(us);
         self.max_us = self.max_us.max(us);
@@ -47,6 +63,24 @@ impl LatencyHistogram {
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Of [`LatencyHistogram::count`], how many observations were exactly
+    /// 0µs.
+    pub fn zero_count(&self) -> u64 {
+        self.zeros
+    }
+
+    /// Sum of every recorded observation, microseconds (saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// The raw per-bucket counts: bucket 0 spans `[0, 1]` µs, bucket
+    /// `b > 0` spans `[2^b, 2^(b+1) - 1]` µs. The Prometheus exporter
+    /// renders these as cumulative `le` buckets.
+    pub fn bucket_counts(&self) -> &[u64; 64] {
+        &self.counts
     }
 
     /// Mean latency in microseconds (0 when empty).
@@ -86,12 +120,16 @@ impl LatencyHistogram {
             let below = seen;
             seen += c;
             if seen >= target {
-                // Bucket b spans [2^b, 2^(b+1) - 1] us (bucket 0: [0, 1]).
-                let lower = if bucket == 0 {
-                    0.0
-                } else {
-                    (1u64 << bucket) as f64
-                };
+                // Bucket 0 holds only the exact values 0 and 1, and the
+                // zero count is tracked: the answer is exact, not
+                // interpolated.
+                if bucket == 0 {
+                    let rank = target - below;
+                    let v: f64 = if rank <= self.zeros { 0.0 } else { 1.0 };
+                    return v.min(self.max_us as f64);
+                }
+                // Bucket b spans [2^b, 2^(b+1) - 1] us.
+                let lower = (1u64 << bucket) as f64;
                 let upper = if bucket >= 63 {
                     u64::MAX as f64
                 } else {
@@ -126,6 +164,7 @@ impl LatencyHistogram {
             *a += b;
         }
         self.count += other.count;
+        self.zeros += other.zeros;
         self.sum_us = self.sum_us.saturating_add(other.sum_us);
         self.max_us = self.max_us.max(other.max_us);
     }
@@ -268,7 +307,45 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record(0);
         assert_eq!(h.count(), 1);
-        assert_eq!(h.p50(), 0.0); // interpolated 1us, clamped to max 0
+        assert_eq!(h.zero_count(), 1);
+        assert_eq!(h.sum_us(), 0);
+        assert_eq!(h.p50(), 0.0);
+    }
+
+    #[test]
+    fn zero_and_one_microsecond_quantiles_are_exact() {
+        // Regression: 0µs used to be bucketed as 1µs (us.max(1)) while
+        // sum/max saw 0, so a bucket-0 quantile could read 1µs for a
+        // distribution that was mostly zeros. With the explicit zero
+        // count, ranks covered by zeros read exactly 0 and the bucket's
+        // true 1µs observations read exactly 1.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..9 {
+            h.record(0);
+        }
+        h.record(1);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.zero_count(), 9);
+        assert_eq!(h.sum_us(), 1);
+        assert_eq!(h.max_us(), 1);
+        assert_eq!(h.p50(), 0.0, "median of nine zeros and one 1µs is 0");
+        assert_eq!(h.quantile(0.90), 0.0, "rank 9 of 10 is still a zero");
+        assert_eq!(h.quantile(1.0), 1.0, "the top observation is exactly 1µs");
+        assert!((h.mean_us() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_carries_zero_count() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(0);
+        b.record(0);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.zero_count(), 2);
+        assert_eq!(a.quantile(2.0 / 3.0), 0.0);
+        assert_eq!(a.quantile(1.0), 1.0);
     }
 
     #[test]

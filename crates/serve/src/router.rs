@@ -22,14 +22,16 @@
 
 use crate::cache::LogitCache;
 use crate::engine::{check_seeds, BatchEngine, BatchLogits, BatchOutcome, InferenceEngine};
+use crate::telemetry::Telemetry;
 use crate::ServeError;
 use maxk_graph::shard::{ShardStrategy, Sharding};
 use maxk_graph::{Csr, NodeSet, WarpPartition};
-use maxk_nn::plan::{ForwardPlan, PlanConfig};
+use maxk_nn::plan::{ForwardPlan, ForwardTimer, PlanConfig};
 use maxk_nn::snapshot::ModelSnapshot;
 use maxk_nn::{GraphContext, GraphVersion, SnapshotGeneration};
 use maxk_tensor::Matrix;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How [`ShardedEngine::from_snapshot`] partitions the graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -292,7 +294,11 @@ impl ShardedEngine {
     }
 
     /// The scatter/gather core over owner shards, ignoring the cache.
-    fn scatter_gather(&self, union: &[u32]) -> BatchOutcome {
+    /// When `obs` carries the telemetry hub and batch id, each
+    /// participating shard records its plan/forward/kernel times (and a
+    /// `shard_forward` span) from its own thread — [`Telemetry`] is
+    /// `Sync`, so the fan-out needs no extra coordination.
+    fn scatter_gather(&self, union: &[u32], obs: Option<(&Telemetry, u64)>) -> BatchOutcome {
         let set = NodeSet::from_unsorted(union, self.num_nodes)
             .expect("server validates seeds before batching");
         // Scatter: per shard, the local seed ids plus each seed's row
@@ -316,9 +322,31 @@ impl ShardedEngine {
         let run_shard = |s: usize| {
             let seeds = &local_seeds[s];
             let engine = &self.slots[s].engine;
+            let plan_start = Instant::now();
             let plan = engine.plan_for(seeds).unwrap_or(ForwardPlan::Full);
+            let plan_dur = plan_start.elapsed();
             let partial = plan.is_partial();
-            (engine.forward_planned(&plan).gather(seeds), partial)
+            let Some((tel, batch_id)) = obs else {
+                return (engine.forward_planned(&plan).gather(seeds), partial);
+            };
+            tel.record_plan(plan_dur);
+            let path = if partial { "partial" } else { "full" };
+            let fwd_start = Instant::now();
+            let out = if tel.config().kernel_timing {
+                let mut timer = ForwardTimer::new();
+                let out = engine.forward_planned_timed(&plan, Some(&mut timer));
+                tel.record_kernel_laps(path, timer.laps());
+                out
+            } else {
+                engine.forward_planned(&plan)
+            };
+            let fwd_dur = fwd_start.elapsed();
+            tel.record_forward(path, fwd_dur);
+            tel.record_shard_forward(s, fwd_dur, partial);
+            if tel.spans_enabled() {
+                tel.push_span("shard_forward", batch_id, fwd_start, fwd_dur, s as u64);
+            }
+            (out.gather(seeds), partial)
         };
         let participating = local_seeds.iter().filter(|s| !s.is_empty()).count();
         let mut results: Vec<Option<(Matrix, bool)>> = vec![None; self.slots.len()];
@@ -380,8 +408,25 @@ impl BatchEngine for ShardedEngine {
     }
 
     fn forward_union(&self, union: &[u32]) -> BatchOutcome {
+        self.forward_union_impl(union, None)
+    }
+
+    fn forward_union_observed(
+        &self,
+        union: &[u32],
+        obs: Option<(&Telemetry, u64)>,
+    ) -> BatchOutcome {
+        self.forward_union_impl(union, obs)
+    }
+}
+
+impl ShardedEngine {
+    /// Shared body of the two [`BatchEngine`] forward entry points:
+    /// probe the router cache (when attached), scatter the misses,
+    /// fill and merge.
+    fn forward_union_impl(&self, union: &[u32], obs: Option<(&Telemetry, u64)>) -> BatchOutcome {
         let Some(cache) = &self.cache else {
-            return self.scatter_gather(union);
+            return self.scatter_gather(union, obs);
         };
         // Probe before scatter: resident seeds never reach a shard.
         let mut missing: Vec<u32> = Vec::new();
@@ -406,7 +451,7 @@ impl BatchEngine for ShardedEngine {
                 shards: Vec::new(),
             };
         }
-        let computed = self.scatter_gather(&missing);
+        let computed = self.scatter_gather(&missing, obs);
         // Fill after gather: `missing` preserves the union's sorted order,
         // matching the compact row order of the gathered logits.
         cache.fill_rows(

@@ -74,10 +74,14 @@ use crate::admission::{
 use crate::cache::{CacheConfig, CacheSnapshot, LogitCache};
 use crate::engine::{check_seeds, BatchEngine};
 use crate::metrics::{ClientStats, EvictedClientStats, LatencyHistogram, LatencySummary};
+use crate::telemetry::export::{self, HistSample, MetricsExporter, Sample, ScrapeSource};
+use crate::telemetry::{serve_scrape, Stage, StageBreakdown, Telemetry, TelemetryConfig};
 use crate::ServeError;
 use maxk_nn::{GraphVersion, SnapshotGeneration};
 use maxk_tensor::Matrix;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io;
+use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -105,6 +109,11 @@ pub struct ServeConfig {
     /// Seed-level logit cache; `None` (the default) disables caching and
     /// serves every batch through the engine.
     pub cache: Option<CacheConfig>,
+    /// Observability: stage histograms, kernel counters, trace sampling.
+    /// Enabled by default with tracing off (the always-on metrics cost a
+    /// few atomics per batch); [`TelemetryConfig::off`] removes even
+    /// that.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServeConfig {
@@ -115,6 +124,7 @@ impl Default for ServeConfig {
             workers: 2,
             admission: AdmissionConfig::default(),
             cache: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -241,6 +251,10 @@ impl QueryResponse {
 struct Request {
     seeds: Vec<u32>,
     reply: mpsc::Sender<Result<QueryResponse, ServeError>>,
+    /// Sampled-query trace, carried through the pipeline and folded into
+    /// spans at reply time (`None` for unsampled queries — the common
+    /// case, which never touches the trace ring).
+    trace: Option<Box<crate::telemetry::TraceContext>>,
 }
 
 /// One batched query plus its per-seed cache probe results (aligned with
@@ -249,6 +263,9 @@ struct Request {
 /// and a fully-hot query never occupies a batch slot.
 struct BatchItem {
     entry: Entry<Request>,
+    /// When the batcher popped this query — the instant splitting
+    /// queue-wait from batch-wait in the stage histograms.
+    dequeued: Instant,
     hits: Vec<Option<Arc<[f32]>>>,
 }
 
@@ -376,6 +393,12 @@ pub struct StatsSnapshot {
     pub throughput_qps: f64,
     /// Server-side latency distribution (enqueue → reply).
     pub latency: LatencySummary,
+    /// Per-stage wait/service split of the same answered queries
+    /// (queue-wait vs batch-wait vs service), when telemetry is enabled.
+    /// Each stage histogram's count equals `queries`, and per query the
+    /// three stage durations sum to its end-to-end latency up to
+    /// microsecond truncation.
+    pub stages: Option<StageBreakdown>,
 }
 
 /// Builder for a [`Server`]: one place for every serving knob — batching,
@@ -512,6 +535,22 @@ impl ServerBuilder {
         self.cache(CacheConfig { capacity: rows })
     }
 
+    /// Replaces the whole telemetry configuration (use
+    /// [`TelemetryConfig::off`] for the zero-overhead baseline).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.cfg.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the fraction of queries that carry a full stage trace
+    /// (spans in the trace ring; see [`TelemetryConfig::sampling`]).
+    #[must_use]
+    pub fn trace_sampling(mut self, rate: f64) -> Self {
+        self.cfg.telemetry.sampling = rate;
+        self
+    }
+
     /// The assembled configuration (inspectable before starting).
     pub fn build_config(&self) -> ServeConfig {
         self.cfg
@@ -569,6 +608,7 @@ pub struct Server {
     counters: Arc<Counters>,
     hist: Arc<Mutex<LatencyHistogram>>,
     cache: Option<Arc<LogitCache>>,
+    telemetry: Option<Arc<Telemetry>>,
     started: Instant,
     num_nodes: usize,
 }
@@ -581,15 +621,6 @@ impl Server {
         }
     }
 
-    /// Starts the batcher and worker threads over `engine`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Server::builder()…start(engine), which also exposes the admission and cache knobs"
-    )]
-    pub fn start<E: BatchEngine + 'static>(engine: Arc<E>, cfg: ServeConfig) -> Server {
-        Server::spawn(engine, cfg)
-    }
-
     fn spawn<E: BatchEngine + 'static>(engine: Arc<E>, cfg: ServeConfig) -> Server {
         let num_nodes = engine.num_nodes();
         let out_dim = engine.out_dim();
@@ -599,6 +630,10 @@ impl Server {
         let hist = Arc::new(Mutex::new(LatencyHistogram::new()));
         let queue = Arc::new(AdmissionQueue::<Request>::new(cfg.admission));
         let cache = cfg.cache.map(|c| Arc::new(LogitCache::new(c)));
+        let telemetry = cfg
+            .telemetry
+            .enabled
+            .then(|| Arc::new(Telemetry::new(cfg.telemetry)));
         // The batch channel is bounded (one ready batch beyond what the
         // workers hold): otherwise the batcher would eagerly drain the
         // bounded admission queue into an unbounded backlog here, and
@@ -614,6 +649,7 @@ impl Server {
         let batcher_counters = Arc::clone(&counters);
         let batcher_hist = Arc::clone(&hist);
         let batcher_cache = cache.clone();
+        let batcher_tel = telemetry.clone();
         let batcher = std::thread::spawn(move || {
             // Probes a popped entry against the cache. A fully-hot entry
             // is answered inline — batch size 1, no forward, never
@@ -622,10 +658,18 @@ impl Server {
             // hit is counted by the cache, which is sound because popped
             // entries are always answered (shedding happens inside
             // `pop`, before the probe).
-            let prepare = |entry: Entry<Request>| -> Option<BatchItem> {
+            let prepare = |mut entry: Entry<Request>| -> Option<BatchItem> {
+                let dequeued = Instant::now();
+                if let Some(trace) = entry.payload.trace.as_mut() {
+                    trace.mark_at(Stage::Dequeue, dequeued);
+                }
                 let Some(cache) = &batcher_cache else {
+                    if let Some(trace) = entry.payload.trace.as_mut() {
+                        trace.mark(Stage::BatchAssembled);
+                    }
                     return Some(BatchItem {
                         entry,
+                        dequeued,
                         hits: Vec::new(),
                     });
                 };
@@ -635,8 +679,18 @@ impl Server {
                     .iter()
                     .map(|&s| cache.probe(generation, graph_version, s))
                     .collect();
+                if let Some(trace) = entry.payload.trace.as_mut() {
+                    trace.mark(Stage::CacheProbe);
+                }
                 if hits.iter().any(|h| h.is_none()) {
-                    return Some(BatchItem { entry, hits });
+                    if let Some(trace) = entry.payload.trace.as_mut() {
+                        trace.mark(Stage::BatchAssembled);
+                    }
+                    return Some(BatchItem {
+                        entry,
+                        dequeued,
+                        hits,
+                    });
                 }
                 let now = Instant::now();
                 let latency = now.saturating_duration_since(entry.enqueued);
@@ -661,6 +715,23 @@ impl Server {
                 let us = duration_us(latency);
                 batcher_hist.lock().expect("histogram poisoned").record(us);
                 ingress.record_answered([(entry.client, us)]);
+                if let Some(tel) = &batcher_tel {
+                    // Inline answer: no batch, so batch-wait is zero and
+                    // service is the cache-row assembly since the pop.
+                    // All four durations derive from the same instants,
+                    // keeping queue + batch + service == e2e (up to µs
+                    // truncation).
+                    tel.record_stages(
+                        duration_us(dequeued.saturating_duration_since(entry.enqueued)),
+                        0,
+                        duration_us(now.saturating_duration_since(dequeued)),
+                        us,
+                    );
+                    if let Some(mut trace) = entry.payload.trace.take() {
+                        trace.mark_at(Stage::Reply, now);
+                        tel.finish_trace(&trace);
+                    }
+                }
                 let _ = entry
                     .payload
                     .reply
@@ -743,6 +814,7 @@ impl Server {
             let hist = Arc::clone(&hist);
             let queue = Arc::clone(&queue);
             let cache = cache.clone();
+            let telemetry = telemetry.clone();
             workers.push(std::thread::spawn(move || {
                 loop {
                     // The guard is held across the blocking recv: waiting
@@ -753,8 +825,13 @@ impl Server {
                         Err(_) => break,
                     };
                     let size = batch.len();
+                    let batch_id = telemetry.as_ref().map_or(0, |t| t.next_batch_id());
+                    let obs = telemetry.as_deref().map(|t| (t, batch_id));
+                    // The forward-start instant splits batch-wait from
+                    // service in the stage histograms.
+                    let fwd_start = Instant::now();
                     let (answers, partial) = match &cache {
-                        None => run_batch_uncached(engine.as_ref(), &counters, &batch),
+                        None => run_batch_uncached(engine.as_ref(), &counters, &batch, obs),
                         Some(cache) => run_batch_cached(
                             engine.as_ref(),
                             &counters,
@@ -762,6 +839,7 @@ impl Server {
                             generation,
                             graph_version,
                             &batch,
+                            obs,
                         ),
                     };
                     counters.queries.fetch_add(size as u64, Ordering::Relaxed);
@@ -771,14 +849,37 @@ impl Server {
                     // holds its answer, the counters already include it.
                     let now = Instant::now();
                     let mut replies = Vec::with_capacity(size);
+                    let mut stage_rows: Vec<[u64; 4]> = Vec::new();
                     for (item, (logits, cached)) in batch.into_iter().zip(answers) {
-                        let entry = item.entry;
+                        let BatchItem {
+                            mut entry,
+                            dequeued,
+                            hits: _,
+                        } = item;
                         let latency = now.saturating_duration_since(entry.enqueued);
                         if entry.deadline.is_some_and(|d| now >= d) {
                             counters.late_answers.fetch_add(1, Ordering::Relaxed);
                         }
                         if cached {
                             counters.cached_queries.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if let Some(tel) = &telemetry {
+                            // queue-wait, batch-wait, service and e2e all
+                            // derive from the same four instants, so per
+                            // query the three stages sum to the e2e
+                            // latency up to µs truncation.
+                            stage_rows.push([
+                                duration_us(dequeued.saturating_duration_since(entry.enqueued)),
+                                duration_us(fwd_start.saturating_duration_since(dequeued)),
+                                duration_us(now.saturating_duration_since(fwd_start)),
+                                duration_us(latency),
+                            ]);
+                            if let Some(mut trace) = entry.payload.trace.take() {
+                                trace.mark_at(Stage::Forward, fwd_start);
+                                trace.mark_at(Stage::Gather, now);
+                                trace.mark(Stage::Reply);
+                                tel.finish_trace(&trace);
+                            }
                         }
                         let answer = QueryAnswer {
                             logits,
@@ -790,6 +891,9 @@ impl Server {
                             cached,
                         };
                         replies.push((entry.client, entry.payload.reply, answer));
+                    }
+                    if let Some(tel) = &telemetry {
+                        tel.record_stage_rows(&stage_rows);
                     }
                     let outcomes: Vec<(u64, u64)> = replies
                         .iter()
@@ -821,6 +925,7 @@ impl Server {
             counters,
             hist,
             cache,
+            telemetry,
             started: Instant::now(),
             num_nodes,
         }
@@ -831,11 +936,96 @@ impl Server {
         ServerHandle {
             queue: Arc::clone(&self.queue),
             num_nodes: self.num_nodes,
+            telemetry: self.telemetry.clone(),
         }
     }
 
     /// Current counters and latency distribution.
     pub fn stats(&self) -> StatsSnapshot {
+        self.metrics_source().snapshot()
+    }
+
+    /// The server's telemetry hub, when enabled: the metrics registry,
+    /// the span ring ([`Telemetry::spans`] / [`Telemetry::chrome_trace`])
+    /// and the stage histograms.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// A cloneable read-side of this server: stats snapshots plus the
+    /// Prometheus and JSON exports, detached from the server's lifetime
+    /// (safe to hand to a scrape thread).
+    pub fn metrics_source(&self) -> StatsSource {
+        StatsSource {
+            queue: Arc::clone(&self.queue),
+            counters: Arc::clone(&self.counters),
+            hist: Arc::clone(&self.hist),
+            cache: self.cache.clone(),
+            telemetry: self.telemetry.clone(),
+            started: self.started,
+        }
+    }
+
+    /// Starts the Prometheus/JSON scrape endpoint on `addr` (e.g.
+    /// `"127.0.0.1:0"` for an ephemeral port): `GET /metrics` answers
+    /// Prometheus text format, `GET /metrics.json` the JSON dump. The
+    /// endpoint reads through [`Server::metrics_source`], so its series
+    /// agree exactly with [`Server::stats`] taken at the same quiescent
+    /// moment. Returns the exporter handle; dropping it stops the
+    /// endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when the listener cannot bind `addr`.
+    pub fn serve_metrics(&self, addr: impl ToSocketAddrs) -> io::Result<MetricsExporter> {
+        serve_scrape(self.metrics_source(), addr)
+    }
+
+    /// Stops accepting queries, drains in-flight batches, joins every
+    /// thread and returns the final statistics.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.join_threads();
+        self.stats()
+    }
+
+    fn join_threads(&mut self) {
+        // Closing the admission queue stops new submissions and wakes
+        // blocked submitters; the batcher drains what was already
+        // admitted, then exits, dropping its batch sender, which
+        // unblocks the workers.
+        self.queue.close();
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Cloneable read-side of a [`Server`]: the same shared books the server
+/// itself reads, behind `Arc`s, so stats snapshots and metric exports
+/// outlive any one `&Server` borrow. Obtained via
+/// [`Server::metrics_source`]; the TCP scrape endpoint
+/// ([`Server::serve_metrics`]) is this source behind a listener.
+///
+/// Every export derives from one [`StatsSource::snapshot`] call over the
+/// same underlying counters, so at quiescence (no in-flight queries) the
+/// Prometheus series, the JSON dump and [`Server::stats`] agree exactly.
+#[derive(Clone)]
+pub struct StatsSource {
+    queue: Arc<AdmissionQueue<Request>>,
+    counters: Arc<Counters>,
+    hist: Arc<Mutex<LatencyHistogram>>,
+    cache: Option<Arc<LogitCache>>,
+    telemetry: Option<Arc<Telemetry>>,
+    started: Instant,
+}
+
+impl StatsSource {
+    /// Current counters and latency distribution (the body behind
+    /// [`Server::stats`]).
+    pub fn snapshot(&self) -> StatsSnapshot {
         let queries = self.counters.queries.load(Ordering::Relaxed);
         let batches = self.counters.batches.load(Ordering::Relaxed);
         let partial_batches = self.counters.partial_batches.load(Ordering::Relaxed);
@@ -889,29 +1079,168 @@ impl Server {
                 0.0
             },
             latency: LatencySummary::of(&self.hist.lock().expect("histogram poisoned")),
+            stages: self.telemetry.as_ref().map(|t| t.stage_breakdown()),
         }
     }
 
-    /// Stops accepting queries, drains in-flight batches, joins every
-    /// thread and returns the final statistics.
-    pub fn shutdown(mut self) -> StatsSnapshot {
-        self.join_threads();
-        self.stats()
+    /// One Prometheus text-format scrape body: the stats-derived series
+    /// (`stat_samples`) plus every registry family (stage histograms,
+    /// kernel/forward/shard counters) when telemetry is enabled.
+    pub fn prometheus(&self) -> String {
+        let stats = self.snapshot();
+        let hist = self.hist.lock().expect("histogram poisoned").clone();
+        let (samples, hists) = stat_samples(&stats, hist);
+        let registry = self.telemetry.as_ref().map(|t| t.registry().snapshot());
+        export::render_prometheus(&samples, &hists, registry.as_ref())
     }
 
-    fn join_threads(&mut self) {
-        // Closing the admission queue stops new submissions and wakes
-        // blocked submitters; the batcher drains what was already
-        // admitted, then exits, dropping its batch sender, which
-        // unblocks the workers.
-        self.queue.close();
-        if let Some(b) = self.batcher.take() {
-            let _ = b.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+    /// The same series as [`StatsSource::prometheus`], rendered as one
+    /// JSON document (`{"metrics": [...], "histograms": [...]}`).
+    pub fn metrics_json(&self) -> String {
+        let stats = self.snapshot();
+        let hist = self.hist.lock().expect("histogram poisoned").clone();
+        let (samples, hists) = stat_samples(&stats, hist);
+        let registry = self.telemetry.as_ref().map(|t| t.registry().snapshot());
+        export::render_metrics_json(&samples, &hists, registry.as_ref())
     }
+}
+
+impl ScrapeSource for StatsSource {
+    fn prometheus(&self) -> String {
+        StatsSource::prometheus(self)
+    }
+
+    fn metrics_json(&self) -> String {
+        StatsSource::metrics_json(self)
+    }
+}
+
+/// Renders a [`StatsSnapshot`] (plus the full latency histogram backing
+/// its summary) as exportable samples — the one mapping between the
+/// stats read-out and the `maxk_serve_*` metric names, used by both the
+/// Prometheus and JSON exports so they cannot drift apart.
+fn stat_samples(stats: &StatsSnapshot, hist: LatencyHistogram) -> (Vec<Sample>, Vec<HistSample>) {
+    let mut samples = vec![
+        Sample::counter(
+            "maxk_serve_queries_total",
+            stats.queries,
+            "Queries answered",
+        ),
+        Sample::counter(
+            "maxk_serve_batches_total",
+            stats.batches,
+            "Batched forward passes executed",
+        ),
+        Sample::counter(
+            "maxk_serve_partial_batches_total",
+            stats.partial_batches,
+            "Batches where a shard ran the seed-restricted partial forward",
+        ),
+        Sample::counter(
+            "maxk_serve_cached_queries_total",
+            stats.cached_queries,
+            "Queries answered entirely from the logit cache",
+        ),
+        Sample::counter(
+            "maxk_serve_submitted_total",
+            stats.submitted,
+            "Queries offered to admission",
+        ),
+        Sample::counter(
+            "maxk_serve_rejected_total",
+            stats.rejected,
+            "Queries turned away at the door",
+        ),
+        Sample::counter(
+            "maxk_serve_shed_total",
+            stats.shed,
+            "Admitted queries dropped before a forward",
+        ),
+        Sample::counter(
+            "maxk_serve_deadline_misses_total",
+            stats.deadline_misses,
+            "Queries that missed their latency budget",
+        ),
+        Sample::gauge(
+            "maxk_serve_queue_depth",
+            stats.queue_depth as f64,
+            "Current ingress queue depth",
+        ),
+        Sample::gauge(
+            "maxk_serve_queue_depth_peak",
+            stats.queue_depth_peak as f64,
+            "Peak ingress queue depth since start",
+        ),
+        Sample::gauge(
+            "maxk_serve_uptime_seconds",
+            stats.uptime_s,
+            "Seconds since the server started",
+        ),
+    ];
+    for (s, &n) in stats.shard_batches.iter().enumerate() {
+        samples.push(
+            Sample::counter(
+                "maxk_serve_shard_batches_total",
+                n,
+                "Batches each shard participated in",
+            )
+            .with_label("shard", s),
+        );
+    }
+    for (s, &n) in stats.shard_partial_batches.iter().enumerate() {
+        samples.push(
+            Sample::counter(
+                "maxk_serve_shard_partial_batches_total",
+                n,
+                "Batches each shard served via the partial path",
+            )
+            .with_label("shard", s),
+        );
+    }
+    if let Some(cache) = &stats.cache {
+        samples.push(Sample::counter(
+            "maxk_serve_cache_hits_total",
+            cache.hits,
+            "Seed instances answered from resident cache rows",
+        ));
+        samples.push(Sample::counter(
+            "maxk_serve_cache_misses_total",
+            cache.misses,
+            "Seed instances that required a forward",
+        ));
+        samples.push(Sample::counter(
+            "maxk_serve_cache_coalesced_total",
+            cache.coalesced,
+            "Seed instances that parked on another batch's in-flight computation",
+        ));
+        samples.push(Sample::counter(
+            "maxk_serve_cache_evictions_total",
+            cache.evictions,
+            "Cache rows evicted under capacity pressure",
+        ));
+        samples.push(Sample::gauge(
+            "maxk_serve_cache_resident_rows",
+            cache.resident_rows as f64,
+            "Logit rows currently resident",
+        ));
+        samples.push(Sample::gauge(
+            "maxk_serve_cache_resident_bytes",
+            cache.resident_bytes as f64,
+            "Bytes held by resident logit rows",
+        ));
+        samples.push(Sample::gauge(
+            "maxk_serve_cache_capacity_rows",
+            cache.capacity as f64,
+            "Configured cache capacity in rows",
+        ));
+    }
+    let hists = vec![HistSample {
+        name: "maxk_serve_latency_us",
+        labels: Vec::new(),
+        hist,
+        help: "Server-side end-to-end latency (enqueue to reply)",
+    }];
+    (samples, hists)
 }
 
 /// The uncached batch path: one forward over the whole seed union.
@@ -921,6 +1250,7 @@ fn run_batch_uncached<E: BatchEngine + ?Sized>(
     engine: &E,
     counters: &Counters,
     batch: &[BatchItem],
+    obs: Option<(&Telemetry, u64)>,
 ) -> (Vec<(Matrix, bool)>, bool) {
     let mut union: Vec<u32> = batch
         .iter()
@@ -928,7 +1258,7 @@ fn run_batch_uncached<E: BatchEngine + ?Sized>(
         .collect();
     union.sort_unstable();
     union.dedup();
-    let outcome = engine.forward_union(&union);
+    let outcome = engine.forward_union_observed(&union, obs);
     counters.count_forward(&outcome);
     let partial = outcome.any_partial();
     let answers = batch
@@ -950,6 +1280,7 @@ fn run_batch_cached<E: BatchEngine + ?Sized>(
     generation: SnapshotGeneration,
     graph_version: GraphVersion,
     batch: &[BatchItem],
+    obs: Option<(&Telemetry, u64)>,
 ) -> (Vec<(Matrix, bool)>, bool) {
     // Aggregate the probe misses: per unique seed, how many answered
     // instances in this batch want it (the occurrence counts keep the
@@ -978,7 +1309,7 @@ fn run_batch_cached<E: BatchEngine + ?Sized>(
     // leading/following each other's seeds can never deadlock.
     let lead_seeds = claim.lead.seeds();
     if !claim.lead.is_empty() {
-        let outcome = engine.forward_union(&lead_seeds);
+        let outcome = engine.forward_union_observed(&lead_seeds, obs);
         counters.count_forward(&outcome);
         partial |= outcome.any_partial();
         let gathered = outcome.logits.gather(&lead_seeds);
@@ -1002,7 +1333,7 @@ fn run_batch_cached<E: BatchEngine + ?Sized>(
     if !fallback.is_empty() {
         fallback.sort_unstable();
         fallback.dedup();
-        let outcome = engine.forward_union(&fallback);
+        let outcome = engine.forward_union_observed(&fallback, obs);
         counters.count_forward(&outcome);
         partial |= outcome.any_partial();
         let gathered = outcome.logits.gather(&fallback);
@@ -1088,6 +1419,7 @@ impl PendingQuery {
 pub struct ServerHandle {
     queue: Arc<AdmissionQueue<Request>>,
     num_nodes: usize,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl ServerHandle {
@@ -1131,9 +1463,19 @@ impl ServerHandle {
     pub fn request(&self, seeds: &[u32], opts: QueryOptions) -> Result<PendingQuery, ServeError> {
         check_seeds(seeds, self.num_nodes)?;
         let (reply_tx, reply_rx) = mpsc::channel();
+        // Sampled queries carry a trace; the unsampled path costs one
+        // relaxed atomic increment (and nothing at all with tracing off).
+        let mut trace = self
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.begin_trace(opts.client, seeds.len()));
+        if let Some(t) = trace.as_mut() {
+            t.mark(Stage::Enqueue);
+        }
         let request = Request {
             seeds: seeds.to_vec(),
             reply: reply_tx,
+            trace,
         };
         match self.queue.submit(opts.client, opts.deadline, request)? {
             Submission::Admitted { shed } => {
@@ -1156,33 +1498,6 @@ impl ServerHandle {
     /// Same conditions as [`ServerHandle::request`].
     pub fn query(&self, seeds: &[u32]) -> Result<QueryResponse, ServeError> {
         self.request(seeds, QueryOptions::new())?.wait()
-    }
-
-    /// Submits a seed-set query without waiting for the outcome.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`ServerHandle::request`].
-    #[deprecated(since = "0.1.0", note = "renamed to ServerHandle::request")]
-    pub fn submit(&self, seeds: &[u32], opts: QueryOptions) -> Result<PendingQuery, ServeError> {
-        self.request(seeds, opts)
-    }
-
-    /// Submits a query with options and blocks until it resolves.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`ServerHandle::request`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ServerHandle::request(seeds, opts)?.wait()"
-    )]
-    pub fn query_with(
-        &self,
-        seeds: &[u32],
-        opts: QueryOptions,
-    ) -> Result<QueryResponse, ServeError> {
-        self.request(seeds, opts)?.wait()
     }
 
     /// Nodes served (valid seeds are `0..num_nodes`).
@@ -1564,16 +1879,52 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_entry_points_still_serve() {
-        #![allow(deprecated)]
+    fn stage_histograms_cover_every_answered_query() {
         let engine = engine();
-        let server = Server::start(engine, ServeConfig::default());
+        let server = Server::builder().start(engine);
         let handle = server.handle();
-        let resp = answer(handle.query_with(&[2], QueryOptions::new()));
-        assert_eq!(resp.logits.shape(), (1, 3));
-        let pending = handle.submit(&[4], QueryOptions::new()).unwrap();
-        assert!(pending.wait().unwrap().is_answered());
+        for i in 0..5u32 {
+            let _ = answer(handle.query(&[i]));
+        }
         let stats = server.shutdown();
-        assert_eq!(stats.queries, 2);
+        let stages = stats.stages.expect("telemetry on by default");
+        assert_eq!(stages.queue_wait.count, stats.queries);
+        assert_eq!(stages.batch_wait.count, stats.queries);
+        assert_eq!(stages.service.count, stats.queries);
+        assert_eq!(stages.e2e.count, stats.queries);
+    }
+
+    #[test]
+    fn telemetry_off_serves_without_stage_books() {
+        let engine = engine();
+        let server = Server::builder()
+            .telemetry(TelemetryConfig::off())
+            .start(engine);
+        let resp = answer(server.handle().query(&[3]));
+        assert_eq!(resp.logits.shape(), (1, 3));
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 1);
+        assert!(stats.stages.is_none());
+    }
+
+    #[test]
+    fn sampled_traces_reach_the_span_ring() {
+        let engine = engine();
+        let server = Server::builder().trace_sampling(1.0).start(engine);
+        let handle = server.handle();
+        for i in 0..3u32 {
+            let _ = answer(handle.query(&[i]));
+        }
+        let tel = server.telemetry().expect("telemetry on").clone();
+        let spans = tel.spans();
+        let queries = spans.iter().filter(|s| s.name == "query").count();
+        assert_eq!(queries, 3, "sampling 1.0 traces every query");
+        assert!(spans.iter().any(|s| s.name == "queue_wait"));
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "forward" && s.cat == "batch"));
+        let json = tel.chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        let _ = server.shutdown();
     }
 }

@@ -1,0 +1,582 @@
+//! Exporters: Prometheus text exposition, a JSON metrics dump, the
+//! Chrome-trace (`trace_event`) span dump, and the TCP scrape endpoint.
+//!
+//! Everything here is hand-rolled over `std` (the build vendors no HTTP
+//! or serialization crates): the scrape endpoint is a minimal HTTP/1.1
+//! responder on a [`std::net::TcpListener`], the Prometheus text follows
+//! the [exposition format] (`# HELP`/`# TYPE`, cumulative `le` buckets,
+//! `_sum`/`_count`), and the trace dump is the `traceEvents` JSON that
+//! `chrome://tracing` / Perfetto load directly.
+//!
+//! [exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use super::registry::RegistrySnapshot;
+use super::trace::SpanRecord;
+use crate::metrics::LatencyHistogram;
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes a JSON string value.
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+fn label_block(labels: &[(&'static str, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// One plain sample for the Prometheus/JSON renderers: stats-derived
+/// series (the [`crate::StatsSnapshot`] books) are folded into the same
+/// shape as registry samples so both exporters treat them uniformly.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Family name.
+    pub name: &'static str,
+    /// Label pairs.
+    pub labels: Vec<(&'static str, String)>,
+    /// Sampled value (counters and gauges both render as numbers).
+    pub value: f64,
+    /// Family help text.
+    pub help: &'static str,
+    /// `true` renders `# TYPE … counter`, `false` renders a gauge.
+    pub counter: bool,
+}
+
+impl Sample {
+    /// An unlabeled counter sample.
+    pub fn counter(name: &'static str, value: u64, help: &'static str) -> Self {
+        Sample {
+            name,
+            labels: Vec::new(),
+            value: value as f64,
+            help,
+            counter: true,
+        }
+    }
+
+    /// An unlabeled gauge sample.
+    pub fn gauge(name: &'static str, value: f64, help: &'static str) -> Self {
+        Sample {
+            name,
+            labels: Vec::new(),
+            value,
+            help,
+            counter: false,
+        }
+    }
+
+    /// Attaches one label pair.
+    #[must_use]
+    pub fn with_label(mut self, key: &'static str, value: impl ToString) -> Self {
+        self.labels.push((key, value.to_string()));
+        self
+    }
+}
+
+/// A named histogram for the renderers.
+#[derive(Debug, Clone)]
+pub struct HistSample {
+    /// Family name.
+    pub name: &'static str,
+    /// Label pairs.
+    pub labels: Vec<(&'static str, String)>,
+    /// The distribution.
+    pub hist: LatencyHistogram,
+    /// Family help text.
+    pub help: &'static str,
+}
+
+/// Renders the Prometheus text exposition for plain samples, histograms
+/// and an optional registry snapshot. `# HELP`/`# TYPE` headers are
+/// emitted once per family, in first-appearance order.
+pub fn render_prometheus(
+    samples: &[Sample],
+    hists: &[HistSample],
+    registry: Option<&RegistrySnapshot>,
+) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<&'static str> = Vec::new();
+    let mut header = |out: &mut String, name: &'static str, help: &str, kind: &str| {
+        if !seen.contains(&name) {
+            seen.push(name);
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        }
+    };
+    for s in samples {
+        header(
+            &mut out,
+            s.name,
+            s.help,
+            if s.counter { "counter" } else { "gauge" },
+        );
+        let _ = writeln!(out, "{}{} {}", s.name, label_block(&s.labels), num(s.value));
+    }
+    if let Some(reg) = registry {
+        for s in &reg.counters {
+            let help = reg.help.get(s.name).copied().unwrap_or("");
+            header(&mut out, s.name, help, "counter");
+            let _ = writeln!(out, "{}{} {}", s.name, label_block(&s.labels), s.value);
+        }
+        for s in &reg.gauges {
+            let help = reg.help.get(s.name).copied().unwrap_or("");
+            header(&mut out, s.name, help, "gauge");
+            let _ = writeln!(out, "{}{} {}", s.name, label_block(&s.labels), s.value);
+        }
+    }
+    let mut all_hists: Vec<HistSample> = hists.to_vec();
+    if let Some(reg) = registry {
+        for s in &reg.histograms {
+            all_hists.push(HistSample {
+                name: s.name,
+                labels: s.labels.clone(),
+                hist: s.value.clone(),
+                help: reg.help.get(s.name).copied().unwrap_or(""),
+            });
+        }
+    }
+    for h in &all_hists {
+        header(&mut out, h.name, h.help, "histogram");
+        render_histogram(&mut out, h);
+    }
+    out
+}
+
+fn num(v: f64) -> String {
+    let v = finite(v);
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders one histogram family entry: cumulative `le` buckets at the
+/// log₂ bucket upper bounds (`1, 3, 7, …, 2^(b+1)-1`), up to the last
+/// occupied bucket, then `+Inf`, `_sum` and `_count`.
+fn render_histogram(out: &mut String, h: &HistSample) {
+    let counts = h.hist.bucket_counts();
+    let last = counts.iter().rposition(|&c| c > 0).unwrap_or(0).min(62);
+    let labels = &h.labels;
+    let mut cumulative = 0u64;
+    for (b, &c) in counts.iter().enumerate().take(last + 1) {
+        cumulative += c;
+        let le: u64 = if b == 0 { 1 } else { (1u64 << (b + 1)) - 1 };
+        let mut with_le = labels.clone();
+        with_le.push(("le", le.to_string()));
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            h.name,
+            label_block(&with_le),
+            cumulative
+        );
+    }
+    let mut with_inf = labels.clone();
+    with_inf.push(("le", "+Inf".to_string()));
+    let _ = writeln!(
+        out,
+        "{}_bucket{} {}",
+        h.name,
+        label_block(&with_inf),
+        h.hist.count()
+    );
+    let _ = writeln!(
+        out,
+        "{}_sum{} {}",
+        h.name,
+        label_block(labels),
+        h.hist.sum_us()
+    );
+    let _ = writeln!(
+        out,
+        "{}_count{} {}",
+        h.name,
+        label_block(labels),
+        h.hist.count()
+    );
+}
+
+fn json_labels(labels: &[(&'static str, String)]) -> String {
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn json_hist(h: &LatencyHistogram) -> String {
+    format!(
+        "{{\"count\":{},\"sum_us\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+        h.count(),
+        h.sum_us(),
+        finite(h.mean_us()),
+        finite(h.p50()),
+        finite(h.p95()),
+        finite(h.p99()),
+        h.max_us()
+    )
+}
+
+/// Renders the same metric set as [`render_prometheus`] as one JSON
+/// object: `{"metrics": [...], "histograms": [...]}` with each sample's
+/// name, labels and value.
+pub fn render_metrics_json(
+    samples: &[Sample],
+    hists: &[HistSample],
+    registry: Option<&RegistrySnapshot>,
+) -> String {
+    let mut metrics: Vec<String> = Vec::new();
+    for s in samples {
+        metrics.push(format!(
+            "{{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+            escape_json(s.name),
+            json_labels(&s.labels),
+            num(s.value)
+        ));
+    }
+    if let Some(reg) = registry {
+        for s in &reg.counters {
+            metrics.push(format!(
+                "{{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+                escape_json(s.name),
+                json_labels(&s.labels),
+                s.value
+            ));
+        }
+        for s in &reg.gauges {
+            metrics.push(format!(
+                "{{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+                escape_json(s.name),
+                json_labels(&s.labels),
+                s.value
+            ));
+        }
+    }
+    let mut hist_objs: Vec<String> = Vec::new();
+    for h in hists {
+        hist_objs.push(format!(
+            "{{\"name\":\"{}\",\"labels\":{},\"summary\":{}}}",
+            escape_json(h.name),
+            json_labels(&h.labels),
+            json_hist(&h.hist)
+        ));
+    }
+    if let Some(reg) = registry {
+        for s in &reg.histograms {
+            hist_objs.push(format!(
+                "{{\"name\":\"{}\",\"labels\":{},\"summary\":{}}}",
+                escape_json(s.name),
+                json_labels(&s.labels),
+                json_hist(&s.value)
+            ));
+        }
+    }
+    format!(
+        "{{\"metrics\":[{}],\"histograms\":[{}]}}",
+        metrics.join(","),
+        hist_objs.join(",")
+    )
+}
+
+/// Serializes spans as Chrome `trace_event` JSON (the object form with a
+/// `traceEvents` array of complete `"ph":"X"` events) — loadable in
+/// `chrome://tracing` and Perfetto.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(spans.len());
+    for s in spans {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"v\":{}}}}}",
+            escape_json(s.name),
+            escape_json(s.cat),
+            s.start_us,
+            s.dur_us,
+            s.tid,
+            s.arg
+        ));
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+        events.join(",")
+    )
+}
+
+/// What the scrape endpoint serves: implemented by the server's stats
+/// source (a cloneable bundle of the live counter/histogram handles).
+pub trait ScrapeSource: Send + 'static {
+    /// The Prometheus text exposition body (`GET /metrics`).
+    fn prometheus(&self) -> String;
+    /// The JSON metrics dump body (`GET /metrics.json`).
+    fn metrics_json(&self) -> String;
+}
+
+/// A running scrape endpoint: one listener thread answering
+/// `GET /metrics` (Prometheus text) and `GET /metrics.json` (JSON dump).
+/// Dropping it (or [`MetricsExporter::shutdown`]) stops the listener.
+#[derive(Debug)]
+pub struct MetricsExporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// The bound address (pass port 0 to let the OS pick one).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds `addr` and serves scrapes from `source` on a background thread.
+///
+/// # Errors
+///
+/// Propagates the bind/configure I/O errors.
+pub fn serve_scrape<S: ScrapeSource>(
+    source: S,
+    addr: impl ToSocketAddrs,
+) -> io::Result<MetricsExporter> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        while !stop_flag.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // A malformed or hung client only loses its own
+                    // scrape; the endpoint keeps serving.
+                    let _ = answer_scrape(stream, &source);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    });
+    Ok(MetricsExporter {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+/// Reads one HTTP request head and writes the matching response.
+fn answer_scrape<S: ScrapeSource>(mut stream: TcpStream, source: &S) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(1000)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(1000)))?;
+    let mut head = Vec::with_capacity(1024);
+    let mut buf = [0u8; 1024];
+    // Read until the end of the request head (or a sane cap).
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 16 * 1024 {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let request = String::from_utf8_lossy(&head);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, ctype, body) = if path.starts_with("/metrics.json") {
+        ("200 OK", "application/json", source.metrics_json())
+    } else if path == "/" || path.starts_with("/metrics") {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            source.prometheus(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        )
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_text_renders_families_once() {
+        let samples = [
+            Sample::counter("maxk_serve_queries_total", 5, "answered"),
+            Sample::counter("maxk_serve_shard_batches_total", 2, "per shard")
+                .with_label("shard", 0),
+            Sample::counter("maxk_serve_shard_batches_total", 3, "per shard")
+                .with_label("shard", 1),
+            Sample::gauge("maxk_serve_queue_depth", 1.0, "depth"),
+        ];
+        let mut hist = LatencyHistogram::new();
+        hist.record(10);
+        hist.record(100);
+        let hists = [HistSample {
+            name: "maxk_serve_latency_us",
+            labels: Vec::new(),
+            hist,
+            help: "e2e latency",
+        }];
+        let text = render_prometheus(&samples, &hists, None);
+        assert_eq!(
+            text.matches("# TYPE maxk_serve_shard_batches_total counter")
+                .count(),
+            1
+        );
+        assert!(text.contains("maxk_serve_queries_total 5"));
+        assert!(text.contains("maxk_serve_shard_batches_total{shard=\"0\"} 2"));
+        assert!(text.contains("maxk_serve_queue_depth 1"));
+        assert!(text.contains("# TYPE maxk_serve_latency_us histogram"));
+        assert!(text.contains("maxk_serve_latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("maxk_serve_latency_us_sum 110"));
+        assert!(text.contains("maxk_serve_latency_us_count 2"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_bounded() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(1); // bucket 0
+        hist.record(2); // bucket 1
+        hist.record(2);
+        let h = HistSample {
+            name: "h",
+            labels: Vec::new(),
+            hist,
+            help: "",
+        };
+        let mut out = String::new();
+        render_histogram(&mut out, &h);
+        assert!(out.contains("h_bucket{le=\"1\"} 1"));
+        assert!(out.contains("h_bucket{le=\"3\"} 3"));
+        assert!(out.contains("h_bucket{le=\"+Inf\"} 3"));
+        // No empty tail buckets beyond the last occupied one.
+        assert!(!out.contains("le=\"7\""));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let spans = [SpanRecord {
+            name: "queue_wait",
+            cat: "query",
+            tid: 3,
+            start_us: 100,
+            dur_us: 40,
+            arg: 2,
+        }];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":100"));
+        assert!(json.contains("\"dur\":40"));
+        assert!(json.contains("\"tid\":3"));
+    }
+
+    #[test]
+    fn scrape_endpoint_answers_over_tcp() {
+        struct Fixed;
+        impl ScrapeSource for Fixed {
+            fn prometheus(&self) -> String {
+                "# HELP x x\n# TYPE x counter\nx 1\n".to_string()
+            }
+            fn metrics_json(&self) -> String {
+                "{\"metrics\":[],\"histograms\":[]}".to_string()
+            }
+        }
+        let exporter = serve_scrape(Fixed, ("127.0.0.1", 0)).expect("bind");
+        let addr = exporter.local_addr();
+        let fetch = |path: &str| {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+            let mut body = String::new();
+            stream.read_to_string(&mut body).expect("read");
+            body
+        };
+        let text = fetch("/metrics");
+        assert!(text.starts_with("HTTP/1.1 200 OK"));
+        assert!(text.contains("x 1"));
+        let json = fetch("/metrics.json");
+        assert!(json.contains("application/json"));
+        assert!(json.contains("\"metrics\""));
+        let missing = fetch("/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(escape_label("x\"y"), "x\\\"y");
+    }
+}
