@@ -42,6 +42,16 @@
 //! hard failures for CI; `--skip-telemetry` skips the sweep and
 //! `--telemetry-off` disables telemetry everywhere else too.
 //!
+//! The **dynamic mutation sweep** (`BENCH_dynamic.json`) replays the
+//! Zipf read stream with edge toggles and feature writes interleaved at
+//! each `--dynamic-writes` rate, once under dirty-cone cache
+//! invalidation and once under whole-version bumping over the identical
+//! schedule; each run ends with a quiescent bitwise spot-check against
+//! a from-scratch engine on the mutated graph. `--dynamic-assert`
+//! requires nonzero cone invalidations and a dirty-cone hit rate
+//! strictly above the bump-version baseline at every write rate;
+//! `--skip-dynamic` skips the sweep.
+//!
 //! Finally it sweeps **offered load vs. admission policy**
 //! (`--offered` multipliers of the measured full-batch saturation
 //! capacity × `--admission-policies`) with the open-loop Poisson
@@ -63,14 +73,15 @@ use maxk_bench::report::{save_json, JsonObject, JsonValue};
 use maxk_bench::{Args, Table};
 use maxk_graph::datasets::{Scale, TrainingDataset};
 use maxk_graph::shard::ShardStrategy;
-use maxk_graph::Frontier;
+use maxk_graph::{Csr, Frontier};
 use maxk_nn::plan::{full_cost, partial_cost};
 use maxk_nn::snapshot::ModelSnapshot;
 use maxk_nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
 use maxk_serve::{
-    open_loop, replay, AdmissionConfig, BatchEngine, FairnessConfig, InferenceEngine,
-    LatencySummary, LoadConfig, LoadReport, OpenLoopConfig, OverloadPolicy, ServeConfig, Server,
-    ShardConfig, ShardedEngine, StatsSnapshot, TelemetryConfig,
+    open_loop, replay, AdmissionConfig, BatchEngine, DynamicEngine, FairnessConfig,
+    InferenceEngine, InvalidationStrategy, LatencySummary, LoadConfig, LoadReport, Mutation,
+    OpenLoopConfig, OverloadPolicy, ServeConfig, Server, ShardConfig, ShardedEngine, StatsSnapshot,
+    TelemetryConfig, ZipfSampler,
 };
 use maxk_tensor::Matrix;
 use rand::{Rng, SeedableRng};
@@ -471,6 +482,300 @@ fn assert_cache_bounds(points: &[CachePoint]) {
     }
 }
 
+/// One mixed read/write run of the dynamic sweep under a single
+/// invalidation strategy.
+struct DynamicRun {
+    hit_rate: f64,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    invalidated: u64,
+    evictions: u64,
+    epoch: u64,
+    throughput_qps: f64,
+    answered: u64,
+}
+
+/// Both strategies at one write rate, kept raw for `--dynamic-assert`.
+struct DynamicPoint {
+    write_rate: f64,
+    dirty: DynamicRun,
+    bump: DynamicRun,
+}
+
+/// A deterministic mutation schedule over `base`: every batch toggles
+/// one random edge (tracked against the evolving edge set, so every
+/// toggle is effective — never a no-op), and every fourth batch also
+/// overwrites one random feature row. Both strategies replay the exact
+/// same schedule so their cache behavior is directly comparable.
+fn dynamic_mutation_plan(
+    base: &Csr,
+    batches: usize,
+    in_dim: usize,
+    seed: u64,
+) -> Vec<Vec<Mutation>> {
+    let n = base.num_nodes() as u32;
+    let mut present = std::collections::BTreeSet::new();
+    for i in 0..base.num_nodes() {
+        let (cols, _) = base.row(i);
+        for &j in cols {
+            present.insert(((i as u32).min(j), (i as u32).max(j)));
+        }
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut plan = Vec::with_capacity(batches);
+    for b in 0..batches {
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        while v == u {
+            v = rng.gen_range(0..n);
+        }
+        let key = (u.min(v), u.max(v));
+        let edge = if present.remove(&key) {
+            Mutation::DeleteEdge { u: key.0, v: key.1 }
+        } else {
+            present.insert(key);
+            Mutation::InsertEdge { u: key.0, v: key.1 }
+        };
+        let mut batch = vec![edge];
+        if b % 4 == 3 {
+            let node = rng.gen_range(0..n);
+            let values = (0..in_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            batch.push(Mutation::WriteFeature { node, values });
+        }
+        plan.push(batch);
+    }
+    plan
+}
+
+/// One strategy's mixed read/write loop: a cached server over a
+/// [`DynamicEngine`], single-seed Zipf queries issued sequentially with
+/// one mutation batch applied every `interval` queries, then a
+/// quiescent bitwise spot-check against a from-scratch engine rebuilt
+/// on the mutated graph and features.
+#[allow(clippy::too_many_arguments)]
+fn dynamic_run(
+    snapshot: &ModelSnapshot,
+    base: &Csr,
+    features: Matrix,
+    serve_cfg: ServeConfig,
+    cache_capacity: usize,
+    strategy: InvalidationStrategy,
+    plan: &[Vec<Mutation>],
+    queries: usize,
+    interval: usize,
+    zipf: f64,
+) -> DynamicRun {
+    let engine = Arc::new(
+        DynamicEngine::new(snapshot, base, features, strategy)
+            .expect("dynamic engine over the bench graph"),
+    );
+    let server = Server::builder()
+        .config(serve_cfg)
+        .cache_capacity(cache_capacity)
+        .start(Arc::clone(&engine));
+    let handle = server.handle();
+    let n = engine.num_nodes();
+    let sampler = ZipfSampler::new(n, zipf);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    let mut next_batch = 0usize;
+    let t0 = Instant::now();
+    for q in 0..queries {
+        if q % interval == 0 && next_batch < plan.len() {
+            engine
+                .apply(&plan[next_batch])
+                .expect("mutation batch applies cleanly");
+            next_batch += 1;
+        }
+        let seed = sampler.sample(&mut rng) as u32;
+        handle
+            .query(&[seed])
+            .expect("live server")
+            .into_answer()
+            .expect("Block admission answers every valid query");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    // Quiescent exactness: the incrementally maintained engine must
+    // answer bitwise-identically to one built from scratch on the
+    // mutated graph — through the cache path, at the final epoch.
+    let rebuilt = InferenceEngine::from_snapshot(
+        snapshot,
+        &engine.current_graph(),
+        engine.current_features(),
+    )
+    .expect("from-scratch rebuild of the mutated graph");
+    let reference = rebuilt.forward_all();
+    let final_epoch = engine.stats().epoch;
+    let mut check_rng = rand::rngs::StdRng::seed_from_u64(31);
+    let sample = sample_seeds(n, 16.min(n), &mut check_rng);
+    for &s in &sample {
+        let answer = handle
+            .query(&[s])
+            .expect("live server")
+            .into_answer()
+            .expect("Block admission answers every valid query");
+        assert_eq!(
+            answer.logits.row(0),
+            reference.row(s as usize),
+            "dynamic serving diverged from a from-scratch rebuild at seed {s} ({strategy:?})"
+        );
+        assert_eq!(
+            answer.epoch, final_epoch,
+            "quiescent answer must carry the final epoch ({strategy:?})"
+        );
+    }
+    let stats = server.shutdown();
+    let cache = stats.cache.expect("cache enabled");
+    // Counter identity: every answered seed instance (all queries are
+    // single-seed) is exactly one of hit / miss / coalesced.
+    assert_eq!(
+        cache.hits + cache.misses + cache.coalesced,
+        stats.queries,
+        "cache counters must account every answered seed instance ({strategy:?})"
+    );
+    DynamicRun {
+        hit_rate: cache.hit_rate(),
+        hits: cache.hits,
+        misses: cache.misses,
+        coalesced: cache.coalesced,
+        invalidated: cache.invalidated,
+        evictions: cache.evictions,
+        epoch: final_epoch,
+        throughput_qps: queries as f64 / elapsed,
+        answered: stats.queries,
+    }
+}
+
+fn dynamic_run_json(r: &DynamicRun) -> JsonObject {
+    JsonObject::new()
+        .field("throughput_qps", r.throughput_qps)
+        .field("hit_rate", r.hit_rate)
+        .field("hits", r.hits)
+        .field("misses", r.misses)
+        .field("coalesced", r.coalesced)
+        .field("invalidated", r.invalidated)
+        .field("evictions", r.evictions)
+        .field("final_epoch", r.epoch)
+        .field("answered", r.answered)
+}
+
+/// Mixed read/write sweep over write rates (mutation batches per
+/// query): for each rate, runs the identical query + mutation schedule
+/// under [`InvalidationStrategy::DirtyCone`] and
+/// [`InvalidationStrategy::BumpVersion`] and records cache behavior —
+/// the dirty cone keeps rows outside the mutation's reverse L-hop cone
+/// warm, where the version bump cold-starts the entire cache every
+/// batch.
+#[allow(clippy::too_many_arguments)]
+fn dynamic_sweep(
+    snapshot: &ModelSnapshot,
+    base: &Csr,
+    raw_features: &[f32],
+    in_dim: usize,
+    serve_cfg: ServeConfig,
+    cache_capacity: usize,
+    write_rates: &[f64],
+    queries: usize,
+    zipf: f64,
+) -> (Table, Vec<JsonObject>, Vec<DynamicPoint>) {
+    let mut table = Table::new(vec![
+        "writes/query",
+        "strategy",
+        "q/s",
+        "hit rate",
+        "hits",
+        "misses",
+        "invalidated",
+        "evictions",
+        "epoch",
+    ]);
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for &write_rate in write_rates {
+        assert!(
+            write_rate > 0.0 && write_rate <= 1.0,
+            "--dynamic-writes entries must be in (0, 1]"
+        );
+        let interval = (1.0 / write_rate).round().max(1.0) as usize;
+        let batches = queries.div_ceil(interval);
+        let plan = dynamic_mutation_plan(base, batches, in_dim, 97);
+        let mut runs = Vec::new();
+        for strategy in [
+            InvalidationStrategy::DirtyCone,
+            InvalidationStrategy::BumpVersion,
+        ] {
+            let features = Matrix::from_vec(base.num_nodes(), in_dim, raw_features.to_vec())
+                .expect("bench features");
+            let run = dynamic_run(
+                snapshot,
+                base,
+                features,
+                serve_cfg,
+                cache_capacity,
+                strategy,
+                &plan,
+                queries,
+                interval,
+                zipf,
+            );
+            table.row(vec![
+                format!("{write_rate:.3}"),
+                match strategy {
+                    InvalidationStrategy::DirtyCone => "dirty_cone".into(),
+                    InvalidationStrategy::BumpVersion => "bump_version".into(),
+                },
+                format!("{:.1}", run.throughput_qps),
+                format!("{:.1}%", run.hit_rate * 100.0),
+                run.hits.to_string(),
+                run.misses.to_string(),
+                run.invalidated.to_string(),
+                run.evictions.to_string(),
+                run.epoch.to_string(),
+            ]);
+            runs.push(run);
+        }
+        let bump = runs.pop().expect("bump run recorded");
+        let dirty = runs.pop().expect("dirty run recorded");
+        rows.push(
+            JsonObject::new()
+                .field("write_rate", write_rate)
+                .field("mutation_interval_queries", interval)
+                .field("mutation_batches", batches)
+                .field("dirty_cone", dynamic_run_json(&dirty))
+                .field("bump_version", dynamic_run_json(&bump))
+                .field("hit_rate_advantage", dirty.hit_rate - bump.hit_rate)
+                .field("bitwise_equal", true),
+        );
+        points.push(DynamicPoint {
+            write_rate,
+            dirty,
+            bump,
+        });
+    }
+    (table, rows, points)
+}
+
+/// CI smoke bounds over the dynamic sweep: dirty-cone invalidation must
+/// actually drop resident rows (the cone reaches cached seeds), and at
+/// every write rate it must retain a strictly higher hit rate than
+/// whole-version bumping over the identical schedule.
+fn assert_dynamic_bounds(points: &[DynamicPoint]) {
+    for p in points {
+        assert!(
+            p.dirty.invalidated > 0,
+            "dirty-cone run at write rate {} invalidated no cache rows",
+            p.write_rate
+        );
+        assert!(
+            p.dirty.hit_rate > p.bump.hit_rate,
+            "dirty-cone hit rate {:.1}% did not beat bump-version {:.1}% at write rate {}",
+            p.dirty.hit_rate * 100.0,
+            p.bump.hit_rate * 100.0,
+            p.write_rate
+        );
+    }
+}
+
 /// One instrumented replay for the telemetry sweep: the load report,
 /// final stats, per-layer kernel counter rows, the summed
 /// kernel-vs-forward wall time, and (optionally) the Chrome trace.
@@ -834,6 +1139,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fair_rate = args.get("fair-rate", 0.0f64);
     let fair_burst = args.get("fair-burst", 8.0f64);
     let admission_out = args.get_str("admission-out", "BENCH_admission.json");
+    let skip_dynamic = args.flag("skip-dynamic");
+    let dynamic_assert = args.flag("dynamic-assert");
+    let dynamic_writes: Vec<f64> = args
+        .get_list("dynamic-writes", &["0.05", "0.2"])
+        .iter()
+        .map(|s| s.parse().expect("numeric --dynamic-writes entry"))
+        .collect();
+    // 0 = reuse --queries for each strategy's mixed read/write loop.
+    let dynamic_queries = args.get("dynamic-queries", 0usize);
+    let dynamic_out = args.get_str("dynamic-out", "BENCH_dynamic.json");
 
     // Telemetry default for every server this binary starts:
     // `--telemetry-off` strips even the always-on metrics (the sweep in
@@ -1377,6 +1692,73 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     save_json(&shard_out, &sjson)?;
     println!("wrote {shard_out}");
+
+    // 7b. Dynamic mutation sweep: the same Zipf read stream with edge
+    //     toggles and feature writes interleaved at each --dynamic-writes
+    //     rate, once per invalidation strategy. Dirty-cone invalidation
+    //     drops only the mutation's reverse L-hop cone from the logit
+    //     cache; the bump-version baseline cold-starts the whole cache
+    //     per batch. Every run ends with a quiescent bitwise spot-check
+    //     against a from-scratch engine on the mutated graph.
+    if skip_dynamic {
+        println!("dynamic sweep skipped (--skip-dynamic)");
+    } else {
+        let dq = if dynamic_queries > 0 {
+            dynamic_queries
+        } else {
+            queries
+        };
+        println!(
+            "dynamic mutation sweep: write rates {dynamic_writes:?}, {dq} queries each, \
+             {cache_capacity}-row cache, zipf {zipf}"
+        );
+        let (dtable, drows, dpoints) = dynamic_sweep(
+            &snapshot,
+            &data.csr,
+            &data.features,
+            data.in_dim,
+            ServeConfig {
+                batch_window: Duration::from_micros(window_us),
+                max_batch,
+                workers,
+                ..serve_base
+            },
+            cache_capacity,
+            &dynamic_writes,
+            dq,
+            zipf,
+        );
+        dtable.print();
+        if dynamic_assert {
+            assert_dynamic_bounds(&dpoints);
+            println!(
+                "dynamic assertions passed: nonzero cone invalidations and dirty-cone hit rate \
+                 above bump-version at every write rate"
+            );
+        }
+        let djson = JsonObject::new()
+            .field("bench", "dynamic")
+            .field("dataset", "Flickr")
+            .field("scale", scale_name.as_str())
+            .field("nodes", n)
+            .field("edges", data.csr.num_edges())
+            .field("arch", "SAGE")
+            .field("layers", num_layers)
+            .field("k", k)
+            .field("hidden_dim", hidden)
+            .field("cache_capacity", cache_capacity)
+            .field("queries", dq)
+            .field("zipf_exponent", zipf)
+            .field("window_us", window_us)
+            .field("max_batch", max_batch)
+            .field("workers", workers)
+            .field(
+                "points",
+                JsonValue::Array(drows.into_iter().map(JsonValue::Object).collect()),
+            );
+        save_json(&dynamic_out, &djson)?;
+        println!("wrote {dynamic_out}");
+    }
 
     // 8. Admission-control sweep: open-loop Poisson arrivals at
     //    multiples of the measured closed-loop capacity, per overload

@@ -17,7 +17,10 @@
 //!   partial forward on the serving path,
 //! * halo-augmented node [`shard`]ing for sharded serving: each shard
 //!   carries its owned nodes plus their reverse L-hop ghost rows, so any
-//!   owned seed is answerable locally and bitwise-identically.
+//!   owned seed is answerable locally and bitwise-identically,
+//! * a [`dynamic`]ally mutable graph for streaming serving: batched edge
+//!   inserts/deletes splice the CSR and renormalize only the dirty rows,
+//!   bitwise-identical to a from-scratch rebuild of the mutated graph.
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@
 pub mod coo;
 pub mod csr;
 pub mod datasets;
+pub mod dynamic;
 pub mod frontier;
 pub mod generate;
 pub mod io;
@@ -51,6 +55,7 @@ pub mod shard;
 pub use coo::Coo;
 pub use csr::Csr;
 pub use datasets::{Dataset, DatasetSpec, GraphKind, Scale, TrainingData};
+pub use dynamic::{BatchEffect, DynamicGraph, EdgeMutation};
 pub use frontier::{Frontier, NodeSet};
 pub use normalize::Aggregator;
 pub use partition::{EdgeGroup, WarpAssignment, WarpPartition};
@@ -91,6 +96,13 @@ pub enum GraphError {
         /// Number of edges implied by the structure.
         edges: usize,
     },
+    /// A streaming edge mutation named the same node for both endpoints;
+    /// self-loops are managed by the normalization convention, not the
+    /// mutation stream.
+    SelfLoopMutation {
+        /// The node named as both endpoints.
+        node: u32,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -114,6 +126,9 @@ impl fmt::Display for GraphError {
                     f,
                     "value array has {values} entries but structure has {edges} edges"
                 )
+            }
+            GraphError::SelfLoopMutation { node } => {
+                write!(f, "edge mutation names node {node} as both endpoints")
             }
         }
     }

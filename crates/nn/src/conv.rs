@@ -31,6 +31,20 @@ impl Arch {
             Arch::Gin => "GIN",
         }
     }
+
+    /// The normalization rule and self-loop convention of this
+    /// architecture: the [`Aggregator`] its operand values follow, and
+    /// whether a unit diagonal is inserted first (GCN normalizes *after*
+    /// adding self-loops). Everything that builds or incrementally
+    /// maintains an aggregation operand keys off this one mapping, so the
+    /// frozen and dynamic paths cannot drift apart.
+    pub fn aggregation(self) -> (Aggregator, bool) {
+        match self {
+            Arch::Gcn => (Aggregator::GcnSym, true),
+            Arch::Sage => (Aggregator::SageMean, false),
+            Arch::Gin => (Aggregator::GinSum, false),
+        }
+    }
 }
 
 /// The layer nonlinearity: the baseline ReLU or the paper's MaxK.
@@ -88,14 +102,12 @@ impl GraphContext {
     /// for callers that only slice the operand (the sharded router builds
     /// its per-shard partitions on the sub-adjacencies instead).
     pub fn normalized_adjacency(graph: &Csr, arch: Arch) -> Csr {
-        match arch {
-            Arch::Gcn => {
-                // GCN convention: add self-loops, then 1/√(d_i d_j).
-                let with_loops = add_self_loops(graph);
-                normalize::normalized(&with_loops, Aggregator::GcnSym)
-            }
-            Arch::Sage => normalize::normalized(graph, Aggregator::SageMean),
-            Arch::Gin => normalize::normalized(graph, Aggregator::GinSum),
+        let (aggregator, self_loops) = arch.aggregation();
+        if self_loops {
+            let with_loops = add_self_loops(graph);
+            normalize::normalized(&with_loops, aggregator)
+        } else {
+            normalize::normalized(graph, aggregator)
         }
     }
 }

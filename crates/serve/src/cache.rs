@@ -44,6 +44,7 @@
 use maxk_nn::{GraphVersion, SnapshotGeneration};
 use maxk_tensor::Matrix;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Identity of one cached logit row: which weights, which graph operand,
@@ -87,6 +88,10 @@ pub struct CacheSnapshot {
     pub coalesced: u64,
     /// Rows evicted by the CLOCK hand.
     pub evictions: u64,
+    /// Rows removed by targeted invalidation
+    /// ([`LogitCache::invalidate_seeds`]) — the dirty-cone path of
+    /// streaming graph mutations.
+    pub invalidated: u64,
     /// Rows currently resident.
     pub resident_rows: u64,
     /// Payload bytes of the resident rows (`f32` data only, excluding
@@ -126,6 +131,11 @@ enum InflightState {
 struct Inflight {
     state: Mutex<InflightState>,
     cv: Condvar,
+    /// Poisoned by [`LogitCache::invalidate_seeds`]: the leader computed
+    /// (or is computing) against a graph state that has since mutated, so
+    /// its fill must not become resident. Followers still receive the row
+    /// — their answers carry the epoch the row was computed against.
+    invalidated: AtomicBool,
 }
 
 impl Inflight {
@@ -133,6 +143,7 @@ impl Inflight {
         Arc::new(Inflight {
             state: Mutex::new(InflightState::Pending),
             cv: Condvar::new(),
+            invalidated: AtomicBool::new(false),
         })
     }
 
@@ -164,10 +175,31 @@ struct Store {
     misses: u64,
     coalesced: u64,
     evictions: u64,
+    invalidated: u64,
     resident_bytes: u64,
 }
 
 impl Store {
+    /// Removes one resident row, keeping the slot vector dense: the last
+    /// slot backfills the vacated index (with its map entry re-pointed)
+    /// and the CLOCK hand is clamped back into range. With fewer slots
+    /// than capacity, subsequent inserts take the append path, so the
+    /// sweep invariants hold unchanged.
+    fn remove_key(&mut self, key: &CacheKey) -> bool {
+        let Some(i) = self.map.remove(key) else {
+            return false;
+        };
+        self.resident_bytes -= (self.slots[i].row.len() * std::mem::size_of::<f32>()) as u64;
+        self.slots.swap_remove(i);
+        if let Some(moved) = self.slots.get(i) {
+            self.map.insert(moved.key, i);
+        }
+        if self.hand >= self.slots.len() {
+            self.hand = 0;
+        }
+        true
+    }
+
     /// Inserts (or refreshes) a resident row, evicting via CLOCK at
     /// capacity.
     fn insert(&mut self, capacity: usize, key: CacheKey, row: Arc<[f32]>) {
@@ -249,6 +281,7 @@ impl LogitCache {
                 misses: 0,
                 coalesced: 0,
                 evictions: 0,
+                invalidated: 0,
                 resident_bytes: 0,
             }),
         }
@@ -382,6 +415,43 @@ impl LogitCache {
         }
     }
 
+    /// Drops the resident rows of `seeds` under `(generation,
+    /// graph_version)` and poisons any matching in-flight computations,
+    /// returning how many resident rows were removed. This is the
+    /// **dirty-cone** invalidation path of streaming mutations: rows
+    /// whose reverse L-hop cone a mutation touched stop being served,
+    /// while every other resident row keeps hitting.
+    ///
+    /// A poisoned in-flight entry is also unlinked from the table, so the
+    /// next claimant of that seed leads a fresh computation instead of
+    /// coalescing onto the stale one; when the stale leader eventually
+    /// fills, its row wakes its already-parked followers but is not
+    /// inserted into the resident store.
+    pub fn invalidate_seeds(
+        &self,
+        generation: SnapshotGeneration,
+        graph_version: GraphVersion,
+        seeds: &[u32],
+    ) -> u64 {
+        let mut removed = 0u64;
+        let mut store = self.lock();
+        for &seed in seeds {
+            let key = CacheKey {
+                generation,
+                graph_version,
+                seed,
+            };
+            if store.remove_key(&key) {
+                removed += 1;
+            }
+            if let Some(inflight) = store.inflight.remove(&key) {
+                inflight.invalidated.store(true, Ordering::Release);
+            }
+        }
+        store.invalidated += removed;
+        removed
+    }
+
     /// Point-in-time counters.
     pub fn snapshot(&self) -> CacheSnapshot {
         let store = self.lock();
@@ -390,6 +460,7 @@ impl LogitCache {
             misses: store.misses,
             coalesced: store.coalesced,
             evictions: store.evictions,
+            invalidated: store.invalidated,
             resident_rows: store.slots.len() as u64,
             resident_bytes: store.resident_bytes,
             capacity: self.cfg.capacity as u64,
@@ -462,8 +533,22 @@ impl LeadClaim {
                 seed,
             };
             let row: Arc<[f32]> = Arc::from(rows.row(i));
-            store.insert(self.cache.cfg.capacity, key, Arc::clone(&row));
-            store.inflight.remove(&key);
+            // A poisoned slot was invalidated mid-computation: the row is
+            // stale for the resident store, but followers (and the leader
+            // itself) still answer with it under the epoch it was
+            // computed against.
+            if !inflight.invalidated.load(Ordering::Acquire) {
+                store.insert(self.cache.cfg.capacity, key, Arc::clone(&row));
+            }
+            // Only unlink our own slot: invalidation may have already
+            // replaced the table entry with a successor leader's.
+            if store
+                .inflight
+                .get(&key)
+                .is_some_and(|cur| Arc::ptr_eq(cur, &inflight))
+            {
+                store.inflight.remove(&key);
+            }
             inflight.resolve(InflightState::Done(Arc::clone(&row)));
             out.push((seed, row));
         }
@@ -486,7 +571,13 @@ impl Drop for LeadClaim {
                 graph_version: self.graph_version,
                 seed,
             };
-            store.inflight.remove(&key);
+            if store
+                .inflight
+                .get(&key)
+                .is_some_and(|cur| Arc::ptr_eq(cur, &inflight))
+            {
+                store.inflight.remove(&key);
+            }
             inflight.resolve(InflightState::Aborted);
         }
     }
@@ -690,6 +781,105 @@ mod tests {
         let snap = cache.snapshot();
         assert_eq!(snap.misses, 1);
         assert_eq!(snap.coalesced, 4);
+    }
+
+    #[test]
+    fn invalidate_removes_exactly_the_named_seeds() {
+        let (g, v) = ids();
+        let cache = LogitCache::new(CacheConfig { capacity: 8 });
+        for s in 0..5u32 {
+            cache.fill_rows(g, v, &[s], &row_matrix(&[&[s as f32]]));
+        }
+        let removed = cache.invalidate_seeds(g, v, &[1, 3, 9]);
+        assert_eq!(removed, 2, "seed 9 was never resident");
+        assert!(cache.probe(g, v, 1).is_none());
+        assert!(cache.probe(g, v, 3).is_none());
+        for s in [0u32, 2, 4] {
+            assert!(cache.probe(g, v, s).is_some(), "seed {s} untouched");
+        }
+        let snap = cache.snapshot();
+        assert_eq!(snap.invalidated, 2);
+        assert_eq!(snap.resident_rows, 3);
+        assert_eq!(snap.resident_bytes, 12);
+        assert_eq!(snap.evictions, 0, "invalidation is not eviction");
+    }
+
+    #[test]
+    fn invalidate_then_refill_reuses_capacity() {
+        let (g, v) = ids();
+        let cache = LogitCache::new(CacheConfig { capacity: 3 });
+        for s in 0..3u32 {
+            cache.fill_rows(g, v, &[s], &row_matrix(&[&[s as f32]]));
+        }
+        assert_eq!(cache.invalidate_seeds(g, v, &[0, 1, 2]), 3);
+        assert_eq!(cache.snapshot().resident_rows, 0);
+        // The freed slots refill without eviction churn.
+        for s in 10..13u32 {
+            cache.fill_rows(g, v, &[s], &row_matrix(&[&[s as f32]]));
+        }
+        let snap = cache.snapshot();
+        assert_eq!(snap.resident_rows, 3);
+        assert_eq!(snap.evictions, 0);
+        for s in 10..13u32 {
+            assert!(cache.probe(g, v, s).is_some());
+        }
+    }
+
+    #[test]
+    fn invalidated_leader_fill_stays_nonresident() {
+        let (g, v) = ids();
+        let cache = Arc::new(LogitCache::new(CacheConfig { capacity: 8 }));
+        let claim = cache.claim(g, v, &[(6, 1)]);
+        let follower = cache.claim(g, v, &[(6, 1)]);
+        // A mutation lands while the leader computes.
+        cache.invalidate_seeds(g, v, &[6]);
+        // Parked followers still get the (stale-epoch) row...
+        let filled = claim.lead.fill(&row_matrix(&[&[6.5]]));
+        assert_eq!(filled.len(), 1);
+        let (_, handle) = follower.follows.into_iter().next().unwrap();
+        assert_eq!(&handle.wait().expect("leader resolved")[..], &[6.5]);
+        // ...but the row never became resident.
+        assert!(cache.probe(g, v, 6).is_none(), "stale fill not resident");
+        // And the next claimant leads fresh instead of coalescing.
+        let retry = cache.claim(g, v, &[(6, 1)]);
+        assert_eq!(retry.lead.seeds(), vec![6]);
+    }
+
+    #[test]
+    fn stale_leader_does_not_clobber_successor() {
+        let (g, v) = ids();
+        let cache = Arc::new(LogitCache::new(CacheConfig { capacity: 8 }));
+        let stale = cache.claim(g, v, &[(2, 1)]);
+        cache.invalidate_seeds(g, v, &[2]);
+        // A successor leads the seed post-invalidation.
+        let fresh = cache.claim(g, v, &[(2, 1)]);
+        assert_eq!(fresh.lead.seeds(), vec![2]);
+        // The stale leader fills (or aborts): the successor's in-flight
+        // slot must survive both.
+        stale.lead.fill(&row_matrix(&[&[0.0]]));
+        let parked = cache.claim(g, v, &[(2, 1)]);
+        assert!(parked.lead.is_empty(), "successor slot still in flight");
+        assert_eq!(parked.follows.len(), 1);
+        let rows = fresh.lead.fill(&row_matrix(&[&[2.25]]));
+        assert_eq!(&rows[0].1[..], &[2.25]);
+        let (_, handle) = parked.follows.into_iter().next().unwrap();
+        assert_eq!(&handle.wait().expect("fresh leader filled")[..], &[2.25]);
+        assert_eq!(&cache.probe(g, v, 2).unwrap()[..], &[2.25]);
+    }
+
+    #[test]
+    fn remove_key_backfill_keeps_map_consistent() {
+        let (g, v) = ids();
+        let cache = LogitCache::new(CacheConfig { capacity: 8 });
+        for s in 0..4u32 {
+            cache.fill_rows(g, v, &[s], &row_matrix(&[&[s as f32]]));
+        }
+        // Removing slot 0 swaps slot 3 into its place; every surviving
+        // row must still be reachable with its own bits.
+        cache.invalidate_seeds(g, v, &[0]);
+        for s in 1..4u32 {
+            assert_eq!(&cache.probe(g, v, s).unwrap()[..], &[s as f32]);
+        }
     }
 
     #[test]

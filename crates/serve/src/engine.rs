@@ -582,6 +582,22 @@ pub trait BatchEngine: Send + Sync {
     /// reports the one version shared by all its shard contexts.
     fn graph_version(&self) -> GraphVersion;
 
+    /// The mutation epoch the engine currently serves. Frozen-graph
+    /// engines are forever at epoch 0; a mutable engine
+    /// ([`crate::mutation::DynamicEngine`]) advances it per applied
+    /// batch, and every [`crate::QueryAnswer`] carries the epoch its
+    /// logits were computed against (the staleness bound).
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// Hands the engine the server's attached [`crate::LogitCache`] so
+    /// mutation-driven invalidation can target it. Frozen-graph engines
+    /// ignore the hook.
+    fn bind_cache(&self, cache: &std::sync::Arc<crate::LogitCache>) {
+        let _ = cache;
+    }
+
     /// Runs one forward covering every seed in `union`.
     ///
     /// `union` is validated, sorted and deduplicated by the caller; the

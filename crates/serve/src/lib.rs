@@ -32,6 +32,15 @@
 //!   batches share one computation ([`ServerBuilder::cache_capacity`]
 //!   enables it; [`StatsSnapshot::cache`] reports
 //!   hits/misses/coalesced/evictions);
+//! * [`DynamicEngine`] — streaming graph mutations on a live server:
+//!   edge inserts/deletes and feature writes are applied incrementally
+//!   (CSR splice + dirty-row renormalization, never a from-scratch
+//!   rebuild), a new engine epoch is swapped in atomically, and the
+//!   mutation's reverse L-hop dirty cone is invalidated from the cache
+//!   ([`InvalidationStrategy::DirtyCone`]) instead of cold-starting every
+//!   row; answers carry the epoch they were computed against
+//!   ([`QueryAnswer::epoch`]) and post-mutation logits are bitwise
+//!   identical to an engine built fresh on the mutated graph;
 //! * [`admission`] — the control plane between clients and the batcher:
 //!   a **bounded ingress queue** with a pluggable overload policy
 //!   ([`OverloadPolicy`]: block, reject-newest, drop-oldest, or
@@ -96,6 +105,7 @@ pub mod cache;
 pub mod engine;
 pub mod loadgen;
 pub mod metrics;
+pub mod mutation;
 pub mod router;
 pub mod server;
 pub mod telemetry;
@@ -111,6 +121,9 @@ pub use maxk_graph::shard::ShardStrategy;
 pub use maxk_nn::plan::{ForwardPlan, PlanConfig};
 pub use maxk_nn::{GraphVersion, SnapshotGeneration};
 pub use metrics::{ClientStats, EvictedClientStats, LatencyHistogram, LatencySummary};
+pub use mutation::{
+    DynamicEngine, DynamicStats, InvalidationStrategy, Mutation, MutationIngress, MutationReport,
+};
 pub use router::{ShardConfig, ShardInfo, ShardedEngine};
 pub use server::{
     PendingQuery, QueryAnswer, QueryOptions, QueryResponse, ServeConfig, Server, ServerBuilder,

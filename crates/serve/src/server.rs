@@ -204,6 +204,11 @@ pub struct QueryAnswer {
     pub generation: SnapshotGeneration,
     /// The graph operand these logits were computed over.
     pub graph_version: GraphVersion,
+    /// The mutation epoch these logits were computed against — always 0
+    /// for frozen-graph engines; for a [`crate::DynamicEngine`] it is
+    /// the staleness bound: an answer at epoch `e` reflects every
+    /// mutation batch up to `e` and none after.
+    pub epoch: u64,
     /// True when every requested row came from the logit cache (resident
     /// or another batch's in-flight computation) — this query triggered
     /// no forward work of its own.
@@ -624,12 +629,15 @@ impl Server {
     fn spawn<E: BatchEngine + 'static>(engine: Arc<E>, cfg: ServeConfig) -> Server {
         let num_nodes = engine.num_nodes();
         let out_dim = engine.out_dim();
-        let generation = engine.generation();
-        let graph_version = engine.graph_version();
         let counters = Arc::new(Counters::new(engine.num_shards()));
         let hist = Arc::new(Mutex::new(LatencyHistogram::new()));
         let queue = Arc::new(AdmissionQueue::<Request>::new(cfg.admission));
         let cache = cfg.cache.map(|c| Arc::new(LogitCache::new(c)));
+        // A mutable engine invalidates its dirty cones straight into the
+        // server's cache; frozen engines ignore the hook.
+        if let Some(c) = &cache {
+            engine.bind_cache(c);
+        }
         let telemetry = cfg
             .telemetry
             .enabled
@@ -650,6 +658,7 @@ impl Server {
         let batcher_hist = Arc::clone(&hist);
         let batcher_cache = cache.clone();
         let batcher_tel = telemetry.clone();
+        let batcher_engine = Arc::clone(&engine);
         let batcher = std::thread::spawn(move || {
             // Probes a popped entry against the cache. A fully-hot entry
             // is answered inline — batch size 1, no forward, never
@@ -659,6 +668,13 @@ impl Server {
             // entries are always answered (shedding happens inside
             // `pop`, before the probe).
             let prepare = |mut entry: Entry<Request>| -> Option<BatchItem> {
+                // Sampled per entry, not once at spawn: a mutable engine
+                // advances its identity (epoch, and under version-bumping
+                // its GraphVersion) while the server runs, and probes
+                // must key against the identity being served *now*.
+                let generation = batcher_engine.generation();
+                let graph_version = batcher_engine.graph_version();
+                let epoch = batcher_engine.epoch();
                 let dequeued = Instant::now();
                 if let Some(trace) = entry.payload.trace.as_mut() {
                     trace.mark_at(Stage::Dequeue, dequeued);
@@ -742,6 +758,7 @@ impl Server {
                         partial: false,
                         generation,
                         graph_version,
+                        epoch,
                         cached: true,
                     })));
                 None
@@ -827,6 +844,13 @@ impl Server {
                     let size = batch.len();
                     let batch_id = telemetry.as_ref().map_or(0, |t| t.next_batch_id());
                     let obs = telemetry.as_deref().map(|t| (t, batch_id));
+                    // Sampled per batch (see the batcher's per-entry
+                    // note): the whole batch is answered by one engine
+                    // state, so one sample before the forward labels and
+                    // cache-keys it consistently.
+                    let generation = engine.generation();
+                    let graph_version = engine.graph_version();
+                    let epoch = engine.epoch();
                     // The forward-start instant splits batch-wait from
                     // service in the stage histograms.
                     let fwd_start = Instant::now();
@@ -888,6 +912,7 @@ impl Server {
                             partial,
                             generation,
                             graph_version,
+                            epoch,
                             cached,
                         };
                         replies.push((entry.client, entry.payload.reply, answer));
@@ -1217,6 +1242,11 @@ fn stat_samples(stats: &StatsSnapshot, hist: LatencyHistogram) -> (Vec<Sample>, 
             "maxk_serve_cache_evictions_total",
             cache.evictions,
             "Cache rows evicted under capacity pressure",
+        ));
+        samples.push(Sample::counter(
+            "maxk_serve_cache_invalidated_total",
+            cache.invalidated,
+            "Cache rows dropped by mutation dirty-cone invalidation",
         ));
         samples.push(Sample::gauge(
             "maxk_serve_cache_resident_rows",
