@@ -78,10 +78,10 @@ use maxk_nn::plan::{full_cost, partial_cost};
 use maxk_nn::snapshot::ModelSnapshot;
 use maxk_nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
 use maxk_serve::{
-    open_loop, replay, AdmissionConfig, BatchEngine, DynamicEngine, FairnessConfig,
-    InferenceEngine, InvalidationStrategy, LatencySummary, LoadConfig, LoadReport, Mutation,
-    OpenLoopConfig, OverloadPolicy, ServeConfig, Server, ShardConfig, ShardedEngine, StatsSnapshot,
-    TelemetryConfig, ZipfSampler,
+    open_loop, replay, AdaptiveConfig, AdaptiveController, AdmissionConfig, BatchEngine,
+    DynamicEngine, FairnessConfig, InferenceEngine, InvalidationStrategy, LatencySummary,
+    LoadConfig, LoadReport, Mutation, OpenLoopConfig, OpenLoopReport, OverloadPolicy, ServeConfig,
+    Server, ShardConfig, ShardedEngine, StatsSnapshot, TelemetryConfig, ZipfSampler,
 };
 use maxk_tensor::Matrix;
 use rand::{Rng, SeedableRng};
@@ -137,24 +137,28 @@ fn admission_for(label: &str, capacity: usize, deadline: Duration) -> AdmissionC
             policy: OverloadPolicy::Block,
             fairness: None,
             default_deadline: None,
+            classes: None,
         },
         "reject" => AdmissionConfig {
             capacity,
             policy: OverloadPolicy::RejectNewest,
             fairness: None,
             default_deadline: None,
+            classes: None,
         },
         "drop" | "drop-oldest" => AdmissionConfig {
             capacity,
             policy: OverloadPolicy::DropOldest,
             fairness: None,
             default_deadline: None,
+            classes: None,
         },
         "deadline" => AdmissionConfig {
             capacity,
             policy: OverloadPolicy::DeadlineShed,
             fairness: None,
             default_deadline: Some(deadline),
+            classes: None,
         },
         other => panic!("unknown admission policy {other} (block|reject|drop|deadline)"),
     }
@@ -326,6 +330,199 @@ fn assert_admission_bounds(points: &[SweepPoint], deadline_ms: u64, offered_mult
             );
         }
     }
+}
+
+/// One adaptive-sweep measurement kept raw for the `--adaptive-assert`
+/// smoke bounds (the JSON mirror goes to `BENCH_adaptive.json`).
+struct AdaptivePoint {
+    mult: f64,
+    static_p99_us: f64,
+    adaptive_p99_us: f64,
+    adaptive_samples: u64,
+    adaptive_ewma_us: u64,
+}
+
+/// CI smoke assertions over the adaptive sweep: the controller must
+/// actually have adapted (live EWMA fed by real batches, budgets
+/// derived from it), and the adaptive arm's p99 must match or beat the
+/// hand-tuned static baseline at every offered load — "match" allows
+/// measurement noise at underload, where neither arm sheds and the two
+/// servers are behaviorally identical.
+fn assert_adaptive_bounds(points: &[AdaptivePoint]) {
+    for p in points {
+        assert!(
+            p.adaptive_samples > 0 && p.adaptive_ewma_us > 0,
+            "adaptive arm at {:.1}x never observed a batch — controller not wired?",
+            p.mult
+        );
+        let bound = p.static_p99_us * 1.25 + 2_000.0;
+        assert!(
+            p.adaptive_p99_us <= bound,
+            "adaptive p99 {}us at {:.1}x exceeds the static baseline's {}us (bound {bound}us)",
+            p.adaptive_p99_us,
+            p.mult,
+            p.static_p99_us
+        );
+    }
+}
+
+/// Static-vs-adaptive admission comparison at each offered-load
+/// multiplier.
+///
+/// The static arm is the admission sweep's best bounded policy —
+/// deadline shedding with the hand-computed queue capacity and latency
+/// budget — with the same budget stamped on every query client-side.
+/// The adaptive arm hand-sets *nothing*: deadline shedding over
+/// [`AdmissionConfig::default`] with an [`AdaptiveConfig::default`]
+/// controller attached, so queue capacity and the shedding deadline are
+/// derived live from the batch-service-time EWMA. Each arm runs
+/// `reps` times per point and keeps the lowest-p99 run to damp
+/// scheduler noise.
+#[allow(clippy::too_many_arguments)]
+fn adaptive_sweep(
+    engine: &Arc<InferenceEngine>,
+    serve_cfg: ServeConfig,
+    capacity_qps: f64,
+    offered_mults: &[f64],
+    clients: usize,
+    seeds_per_query: usize,
+    zipf: f64,
+    open_secs: f64,
+    deadline: Duration,
+    admission_capacity: usize,
+    reps: usize,
+) -> (Table, Vec<JsonObject>, Vec<AdaptivePoint>) {
+    let mut table = Table::new(vec![
+        "mode",
+        "offered",
+        "submitted",
+        "goodput q/s",
+        "shed+rej",
+        "p50",
+        "p99",
+        "ewma",
+        "derived cap",
+        "derived ddl",
+    ]);
+    let mut rows = Vec::new();
+    let mut raw_points = Vec::new();
+    let arms: [(&str, ServeConfig, Option<Duration>); 2] = [
+        (
+            "static",
+            ServeConfig {
+                admission: AdmissionConfig {
+                    capacity: admission_capacity,
+                    policy: OverloadPolicy::DeadlineShed,
+                    default_deadline: Some(deadline),
+                    ..AdmissionConfig::default()
+                },
+                ..serve_cfg
+            },
+            Some(deadline),
+        ),
+        (
+            "adaptive",
+            ServeConfig {
+                admission: AdmissionConfig {
+                    policy: OverloadPolicy::DeadlineShed,
+                    ..AdmissionConfig::default()
+                },
+                adaptive: Some(AdaptiveConfig::default()),
+                ..serve_cfg
+            },
+            None,
+        ),
+    ];
+    for &mult in offered_mults {
+        let offered_qps = mult * capacity_qps;
+        let mut point = JsonObject::new()
+            .field("offered_mult", mult)
+            .field("offered_qps", offered_qps);
+        let mut p99_by_arm = [0.0f64; 2];
+        let mut adaptive_stats: Option<maxk_serve::AdaptiveSnapshot> = None;
+        for (i, (label, cfg, client_deadline)) in arms.iter().enumerate() {
+            let mut best: Option<(OpenLoopReport, StatsSnapshot)> = None;
+            for _ in 0..reps {
+                let server = Server::builder().config(*cfg).start(Arc::clone(engine));
+                let report = open_loop(
+                    &server.handle(),
+                    &OpenLoopConfig {
+                        clients,
+                        offered_qps,
+                        duration: Duration::from_secs_f64(open_secs),
+                        seeds_per_query,
+                        zipf_exponent: zipf,
+                        seed: 17,
+                        deadline: *client_deadline,
+                    },
+                )
+                .expect("open loop against a live server");
+                let stats = server.shutdown();
+                assert_eq!(
+                    report.submitted,
+                    report.answered + report.rejected + report.shed,
+                    "open-loop books must balance exactly"
+                );
+                let better = best
+                    .as_ref()
+                    .is_none_or(|(b, _)| report.latency.p99_us < b.latency.p99_us);
+                if better {
+                    best = Some((report, stats));
+                }
+            }
+            let (report, stats) = best.expect("at least one rep per arm");
+            p99_by_arm[i] = report.latency.p99_us;
+            let snap = stats.adaptive;
+            table.row(vec![
+                label.to_string(),
+                format!("{mult:.2}x"),
+                report.submitted.to_string(),
+                format!("{:.1}", report.goodput_qps),
+                format!("{}", report.shed + report.rejected),
+                format!("{:.0}us", report.latency.p50_us),
+                format!("{:.0}us", report.latency.p99_us),
+                snap.map_or("-".into(), |a| format!("{}us", a.ewma_us)),
+                snap.map_or("-".into(), |a| a.derived_capacity.to_string()),
+                snap.map_or("-".into(), |a| {
+                    format!("{:.1}ms", a.derived_deadline_us as f64 / 1e3)
+                }),
+            ]);
+            let mut arm_json = JsonObject::new()
+                .field("submitted", report.submitted)
+                .field("answered", report.answered)
+                .field("rejected", report.rejected)
+                .field("shed", report.shed)
+                .field("late_answers", report.late)
+                .field("goodput_qps", report.goodput_qps)
+                .field("wall_s", report.wall_s)
+                .field("p50_us", report.latency.p50_us)
+                .field("p95_us", report.latency.p95_us)
+                .field("p99_us", report.latency.p99_us)
+                .field("mean_batch", stats.mean_batch)
+                .field("queue_depth_peak", stats.queue_depth_peak);
+            if let Some(a) = snap {
+                arm_json = arm_json
+                    .field("service_ewma_us", a.ewma_us)
+                    .field("ewma_samples", a.samples)
+                    .field("derived_capacity", a.derived_capacity)
+                    .field("derived_deadline_us", a.derived_deadline_us)
+                    .field("replans", a.replans);
+                adaptive_stats = Some(a);
+            }
+            point = point.field(label, arm_json);
+        }
+        point = point.field("p99_ratio", p99_by_arm[1] / p99_by_arm[0].max(1.0));
+        rows.push(point);
+        let a = adaptive_stats.expect("adaptive arm reports controller gauges");
+        raw_points.push(AdaptivePoint {
+            mult,
+            static_p99_us: p99_by_arm[0],
+            adaptive_p99_us: p99_by_arm[1],
+            adaptive_samples: a.samples,
+            adaptive_ewma_us: a.ewma_us,
+        });
+    }
+    (table, rows, raw_points)
 }
 
 /// One cache-sweep measurement kept raw for the `--cache-assert` smoke
@@ -1139,6 +1336,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fair_rate = args.get("fair-rate", 0.0f64);
     let fair_burst = args.get("fair-burst", 8.0f64);
     let admission_out = args.get_str("admission-out", "BENCH_admission.json");
+    let skip_adaptive = args.flag("skip-adaptive");
+    let adaptive_assert = args.flag("adaptive-assert");
+    let adaptive_reps = args.get("adaptive-reps", 2usize).max(1);
+    let adaptive_out = args.get_str("adaptive-out", "BENCH_adaptive.json");
     let skip_dynamic = args.flag("skip-dynamic");
     let dynamic_assert = args.flag("dynamic-assert");
     let dynamic_writes: Vec<f64> = args
@@ -1768,10 +1969,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    keep: past saturation, p99 stays bounded and goodput plateaus
     //    instead of collapsing, while the `block` baseline's queue depth
     //    grows with offered load.
-    if skip_admission {
-        println!("admission sweep skipped (--skip-admission)");
-        return Ok(());
-    }
     // Saturation estimate: one forward serves a whole batch, so the
     // pipeline saturates near `max_batch / full-batch service time`.
     // Measure that service time directly on a max_batch-seed union (what
@@ -1779,7 +1976,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // replay measures it: the batched one is limited by its client
     // concurrency, and the unbatched one times 1-seed forwards that the
     // planner serves via the ~100x-cheaper partial path.
-    let batch_service_s = {
+    // The probe feeds the same [`AdaptiveController`] EWMA the servers
+    // run live (no ad-hoc mean): the saturation estimate IS the
+    // controller's batch-service-time average after the warm-up reps.
+    let probe = AdaptiveController::new(AdaptiveConfig::default(), max_batch, workers);
+    {
         let mut union = sample_seeds(
             n,
             max_batch.min(n),
@@ -1787,13 +1988,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         union.sort_unstable();
         union.dedup();
-        let reps = 3;
-        let t0 = Instant::now();
-        for _ in 0..reps {
+        for _ in 0..3 {
+            let t0 = Instant::now();
             std::hint::black_box(engine.forward_union(&union));
+            probe.observe_batch(t0.elapsed(), 0);
         }
-        t0.elapsed().as_secs_f64() / reps as f64
-    };
+    }
+    let batch_service_s = probe
+        .service_ewma()
+        .expect("probe observed warm-up batches")
+        .as_secs_f64();
     let capacity_qps = max_batch as f64 / batch_service_s;
     // Auto latency budget (--deadline-ms 0): generous enough that
     // at-capacity answers fit. An answered query's latency is bounded by
@@ -1814,65 +2018,140 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rate_per_s: fair_rate,
         burst: fair_burst,
     });
-    println!(
-        "admission sweep: offered {offered_mults:?} x {capacity_qps:.1} q/s capacity \
+    if skip_admission {
+        println!("admission sweep skipped (--skip-admission)");
+    } else {
+        println!(
+            "admission sweep: offered {offered_mults:?} x {capacity_qps:.1} q/s capacity \
          ({:.1}ms/batch), policies {admission_policies:?}, {open_secs}s open loop, \
          {deadline_ms}ms budget",
-        batch_service_s * 1e3
-    );
-    let (atable, arows, apoints) = admission_sweep(
-        &engine,
-        ServeConfig {
-            batch_window: Duration::from_micros(window_us),
-            max_batch,
-            workers,
-            ..serve_base
-        },
-        capacity_qps,
-        &admission_policies,
-        &offered_mults,
-        clients,
-        seeds_per_query,
-        zipf,
-        open_secs,
-        deadline,
-        admission_capacity,
-        fairness,
-    );
-    atable.print();
+            batch_service_s * 1e3
+        );
+        let (atable, arows, apoints) = admission_sweep(
+            &engine,
+            ServeConfig {
+                batch_window: Duration::from_micros(window_us),
+                max_batch,
+                workers,
+                ..serve_base
+            },
+            capacity_qps,
+            &admission_policies,
+            &offered_mults,
+            clients,
+            seeds_per_query,
+            zipf,
+            open_secs,
+            deadline,
+            admission_capacity,
+            fairness,
+        );
+        atable.print();
 
-    if admission_assert {
-        assert_admission_bounds(&apoints, deadline_ms, &offered_mults);
-        println!("admission assertions passed: nonzero shedding and bounded p99 under overload");
+        if admission_assert {
+            assert_admission_bounds(&apoints, deadline_ms, &offered_mults);
+            println!(
+                "admission assertions passed: nonzero shedding and bounded p99 under overload"
+            );
+        }
+
+        let ajson = JsonObject::new()
+            .field("bench", "admission")
+            .field("dataset", "Flickr")
+            .field("scale", scale_name.as_str())
+            .field("nodes", n)
+            .field("edges", data.csr.num_edges())
+            .field("arch", "SAGE")
+            .field("layers", num_layers)
+            .field("k", k)
+            .field("hidden_dim", hidden)
+            .field("clients", clients)
+            .field("window_us", window_us)
+            .field("max_batch", max_batch)
+            .field("workers", workers)
+            .field("zipf_exponent", zipf)
+            .field("capacity_qps", capacity_qps)
+            .field("batch_service_s", batch_service_s)
+            .field("closed_loop_qps", batched.throughput_qps)
+            .field("open_loop_secs", open_secs)
+            .field("deadline_ms", deadline_ms)
+            .field("queue_capacity", admission_capacity)
+            .field("fair_rate_per_s", fair_rate)
+            .field(
+                "policies",
+                JsonValue::Array(arows.into_iter().map(JsonValue::Object).collect()),
+            );
+        save_json(&admission_out, &ajson)?;
+        println!("wrote {admission_out}");
     }
 
-    let ajson = JsonObject::new()
-        .field("bench", "admission")
-        .field("dataset", "Flickr")
-        .field("scale", scale_name.as_str())
-        .field("nodes", n)
-        .field("edges", data.csr.num_edges())
-        .field("arch", "SAGE")
-        .field("layers", num_layers)
-        .field("k", k)
-        .field("hidden_dim", hidden)
-        .field("clients", clients)
-        .field("window_us", window_us)
-        .field("max_batch", max_batch)
-        .field("workers", workers)
-        .field("zipf_exponent", zipf)
-        .field("capacity_qps", capacity_qps)
-        .field("batch_service_s", batch_service_s)
-        .field("closed_loop_qps", batched.throughput_qps)
-        .field("open_loop_secs", open_secs)
-        .field("deadline_ms", deadline_ms)
-        .field("queue_capacity", admission_capacity)
-        .field("fair_rate_per_s", fair_rate)
-        .field(
-            "policies",
-            JsonValue::Array(arows.into_iter().map(JsonValue::Object).collect()),
+    // 9. Adaptive-admission sweep: the best static policy from the
+    //    admission sweep (deadline shedding with the hand-computed
+    //    queue capacity and latency budget above) against a server
+    //    whose capacity and deadline are *derived live* from the
+    //    admission layer's batch-service-time EWMA — no hand-set
+    //    budgets anywhere in the adaptive arm.
+    if skip_adaptive {
+        println!("adaptive sweep skipped (--skip-adaptive)");
+    } else {
+        println!(
+            "adaptive sweep: offered {offered_mults:?} x {capacity_qps:.1} q/s capacity, \
+             static baseline = deadline policy ({deadline_ms}ms budget, {admission_capacity} \
+             queue) vs derived budgets, best of {adaptive_reps} reps"
         );
-    save_json(&admission_out, &ajson)?;
-    println!("wrote {admission_out}");
+        let (adtable, adrows, adpoints) = adaptive_sweep(
+            &engine,
+            ServeConfig {
+                batch_window: Duration::from_micros(window_us),
+                max_batch,
+                workers,
+                ..serve_base
+            },
+            capacity_qps,
+            &offered_mults,
+            clients,
+            seeds_per_query,
+            zipf,
+            open_secs,
+            deadline,
+            admission_capacity,
+            adaptive_reps,
+        );
+        adtable.print();
+        if adaptive_assert {
+            assert_adaptive_bounds(&adpoints);
+            println!(
+                "adaptive assertions passed: derived budgets converged and p99 matches or beats \
+                 the static baseline at every offered load"
+            );
+        }
+        let adjson = JsonObject::new()
+            .field("bench", "adaptive_admission")
+            .field("dataset", "Flickr")
+            .field("scale", scale_name.as_str())
+            .field("nodes", n)
+            .field("edges", data.csr.num_edges())
+            .field("arch", "SAGE")
+            .field("layers", num_layers)
+            .field("k", k)
+            .field("hidden_dim", hidden)
+            .field("clients", clients)
+            .field("window_us", window_us)
+            .field("max_batch", max_batch)
+            .field("workers", workers)
+            .field("zipf_exponent", zipf)
+            .field("capacity_qps", capacity_qps)
+            .field("batch_service_s", batch_service_s)
+            .field("open_loop_secs", open_secs)
+            .field("reps", adaptive_reps)
+            .field("static_deadline_ms", deadline_ms)
+            .field("static_queue_capacity", admission_capacity)
+            .field(
+                "points",
+                JsonValue::Array(adrows.into_iter().map(JsonValue::Object).collect()),
+            );
+        save_json(&adaptive_out, &adjson)?;
+        println!("wrote {adaptive_out}");
+    }
     Ok(())
 }

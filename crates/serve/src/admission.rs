@@ -26,6 +26,26 @@
 //!   server runs): `submitted == popped + rejected + shed + depth` holds
 //!   under the queue's lock at all times, so overload experiments can
 //!   reconcile their books to the query.
+//! * **Adaptive budgets** ([`AdaptiveController`]) — instead of
+//!   hand-set capacity and deadline, the queue can derive both from a
+//!   live EWMA of *observed* batch service time (fed by the serving
+//!   workers after every forward, re-planned on engine epoch swap).
+//!   The derived values replace [`AdmissionConfig::capacity`] /
+//!   [`AdmissionConfig::default_deadline`] the moment the first
+//!   measurement lands; until then the static values apply. The
+//!   accounting identity is unaffected: a capacity shrink simply makes
+//!   the full-queue policy machinery engage earlier, and every entry it
+//!   removes is counted shed exactly as before.
+//! * **Weighted classes** ([`ClassWeights`]) — service-coupled token
+//!   buckets per traffic class (e.g. `paid`/`internal`/`batch`),
+//!   layered over per-client fairness. Each *pop* (one unit of service)
+//!   refills one credit split across classes in proportion to weight;
+//!   credits are only charged when a submission hits a full queue, so
+//!   shaping is work-conserving — under light load classes are
+//!   indistinguishable, under sustained overload admitted throughput is
+//!   proportional to weight and a class out of credits is rejected with
+//!   [`RejectReason::ClassThrottled`]. Per-class books obey
+//!   `submitted == popped + rejected + shed + queued` class by class.
 //!
 //! The queue is generic over its payload `T` so the policy/fairness
 //! machinery is testable without spinning up a server (the proptest
@@ -34,7 +54,8 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::metrics::{ClientStats, EvictedClientStats, LatencyHistogram, LatencySummary};
@@ -95,10 +116,389 @@ pub struct FairnessConfig {
     pub burst: f64,
 }
 
+/// Tuning knobs for [`AdaptiveController`].
+///
+/// The controller maintains an exponentially-weighted moving average
+/// (EWMA) of the batch service time the workers actually observe, and
+/// derives from it the two budgets that were previously hand-set per
+/// graph/batch-size combination:
+///
+/// * **deadline** — `deadline_multiplier x EWMA` (or the fixed
+///   `latency_target` when one is given): a query may wait a few
+///   batch-times, but not an unbounded multiple of one.
+/// * **capacity** — the number of queries the worker pool can drain
+///   within one deadline budget, `workers x max_batch x (deadline /
+///   EWMA)`, clamped to `[min_capacity, max_capacity]`. Admitting more
+///   than that merely manufactures deadline-blown work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// EWMA smoothing factor in `(0, 1]`: the weight of the newest
+    /// observation. Default `0.2`.
+    pub alpha: f64,
+    /// Deadline budget as a multiple of the EWMA batch service time
+    /// (used when `latency_target` is `None`). Must be `>= 1`.
+    ///
+    /// Default `2.0`: the derived capacity then equals the work the
+    /// pool drains in one budget, so a query admitted to a full queue
+    /// just barely makes its deadline, and an answered query's p99
+    /// lands near `(multiplier + 2) x EWMA` (queue wait up to one
+    /// budget, then its own batch's channel hop and service). Raising
+    /// the multiplier trades latency for fewer sheds under bursts.
+    pub deadline_multiplier: f64,
+    /// Fixed end-to-end latency target. When set, the derived deadline
+    /// is this value and only the capacity adapts to the measured
+    /// service time. Default `None`.
+    pub latency_target: Option<Duration>,
+    /// Lower clamp on the derived capacity. Keep this strictly above
+    /// the expected number of active clients so the fairness
+    /// non-starvation precondition (see [`AdmissionQueue::submit`])
+    /// survives adaptation. Default `64`.
+    pub min_capacity: usize,
+    /// Upper clamp on the derived capacity. Default `1 << 20`.
+    pub max_capacity: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            alpha: 0.2,
+            deadline_multiplier: 2.0,
+            latency_target: None,
+            min_capacity: 64,
+            max_capacity: 1 << 20,
+        }
+    }
+}
+
+/// Point-in-time view of an [`AdaptiveController`] (exported as the
+/// `maxk_serve_admission_*` adaptive gauges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdaptiveSnapshot {
+    /// EWMA of observed batch service time, microseconds (0 before the
+    /// first observation).
+    pub ewma_us: u64,
+    /// Batches observed so far.
+    pub samples: u64,
+    /// Capacity currently derived from the EWMA (0 before the first
+    /// observation).
+    pub derived_capacity: u64,
+    /// Deadline budget currently derived from the EWMA, microseconds
+    /// (0 before the first observation).
+    pub derived_deadline_us: u64,
+    /// Times the average was restarted because the engine epoch
+    /// changed (snapshot/graph swap).
+    pub replans: u64,
+}
+
+/// Live batch-service-time measurement and the budgets derived from it.
+///
+/// One controller is shared (via `Arc`) between the serving workers —
+/// which call [`AdaptiveController::observe_batch`] after every batch
+/// forward — and the [`AdmissionQueue`], which reads
+/// [`derived_capacity`](AdaptiveController::derived_capacity) /
+/// [`derived_deadline`](AdaptiveController::derived_deadline) on every
+/// submission. All state is atomics: observation never takes the
+/// admission lock, and a reader sees either the pre- or post-update
+/// value, both of which are valid budgets.
+///
+/// An observation carrying a new engine **epoch** (a [`DynamicEngine`]
+/// mutation swapped the graph) *re-plans*: the average restarts at that
+/// observation instead of dragging the stale graph's service time
+/// along. `serve_bench` uses the same type for its startup capacity
+/// measurement, so the bench and the server share one measurement path.
+///
+/// [`DynamicEngine`]: crate::mutation::DynamicEngine
+#[derive(Debug)]
+pub struct AdaptiveController {
+    cfg: AdaptiveConfig,
+    max_batch: u64,
+    workers: u64,
+    ewma_us: AtomicU64,
+    samples: AtomicU64,
+    last_epoch: AtomicU64,
+    replans: AtomicU64,
+}
+
+impl AdaptiveController {
+    /// Creates a controller for a server draining batches of up to
+    /// `max_batch` queries on `workers` parallel workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alpha` is outside `(0, 1]`, `deadline_multiplier <
+    /// 1`, `max_batch == 0`, `workers == 0`, `min_capacity == 0`, or
+    /// `min_capacity > max_capacity`.
+    pub fn new(cfg: AdaptiveConfig, max_batch: usize, workers: usize) -> Self {
+        assert!(
+            cfg.alpha.is_finite() && cfg.alpha > 0.0 && cfg.alpha <= 1.0,
+            "adaptive alpha must be in (0, 1] (got {})",
+            cfg.alpha
+        );
+        assert!(
+            cfg.deadline_multiplier.is_finite() && cfg.deadline_multiplier >= 1.0,
+            "adaptive deadline multiplier must be >= 1 (got {})",
+            cfg.deadline_multiplier
+        );
+        assert!(max_batch > 0, "adaptive max_batch must be nonzero");
+        assert!(workers > 0, "adaptive worker count must be nonzero");
+        assert!(
+            0 < cfg.min_capacity && cfg.min_capacity <= cfg.max_capacity,
+            "adaptive capacity clamp must satisfy 0 < min <= max (got {}..={})",
+            cfg.min_capacity,
+            cfg.max_capacity
+        );
+        AdaptiveController {
+            cfg,
+            max_batch: max_batch as u64,
+            workers: workers as u64,
+            ewma_us: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            last_epoch: AtomicU64::new(0),
+            replans: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration the controller was built with.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    /// Feeds one observed batch service time (wall time of the batch's
+    /// forward pass) measured against engine `epoch`.
+    ///
+    /// Sub-microsecond observations count as 1us so a cache-hot batch
+    /// can never zero the average out. An epoch change restarts the
+    /// average at this observation (re-plan).
+    pub fn observe_batch(&self, service: Duration, epoch: u64) {
+        let us = service.as_micros().clamp(1, u128::from(u64::MAX)) as u64;
+        let prev_epoch = self.last_epoch.swap(epoch, Ordering::AcqRel);
+        if prev_epoch != epoch && self.samples.load(Ordering::Acquire) > 0 {
+            self.ewma_us.store(us, Ordering::Release);
+            self.replans.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let alpha = self.cfg.alpha;
+            let _ = self
+                .ewma_us
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |old| {
+                    Some(if old == 0 {
+                        us
+                    } else {
+                        ((old as f64) + alpha * (us as f64 - old as f64))
+                            .round()
+                            .max(1.0) as u64
+                    })
+                });
+        }
+        self.samples.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Current EWMA of batch service time; `None` before the first
+    /// observation.
+    pub fn service_ewma(&self) -> Option<Duration> {
+        let us = self.ewma_us.load(Ordering::Acquire);
+        (us > 0).then(|| Duration::from_micros(us))
+    }
+
+    /// The deadline budget derived from the current EWMA; `None` before
+    /// the first observation (static config applies until then).
+    pub fn derived_deadline(&self) -> Option<Duration> {
+        self.service_ewma().map(|t| match self.cfg.latency_target {
+            Some(target) => target,
+            None => Duration::from_micros(
+                (t.as_micros() as f64 * self.cfg.deadline_multiplier).round() as u64,
+            ),
+        })
+    }
+
+    /// The queue capacity derived from the current EWMA (queries the
+    /// worker pool drains within one deadline budget, clamped); `None`
+    /// before the first observation.
+    pub fn derived_capacity(&self) -> Option<usize> {
+        let t = self.ewma_us.load(Ordering::Acquire);
+        if t == 0 {
+            return None;
+        }
+        let budget_us = self.derived_deadline()?.as_micros() as f64;
+        let drain = (self.workers * self.max_batch) as f64 * (budget_us / t as f64);
+        Some((drain.round() as usize).clamp(self.cfg.min_capacity, self.cfg.max_capacity))
+    }
+
+    /// Batches observed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Acquire)
+    }
+
+    /// Consistent-enough point-in-time view for gauges (individual
+    /// fields are read independently; each is internally valid).
+    pub fn snapshot(&self) -> AdaptiveSnapshot {
+        AdaptiveSnapshot {
+            ewma_us: self.ewma_us.load(Ordering::Acquire),
+            samples: self.samples.load(Ordering::Acquire),
+            derived_capacity: self.derived_capacity().unwrap_or(0) as u64,
+            derived_deadline_us: self
+                .derived_deadline()
+                .map_or(0, |d| d.as_micros().min(u128::from(u64::MAX)) as u64),
+            replans: self.replans.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Maximum number of traffic classes a [`ClassWeights`] can hold.
+///
+/// Fixed so the whole configuration stays `Copy` (classes live in
+/// [`AdmissionConfig`], which travels by value through builders).
+pub const MAX_CLASSES: usize = 8;
+
+/// Weighted traffic classes for service-coupled admission shaping.
+///
+/// Classes are indexed `0..len` in registration order; a query names
+/// its class by index (class `0` is the default for untagged traffic).
+/// See the [module docs](self) for the credit mechanics: one credit per
+/// pop, split by weight, charged only at a full queue, per-class burst
+/// cap.
+///
+/// # Examples
+///
+/// ```
+/// use maxk_serve::admission::ClassWeights;
+///
+/// let classes = ClassWeights::new()
+///     .with_class("paid", 6.0)
+///     .with_class("internal", 3.0)
+///     .with_class("batch", 1.0);
+/// assert_eq!(classes.len(), 3);
+/// assert_eq!(classes.name(0), "paid");
+/// assert_eq!(classes.weight(2), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassWeights {
+    weights: [f64; MAX_CLASSES],
+    names: [&'static str; MAX_CLASSES],
+    len: usize,
+    burst: f64,
+}
+
+impl Default for ClassWeights {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClassWeights {
+    /// An empty class table (add classes with
+    /// [`with_class`](ClassWeights::with_class)).
+    pub fn new() -> Self {
+        ClassWeights {
+            weights: [0.0; MAX_CLASSES],
+            names: [""; MAX_CLASSES],
+            len: 0,
+            burst: 16.0,
+        }
+    }
+
+    /// Appends a class with the given display name and weight,
+    /// returning its index implicitly (registration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics past [`MAX_CLASSES`] classes or when `weight` is not
+    /// strictly positive and finite (a zero-weight class would never
+    /// refill and starve, which the shaping is proven not to do).
+    pub fn with_class(mut self, name: &'static str, weight: f64) -> Self {
+        assert!(self.len < MAX_CLASSES, "at most {MAX_CLASSES} classes");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "class weight must be finite and > 0 (got {weight})"
+        );
+        self.weights[self.len] = weight;
+        self.names[self.len] = name;
+        self.len += 1;
+        self
+    }
+
+    /// Sets the per-class credit cap (how far a class may burst at a
+    /// full queue after a quiet spell). Must be `>= 1`. Default `16`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `burst` is below 1 or not finite.
+    pub fn with_burst(mut self, burst: f64) -> Self {
+        assert!(
+            burst.is_finite() && burst >= 1.0,
+            "class burst must be >= 1 (got {burst})"
+        );
+        self.burst = burst;
+        self
+    }
+
+    /// Number of configured classes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Display name of class `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn name(&self, i: usize) -> &'static str {
+        assert!(i < self.len, "class index {i} out of range");
+        self.names[i]
+    }
+
+    /// Weight of class `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn weight(&self, i: usize) -> f64 {
+        assert!(i < self.len, "class index {i} out of range");
+        self.weights[i]
+    }
+
+    /// Per-class credit cap.
+    pub fn burst(&self) -> f64 {
+        self.burst
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.weights[..self.len].iter().sum()
+    }
+}
+
+/// Per-class admission accounting (one row per configured class; empty
+/// when no [`ClassWeights`] are configured).
+///
+/// The identity `submitted == popped + rejected + shed + queued` holds
+/// for every row, under the queue lock, at all times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// Class index (the tag queries carry).
+    pub class: u32,
+    /// Display name from [`ClassWeights`].
+    pub name: &'static str,
+    /// Configured weight.
+    pub weight: f64,
+    /// Queries submitted under this class.
+    pub submitted: u64,
+    /// Queries rejected at the door (rate-limited, queue-full, or
+    /// class-throttled).
+    pub rejected: u64,
+    /// Admitted queries shed before a forward.
+    pub shed: u64,
+    /// Queries handed to the consumer.
+    pub popped: u64,
+    /// Currently queued.
+    pub queued: u64,
+}
+
 /// Configuration of the admission layer.
 #[derive(Debug, Clone, Copy)]
 pub struct AdmissionConfig {
-    /// Maximum queued (admitted but not yet batched) queries.
+    /// Maximum queued (admitted but not yet batched) queries. With an
+    /// [`AdaptiveController`] attached this is only the pre-measurement
+    /// fallback; the derived capacity governs once observations land.
     pub capacity: usize,
     /// What to do when the queue is full.
     pub policy: OverloadPolicy,
@@ -107,7 +507,12 @@ pub struct AdmissionConfig {
     pub fairness: Option<FairnessConfig>,
     /// Latency budget applied to queries that do not carry their own
     /// deadline (only enforced under [`OverloadPolicy::DeadlineShed`]).
+    /// With an [`AdaptiveController`] attached, the derived deadline
+    /// takes precedence over this once observations land.
     pub default_deadline: Option<Duration>,
+    /// Weighted traffic classes; `None` disables class shaping (all
+    /// queries behave as one unshaped class).
+    pub classes: Option<ClassWeights>,
 }
 
 impl Default for AdmissionConfig {
@@ -117,6 +522,7 @@ impl Default for AdmissionConfig {
             policy: OverloadPolicy::Block,
             fairness: None,
             default_deadline: None,
+            classes: None,
         }
     }
 }
@@ -128,6 +534,10 @@ pub enum RejectReason {
     QueueFull,
     /// The client's token bucket was empty ([`FairnessConfig`]).
     RateLimited,
+    /// The queue was full and the query's traffic class was out of
+    /// credits ([`ClassWeights`]) — the class is consuming more than
+    /// its weighted share of service.
+    ClassThrottled,
 }
 
 impl fmt::Display for RejectReason {
@@ -135,6 +545,7 @@ impl fmt::Display for RejectReason {
         match self {
             RejectReason::QueueFull => write!(f, "queue full"),
             RejectReason::RateLimited => write!(f, "client rate limited"),
+            RejectReason::ClassThrottled => write!(f, "traffic class over weighted share"),
         }
     }
 }
@@ -165,6 +576,8 @@ impl fmt::Display for ShedReason {
 pub struct Entry<T> {
     /// Submitting client's identity (fairness/accounting key).
     pub client: u64,
+    /// Traffic class index ([`ClassWeights`]); 0 for untagged traffic.
+    pub class: u32,
     /// When the entry entered the queue.
     pub enqueued: Instant,
     /// Absolute latency deadline, if any.
@@ -237,6 +650,11 @@ pub struct AdmissionSnapshot {
     /// merged exactly once, so `Σ clients + evicted` reconciles with the
     /// global counters even under eviction churn.
     pub evicted: EvictedClientStats,
+    /// Per-class accounting, one row per configured [`ClassWeights`]
+    /// class (empty without class shaping).
+    pub classes: Vec<ClassStats>,
+    /// Adaptive-controller gauges, when one is attached.
+    pub adaptive: Option<AdaptiveSnapshot>,
 }
 
 #[derive(Debug)]
@@ -302,6 +720,18 @@ struct Inner<T> {
     deadline_shed: u64,
     popped: u64,
     depth_peak: u64,
+    /// Class shaping state; `None` mirrors `cfg.classes` (kept inside
+    /// `Inner` so `shed_at`/`pop` bookkeeping can reach it without
+    /// re-borrowing the config).
+    classes: Option<ClassWeights>,
+    /// Spendable credits per class (refilled on pop, charged at a full
+    /// queue).
+    class_credits: [f64; MAX_CLASSES],
+    class_submitted: [u64; MAX_CLASSES],
+    class_rejected: [u64; MAX_CLASSES],
+    class_shed: [u64; MAX_CLASSES],
+    class_popped: [u64; MAX_CLASSES],
+    class_queued: [usize; MAX_CLASSES],
 }
 
 /// Cap on tracked per-client states (token bucket + accounting +
@@ -394,6 +824,11 @@ impl<T> Inner<T> {
         if deadline {
             self.deadline_shed += 1;
         }
+        if self.classes.is_some() {
+            let ci = entry.class as usize;
+            self.class_shed[ci] += 1;
+            self.class_queued[ci] = self.class_queued[ci].saturating_sub(1);
+        }
         if let Some(c) = self.clients.get_mut(&entry.client) {
             c.queued = c.queued.saturating_sub(1);
             c.shed += 1;
@@ -420,12 +855,33 @@ impl<T> Inner<T> {
         out
     }
 
-    /// Index of the eviction victim: with fairness, the oldest entry of
-    /// the client holding the most queued entries (ties: lowest client
-    /// id); without, the global oldest (front).
+    /// Index of the eviction victim.
+    ///
+    /// With [`ClassWeights`] configured, class proportionality comes
+    /// first: the victim is the oldest entry of the class holding the
+    /// most queued entries *per unit weight* (ties: lowest class
+    /// index). Otherwise, with fairness, it is the oldest entry of the
+    /// client holding the most queued entries (ties: lowest client id);
+    /// without either, the global oldest (front).
     fn victim_index(&self, fair: bool) -> Option<usize> {
         if self.queue.is_empty() {
             return None;
+        }
+        if let Some(cw) = &self.classes {
+            let victim_class =
+                (0..cw.len())
+                    .filter(|&i| self.class_queued[i] > 0)
+                    .max_by(|&a, &b| {
+                        let ra = self.class_queued[a] as f64 / cw.weight(a);
+                        let rb = self.class_queued[b] as f64 / cw.weight(b);
+                        ra.partial_cmp(&rb)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(b.cmp(&a))
+                    })?;
+            return self
+                .queue
+                .iter()
+                .position(|e| e.class as usize == victim_class);
         }
         if !fair {
             return Some(0);
@@ -471,13 +927,14 @@ impl<T> Inner<T> {
 #[derive(Debug)]
 pub struct AdmissionQueue<T> {
     cfg: AdmissionConfig,
+    adaptive: Option<Arc<AdaptiveController>>,
     inner: Mutex<Inner<T>>,
     not_empty: Condvar,
     not_full: Condvar,
 }
 
 impl<T> AdmissionQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with static budgets.
     ///
     /// # Panics
     ///
@@ -487,6 +944,22 @@ impl<T> AdmissionQueue<T> {
     /// query from every client — a total serving outage is a
     /// misconfiguration, not a policy).
     pub fn new(cfg: AdmissionConfig) -> Self {
+        Self::with_controller(cfg, None)
+    }
+
+    /// Creates an empty queue, optionally governed by an
+    /// [`AdaptiveController`]: once the controller has observations,
+    /// its derived capacity replaces [`AdmissionConfig::capacity`] and
+    /// its derived deadline slots between the per-query deadline and
+    /// [`AdmissionConfig::default_deadline`] in precedence.
+    ///
+    /// # Panics
+    ///
+    /// As [`AdmissionQueue::new`].
+    pub fn with_controller(
+        cfg: AdmissionConfig,
+        adaptive: Option<Arc<AdaptiveController>>,
+    ) -> Self {
         assert!(cfg.capacity > 0, "admission capacity must be nonzero");
         if let Some(fair) = cfg.fairness {
             assert!(
@@ -500,8 +973,16 @@ impl<T> AdmissionQueue<T> {
                 fair.rate_per_s
             );
         }
+        let mut class_credits = [0.0; MAX_CLASSES];
+        if let Some(cw) = &cfg.classes {
+            assert!(cw.len() > 0, "class shaping configured with no classes");
+            // Every class starts with a full burst so shaping only
+            // bites once a class has actually out-consumed its share.
+            class_credits[..cw.len()].fill(cw.burst());
+        }
         AdmissionQueue {
             cfg,
+            adaptive,
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
                 clients: HashMap::new(),
@@ -515,6 +996,13 @@ impl<T> AdmissionQueue<T> {
                 deadline_shed: 0,
                 popped: 0,
                 depth_peak: 0,
+                classes: cfg.classes,
+                class_credits,
+                class_submitted: [0; MAX_CLASSES],
+                class_rejected: [0; MAX_CLASSES],
+                class_shed: [0; MAX_CLASSES],
+                class_popped: [0; MAX_CLASSES],
+                class_queued: [0; MAX_CLASSES],
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -524,6 +1012,30 @@ impl<T> AdmissionQueue<T> {
     /// The configuration the queue was built with.
     pub fn config(&self) -> &AdmissionConfig {
         &self.cfg
+    }
+
+    /// The adaptive controller governing this queue, if any.
+    pub fn adaptive(&self) -> Option<&Arc<AdaptiveController>> {
+        self.adaptive.as_ref()
+    }
+
+    /// The capacity currently in force: the adaptive controller's
+    /// derived capacity once it has observations, the static
+    /// [`AdmissionConfig::capacity`] before.
+    pub fn effective_capacity(&self) -> usize {
+        self.adaptive
+            .as_ref()
+            .and_then(|a| a.derived_capacity())
+            .unwrap_or(self.cfg.capacity)
+    }
+
+    /// The default latency budget currently in force (per-query
+    /// deadlines still take precedence).
+    pub fn effective_deadline(&self) -> Option<Duration> {
+        self.adaptive
+            .as_ref()
+            .and_then(|a| a.derived_deadline())
+            .or(self.cfg.default_deadline)
     }
 
     /// Offers one query for admission.
@@ -555,12 +1067,60 @@ impl<T> AdmissionQueue<T> {
         deadline: Option<Duration>,
         payload: T,
     ) -> Result<Submission<T>, ServeError> {
+        self.submit_classed(client, 0, deadline, payload)
+    }
+
+    /// [`AdmissionQueue::submit`] with an explicit traffic class.
+    ///
+    /// With [`ClassWeights`] configured, a submission that hits a
+    /// *full* queue first spends one of its class's credits; a class
+    /// out of credits is rejected with
+    /// [`RejectReason::ClassThrottled`] before any policy action.
+    /// Credits refill one per pop, split across classes by weight, so
+    /// under sustained overload each class's admitted throughput is
+    /// proportional to its weight — and since every positive-weight
+    /// class receives credit on every pop, no class starves (the
+    /// class-level analogue of the per-client guarantee above; when
+    /// classes and fairness are both configured, eviction victims are
+    /// chosen class-first). Below capacity no credit is charged:
+    /// shaping is work-conserving.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`ClassWeights`] are configured and `class` is not
+    /// a configured index (a misconfigured caller, not traffic).
+    /// Without class shaping, `class` is recorded on the entry but has
+    /// no effect.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ChannelClosed`] when the queue is closed (including
+    /// while blocked under `Block`).
+    pub fn submit_classed(
+        &self,
+        client: u64,
+        class: u32,
+        deadline: Option<Duration>,
+        payload: T,
+    ) -> Result<Submission<T>, ServeError> {
+        let ci = class as usize;
+        let shaped = self.cfg.classes.is_some();
+        if let Some(cw) = &self.cfg.classes {
+            assert!(
+                ci < cw.len(),
+                "traffic class {class} out of range ({} classes configured)",
+                cw.len()
+            );
+        }
         let now = Instant::now();
         let mut inner = self.inner.lock().expect("admission lock poisoned");
         if inner.closed {
             return Err(ServeError::ChannelClosed);
         }
         inner.submitted += 1;
+        if shaped {
+            inner.class_submitted[ci] += 1;
+        }
         // Token bucket first: rate limiting applies regardless of depth.
         if let Some(fair) = self.cfg.fairness {
             let state = inner.client(client, now, fair.burst);
@@ -571,6 +1131,9 @@ impl<T> AdmissionQueue<T> {
                 state.submitted += 1;
                 state.rejected += 1;
                 inner.rejected += 1;
+                if shaped {
+                    inner.class_rejected[ci] += 1;
+                }
                 return Ok(Submission::Rejected(RejectReason::RateLimited));
             }
             state.tokens -= 1.0;
@@ -578,7 +1141,23 @@ impl<T> AdmissionQueue<T> {
         inner.client(client, now, 0.0).submitted += 1;
 
         let mut shed = Vec::new();
-        while inner.queue.len() >= self.cfg.capacity {
+        let mut charged = false;
+        while inner.queue.len() >= self.effective_capacity() {
+            // Class shaping gates the full-queue path: one credit per
+            // submission that contends for a slot, charged once even if
+            // the policy loop runs multiple rounds.
+            if shaped && !charged {
+                if inner.class_credits[ci] < 1.0 {
+                    inner.rejected += 1;
+                    inner.class_rejected[ci] += 1;
+                    if let Some(c) = inner.clients.get_mut(&client) {
+                        c.rejected += 1;
+                    }
+                    return Ok(Submission::Rejected(RejectReason::ClassThrottled));
+                }
+                inner.class_credits[ci] -= 1.0;
+                charged = true;
+            }
             match self.cfg.policy {
                 OverloadPolicy::Block => {
                     inner = self.not_full.wait(inner).expect("admission lock poisoned");
@@ -590,6 +1169,15 @@ impl<T> AdmissionQueue<T> {
                         // so the per-client decrement must saturate
                         // rather than underflow.
                         inner.submitted -= 1;
+                        if shaped {
+                            inner.class_submitted[ci] -= 1;
+                            if charged {
+                                // The slot was never consumed; return
+                                // the credit (cap is irrelevant on the
+                                // shutdown path).
+                                inner.class_credits[ci] += 1.0;
+                            }
+                        }
                         if let Some(c) = inner.clients.get_mut(&client) {
                             c.submitted = c.submitted.saturating_sub(1);
                         }
@@ -598,6 +1186,9 @@ impl<T> AdmissionQueue<T> {
                 }
                 OverloadPolicy::RejectNewest => {
                     inner.rejected += 1;
+                    if shaped {
+                        inner.class_rejected[ci] += 1;
+                    }
                     if let Some(c) = inner.clients.get_mut(&client) {
                         c.rejected += 1;
                     }
@@ -624,14 +1215,18 @@ impl<T> AdmissionQueue<T> {
         }
 
         let deadline = deadline
-            .or(self.cfg.default_deadline)
+            .or_else(|| self.effective_deadline())
             .map(|budget| now + budget);
         inner.queue.push_back(Entry {
             client,
+            class,
             enqueued: now,
             deadline,
             payload,
         });
+        if shaped {
+            inner.class_queued[ci] += 1;
+        }
         if let Some(c) = inner.clients.get_mut(&client) {
             c.queued += 1;
         }
@@ -661,6 +1256,22 @@ impl<T> AdmissionQueue<T> {
             }
             if let Some(entry) = inner.queue.pop_front() {
                 inner.popped += 1;
+                if let Some(cw) = inner.classes {
+                    let ci = entry.class as usize;
+                    inner.class_popped[ci] += 1;
+                    inner.class_queued[ci] = inner.class_queued[ci].saturating_sub(1);
+                    // Service-coupled refill: one pop is one unit of
+                    // service, split across classes by weight and
+                    // capped at the burst. Admissions at a full queue
+                    // cost one credit each, so under sustained overload
+                    // each class admits at most its weighted share of
+                    // the pop rate.
+                    let total = cw.total_weight();
+                    for i in 0..cw.len() {
+                        inner.class_credits[i] =
+                            (inner.class_credits[i] + cw.weight(i) / total).min(cw.burst());
+                    }
+                }
                 let now_idle = match inner.clients.get_mut(&entry.client) {
                     Some(c) => {
                         c.queued = c.queued.saturating_sub(1);
@@ -766,6 +1377,23 @@ impl<T> AdmissionQueue<T> {
             })
             .collect();
         clients.sort_by_key(|c| c.client);
+        let classes = inner
+            .classes
+            .map(|cw| {
+                (0..cw.len())
+                    .map(|i| ClassStats {
+                        class: i as u32,
+                        name: cw.name(i),
+                        weight: cw.weight(i),
+                        submitted: inner.class_submitted[i],
+                        rejected: inner.class_rejected[i],
+                        shed: inner.class_shed[i],
+                        popped: inner.class_popped[i],
+                        queued: inner.class_queued[i] as u64,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         AdmissionSnapshot {
             submitted: inner.submitted,
             rejected: inner.rejected,
@@ -783,6 +1411,8 @@ impl<T> AdmissionQueue<T> {
                 shed: inner.evicted.shed,
                 latency: LatencySummary::of(&inner.evicted.hist),
             },
+            classes,
+            adaptive: self.adaptive.as_ref().map(|a| a.snapshot()),
         }
     }
 }
@@ -790,13 +1420,13 @@ impl<T> AdmissionQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::{Executor, StdThreadExecutor};
 
     fn cfg(capacity: usize, policy: OverloadPolicy) -> AdmissionConfig {
         AdmissionConfig {
             capacity,
             policy,
-            fairness: None,
-            default_deadline: None,
+            ..AdmissionConfig::default()
         }
     }
 
@@ -872,7 +1502,7 @@ mod tests {
                 rate_per_s: 0.0,
                 burst: 16.0,
             }),
-            default_deadline: None,
+            ..AdmissionConfig::default()
         });
         // Client 7 floods; client 1 parks a single query first.
         admit(&q, 1, 100u32);
@@ -898,7 +1528,7 @@ mod tests {
                 rate_per_s: 0.0,
                 burst: 2.0,
             }),
-            default_deadline: None,
+            ..AdmissionConfig::default()
         });
         admit(&q, 3, ());
         admit(&q, 3, ());
@@ -918,8 +1548,8 @@ mod tests {
         let q = AdmissionQueue::new(AdmissionConfig {
             capacity: 8,
             policy: OverloadPolicy::DeadlineShed,
-            fairness: None,
             default_deadline: Some(Duration::ZERO),
+            ..AdmissionConfig::default()
         });
         admit(&q, 0, "blown");
         let popped = pop_now(&q);
@@ -933,12 +1563,7 @@ mod tests {
 
     #[test]
     fn deadline_shed_overflow_prefers_blown_then_evicts() {
-        let q = AdmissionQueue::new(AdmissionConfig {
-            capacity: 2,
-            policy: OverloadPolicy::DeadlineShed,
-            fairness: None,
-            default_deadline: None,
-        });
+        let q = AdmissionQueue::new(cfg(2, OverloadPolicy::DeadlineShed));
         // One blown entry, one live one.
         match q.submit(0, Some(Duration::ZERO), "blown").unwrap() {
             Submission::Admitted { shed } => assert!(shed.is_empty()),
@@ -980,7 +1605,7 @@ mod tests {
         let q = std::sync::Arc::new(AdmissionQueue::new(cfg(1, OverloadPolicy::Block)));
         admit(&q, 0, 0u32);
         let q2 = std::sync::Arc::clone(&q);
-        let submitter = std::thread::spawn(move || {
+        let submitter = StdThreadExecutor.spawn_worker("test-submitter", move || {
             // Blocks until the consumer pops.
             q2.submit(0, None, 1u32).expect("open")
         });
@@ -999,7 +1624,8 @@ mod tests {
         let q = std::sync::Arc::new(AdmissionQueue::new(cfg(1, OverloadPolicy::Block)));
         admit(&q, 0, ());
         let q2 = std::sync::Arc::clone(&q);
-        let submitter = std::thread::spawn(move || q2.submit(0, None, ()));
+        let submitter =
+            StdThreadExecutor.spawn_worker("test-submitter", move || q2.submit(0, None, ()));
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert!(matches!(
@@ -1021,7 +1647,7 @@ mod tests {
                 rate_per_s: 100.0,
                 burst: 0.5,
             }),
-            default_deadline: None,
+            ..AdmissionConfig::default()
         });
     }
 
@@ -1107,5 +1733,269 @@ mod tests {
             snap.submitted,
             snap.popped + snap.rejected + snap.shed + snap.queue_depth
         );
+    }
+
+    fn classed_cfg(capacity: usize, burst: f64) -> AdmissionConfig {
+        AdmissionConfig {
+            capacity,
+            policy: OverloadPolicy::DropOldest,
+            classes: Some(
+                ClassWeights::new()
+                    .with_class("paid", 3.0)
+                    .with_class("batch", 1.0)
+                    .with_burst(burst),
+            ),
+            ..AdmissionConfig::default()
+        }
+    }
+
+    fn per_class_identity(snap: &AdmissionSnapshot) {
+        for c in &snap.classes {
+            assert_eq!(
+                c.submitted,
+                c.popped + c.rejected + c.shed + c.queued,
+                "class {} books must balance",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn classes_are_work_conserving_below_capacity() {
+        // Below capacity no credit is charged: a zero-credit class
+        // still admits freely while slots are open.
+        let q = AdmissionQueue::new(classed_cfg(8, 1.0));
+        for i in 0..6u32 {
+            match q.submit_classed(0, 1, None, i).unwrap() {
+                Submission::Admitted { shed } => assert!(shed.is_empty()),
+                other => panic!("{other:?}"),
+            }
+        }
+        let snap = q.snapshot();
+        assert_eq!(snap.classes[1].submitted, 6);
+        assert_eq!(snap.classes[1].queued, 6);
+        assert_eq!(snap.classes[1].rejected, 0);
+        per_class_identity(&snap);
+    }
+
+    #[test]
+    fn class_out_of_credits_is_throttled_at_full_queue() {
+        let q = AdmissionQueue::new(classed_cfg(2, 1.0));
+        // Fill below-capacity (uncharged), then contend twice: the
+        // first full-queue submission spends the class's only credit,
+        // the second is throttled.
+        let _ = q.submit_classed(0, 1, None, 0u32);
+        let _ = q.submit_classed(0, 1, None, 1u32);
+        match q.submit_classed(0, 1, None, 2u32).unwrap() {
+            Submission::Admitted { shed } => assert_eq!(shed.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        match q.submit_classed(0, 1, None, 3u32).unwrap() {
+            Submission::Rejected(RejectReason::ClassThrottled) => {}
+            other => panic!("expected ClassThrottled, got {other:?}"),
+        }
+        per_class_identity(&q.snapshot());
+    }
+
+    #[test]
+    fn class_credit_refills_on_pop_split_by_weight() {
+        let q = AdmissionQueue::new(classed_cfg(2, 1.0));
+        let _ = q.submit_classed(0, 0, None, 0u32);
+        let _ = q.submit_classed(0, 0, None, 1u32);
+        // Drain both classes' initial credits at the full queue.
+        let _ = q.submit_classed(0, 0, None, 2u32);
+        let _ = q.submit_classed(0, 1, None, 3u32);
+        // One pop refills paid by 0.75 and batch by 0.25: neither
+        // reaches a full credit, so both are still throttled...
+        assert!(pop_now(&q).item.is_some());
+        let _ = q.submit_classed(0, 0, None, 4u32); // refills the slot uncharged
+        match q.submit_classed(0, 0, None, 5u32).unwrap() {
+            Submission::Rejected(RejectReason::ClassThrottled) => {}
+            other => panic!("expected paid throttled at 0.75 credits, got {other:?}"),
+        }
+        // ...a second pop takes paid to 1.5 -> capped charge works again.
+        assert!(pop_now(&q).item.is_some());
+        let _ = q.submit_classed(0, 0, None, 6u32); // uncharged (slot open)
+        match q.submit_classed(0, 0, None, 7u32).unwrap() {
+            Submission::Admitted { shed } => assert_eq!(shed.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        per_class_identity(&q.snapshot());
+    }
+
+    #[test]
+    fn class_victim_is_most_queued_per_weight() {
+        // Queue of 3 batch entries + 1 paid: batch is far over its
+        // weighted share, so a contending paid submission evicts batch,
+        // never paid's only entry.
+        let q = AdmissionQueue::new(classed_cfg(4, 16.0));
+        for i in 0..3u32 {
+            let _ = q.submit_classed(0, 1, None, i);
+        }
+        let _ = q.submit_classed(0, 0, None, 100u32);
+        match q.submit_classed(0, 0, None, 101u32).unwrap() {
+            Submission::Admitted { shed } => {
+                assert_eq!(shed.len(), 1);
+                assert_eq!(shed[0].0.class, 1, "victim must be the batch class");
+                assert_eq!(shed[0].0.payload, 0, "oldest batch entry first");
+            }
+            other => panic!("{other:?}"),
+        }
+        per_class_identity(&q.snapshot());
+    }
+
+    #[test]
+    fn class_throughput_tracks_weight_under_sustained_overload() {
+        // Deterministic 2x-overload loop: every round offers one paid
+        // and one batch query against one pop of service. Popped
+        // (served) counts must track the 3:1 weights.
+        let q = AdmissionQueue::new(classed_cfg(4, 1.0));
+        for i in 0..2u32 {
+            let _ = q.submit_classed(0, 0, None, i);
+            let _ = q.submit_classed(0, 1, None, i);
+        }
+        let rounds = 400u32;
+        for i in 0..rounds {
+            let _ = q.submit_classed(0, 0, None, i);
+            let _ = q.submit_classed(0, 1, None, i);
+            let _ = pop_now(&q);
+        }
+        let snap = q.snapshot();
+        per_class_identity(&snap);
+        let paid = snap.classes[0].popped as f64;
+        let batch = snap.classes[1].popped as f64;
+        let share = paid / (paid + batch);
+        assert!(
+            (share - 0.75).abs() < 0.1,
+            "paid service share {share} should approximate its 0.75 weight share \
+             (paid {paid}, batch {batch})"
+        );
+        assert!(
+            snap.classes[1].popped > 0,
+            "the light class must not starve"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn class_index_out_of_range_panics() {
+        let q = AdmissionQueue::new(classed_cfg(4, 1.0));
+        let _ = q.submit_classed(0, 7, None, 0u32);
+    }
+
+    #[test]
+    fn adaptive_controller_converges_to_steady_service_time() {
+        let ctrl = AdaptiveController::new(AdaptiveConfig::default(), 64, 2);
+        assert!(ctrl.service_ewma().is_none());
+        assert!(ctrl.derived_capacity().is_none());
+        for _ in 0..50 {
+            ctrl.observe_batch(Duration::from_micros(500), 0);
+        }
+        let ewma = ctrl.service_ewma().unwrap();
+        assert_eq!(ewma, Duration::from_micros(500));
+        // deadline = multiplier x EWMA; capacity = workers x max_batch
+        // x multiplier, inside the clamp.
+        assert_eq!(
+            ctrl.derived_deadline().unwrap(),
+            Duration::from_micros(1000)
+        );
+        assert_eq!(ctrl.derived_capacity().unwrap(), 256);
+        let snap = ctrl.snapshot();
+        assert_eq!(snap.ewma_us, 500);
+        assert_eq!(snap.samples, 50);
+        assert_eq!(snap.derived_deadline_us, 1000);
+        assert_eq!(snap.derived_capacity, 256);
+    }
+
+    #[test]
+    fn adaptive_replans_on_epoch_swap() {
+        let ctrl = AdaptiveController::new(AdaptiveConfig::default(), 8, 1);
+        for _ in 0..100 {
+            ctrl.observe_batch(Duration::from_micros(10_000), 0);
+        }
+        assert_eq!(ctrl.service_ewma().unwrap(), Duration::from_micros(10_000));
+        // A graph mutation swaps the epoch and the service time drops;
+        // the average restarts instead of dragging the old regime.
+        ctrl.observe_batch(Duration::from_micros(100), 1);
+        assert_eq!(ctrl.service_ewma().unwrap(), Duration::from_micros(100));
+        assert_eq!(ctrl.snapshot().replans, 1);
+    }
+
+    #[test]
+    fn adaptive_capacity_respects_clamp() {
+        let cfg = AdaptiveConfig {
+            min_capacity: 10,
+            max_capacity: 20,
+            ..AdaptiveConfig::default()
+        };
+        let ctrl = AdaptiveController::new(cfg, 1, 1);
+        ctrl.observe_batch(Duration::from_micros(100), 0);
+        // Unclamped derivation would be 1 x 1 x 8 = 8.
+        assert_eq!(ctrl.derived_capacity().unwrap(), 10);
+        let big = AdaptiveController::new(cfg, 1 << 16, 4);
+        big.observe_batch(Duration::from_micros(100), 0);
+        assert_eq!(big.derived_capacity().unwrap(), 20);
+    }
+
+    #[test]
+    fn adaptive_queue_switches_from_static_to_derived_capacity() {
+        let ctrl = Arc::new(AdaptiveController::new(
+            AdaptiveConfig {
+                min_capacity: 4,
+                max_capacity: 4,
+                ..AdaptiveConfig::default()
+            },
+            1,
+            1,
+        ));
+        let q: AdmissionQueue<u32> = AdmissionQueue::with_controller(
+            cfg(1, OverloadPolicy::RejectNewest),
+            Some(Arc::clone(&ctrl)),
+        );
+        // Pre-measurement: the static capacity (1) governs.
+        assert_eq!(q.effective_capacity(), 1);
+        let _ = q.submit(0, None, 0);
+        assert!(matches!(
+            q.submit(0, None, 1).unwrap(),
+            Submission::Rejected(RejectReason::QueueFull)
+        ));
+        // First observation lands: derived capacity (clamped to 4)
+        // takes over and the queue stretches.
+        ctrl.observe_batch(Duration::from_millis(1), 0);
+        assert_eq!(q.effective_capacity(), 4);
+        for v in 2..5u32 {
+            match q.submit(0, None, v).unwrap() {
+                Submission::Admitted { shed } => assert!(shed.is_empty()),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(matches!(
+            q.submit(0, None, 9).unwrap(),
+            Submission::Rejected(RejectReason::QueueFull)
+        ));
+        let snap = q.snapshot();
+        assert_eq!(snap.queue_depth, 4);
+        assert_eq!(snap.adaptive.unwrap().derived_capacity, 4);
+        assert_eq!(
+            snap.submitted,
+            snap.popped + snap.rejected + snap.shed + snap.queue_depth
+        );
+    }
+
+    #[test]
+    fn adaptive_deadline_applies_to_untagged_queries() {
+        let ctrl = Arc::new(AdaptiveController::new(AdaptiveConfig::default(), 8, 1));
+        let q: AdmissionQueue<u32> = AdmissionQueue::with_controller(
+            cfg(8, OverloadPolicy::DeadlineShed),
+            Some(Arc::clone(&ctrl)),
+        );
+        // EWMA 1us -> derived budget 8us: a parked query blows it.
+        ctrl.observe_batch(Duration::from_micros(1), 0);
+        let _ = q.submit(0, None, 7);
+        std::thread::sleep(Duration::from_millis(2));
+        let popped = pop_now(&q);
+        assert!(popped.item.is_none());
+        assert_eq!(popped.shed.len(), 1);
+        assert_eq!(q.snapshot().deadline_shed, 1);
     }
 }

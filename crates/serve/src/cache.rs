@@ -390,8 +390,18 @@ impl LogitCache {
     }
 
     /// Inserts finished rows without touching counters or the in-flight
-    /// table — the fill half of the router's probe/fill path, and a
-    /// warm-up hook. `rows.row(i)` is stored for `seeds[i]`.
+    /// table — a **warm-up hook only**. `rows.row(i)` is stored for
+    /// `seeds[i]`.
+    ///
+    /// Because nothing is registered in flight, a mutation's
+    /// [`LogitCache::invalidate_seeds`] racing the caller's computation
+    /// has nothing to poison, and the stale rows would land after it.
+    /// Serving paths that compute rows outside [`LogitCache::claim`]
+    /// (the sharded router's probe/scatter/fill, the server's
+    /// aborted-leader fallback) must register with
+    /// [`LogitCache::lead_uncounted`] *before* computing and publish via
+    /// [`LeadClaim::fill`] instead. Live seeds under another in-flight
+    /// leader are skipped rather than clobbered.
     ///
     /// # Panics
     ///
@@ -411,7 +421,61 @@ impl LogitCache {
                 graph_version,
                 seed,
             };
+            if store.inflight.contains_key(&key) {
+                // An in-flight leader owns this seed; warm-up must not
+                // race its (possibly already-poisoned) fill.
+                continue;
+            }
             store.insert(self.cfg.capacity, key, Arc::from(rows.row(i)));
+        }
+    }
+
+    /// Registers **uncounted** leadership over `seeds` for callers that
+    /// compute rows through their own forward path but still need the
+    /// dynamic invalidation protocol to see the computation in flight.
+    /// No hit/miss/coalesced counters move — the caller already
+    /// accounted its instances (via [`LogitCache::probe`] /
+    /// [`LogitCache::record_misses`] or as part of a batch answer).
+    ///
+    /// Call **before** starting the computation, then publish through
+    /// [`LeadClaim::fill`]: a mutation's
+    /// [`LogitCache::invalidate_seeds`] poisons the registered slots
+    /// mid-computation, and `fill` then skips the stale rows instead of
+    /// landing pre-mutation bits — the race the raw
+    /// [`LogitCache::fill_rows`] hook cannot close.
+    ///
+    /// Seeds already resident are re-led (under one `(generation,
+    /// graph_version)` identity a recomputation is bitwise-identical,
+    /// so the refresh is harmless); seeds already led by another
+    /// in-flight claim are skipped (that leader owns the slot) and do
+    /// not appear in [`LeadClaim::seeds`].
+    pub fn lead_uncounted(
+        self: &Arc<Self>,
+        generation: SnapshotGeneration,
+        graph_version: GraphVersion,
+        seeds: &[u32],
+    ) -> LeadClaim {
+        let mut entries = Vec::with_capacity(seeds.len());
+        let mut store = self.lock();
+        for &seed in seeds {
+            let key = CacheKey {
+                generation,
+                graph_version,
+                seed,
+            };
+            if store.inflight.contains_key(&key) {
+                continue;
+            }
+            let inflight = Inflight::new();
+            store.inflight.insert(key, Arc::clone(&inflight));
+            entries.push((seed, inflight));
+        }
+        drop(store);
+        LeadClaim {
+            cache: Arc::clone(self),
+            generation,
+            graph_version,
+            entries,
         }
     }
 
@@ -865,6 +929,82 @@ mod tests {
         let (_, handle) = parked.follows.into_iter().next().unwrap();
         assert_eq!(&handle.wait().expect("fresh leader filled")[..], &[2.25]);
         assert_eq!(&cache.probe(g, v, 2).unwrap()[..], &[2.25]);
+    }
+
+    #[test]
+    fn aborted_leader_recovery_never_lands_premutation_bits() {
+        // The satellite-1 race: a leader aborts, the server's fallback
+        // path recomputes the seed through its own forward, and a
+        // mutation invalidates the seed while that recompute runs. The
+        // recovery must register in flight *before* computing so the
+        // invalidation poisons it; the stale row must never land.
+        let (g, v) = ids();
+        let cache = Arc::new(LogitCache::new(CacheConfig { capacity: 8 }));
+        let leader = cache.claim(g, v, &[(6, 1)]);
+        let follower = cache.claim(g, v, &[(6, 1)]);
+        drop(leader); // leader aborts mid-flight
+        let (_, handle) = follower.follows.into_iter().next().unwrap();
+        assert!(handle.wait().is_none(), "abort reaches the follower");
+        // Fallback recovery: register uncounted leadership, then compute.
+        let recovery = cache.lead_uncounted(g, v, &[6]);
+        assert_eq!(recovery.seeds(), vec![6]);
+        // The racing mutation lands while the recompute is in flight.
+        cache.invalidate_seeds(g, v, &[6]);
+        recovery.fill(&row_matrix(&[&[-99.0]]));
+        assert!(
+            cache.probe(g, v, 6).is_none(),
+            "pre-mutation bits must not land after invalidation"
+        );
+        // The next claimant leads fresh rather than seeing stale state.
+        let retry = cache.claim(g, v, &[(6, 1)]);
+        assert_eq!(retry.lead.seeds(), vec![6]);
+    }
+
+    #[test]
+    fn lead_uncounted_fill_lands_and_wakes_followers() {
+        let (g, v) = ids();
+        let cache = Arc::new(LogitCache::new(CacheConfig { capacity: 8 }));
+        let lead = cache.lead_uncounted(g, v, &[3]);
+        assert_eq!(lead.seeds(), vec![3]);
+        // No counters moved: leadership here is bookkeeping-free.
+        let snap = cache.snapshot();
+        assert_eq!((snap.hits, snap.misses, snap.coalesced), (0, 0, 0));
+        // A claimant arriving mid-flight coalesces onto the slot.
+        let claim = cache.claim(g, v, &[(3, 1)]);
+        assert!(claim.lead.is_empty());
+        assert_eq!(claim.follows.len(), 1);
+        lead.fill(&row_matrix(&[&[3.75, 1.0]]));
+        let (_, handle) = claim.follows.into_iter().next().unwrap();
+        assert_eq!(&handle.wait().expect("filled")[..], &[3.75, 1.0]);
+        assert_eq!(&cache.probe(g, v, 3).unwrap()[..], &[3.75, 1.0]);
+    }
+
+    #[test]
+    fn lead_uncounted_skips_live_leader() {
+        let (g, v) = ids();
+        let cache = Arc::new(LogitCache::new(CacheConfig { capacity: 8 }));
+        let owner = cache.claim(g, v, &[(5, 1)]);
+        let lead = cache.lead_uncounted(g, v, &[5, 6]);
+        assert_eq!(lead.seeds(), vec![6], "seed 5 already owned in flight");
+        owner.lead.fill(&row_matrix(&[&[5.0]]));
+        lead.fill(&row_matrix(&[&[6.0]]));
+        assert_eq!(&cache.probe(g, v, 5).unwrap()[..], &[5.0]);
+        assert_eq!(&cache.probe(g, v, 6).unwrap()[..], &[6.0]);
+    }
+
+    #[test]
+    fn fill_rows_warmup_does_not_race_inflight_leader() {
+        let (g, v) = ids();
+        let cache = Arc::new(LogitCache::new(CacheConfig { capacity: 8 }));
+        let owner = cache.claim(g, v, &[(1, 1)]);
+        cache.fill_rows(g, v, &[1], &row_matrix(&[&[-1.0]]));
+        assert!(
+            cache.probe(g, v, 1).is_none(),
+            "warm-up must not preempt a live in-flight leader"
+        );
+        // The real leader's fill wins, and its bits are what land.
+        owner.lead.fill(&row_matrix(&[&[1.5]]));
+        assert_eq!(&cache.probe(g, v, 1).unwrap()[..], &[1.5]);
     }
 
     #[test]

@@ -19,8 +19,12 @@
 //!   ghost rows; a scatter/gather router answers any seed set
 //!   bitwise-identically to the single engine, so serving capacity
 //!   scales with shard count instead of one machine's memory;
-//! * [`Server`] — a micro-batching request queue (`std::thread` +
-//!   `std::sync`): queries arriving within a configurable window coalesce
+//! * [`exec`] — the concurrency substrate: every serving layer spawns
+//!   workers, scopes fan-out, and builds channels through the
+//!   [`Executor`] trait ([`StdThreadExecutor`] is the thread-per-worker
+//!   default, and the single seam where an async backend can slot in);
+//! * [`Server`] — a micro-batching request queue (on [`exec`]):
+//!   queries arriving within a configurable window coalesce
 //!   into one batched forward, so a batch of `B` queries costs one
 //!   forward instead of `B`; it drives any [`BatchEngine`] (single or
 //!   sharded);
@@ -103,6 +107,7 @@
 pub mod admission;
 pub mod cache;
 pub mod engine;
+pub mod exec;
 pub mod loadgen;
 pub mod metrics;
 pub mod mutation;
@@ -110,9 +115,13 @@ pub mod router;
 pub mod server;
 pub mod telemetry;
 
-pub use admission::{AdmissionConfig, FairnessConfig, OverloadPolicy, RejectReason, ShedReason};
+pub use admission::{
+    AdaptiveConfig, AdaptiveController, AdaptiveSnapshot, AdmissionConfig, ClassStats,
+    ClassWeights, FairnessConfig, OverloadPolicy, RejectReason, ShedReason,
+};
 pub use cache::{CacheConfig, CacheKey, CacheSnapshot, LogitCache};
 pub use engine::{BatchEngine, BatchLogits, BatchOutcome, InferenceEngine};
+pub use exec::{Executor, ShutdownBarrier, StdThreadExecutor, TaskScope, Worker};
 pub use loadgen::{
     open_loop, replay, LoadConfig, LoadReport, OpenLoopConfig, OpenLoopReport, QueryStream,
     ZipfSampler,

@@ -25,6 +25,7 @@
 //! a `BENCH_*` run's offered traffic is reproducible regardless of how
 //! the OS interleaves client threads.
 
+use crate::exec::{Executor, StdThreadExecutor};
 use crate::metrics::{LatencyHistogram, LatencySummary};
 use crate::server::{QueryOptions, QueryResponse, ServerHandle};
 use crate::ServeError;
@@ -231,7 +232,7 @@ pub fn replay(handle: &ServerHandle, cfg: &LoadConfig) -> Result<LoadReport, Ser
     let first_error: Mutex<Option<ServeError>> = Mutex::new(None);
 
     let t0 = Instant::now();
-    std::thread::scope(|s| {
+    StdThreadExecutor.scope(|s| {
         for client in 0..cfg.clients {
             let handle = handle.clone();
             let hist = &hist;
@@ -411,7 +412,7 @@ pub fn open_loop(
     let first_error: Mutex<Option<ServeError>> = Mutex::new(None);
 
     let t0 = Instant::now();
-    std::thread::scope(|s| {
+    StdThreadExecutor.scope(|s| {
         for client in 0..cfg.clients {
             let handle = handle.clone();
             let tally = &tally;
@@ -441,11 +442,11 @@ pub fn open_loop(
                 // Collector: waits on pending queries in submission
                 // order while the submitter keeps to its schedule.
                 let deadline = cfg.deadline;
-                let (pending_tx, pending_rx) = std::sync::mpsc::channel();
-                let collector = std::thread::spawn(move || {
+                let (pending_tx, pending_rx) = StdThreadExecutor.unbounded();
+                let collector = StdThreadExecutor.spawn_worker("maxk-collector", move || {
                     let mut local = Tally::default();
                     let mut error = None;
-                    for (pending, issued) in pending_rx {
+                    while let Ok((pending, issued)) = pending_rx.recv() {
                         let pending: crate::server::PendingQuery = pending;
                         let issued: Instant = issued;
                         match pending.wait() {
@@ -700,8 +701,7 @@ mod tests {
             AdmissionConfig {
                 capacity: 4,
                 policy: OverloadPolicy::DeadlineShed,
-                fairness: None,
-                default_deadline: None,
+                ..AdmissionConfig::default()
             },
         );
         let report = open_loop(

@@ -46,10 +46,12 @@
 //! batches that raced the swap). A poisoned leader still answers its
 //! followers — their answers carry the old epoch — but its fill never
 //! becomes resident, so no stale cone row survives past the second pass.
-//! One documented gap remains: [`LogitCache::fill_rows`] (the
-//! aborted-leader recovery path) bypasses the in-flight table and could
-//! in principle re-insert a row computed pre-swap; the differential
-//! harness asserts at quiescence, where the window is closed.
+//! The recovery paths that compute rows outside [`LogitCache::claim`]
+//! (the server's aborted-leader fallback, the router's probe/scatter
+//! fill) register with [`LogitCache::lead_uncounted`] *before*
+//! computing, so an invalidation racing them poisons those slots too —
+//! the former `fill_rows` bypass is closed ([`LogitCache::fill_rows`]
+//! itself is now a warm-up hook that skips any in-flight seed).
 //!
 //! Sharded engines do not accept mutations yet: a mutation's cone can
 //! cross shard halos, which needs ghost-row reconciliation — future
@@ -57,6 +59,7 @@
 
 use crate::cache::LogitCache;
 use crate::engine::{BatchEngine, BatchOutcome, InferenceEngine};
+use crate::exec::{self, Executor, StdThreadExecutor, Worker};
 use crate::telemetry::Telemetry;
 use crate::ServeError;
 use maxk_graph::dynamic::{DynamicGraph, EdgeMutation};
@@ -65,8 +68,7 @@ use maxk_nn::snapshot::ModelSnapshot;
 use maxk_nn::{GraphContext, GraphVersion, SnapshotGeneration};
 use maxk_tensor::Matrix;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
-use std::thread;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// One streaming mutation.
 #[derive(Debug, Clone, PartialEq)]
@@ -526,27 +528,26 @@ impl BatchEngine for DynamicEngine {
 /// mutation ingestion.
 #[derive(Debug)]
 pub struct MutationIngress {
-    tx: Option<mpsc::Sender<Vec<Mutation>>>,
-    join: Option<thread::JoinHandle<(u64, u64)>>,
+    tx: Option<exec::Sender<Vec<Mutation>>>,
+    join: Option<Worker<(u64, u64)>>,
 }
 
 impl MutationIngress {
-    /// Spawns the applier thread over `engine`.
+    /// Spawns the applier worker over `engine` (named
+    /// `maxk-mutations`, through [`crate::exec`]).
     pub fn spawn(engine: Arc<DynamicEngine>) -> Self {
-        let (tx, rx) = mpsc::channel::<Vec<Mutation>>();
-        let join = thread::Builder::new()
-            .name("maxk-mutations".into())
-            .spawn(move || {
-                let (mut ok, mut failed) = (0u64, 0u64);
-                while let Ok(batch) = rx.recv() {
-                    match engine.apply(&batch) {
-                        Ok(_) => ok += 1,
-                        Err(_) => failed += 1,
-                    }
+        let executor = StdThreadExecutor;
+        let (tx, rx) = executor.unbounded::<Vec<Mutation>>();
+        let join = executor.spawn_worker("maxk-mutations", move || {
+            let (mut ok, mut failed) = (0u64, 0u64);
+            while let Ok(batch) = rx.recv() {
+                match engine.apply(&batch) {
+                    Ok(_) => ok += 1,
+                    Err(_) => failed += 1,
                 }
-                (ok, failed)
-            })
-            .expect("spawn mutation applier");
+            }
+            (ok, failed)
+        });
         MutationIngress {
             tx: Some(tx),
             join: Some(join),

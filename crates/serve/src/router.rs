@@ -22,6 +22,7 @@
 
 use crate::cache::LogitCache;
 use crate::engine::{check_seeds, BatchEngine, BatchLogits, BatchOutcome, InferenceEngine};
+use crate::exec::{Executor, StdThreadExecutor};
 use crate::telemetry::Telemetry;
 use crate::ServeError;
 use maxk_graph::shard::{ShardStrategy, Sharding};
@@ -357,7 +358,7 @@ impl ShardedEngine {
                 .expect("non-empty union owns a shard");
             results[s] = Some(run_shard(s));
         } else {
-            std::thread::scope(|scope| {
+            StdThreadExecutor.scope(|scope| {
                 for (s, out) in results.iter_mut().enumerate() {
                     if local_seeds[s].is_empty() {
                         continue;
@@ -451,15 +452,28 @@ impl ShardedEngine {
                 shards: Vec::new(),
             };
         }
+        // Register uncounted leadership *before* the scatter so a
+        // mutation's invalidation racing the shard forwards poisons the
+        // slots and the fill below skips the stale rows (the misses are
+        // already counted above — leadership here moves no books).
+        let lead = cache.lead_uncounted(self.generation, self.graph_version, &missing);
         let computed = self.scatter_gather(&missing, obs);
         // Fill after gather: `missing` preserves the union's sorted order,
         // matching the compact row order of the gathered logits.
-        cache.fill_rows(
-            self.generation,
-            self.graph_version,
-            &missing,
-            computed.logits.logits(),
-        );
+        let lead_seeds = lead.seeds();
+        if lead_seeds.len() == missing.len() {
+            lead.fill(computed.logits.logits());
+        } else if !lead_seeds.is_empty() {
+            // Some misses are led by another in-flight batch; publish
+            // only the rows this scatter leads.
+            let rows = computed.logits.logits();
+            let mut sub = Matrix::zeros(lead_seeds.len(), self.out_dim);
+            for (j, s) in lead_seeds.iter().enumerate() {
+                let i = missing.binary_search(s).expect("lead seed is a miss");
+                sub.row_mut(j).copy_from_slice(rows.row(i));
+            }
+            lead.fill(&sub);
+        }
         if hit_rows.is_empty() {
             return computed;
         }

@@ -1,7 +1,8 @@
 //! The micro-batching request queue behind the admission layer.
 //!
-//! Architecture (all `std::thread` + `std::sync` primitives, no external
-//! crates):
+//! Architecture (every thread and channel below is spawned and built
+//! through [`crate::exec`] — the one seam a different executor backend
+//! would slot into):
 //!
 //! ```text
 //! clients ──ServerHandle::request/query──▶ admission layer
@@ -68,11 +69,13 @@
 //! each path won and how batches spread over shards.
 
 use crate::admission::{
-    AdmissionConfig, AdmissionQueue, Entry, FairnessConfig, OverloadPolicy, RejectReason,
-    ShedReason, Submission,
+    AdaptiveConfig, AdaptiveController, AdaptiveSnapshot, AdmissionConfig, AdmissionQueue,
+    ClassStats, ClassWeights, Entry, FairnessConfig, OverloadPolicy, RejectReason, ShedReason,
+    Submission,
 };
 use crate::cache::{CacheConfig, CacheSnapshot, LogitCache};
 use crate::engine::{check_seeds, BatchEngine};
+use crate::exec::{self, Executor, ShutdownBarrier, StdThreadExecutor};
 use crate::metrics::{ClientStats, EvictedClientStats, LatencyHistogram, LatencySummary};
 use crate::telemetry::export::{self, HistSample, MetricsExporter, Sample, ScrapeSource};
 use crate::telemetry::{serve_scrape, Stage, StageBreakdown, Telemetry, TelemetryConfig};
@@ -83,9 +86,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io;
 use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Micro-batching configuration.
@@ -106,6 +107,13 @@ pub struct ServeConfig {
     /// Ingress admission control: queue bound, overload policy,
     /// per-client fairness, default latency budget.
     pub admission: AdmissionConfig,
+    /// Self-tuning admission: when set, an [`AdaptiveController`]
+    /// derives the queue capacity and default deadline budget live from
+    /// an EWMA of observed batch service time, replacing the static
+    /// [`AdmissionConfig::capacity`] / `default_deadline` once it has
+    /// observations (and re-planning on snapshot/epoch swap). `None`
+    /// (the default) keeps admission fully static.
+    pub adaptive: Option<AdaptiveConfig>,
     /// Seed-level logit cache; `None` (the default) disables caching and
     /// serves every batch through the engine.
     pub cache: Option<CacheConfig>,
@@ -123,6 +131,7 @@ impl Default for ServeConfig {
             max_batch: 64,
             workers: 2,
             admission: AdmissionConfig::default(),
+            adaptive: None,
             cache: None,
             telemetry: TelemetryConfig::default(),
         }
@@ -160,10 +169,15 @@ pub struct QueryOptions {
     /// [`crate::admission::OverloadPolicy::DeadlineShed`], but always
     /// counted toward [`StatsSnapshot::deadline_misses`].
     pub deadline: Option<Duration>,
+    /// Traffic class for weighted shaping, an index into the server's
+    /// [`ClassWeights`] (see [`ServerBuilder::classes`]). Defaults to 0
+    /// — the first configured class, or plain untagged traffic when no
+    /// classes are configured.
+    pub class: u32,
 }
 
 impl QueryOptions {
-    /// Default options: client 0, no per-query deadline.
+    /// Default options: client 0, class 0, no per-query deadline.
     pub fn new() -> Self {
         QueryOptions::default()
     }
@@ -179,6 +193,14 @@ impl QueryOptions {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the traffic class (an index into the server's configured
+    /// [`ClassWeights`]).
+    #[must_use]
+    pub fn in_class(mut self, class: u32) -> Self {
+        self.class = class;
         self
     }
 }
@@ -255,7 +277,7 @@ impl QueryResponse {
 
 struct Request {
     seeds: Vec<u32>,
-    reply: mpsc::Sender<Result<QueryResponse, ServeError>>,
+    reply: exec::Sender<Result<QueryResponse, ServeError>>,
     /// Sampled-query trace, carried through the pipeline and folded into
     /// spans at reply time (`None` for unsampled queries — the common
     /// case, which never touches the trace ring).
@@ -404,6 +426,14 @@ pub struct StatsSnapshot {
     /// three stage durations sum to its end-to-end latency up to
     /// microsecond truncation.
     pub stages: Option<StageBreakdown>,
+    /// The adaptive controller's live state (service-time EWMA, derived
+    /// capacity/deadline, re-plans) when [`ServeConfig::adaptive`] is
+    /// set.
+    pub adaptive: Option<AdaptiveSnapshot>,
+    /// Per-class admission accounting when weighted classes are
+    /// configured (empty otherwise). Per class
+    /// `submitted == popped + rejected + shed + queued` exactly.
+    pub classes: Vec<ClassStats>,
 }
 
 /// Builder for a [`Server`]: one place for every serving knob — batching,
@@ -526,6 +556,34 @@ impl ServerBuilder {
         self
     }
 
+    /// Enables self-tuning admission: queue capacity and deadline
+    /// budgets derive live from the observed batch service time instead
+    /// of the static `admission_capacity` / `default_deadline` knobs
+    /// (which still govern until the first batch is observed).
+    #[must_use]
+    pub fn adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.cfg.adaptive = Some(adaptive);
+        self
+    }
+
+    /// Enables self-tuning admission with default controller settings
+    /// (shorthand for [`ServerBuilder::adaptive`]).
+    #[must_use]
+    pub fn adaptive_admission(self) -> Self {
+        self.adaptive(AdaptiveConfig::default())
+    }
+
+    /// Enables weighted per-class traffic shaping (e.g. paid/internal/
+    /// batch), layered over per-client fairness: under overload each
+    /// class's admitted share tracks its weight, and no configured
+    /// class starves. Queries pick their class via
+    /// [`QueryOptions::in_class`].
+    #[must_use]
+    pub fn classes(mut self, classes: ClassWeights) -> Self {
+        self.cfg.admission.classes = Some(classes);
+        self
+    }
+
     /// Enables the seed-level logit cache with the given configuration.
     #[must_use]
     pub fn cache(mut self, cache: CacheConfig) -> Self {
@@ -608,8 +666,10 @@ impl ServerBuilder {
 /// ```
 pub struct Server {
     queue: Arc<AdmissionQueue<Request>>,
-    batcher: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    /// Joins the batcher stage, then the worker stage, in that order —
+    /// the executor-level encoding of the shutdown protocol (see
+    /// [`Server::join_threads`]'s body).
+    barrier: ShutdownBarrier,
     counters: Arc<Counters>,
     hist: Arc<Mutex<LatencyHistogram>>,
     cache: Option<Arc<LogitCache>>,
@@ -631,7 +691,17 @@ impl Server {
         let out_dim = engine.out_dim();
         let counters = Arc::new(Counters::new(engine.num_shards()));
         let hist = Arc::new(Mutex::new(LatencyHistogram::new()));
-        let queue = Arc::new(AdmissionQueue::<Request>::new(cfg.admission));
+        let adaptive = cfg.adaptive.map(|a| {
+            Arc::new(AdaptiveController::new(
+                a,
+                cfg.max_batch.max(1),
+                cfg.workers.max(1),
+            ))
+        });
+        let queue = Arc::new(AdmissionQueue::<Request>::with_controller(
+            cfg.admission,
+            adaptive.clone(),
+        ));
         let cache = cfg.cache.map(|c| Arc::new(LogitCache::new(c)));
         // A mutable engine invalidates its dirty cones straight into the
         // server's cache; frozen engines ignore the hook.
@@ -648,7 +718,8 @@ impl Server {
         // overload would hide downstream where no policy can act on it.
         // With the bound, busy workers stall the batcher, the admission
         // queue fills, and rejection/shedding happen where they belong.
-        let (batch_tx, batch_rx) = mpsc::sync_channel::<Vec<BatchItem>>(1);
+        let executor = StdThreadExecutor;
+        let (batch_tx, batch_rx) = executor.bounded::<Vec<BatchItem>>(1);
         let batch_rx = Arc::new(Mutex::new(batch_rx));
 
         let max_batch = cfg.max_batch.max(1);
@@ -659,7 +730,7 @@ impl Server {
         let batcher_cache = cache.clone();
         let batcher_tel = telemetry.clone();
         let batcher_engine = Arc::clone(&engine);
-        let batcher = std::thread::spawn(move || {
+        let batcher = executor.spawn_worker("maxk-batcher", move || {
             // Probes a popped entry against the cache. A fully-hot entry
             // is answered inline — batch size 1, no forward, never
             // occupies a batch slot — and `None` is returned; otherwise
@@ -824,7 +895,7 @@ impl Server {
         });
 
         let mut workers = Vec::with_capacity(cfg.workers.max(1));
-        for _ in 0..cfg.workers.max(1) {
+        for w in 0..cfg.workers.max(1) {
             let engine = Arc::clone(&engine);
             let batch_rx = Arc::clone(&batch_rx);
             let counters = Arc::clone(&counters);
@@ -832,7 +903,8 @@ impl Server {
             let queue = Arc::clone(&queue);
             let cache = cache.clone();
             let telemetry = telemetry.clone();
-            workers.push(std::thread::spawn(move || {
+            let adaptive = adaptive.clone();
+            workers.push(executor.spawn_worker(&format!("maxk-worker-{w}"), move || {
                 loop {
                     // The guard is held across the blocking recv: waiting
                     // workers queue on the mutex, so batches are handed
@@ -854,7 +926,7 @@ impl Server {
                     // The forward-start instant splits batch-wait from
                     // service in the stage histograms.
                     let fwd_start = Instant::now();
-                    let (answers, partial) = match &cache {
+                    let (answers, partial, forwarded) = match &cache {
                         None => run_batch_uncached(engine.as_ref(), &counters, &batch, obs),
                         Some(cache) => run_batch_cached(
                             engine.as_ref(),
@@ -872,6 +944,15 @@ impl Server {
                     // record the books *before* sending: once a client
                     // holds its answer, the counters already include it.
                     let now = Instant::now();
+                    // Feed the adaptive controller only batches that ran
+                    // a forward: an all-cache-resolved batch says nothing
+                    // about engine service time and would drag the EWMA
+                    // toward zero, collapsing the derived budgets.
+                    if forwarded {
+                        if let Some(ctrl) = &adaptive {
+                            ctrl.observe_batch(now.saturating_duration_since(fwd_start), epoch);
+                        }
+                    }
                     let mut replies = Vec::with_capacity(size);
                     let mut stage_rows: Vec<[u64; 4]> = Vec::new();
                     for (item, (logits, cached)) in batch.into_iter().zip(answers) {
@@ -943,10 +1024,15 @@ impl Server {
             }));
         }
 
+        // Stage order is the shutdown protocol: the batcher exits first
+        // (dropping `batch_tx`), which disconnects the workers' recv.
+        let mut barrier = ShutdownBarrier::new();
+        barrier.add_stage("batcher", vec![batcher]);
+        barrier.add_stage("workers", workers);
+
         Server {
             queue,
-            batcher: Some(batcher),
-            workers,
+            barrier,
             counters,
             hist,
             cache,
@@ -1017,14 +1103,11 @@ impl Server {
         // Closing the admission queue stops new submissions and wakes
         // blocked submitters; the batcher drains what was already
         // admitted, then exits, dropping its batch sender, which
-        // unblocks the workers.
+        // unblocks the workers — the barrier joins the stages in
+        // exactly that order (idempotent, so Drop after shutdown is a
+        // no-op).
         self.queue.close();
-        if let Some(b) = self.batcher.take() {
-            let _ = b.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.barrier.join_all();
     }
 }
 
@@ -1105,6 +1188,8 @@ impl StatsSource {
             },
             latency: LatencySummary::of(&self.hist.lock().expect("histogram poisoned")),
             stages: self.telemetry.as_ref().map(|t| t.stage_breakdown()),
+            adaptive: admission.adaptive,
+            classes: admission.classes,
         }
     }
 
@@ -1264,6 +1349,70 @@ fn stat_samples(stats: &StatsSnapshot, hist: LatencyHistogram) -> (Vec<Sample>, 
             "Configured cache capacity in rows",
         ));
     }
+    if let Some(a) = &stats.adaptive {
+        samples.push(Sample::gauge(
+            "maxk_serve_admission_batch_service_ewma_us",
+            a.ewma_us as f64,
+            "EWMA of observed batch service time (µs)",
+        ));
+        samples.push(Sample::gauge(
+            "maxk_serve_admission_derived_capacity",
+            a.derived_capacity as f64,
+            "Queue capacity derived by the adaptive controller",
+        ));
+        samples.push(Sample::gauge(
+            "maxk_serve_admission_derived_deadline_us",
+            a.derived_deadline_us as f64,
+            "Default deadline budget derived by the adaptive controller (µs)",
+        ));
+        samples.push(Sample::counter(
+            "maxk_serve_admission_replans_total",
+            a.replans,
+            "Adaptive re-plans triggered by snapshot/epoch swaps",
+        ));
+    }
+    for c in &stats.classes {
+        samples.push(
+            Sample::counter(
+                "maxk_serve_admission_class_submitted_total",
+                c.submitted,
+                "Queries submitted per traffic class",
+            )
+            .with_label("class", c.name),
+        );
+        samples.push(
+            Sample::counter(
+                "maxk_serve_admission_class_admitted_total",
+                c.popped,
+                "Queries handed to the batcher per traffic class",
+            )
+            .with_label("class", c.name),
+        );
+        samples.push(
+            Sample::counter(
+                "maxk_serve_admission_class_rejected_total",
+                c.rejected,
+                "Queries turned away per traffic class",
+            )
+            .with_label("class", c.name),
+        );
+        samples.push(
+            Sample::counter(
+                "maxk_serve_admission_class_shed_total",
+                c.shed,
+                "Admitted queries dropped per traffic class",
+            )
+            .with_label("class", c.name),
+        );
+        samples.push(
+            Sample::gauge(
+                "maxk_serve_admission_class_weight",
+                c.weight,
+                "Configured weight per traffic class",
+            )
+            .with_label("class", c.name),
+        );
+    }
     let hists = vec![HistSample {
         name: "maxk_serve_latency_us",
         labels: Vec::new(),
@@ -1274,14 +1423,15 @@ fn stat_samples(stats: &StatsSnapshot, hist: LatencyHistogram) -> (Vec<Sample>, 
 }
 
 /// The uncached batch path: one forward over the whole seed union.
-/// Returns each query's `(logits, cached)` in batch order plus the
-/// batch-level partial flag.
+/// Returns each query's `(logits, cached)` in batch order, the
+/// batch-level partial flag, and whether a forward ran (always true
+/// here — the adaptive controller's service-time signal).
 fn run_batch_uncached<E: BatchEngine + ?Sized>(
     engine: &E,
     counters: &Counters,
     batch: &[BatchItem],
     obs: Option<(&Telemetry, u64)>,
-) -> (Vec<(Matrix, bool)>, bool) {
+) -> (Vec<(Matrix, bool)>, bool, bool) {
     let mut union: Vec<u32> = batch
         .iter()
         .flat_map(|item| item.entry.payload.seeds.iter().copied())
@@ -1295,14 +1445,16 @@ fn run_batch_uncached<E: BatchEngine + ?Sized>(
         .iter()
         .map(|item| (outcome.logits.gather(&item.entry.payload.seeds), false))
         .collect();
-    (answers, partial)
+    (answers, partial, true)
 }
 
 /// The cached batch path: claim the batch's missing seeds, forward only
 /// the claimed lead union, fill the cache, park on other batches' work
 /// for follower seeds, and assemble each query's rows from probe hits +
-/// claim results. Returns each query's `(logits, cached)` in batch order
-/// plus the batch-level partial flag.
+/// claim results. Returns each query's `(logits, cached)` in batch
+/// order, the batch-level partial flag, and whether any forward
+/// actually ran (false for a batch fully resolved by residency and
+/// other batches' in-flight work).
 fn run_batch_cached<E: BatchEngine + ?Sized>(
     engine: &E,
     counters: &Counters,
@@ -1311,7 +1463,7 @@ fn run_batch_cached<E: BatchEngine + ?Sized>(
     graph_version: GraphVersion,
     batch: &[BatchItem],
     obs: Option<(&Telemetry, u64)>,
-) -> (Vec<(Matrix, bool)>, bool) {
+) -> (Vec<(Matrix, bool)>, bool, bool) {
     // Aggregate the probe misses: per unique seed, how many answered
     // instances in this batch want it (the occurrence counts keep the
     // cache's per-instance books exact). BTreeMap iteration yields the
@@ -1334,11 +1486,13 @@ fn run_batch_cached<E: BatchEngine + ?Sized>(
         rows.insert(*s, Arc::clone(row));
     }
     let mut partial = false;
+    let mut forwarded = false;
     // Lead seeds: the shrunken union this batch actually forwards. The
     // leader fills *before* waiting on any follows, so two batches
     // leading/following each other's seeds can never deadlock.
     let lead_seeds = claim.lead.seeds();
     if !claim.lead.is_empty() {
+        forwarded = true;
         let outcome = engine.forward_union_observed(&lead_seeds, obs);
         counters.count_forward(&outcome);
         partial |= outcome.any_partial();
@@ -1361,13 +1515,33 @@ fn run_batch_cached<E: BatchEngine + ?Sized>(
         }
     }
     if !fallback.is_empty() {
+        forwarded = true;
         fallback.sort_unstable();
         fallback.dedup();
+        // Register uncounted leadership *before* the recompute so a
+        // mutation's invalidation racing it poisons the slots and the
+        // fill below skips the stale rows — the raw `fill_rows` hook
+        // this path used to call has no in-flight entry to poison and
+        // would land pre-mutation bits.
+        let lead = cache.lead_uncounted(generation, graph_version, &fallback);
         let outcome = engine.forward_union_observed(&fallback, obs);
         counters.count_forward(&outcome);
         partial |= outcome.any_partial();
         let gathered = outcome.logits.gather(&fallback);
-        cache.fill_rows(generation, graph_version, &fallback, &gathered);
+        let lead_seeds = lead.seeds();
+        if lead_seeds.len() == fallback.len() {
+            lead.fill(&gathered);
+        } else if !lead_seeds.is_empty() {
+            // Some fallback seeds were re-led by another in-flight
+            // claim in the meantime; publish only the rows we lead.
+            let (_, cols) = gathered.shape();
+            let mut sub = Matrix::zeros(lead_seeds.len(), cols);
+            for (j, s) in lead_seeds.iter().enumerate() {
+                let i = fallback.binary_search(s).expect("lead seed from fallback");
+                sub.row_mut(j).copy_from_slice(gathered.row(i));
+            }
+            lead.fill(&sub);
+        }
         for (i, &s) in fallback.iter().enumerate() {
             computed_here.insert(s);
             rows.insert(s, Arc::from(gathered.row(i)));
@@ -1398,7 +1572,7 @@ fn run_batch_cached<E: BatchEngine + ?Sized>(
             (logits, cached)
         })
         .collect();
-    (answers, partial)
+    (answers, partial, forwarded)
 }
 
 impl Drop for Server {
@@ -1420,7 +1594,7 @@ enum Pending {
     /// Resolved synchronously at admission (a rejection).
     Immediate(QueryResponse),
     /// Waiting on the serving pipeline.
-    Waiting(mpsc::Receiver<Result<QueryResponse, ServeError>>),
+    Waiting(exec::Receiver<Result<QueryResponse, ServeError>>),
 }
 
 impl PendingQuery {
@@ -1492,7 +1666,7 @@ impl ServerHandle {
     /// server has shut down.
     pub fn request(&self, seeds: &[u32], opts: QueryOptions) -> Result<PendingQuery, ServeError> {
         check_seeds(seeds, self.num_nodes)?;
-        let (reply_tx, reply_rx) = mpsc::channel();
+        let (reply_tx, reply_rx) = StdThreadExecutor.unbounded();
         // Sampled queries carry a trace; the unsampled path costs one
         // relaxed atomic increment (and nothing at all with tracing off).
         let mut trace = self
@@ -1507,7 +1681,10 @@ impl ServerHandle {
             reply: reply_tx,
             trace,
         };
-        match self.queue.submit(opts.client, opts.deadline, request)? {
+        match self
+            .queue
+            .submit_classed(opts.client, opts.class, opts.deadline, request)?
+        {
             Submission::Admitted { shed } => {
                 notify_shed(shed);
                 Ok(PendingQuery {
@@ -1601,7 +1778,7 @@ mod tests {
             .start(engine);
         let handle = server.handle();
         let clients = 8;
-        std::thread::scope(|s| {
+        StdThreadExecutor.scope(|s| {
             for c in 0..clients {
                 let h = handle.clone();
                 s.spawn(move || {
@@ -1880,7 +2057,7 @@ mod tests {
         let handle = server.handle();
         // Concurrent Zipf-ish repetition: lots of duplicate seeds across
         // overlapping batches.
-        std::thread::scope(|s| {
+        StdThreadExecutor.scope(|s| {
             for c in 0..6u64 {
                 let h = handle.clone();
                 s.spawn(move || {
@@ -1956,5 +2133,73 @@ mod tests {
         let json = tel.chrome_trace();
         assert!(json.starts_with("{\"traceEvents\":["));
         let _ = server.shutdown();
+    }
+
+    #[test]
+    fn adaptive_server_derives_budgets_and_answers_exactly() {
+        let engine = engine();
+        let expected = engine.forward_all();
+        let server = Server::builder()
+            .adaptive_admission()
+            .start(Arc::clone(&engine));
+        let handle = server.handle();
+        for i in 0..6u32 {
+            let resp = answer(handle.query(&[i]));
+            assert_eq!(resp.logits.row(0), expected.row(i as usize));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 6);
+        let a = stats.adaptive.expect("adaptive enabled");
+        assert!(a.samples > 0, "every batch feeds the EWMA");
+        assert!(a.ewma_us > 0);
+        assert!(a.derived_capacity > 0);
+        assert!(
+            a.derived_deadline_us > 0,
+            "deadline multiplier derives a budget from the EWMA"
+        );
+        // Exact accounting survives the adaptive controller.
+        assert_eq!(stats.submitted, stats.queries + stats.rejected + stats.shed);
+    }
+
+    #[test]
+    fn classed_queries_account_per_class_exactly() {
+        let engine = engine();
+        let server = Server::builder()
+            .classes(
+                ClassWeights::new()
+                    .with_class("paid", 3.0)
+                    .with_class("batch", 1.0),
+            )
+            .start(engine);
+        let handle = server.handle();
+        for i in 0..4u32 {
+            let _ = answer(
+                handle
+                    .request(&[i], QueryOptions::new().in_class(0))
+                    .and_then(PendingQuery::wait),
+            );
+        }
+        for i in 0..2u32 {
+            let _ = answer(
+                handle
+                    .request(&[i], QueryOptions::new().for_client(1).in_class(1))
+                    .and_then(PendingQuery::wait),
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 6);
+        assert_eq!(stats.classes.len(), 2);
+        let paid = &stats.classes[0];
+        let batch = &stats.classes[1];
+        assert_eq!((paid.name, paid.submitted, paid.popped), ("paid", 4, 4));
+        assert_eq!((batch.name, batch.submitted, batch.popped), ("batch", 2, 2));
+        for c in &stats.classes {
+            assert_eq!(
+                c.submitted,
+                c.popped + c.rejected + c.shed + c.queued,
+                "per-class identity for {}",
+                c.name
+            );
+        }
     }
 }

@@ -304,7 +304,7 @@ proptest! {
                 rate_per_s: 0.0,
                 burst: 40.0,
             }),
-            default_deadline: None,
+            ..AdmissionConfig::default()
         });
         let mut books: HashMap<u64, Books> = HashMap::new();
         let apply_pop = |queue: &AdmissionQueue<u64>, books: &mut HashMap<u64, Books>| {
@@ -393,8 +393,7 @@ proptest! {
         let queue: AdmissionQueue<()> = AdmissionQueue::new(AdmissionConfig {
             capacity: 3,
             policy,
-            fairness: None,
-            default_deadline: None,
+            ..AdmissionConfig::default()
         });
         for (sel, client) in ops {
             if sel < 4 {
