@@ -52,6 +52,18 @@
 //! strictly above the bump-version baseline at every write rate;
 //! `--skip-dynamic` skips the sweep.
 //!
+//! The **SLO/recorder sweep** (`BENCH_slo.json`) measures the incident
+//! pipeline's overhead and proves its trigger lifecycle end to end: the
+//! closed-loop replay runs with the SLO engine + flight recorder on and
+//! off (best-of-`--slo-reps`, bound ≤2% with `--slo-assert`), the
+//! open-loop generator repeats the comparison at each `--slo-offered`
+//! multiple of saturation capacity, and an **incident smoke** wraps the
+//! engine in a latency fault injector under an aggressive latency
+//! objective: the breach must flip `/healthz` to 503, emit exactly one
+//! self-contained incident bundle into `target/serve_bench_incidents/`,
+//! and `/healthz` must recover once the fault clears. `--skip-slo`
+//! skips the sweep.
+//!
 //! Finally it sweeps **offered load vs. admission policy**
 //! (`--offered` multipliers of the measured full-batch saturation
 //! capacity × `--admission-policies`) with the open-loop Poisson
@@ -79,9 +91,10 @@ use maxk_nn::snapshot::ModelSnapshot;
 use maxk_nn::{train_full_batch, Activation, Arch, GnnModel, ModelConfig, TrainConfig};
 use maxk_serve::{
     open_loop, replay, AdaptiveConfig, AdaptiveController, AdmissionConfig, BatchEngine,
-    DynamicEngine, FairnessConfig, InferenceEngine, InvalidationStrategy, LatencySummary,
-    LoadConfig, LoadReport, Mutation, OpenLoopConfig, OpenLoopReport, OverloadPolicy, ServeConfig,
-    Server, ShardConfig, ShardedEngine, StatsSnapshot, TelemetryConfig, ZipfSampler,
+    DynamicEngine, FairnessConfig, FaultInjector, InferenceEngine, InvalidationStrategy,
+    LatencySummary, LoadConfig, LoadReport, Mutation, OpenLoopConfig, OpenLoopReport,
+    OverloadPolicy, RecorderConfig, ServeConfig, Server, ShardConfig, ShardedEngine, SloConfig,
+    SloSpec, SloSpecSet, StatsSnapshot, TelemetryConfig, ZipfSampler,
 };
 use maxk_tensor::Matrix;
 use rand::{Rng, SeedableRng};
@@ -364,6 +377,84 @@ fn assert_adaptive_bounds(points: &[AdaptivePoint]) {
             p.static_p99_us
         );
     }
+}
+
+/// One SLO-sweep overhead measurement kept raw for the `--slo-assert`
+/// smoke bounds (the JSON mirror goes to `BENCH_slo.json`).
+struct SloOverheadPoint {
+    mode: String,
+    off_qps: f64,
+    on_qps: f64,
+    overhead_pct: f64,
+}
+
+/// What the incident smoke observed, kept raw for `--slo-assert`.
+struct IncidentSmoke {
+    healthz_ok_before: bool,
+    healthz_degraded: bool,
+    healthz_recovered: bool,
+    bundles: usize,
+    bundle_bytes: u64,
+    breaches: u64,
+}
+
+/// CI smoke assertions over the SLO sweep: the always-on recorder + SLO
+/// engine must cost ≤2% closed-loop throughput at 1x load, and the
+/// injected latency fault must walk the full incident lifecycle —
+/// degrade `/healthz`, emit exactly one bundle, recover.
+fn assert_slo_bounds(points: &[SloOverheadPoint], smoke: &IncidentSmoke) {
+    let closed = points
+        .iter()
+        .find(|p| p.mode == "closed_1x")
+        .expect("closed-loop overhead point");
+    assert!(
+        closed.overhead_pct <= 2.0,
+        "SLO engine + recorder cost {:.2}% closed-loop throughput (bound 2%, \
+         {:.1} q/s off vs {:.1} q/s on)",
+        closed.overhead_pct,
+        closed.off_qps,
+        closed.on_qps
+    );
+    assert!(smoke.healthz_ok_before, "/healthz not ok before the fault");
+    assert!(
+        smoke.healthz_degraded,
+        "injected latency fault never degraded /healthz"
+    );
+    assert_eq!(
+        smoke.bundles, 1,
+        "sustained breach must emit exactly one incident bundle"
+    );
+    assert!(smoke.bundle_bytes > 0, "incident bundle is empty");
+    assert!(smoke.breaches >= 1, "latency objective never breached");
+    assert!(
+        smoke.healthz_recovered,
+        "/healthz never recovered after the fault cleared"
+    );
+}
+
+/// One blocking HTTP/1.1 GET against a scrape endpoint; returns the
+/// status code and body (the smoke polls `/healthz` through real TCP,
+/// the same path a production probe takes).
+fn http_status(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to scrape endpoint");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write request");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read response");
+    let code = buf
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let body = buf
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (code, body)
 }
 
 /// Static-vs-adaptive admission comparison at each offered-load
@@ -1350,6 +1441,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 0 = reuse --queries for each strategy's mixed read/write loop.
     let dynamic_queries = args.get("dynamic-queries", 0usize);
     let dynamic_out = args.get_str("dynamic-out", "BENCH_dynamic.json");
+    let skip_slo = args.flag("skip-slo");
+    let slo_assert = args.flag("slo-assert");
+    let slo_reps = args.get("slo-reps", 3usize).max(1);
+    let slo_offered: Vec<f64> = args
+        .get_list("slo-offered", &["1", "4"])
+        .iter()
+        .map(|s| s.parse().expect("numeric --slo-offered entry"))
+        .collect();
+    let slo_out = args.get_str("slo-out", "BENCH_slo.json");
 
     // Telemetry default for every server this binary starts:
     // `--telemetry-off` strips even the always-on metrics (the sweep in
@@ -2152,6 +2252,318 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         save_json(&adaptive_out, &adjson)?;
         println!("wrote {adaptive_out}");
+    }
+
+    // 10. SLO/recorder sweep: the incident pipeline's overhead (the
+    //     always-on flight recorder + SLO engine against the same server
+    //     without them, closed-loop at 1x and open-loop at each
+    //     --slo-offered multiple of capacity), then an incident smoke
+    //     that injects a latency fault and walks the full breach →
+    //     trigger → bundle → recovery lifecycle over real TCP.
+    if skip_slo {
+        println!("slo sweep skipped (--skip-slo)");
+    } else {
+        // Objectives generous enough that the overhead runs never
+        // breach: the cost measured is the steady-state tax — per-answer
+        // SLO observation, ring events, the 20ms monitor tick.
+        let quiet_slo = SloConfig::with_latency_budget(Duration::from_secs(1));
+        let mut stable = Table::new(vec!["mode", "off q/s", "on q/s", "overhead"]);
+        let mut spoints: Vec<SloOverheadPoint> = Vec::new();
+        let mut srows: Vec<JsonObject> = Vec::new();
+
+        // 10a. Closed-loop overhead at 1x (sustainable) load.
+        println!(
+            "slo sweep: recorder+engine on/off, closed loop + offered {slo_offered:?} x \
+             {capacity_qps:.1} q/s, best of {slo_reps} reps"
+        );
+        let closed_cfg = ServeConfig {
+            batch_window: Duration::from_micros(window_us),
+            max_batch,
+            workers,
+            ..serve_base
+        };
+        let mut closed = [0.0f64; 2];
+        let mut closed_runs: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+        // Arms interleave within each rep (off, on, off, on, ...): a
+        // back-to-back pair sees the same machine state, so best-of
+        // compares like against like instead of measuring load drift.
+        for _ in 0..slo_reps {
+            for (i, slo) in [None, Some(quiet_slo)].into_iter().enumerate() {
+                let (report, _) =
+                    run_mode(&engine, ServeConfig { slo, ..closed_cfg }, &batched_load);
+                closed_runs[i].push(report.throughput_qps);
+                closed[i] = closed[i].max(report.throughput_qps);
+            }
+        }
+        let closed_overhead = (1.0 - closed[1] / closed[0]) * 100.0;
+        stable.row(vec![
+            "closed 1x".into(),
+            format!("{:.1}", closed[0]),
+            format!("{:.1}", closed[1]),
+            format!("{closed_overhead:+.1}%"),
+        ]);
+        spoints.push(SloOverheadPoint {
+            mode: "closed_1x".into(),
+            off_qps: closed[0],
+            on_qps: closed[1],
+            overhead_pct: closed_overhead,
+        });
+        srows.push(
+            JsonObject::new()
+                .field("mode", "closed_1x")
+                .field("off_qps", closed[0])
+                .field("on_qps", closed[1])
+                .field(
+                    "off_runs",
+                    JsonValue::Array(closed_runs[0].iter().map(|&q| JsonValue::from(q)).collect()),
+                )
+                .field(
+                    "on_runs",
+                    JsonValue::Array(closed_runs[1].iter().map(|&q| JsonValue::from(q)).collect()),
+                )
+                .field("overhead_pct", closed_overhead),
+        );
+
+        // 10b. Open-loop overhead at each offered multiple, under the
+        //      deadline-shedding policy so the 4x point stays bounded.
+        let open_cfg = ServeConfig {
+            admission: AdmissionConfig {
+                capacity: admission_capacity,
+                policy: OverloadPolicy::DeadlineShed,
+                default_deadline: Some(deadline),
+                ..AdmissionConfig::default()
+            },
+            ..closed_cfg
+        };
+        for &mult in &slo_offered {
+            let offered_qps = mult * capacity_qps;
+            let mut goodput = [0.0f64; 2];
+            for _ in 0..slo_reps {
+                for (i, slo) in [None, Some(quiet_slo)].into_iter().enumerate() {
+                    let server = Server::builder()
+                        .config(ServeConfig { slo, ..open_cfg })
+                        .start(Arc::clone(&engine));
+                    let report = open_loop(
+                        &server.handle(),
+                        &OpenLoopConfig {
+                            clients,
+                            offered_qps,
+                            duration: Duration::from_secs_f64(open_secs),
+                            seeds_per_query,
+                            zipf_exponent: zipf,
+                            seed: 29,
+                            deadline: Some(deadline),
+                        },
+                    )
+                    .expect("open loop against a live server");
+                    server.shutdown();
+                    goodput[i] = goodput[i].max(report.goodput_qps);
+                }
+            }
+            let overhead = (1.0 - goodput[1] / goodput[0]) * 100.0;
+            let mode = format!("open_{mult:.0}x");
+            stable.row(vec![
+                format!("open {mult:.1}x"),
+                format!("{:.1}", goodput[0]),
+                format!("{:.1}", goodput[1]),
+                format!("{overhead:+.1}%"),
+            ]);
+            srows.push(
+                JsonObject::new()
+                    .field("mode", mode.as_str())
+                    .field("offered_mult", mult)
+                    .field("offered_qps", offered_qps)
+                    .field("off_qps", goodput[0])
+                    .field("on_qps", goodput[1])
+                    .field("overhead_pct", overhead),
+            );
+            spoints.push(SloOverheadPoint {
+                mode,
+                off_qps: goodput[0],
+                on_qps: goodput[1],
+                overhead_pct: overhead,
+            });
+        }
+        stable.print();
+
+        // 10c. Incident smoke: a dedicated fault-injected engine under
+        //      an aggressive latency objective; the breach must degrade
+        //      /healthz, emit exactly one bundle, and recover.
+        let sink = std::path::PathBuf::from("target/serve_bench_incidents");
+        let _ = std::fs::remove_dir_all(&sink);
+        let smoke_features =
+            Matrix::from_vec(data.csr.num_nodes(), data.in_dim, data.features.clone())?;
+        let smoke_inner = InferenceEngine::from_snapshot(&snapshot, &data.csr, smoke_features)?;
+        let faulty = Arc::new(FaultInjector::new(smoke_inner));
+        // Budget: derived from a direct probe of the healthy single-seed
+        // forward. The closed-loop p99 measured above includes queue
+        // wait under 8 concurrent clients — seconds-scale at small
+        // graphs — and deriving from it produces a stall so long the
+        // smoke cannot breach-and-recover inside its deadline. The probe
+        // warms the fresh engine's plan/normalization caches, then takes
+        // the worst steady-state service time over the seeds the smoke
+        // queries; 4x headroom keeps healthy traffic green, and the
+        // 2x-budget stall makes every faulted query unambiguously bad.
+        let probe_us = {
+            std::hint::black_box(faulty.forward_union(&[0]));
+            let mut worst = 1u64;
+            for s in 0..8u32 {
+                let t0 = Instant::now();
+                std::hint::black_box(faulty.forward_union(&[s]));
+                worst = worst.max(t0.elapsed().as_micros() as u64);
+            }
+            worst
+        };
+        let budget_us = (probe_us * 4).max(2_000);
+        let fault_delay = Duration::from_micros(budget_us * 2).max(Duration::from_millis(50));
+        // Bad completions arrive one stall apart (blocking query loop),
+        // so the fast window must hold min_events of them with margin;
+        // the slow window doubles it, and recovery needs one fast window
+        // of clean traffic — all well inside the smoke deadline.
+        let spacing = fault_delay + Duration::from_micros(probe_us);
+        let fast_window = (spacing * 6).max(Duration::from_secs(2));
+        let smoke_slo = SloConfig {
+            specs: SloSpecSet::new().with_spec(SloSpec::latency(
+                "latency",
+                Duration::from_micros(budget_us),
+                0.05,
+            )),
+            fast_window,
+            slow_window: fast_window * 2,
+            tick: Duration::from_millis(5),
+            min_events: 4,
+            recorder: RecorderConfig {
+                post_trigger: Duration::from_millis(100),
+                cooldown: Duration::from_secs(3600),
+                ..RecorderConfig::default()
+            },
+            ..SloConfig::default()
+        };
+        println!(
+            "incident smoke: {probe_us}us healthy forward, {budget_us}us latency budget, \
+             {:.1}ms injected stall",
+            fault_delay.as_secs_f64() * 1e3
+        );
+        let server = Server::builder()
+            .batch_window(Duration::ZERO)
+            .workers(1)
+            .slo(smoke_slo)
+            .incident_sink(&sink)
+            .start(Arc::clone(&faulty));
+        let exporter = server.serve_metrics("127.0.0.1:0")?;
+        let probe_addr = exporter.local_addr();
+        let handle = server.handle();
+        let healthz_ok_before = http_status(probe_addr, "/healthz").0 == 200;
+
+        faulty.set_forward_delay(fault_delay);
+        let smoke_deadline = Instant::now() + Duration::from_secs(30);
+        let mut healthz_degraded = false;
+        while Instant::now() < smoke_deadline {
+            for s in 0..8u32 {
+                let _ = handle.query(&[s % 16]);
+            }
+            if http_status(probe_addr, "/healthz").0 == 503 {
+                healthz_degraded = true;
+                break;
+            }
+        }
+        // Keep serving through the post-trigger window so the boosted
+        // traces have spans to collect, until the bundle finalizes.
+        while server.incidents().is_empty() && Instant::now() < smoke_deadline {
+            for s in 0..4u32 {
+                let _ = handle.query(&[s]);
+            }
+        }
+        faulty.set_forward_delay(Duration::ZERO);
+        let mut healthz_recovered = false;
+        while Instant::now() < smoke_deadline {
+            for s in 0..8u32 {
+                let _ = handle.query(&[s]);
+            }
+            std::thread::sleep(Duration::from_millis(25));
+            if http_status(probe_addr, "/healthz").0 == 200 {
+                healthz_recovered = true;
+                break;
+            }
+        }
+        exporter.shutdown();
+        let smoke_stats = server.shutdown();
+        let breaches = smoke_stats
+            .slo
+            .iter()
+            .find(|s| s.name == "latency")
+            .map_or(0, |s| s.breaches);
+        let bundle_paths: Vec<std::path::PathBuf> = std::fs::read_dir(&sink)
+            .map(|rd| rd.filter_map(|e| e.ok()).map(|e| e.path()).collect())
+            .unwrap_or_default();
+        let bundle_bytes = bundle_paths
+            .iter()
+            .filter_map(|p| std::fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum();
+        let smoke = IncidentSmoke {
+            healthz_ok_before,
+            healthz_degraded,
+            healthz_recovered,
+            bundles: bundle_paths.len(),
+            bundle_bytes,
+            breaches,
+        };
+        println!(
+            "incident smoke: healthz ok={} degraded={} recovered={}, {} bundle(s), \
+             {} bytes, {} breach(es)",
+            smoke.healthz_ok_before,
+            smoke.healthz_degraded,
+            smoke.healthz_recovered,
+            smoke.bundles,
+            smoke.bundle_bytes,
+            smoke.breaches
+        );
+
+        if slo_assert {
+            assert_slo_bounds(&spoints, &smoke);
+            println!(
+                "slo assertions passed: <=2% recorder overhead at 1x and one-bundle incident \
+                 lifecycle over /healthz"
+            );
+        }
+
+        let sjson = JsonObject::new()
+            .field("bench", "slo")
+            .field("dataset", "Flickr")
+            .field("scale", scale_name.as_str())
+            .field("nodes", n)
+            .field("edges", data.csr.num_edges())
+            .field("arch", "SAGE")
+            .field("k", k)
+            .field("hidden_dim", hidden)
+            .field("clients", clients)
+            .field("window_us", window_us)
+            .field("max_batch", max_batch)
+            .field("workers", workers)
+            .field("zipf_exponent", zipf)
+            .field("capacity_qps", capacity_qps)
+            .field("open_loop_secs", open_secs)
+            .field("reps", slo_reps)
+            .field(
+                "overhead",
+                JsonValue::Array(srows.into_iter().map(JsonValue::Object).collect()),
+            )
+            .field(
+                "incident_smoke",
+                JsonObject::new()
+                    .field("probe_us", probe_us)
+                    .field("budget_us", budget_us)
+                    .field("fault_delay_ms", fault_delay.as_secs_f64() * 1e3)
+                    .field("healthz_ok_before", smoke.healthz_ok_before)
+                    .field("healthz_degraded", smoke.healthz_degraded)
+                    .field("healthz_recovered", smoke.healthz_recovered)
+                    .field("bundles", smoke.bundles)
+                    .field("bundle_bytes", smoke.bundle_bytes)
+                    .field("breaches", smoke.breaches),
+            );
+        save_json(&slo_out, &sjson)?;
+        println!("wrote {slo_out}");
     }
     Ok(())
 }

@@ -188,6 +188,9 @@ pub struct AdaptiveSnapshot {
     /// Times the average was restarted because the engine epoch
     /// changed (snapshot/graph swap).
     pub replans: u64,
+    /// Deadline tighten factor in thousandths (1000 = no tightening;
+    /// 500 = the SLO feedback halved the derived deadline).
+    pub tighten_permille: u64,
 }
 
 /// Live batch-service-time measurement and the budgets derived from it.
@@ -217,6 +220,9 @@ pub struct AdaptiveController {
     samples: AtomicU64,
     last_epoch: AtomicU64,
     replans: AtomicU64,
+    /// Deadline tighten factor in thousandths (1000 = none). Set by the
+    /// SLO feedback loop on breach, restored on recovery.
+    tighten_permille: AtomicU64,
 }
 
 impl AdaptiveController {
@@ -255,6 +261,7 @@ impl AdaptiveController {
             samples: AtomicU64::new(0),
             last_epoch: AtomicU64::new(0),
             replans: AtomicU64::new(0),
+            tighten_permille: AtomicU64::new(1000),
         }
     }
 
@@ -299,15 +306,41 @@ impl AdaptiveController {
         (us > 0).then(|| Duration::from_micros(us))
     }
 
-    /// The deadline budget derived from the current EWMA; `None` before
-    /// the first observation (static config applies until then).
+    /// The deadline budget derived from the current EWMA, scaled by the
+    /// current [tighten factor](AdaptiveController::set_deadline_tighten);
+    /// `None` before the first observation (static config applies until
+    /// then).
     pub fn derived_deadline(&self) -> Option<Duration> {
-        self.service_ewma().map(|t| match self.cfg.latency_target {
+        let base = self.service_ewma().map(|t| match self.cfg.latency_target {
             Some(target) => target,
             None => Duration::from_micros(
                 (t.as_micros() as f64 * self.cfg.deadline_multiplier).round() as u64,
             ),
-        })
+        })?;
+        let permille = self.tighten_permille.load(Ordering::Relaxed);
+        if permille >= 1000 {
+            return Some(base);
+        }
+        let scaled = (base.as_micros() as f64 * permille as f64 / 1000.0).round() as u64;
+        Some(Duration::from_micros(scaled.max(1)))
+    }
+
+    /// Sets the SLO-feedback tighten factor: while a latency objective
+    /// is breached the server scales the derived deadline by `factor`
+    /// (in `(0, 1]`), shedding harder until the burn clears. `1.0`
+    /// restores normal budgets. Values outside `(0, 1]` clamp.
+    pub fn set_deadline_tighten(&self, factor: f64) {
+        let permille = if factor.is_finite() {
+            (factor * 1000.0).round().clamp(1.0, 1000.0) as u64
+        } else {
+            1000
+        };
+        self.tighten_permille.store(permille, Ordering::Relaxed);
+    }
+
+    /// The current tighten factor (1.0 when no feedback is applied).
+    pub fn deadline_tighten(&self) -> f64 {
+        self.tighten_permille.load(Ordering::Relaxed) as f64 / 1000.0
     }
 
     /// The queue capacity derived from the current EWMA (queries the
@@ -339,6 +372,7 @@ impl AdaptiveController {
                 .derived_deadline()
                 .map_or(0, |d| d.as_micros().min(u128::from(u64::MAX)) as u64),
             replans: self.replans.load(Ordering::Acquire),
+            tighten_permille: self.tighten_permille.load(Ordering::Relaxed),
         }
     }
 }
@@ -620,6 +654,23 @@ pub struct Popped<T> {
     /// exit. While entries remain after [`AdmissionQueue::close`], pops
     /// keep returning them so already-admitted work is flushed.
     pub closed: bool,
+}
+
+/// The cumulative top-line admission books (see
+/// [`AdmissionQueue::totals`]) — cheap enough to read on a monitor
+/// tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionTotals {
+    /// Queries ever submitted.
+    pub submitted: u64,
+    /// Queries rejected at admission.
+    pub rejected: u64,
+    /// Queries shed after admission.
+    pub shed: u64,
+    /// Queries popped toward batches.
+    pub popped: u64,
+    /// Current queue depth.
+    pub depth: u64,
 }
 
 /// Point-in-time admission accounting (global and per client).
@@ -1330,6 +1381,12 @@ impl<T> AdmissionQueue<T> {
         self.not_full.notify_all();
     }
 
+    /// True once [`AdmissionQueue::close`] has been called (the
+    /// `/healthz` ingress check).
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("admission lock poisoned").closed
+    }
+
     /// Records served outcomes: for each `(client, latency_us)` pair,
     /// bumps the client's answered counter and latency histogram. Called
     /// by the serving workers once per batch (single lock acquisition),
@@ -1358,6 +1415,21 @@ impl<T> AdmissionQueue<T> {
             .expect("admission lock poisoned")
             .queue
             .len()
+    }
+
+    /// The cumulative top-line books in one cheap lock acquisition — the
+    /// SLO monitor diffs these every tick, so this deliberately skips
+    /// the per-client and per-class maps that make
+    /// [`AdmissionQueue::snapshot`] expensive.
+    pub fn totals(&self) -> AdmissionTotals {
+        let inner = self.inner.lock().expect("admission lock poisoned");
+        AdmissionTotals {
+            submitted: inner.submitted,
+            rejected: inner.rejected,
+            shed: inner.shed,
+            popped: inner.popped,
+            depth: inner.queue.len() as u64,
+        }
     }
 
     /// Consistent snapshot of every admission counter.
@@ -1919,6 +1991,54 @@ mod tests {
         ctrl.observe_batch(Duration::from_micros(100), 1);
         assert_eq!(ctrl.service_ewma().unwrap(), Duration::from_micros(100));
         assert_eq!(ctrl.snapshot().replans, 1);
+    }
+
+    #[test]
+    fn adaptive_deadline_tightens_under_slo_feedback() {
+        let ctrl = AdaptiveController::new(AdaptiveConfig::default(), 64, 2);
+        for _ in 0..50 {
+            ctrl.observe_batch(Duration::from_micros(500), 0);
+        }
+        assert_eq!(
+            ctrl.derived_deadline().unwrap(),
+            Duration::from_micros(1000)
+        );
+        assert_eq!(ctrl.deadline_tighten(), 1.0);
+        // Breach feedback halves the budget...
+        ctrl.set_deadline_tighten(0.5);
+        assert_eq!(ctrl.derived_deadline().unwrap(), Duration::from_micros(500));
+        assert_eq!(ctrl.snapshot().tighten_permille, 500);
+        // ...and recovery restores it. Out-of-range values clamp.
+        ctrl.set_deadline_tighten(1.0);
+        assert_eq!(
+            ctrl.derived_deadline().unwrap(),
+            Duration::from_micros(1000)
+        );
+        ctrl.set_deadline_tighten(7.0);
+        assert_eq!(ctrl.deadline_tighten(), 1.0);
+        ctrl.set_deadline_tighten(0.0);
+        assert_eq!(ctrl.snapshot().tighten_permille, 1);
+    }
+
+    #[test]
+    fn totals_match_snapshot_books() {
+        let queue: AdmissionQueue<()> = AdmissionQueue::new(AdmissionConfig {
+            capacity: 4,
+            policy: OverloadPolicy::RejectNewest,
+            ..AdmissionConfig::default()
+        });
+        for i in 0..6u64 {
+            let _ = queue.submit(i, None, ());
+        }
+        let totals = queue.totals();
+        let snap = queue.snapshot();
+        assert_eq!(totals.submitted, snap.submitted);
+        assert_eq!(totals.rejected, snap.rejected);
+        assert_eq!(totals.shed, snap.shed);
+        assert_eq!(totals.popped, snap.popped);
+        assert_eq!(totals.depth, snap.queue_depth);
+        assert_eq!(totals.submitted, 6);
+        assert_eq!(totals.rejected, 2);
     }
 
     #[test]

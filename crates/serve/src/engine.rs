@@ -598,6 +598,14 @@ pub trait BatchEngine: Send + Sync {
         let _ = cache;
     }
 
+    /// Hands the engine the server's [`crate::FlightRecorder`] so
+    /// engine-side incidents (epoch swaps, invalidation churn) land in
+    /// the black box at their exact time. Frozen-graph engines ignore
+    /// the hook.
+    fn bind_recorder(&self, recorder: &std::sync::Arc<crate::FlightRecorder>) {
+        let _ = recorder;
+    }
+
     /// Runs one forward covering every seed in `union`.
     ///
     /// `union` is validated, sorted and deduplicated by the caller; the
@@ -689,6 +697,103 @@ impl BatchEngine for InferenceEngine {
             logits,
             shards: vec![(0, partial)],
         }
+    }
+}
+
+/// A [`BatchEngine`] decorator that injects a configurable delay into
+/// every forward pass — the controlled slow-batch fault used by the SLO
+/// incident tests and `serve_bench --slo` smoke (breach a latency
+/// objective on demand, with bitwise-identical results).
+///
+/// The delay is a live atomic: `set_forward_delay(Duration::ZERO)`
+/// clears the fault mid-run, which is how tests drive the
+/// degraded → recovered health transition.
+#[derive(Debug)]
+pub struct FaultInjector<E> {
+    inner: E,
+    delay_us: std::sync::atomic::AtomicU64,
+}
+
+impl<E: BatchEngine> FaultInjector<E> {
+    /// Wraps `inner` with no fault active.
+    pub fn new(inner: E) -> Self {
+        FaultInjector {
+            inner,
+            delay_us: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the per-forward injected delay (zero clears the fault).
+    pub fn set_forward_delay(&self, delay: std::time::Duration) {
+        self.delay_us.store(
+            delay.as_micros().min(u128::from(u64::MAX)) as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    }
+
+    /// The currently injected per-forward delay.
+    pub fn forward_delay(&self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.delay_us.load(std::sync::atomic::Ordering::Relaxed))
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    fn stall(&self) {
+        let us = self.delay_us.load(std::sync::atomic::Ordering::Relaxed);
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+    }
+}
+
+impl<E: BatchEngine> BatchEngine for FaultInjector<E> {
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.inner.out_dim()
+    }
+
+    fn num_shards(&self) -> usize {
+        self.inner.num_shards()
+    }
+
+    fn generation(&self) -> SnapshotGeneration {
+        self.inner.generation()
+    }
+
+    fn graph_version(&self) -> GraphVersion {
+        self.inner.graph_version()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    fn bind_cache(&self, cache: &std::sync::Arc<crate::LogitCache>) {
+        self.inner.bind_cache(cache);
+    }
+
+    fn bind_recorder(&self, recorder: &std::sync::Arc<crate::FlightRecorder>) {
+        self.inner.bind_recorder(recorder);
+    }
+
+    fn forward_union(&self, union: &[u32]) -> BatchOutcome {
+        self.stall();
+        self.inner.forward_union(union)
+    }
+
+    fn forward_union_observed(
+        &self,
+        union: &[u32],
+        obs: Option<(&Telemetry, u64)>,
+    ) -> BatchOutcome {
+        self.stall();
+        self.inner.forward_union_observed(union, obs)
     }
 }
 

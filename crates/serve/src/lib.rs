@@ -116,11 +116,11 @@ pub mod server;
 pub mod telemetry;
 
 pub use admission::{
-    AdaptiveConfig, AdaptiveController, AdaptiveSnapshot, AdmissionConfig, ClassStats,
-    ClassWeights, FairnessConfig, OverloadPolicy, RejectReason, ShedReason,
+    AdaptiveConfig, AdaptiveController, AdaptiveSnapshot, AdmissionConfig, AdmissionTotals,
+    ClassStats, ClassWeights, FairnessConfig, OverloadPolicy, RejectReason, ShedReason,
 };
 pub use cache::{CacheConfig, CacheKey, CacheSnapshot, LogitCache};
-pub use engine::{BatchEngine, BatchLogits, BatchOutcome, InferenceEngine};
+pub use engine::{BatchEngine, BatchLogits, BatchOutcome, FaultInjector, InferenceEngine};
 pub use exec::{Executor, ShutdownBarrier, StdThreadExecutor, TaskScope, Worker};
 pub use loadgen::{
     open_loop, replay, LoadConfig, LoadReport, OpenLoopConfig, OpenLoopReport, QueryStream,
@@ -135,12 +135,14 @@ pub use mutation::{
 };
 pub use router::{ShardConfig, ShardInfo, ShardedEngine};
 pub use server::{
-    PendingQuery, QueryAnswer, QueryOptions, QueryResponse, ServeConfig, Server, ServerBuilder,
-    ServerHandle, StatsSnapshot, StatsSource,
+    BuildInfo, PendingQuery, QueryAnswer, QueryOptions, QueryResponse, ServeConfig, Server,
+    ServerBuilder, ServerHandle, StatsSnapshot, StatsSource,
 };
 pub use telemetry::{
-    MetricsExporter, Registry, SpanRecord, Stage, StageBreakdown, Telemetry, TelemetryConfig,
-    TraceContext, TraceRing,
+    AnswerObs, EventKind, FlightEvent, FlightRecorder, HealthCheck, HealthReport, IncidentReport,
+    MetricsExporter, RecorderConfig, Registry, SloConfig, SloEvent, SloHub, SloKind, SloSpec,
+    SloSpecSet, SloState, SloStatus, SloTracker, SpanRecord, Stage, StageBreakdown, Telemetry,
+    TelemetryConfig, TraceContext, TraceRing,
 };
 
 use std::error::Error;

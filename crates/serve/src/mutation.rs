@@ -192,6 +192,7 @@ pub struct DynamicEngine {
     state: RwLock<Arc<EpochState>>,
     core: Mutex<Core>,
     cache: Mutex<Option<Arc<LogitCache>>>,
+    recorder: Mutex<Option<Arc<crate::FlightRecorder>>>,
     strategy: InvalidationStrategy,
     stats: StatsInner,
     num_nodes: usize,
@@ -236,6 +237,7 @@ impl DynamicEngine {
                 epoch: 0,
             }),
             cache: Mutex::new(None),
+            recorder: Mutex::new(None),
             strategy,
             stats: StatsInner::default(),
             num_nodes: base.num_nodes(),
@@ -456,6 +458,17 @@ impl DynamicEngine {
             .rows_invalidated
             .fetch_add(rows_invalidated, Ordering::Relaxed);
 
+        // Black-box the swap at its exact time (the monitor only sees
+        // counter deltas a tick later).
+        if let Some(rec) = self
+            .recorder
+            .lock()
+            .expect("recorder slot poisoned")
+            .as_ref()
+        {
+            rec.record(crate::EventKind::EpochSwap, core.epoch, rows_invalidated);
+        }
+
         Ok(MutationReport {
             epoch: core.epoch,
             inserted: effect.inserted,
@@ -508,6 +521,10 @@ impl BatchEngine for DynamicEngine {
 
     fn bind_cache(&self, cache: &Arc<LogitCache>) {
         *self.cache.lock().expect("cache slot poisoned") = Some(Arc::clone(cache));
+    }
+
+    fn bind_recorder(&self, recorder: &Arc<crate::FlightRecorder>) {
+        *self.recorder.lock().expect("recorder slot poisoned") = Some(Arc::clone(recorder));
     }
 
     fn forward_union(&self, union: &[u32]) -> BatchOutcome {

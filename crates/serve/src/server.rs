@@ -78,14 +78,19 @@ use crate::engine::{check_seeds, BatchEngine};
 use crate::exec::{self, Executor, ShutdownBarrier, StdThreadExecutor};
 use crate::metrics::{ClientStats, EvictedClientStats, LatencyHistogram, LatencySummary};
 use crate::telemetry::export::{self, HistSample, MetricsExporter, Sample, ScrapeSource};
-use crate::telemetry::{serve_scrape, Stage, StageBreakdown, Telemetry, TelemetryConfig};
+use crate::telemetry::health::{json_array, HealthCheck, HealthReport, JsonObj};
+use crate::telemetry::{
+    serve_scrape, AnswerObs, EventKind, FlightRecorder, IncidentReport, SloConfig, SloHub,
+    SloState, SloStatus, Stage, StageBreakdown, Telemetry, TelemetryConfig,
+};
 use crate::ServeError;
 use maxk_nn::{GraphVersion, SnapshotGeneration};
 use maxk_tensor::Matrix;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io;
 use std::net::ToSocketAddrs;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -122,6 +127,14 @@ pub struct ServeConfig {
     /// few atomics per batch); [`TelemetryConfig::off`] removes even
     /// that.
     pub telemetry: TelemetryConfig,
+    /// Incident-aware observability: declarative serving objectives
+    /// evaluated by a monitor thread with multi-window burn-rate
+    /// alerting, wired to the flight recorder (a breach triggers an
+    /// incident bundle) and, when [`SloConfig::feedback`] is on, back
+    /// into the adaptive admission controller. `None` (the default)
+    /// spawns no monitor thread; setting it forces telemetry on (the
+    /// SLO gauges and incident evidence live in its registry and clock).
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for ServeConfig {
@@ -134,6 +147,7 @@ impl Default for ServeConfig {
             adaptive: None,
             cache: None,
             telemetry: TelemetryConfig::default(),
+            slo: None,
         }
     }
 }
@@ -434,6 +448,74 @@ pub struct StatsSnapshot {
     /// configured (empty otherwise). Per class
     /// `submitted == popped + rejected + shed + queued` exactly.
     pub classes: Vec<ClassStats>,
+    /// Per-objective SLO status as of the last monitor evaluation
+    /// (empty when no objectives are configured).
+    pub slo: Vec<SloStatus>,
+    /// Flight-recorder incident bundles finalized so far.
+    pub incidents: u64,
+}
+
+/// Static identity of a running server, exported once per scrape as the
+/// `maxk_serve_build_info` gauge (value 1; the labels carry the
+/// information) — the standard shape dashboards join against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Serving crate version (`CARGO_PKG_VERSION`).
+    pub version: &'static str,
+    /// Engine shard count.
+    pub shards: usize,
+    /// Configured overload policy label.
+    pub policy: &'static str,
+    /// Forward-executor threads.
+    pub workers: usize,
+}
+
+/// Stable label for an overload policy (build-info and config JSON).
+fn policy_label(policy: OverloadPolicy) -> &'static str {
+    match policy {
+        OverloadPolicy::Block => "block",
+        OverloadPolicy::RejectNewest => "reject-newest",
+        OverloadPolicy::DropOldest => "drop-oldest",
+        OverloadPolicy::DeadlineShed => "deadline-shed",
+    }
+}
+
+/// The serving configuration as a JSON object, rendered once at spawn
+/// and embedded in every incident bundle — a dump stays interpretable
+/// without the process that wrote it.
+fn render_config_json(cfg: &ServeConfig) -> String {
+    let mut o = JsonObj::new();
+    o.num("batch_window_us", cfg.batch_window.as_micros())
+        .num("max_batch", cfg.max_batch)
+        .num("workers", cfg.workers)
+        .num("admission_capacity", cfg.admission.capacity)
+        .str("overload_policy", policy_label(cfg.admission.policy))
+        .bool("adaptive", cfg.adaptive.is_some())
+        .num("cache_rows", cfg.cache.map_or(0, |c| c.capacity))
+        .bool("telemetry", cfg.telemetry.enabled)
+        .num("slos", cfg.slo.map_or(0, |s| s.specs.len()));
+    o.render()
+}
+
+/// The breach context embedded in an incident bundle: every objective's
+/// state and burn rates at trigger time.
+fn breach_context(hub: &SloHub) -> String {
+    let mut o = JsonObj::new();
+    o.raw(
+        "slos",
+        json_array(hub.statuses().iter().map(|s| {
+            let mut s_obj = JsonObj::new();
+            s_obj
+                .str("slo", s.name)
+                .str("kind", s.kind)
+                .str("state", s.state.label())
+                .float("fast_burn", s.fast_burn)
+                .float("slow_burn", s.slow_burn)
+                .num("breaches", s.breaches);
+            s_obj.render()
+        })),
+    );
+    o.render()
 }
 
 /// Builder for a [`Server`]: one place for every serving knob — batching,
@@ -486,9 +568,12 @@ pub struct StatsSnapshot {
 /// assert_eq!(stats.queries, 2);
 /// assert_eq!(stats.cached_queries, 1);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerBuilder {
     cfg: ServeConfig,
+    /// Incident-bundle output directory (non-`Copy`, so it lives here
+    /// rather than in [`ServeConfig`]).
+    sink: Option<PathBuf>,
 }
 
 impl ServerBuilder {
@@ -614,6 +699,33 @@ impl ServerBuilder {
         self
     }
 
+    /// Declares the serving objectives: a monitor thread evaluates them
+    /// every [`SloConfig::tick`] with multi-window burn-rate alerting,
+    /// and a breach triggers a flight-recorder incident bundle. Forces
+    /// telemetry on (the SLO gauges live in its registry).
+    #[must_use]
+    pub fn slo(mut self, slo: SloConfig) -> Self {
+        self.cfg.slo = Some(slo);
+        self
+    }
+
+    /// Shorthand for the serving default objectives: latency under
+    /// `budget` plus availability, both with a 5% error budget (see
+    /// [`SloConfig::with_latency_budget`]).
+    #[must_use]
+    pub fn slo_latency(self, budget: Duration) -> Self {
+        self.slo(SloConfig::with_latency_budget(budget))
+    }
+
+    /// Directory triggered incident bundles are written to (created on
+    /// first write). Without one, bundles are kept in memory only
+    /// ([`Server::incidents`]).
+    #[must_use]
+    pub fn incident_sink(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.sink = Some(dir.into());
+        self
+    }
+
     /// The assembled configuration (inspectable before starting).
     pub fn build_config(&self) -> ServeConfig {
         self.cfg
@@ -624,7 +736,7 @@ impl ServerBuilder {
     /// [`crate::ShardedEngine`] router, anything implementing
     /// [`BatchEngine`].
     pub fn start<E: BatchEngine + 'static>(self, engine: Arc<E>) -> Server {
-        Server::spawn(engine, self.cfg)
+        Server::spawn(engine, self.cfg, self.sink)
     }
 }
 
@@ -674,6 +786,12 @@ pub struct Server {
     hist: Arc<Mutex<LatencyHistogram>>,
     cache: Option<Arc<LogitCache>>,
     telemetry: Option<Arc<Telemetry>>,
+    slo: Option<Arc<SloHub>>,
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Stops the SLO monitor thread at shutdown (always present; unused
+    /// when no monitor was spawned).
+    monitor_stop: Arc<AtomicBool>,
+    build: BuildInfo,
     started: Instant,
     num_nodes: usize,
 }
@@ -683,10 +801,15 @@ impl Server {
     pub fn builder() -> ServerBuilder {
         ServerBuilder {
             cfg: ServeConfig::default(),
+            sink: None,
         }
     }
 
-    fn spawn<E: BatchEngine + 'static>(engine: Arc<E>, cfg: ServeConfig) -> Server {
+    fn spawn<E: BatchEngine + 'static>(
+        engine: Arc<E>,
+        cfg: ServeConfig,
+        sink: Option<PathBuf>,
+    ) -> Server {
         let num_nodes = engine.num_nodes();
         let out_dim = engine.out_dim();
         let counters = Arc::new(Counters::new(engine.num_shards()));
@@ -708,10 +831,35 @@ impl Server {
         if let Some(c) = &cache {
             engine.bind_cache(c);
         }
-        let telemetry = cfg
-            .telemetry
-            .enabled
+        // SLO monitoring needs the registry, trace ring and clock even
+        // when the caller left telemetry off, so objectives force it on.
+        let telemetry = (cfg.telemetry.enabled || cfg.slo.is_some())
             .then(|| Arc::new(Telemetry::new(cfg.telemetry)));
+        // The flight recorder rides along whenever telemetry exists: the
+        // always-on ring costs one atomic + one short slot write per
+        // coarse event, and an engine-side epoch swap records into it
+        // through `bind_recorder` even without configured SLOs.
+        let recorder = telemetry.as_ref().map(|tel| {
+            Arc::new(FlightRecorder::new(
+                cfg.slo.map(|s| s.recorder).unwrap_or_default(),
+                Arc::clone(tel),
+                render_config_json(&cfg),
+                sink,
+            ))
+        });
+        if let Some(rec) = &recorder {
+            engine.bind_recorder(rec);
+        }
+        let slo = match (&cfg.slo, &telemetry) {
+            (Some(s), Some(tel)) => Some(Arc::new(SloHub::new(*s, Arc::clone(tel)))),
+            _ => None,
+        };
+        let build = BuildInfo {
+            version: env!("CARGO_PKG_VERSION"),
+            shards: engine.num_shards(),
+            policy: policy_label(cfg.admission.policy),
+            workers: cfg.workers.max(1),
+        };
         // The batch channel is bounded (one ready batch beyond what the
         // workers hold): otherwise the batcher would eagerly drain the
         // bounded admission queue into an unbounded backlog here, and
@@ -730,6 +878,8 @@ impl Server {
         let batcher_cache = cache.clone();
         let batcher_tel = telemetry.clone();
         let batcher_engine = Arc::clone(&engine);
+        let batcher_slo = slo.clone();
+        let batcher_rec = recorder.clone();
         let batcher = executor.spawn_worker("maxk-batcher", move || {
             // Probes a popped entry against the cache. A fully-hot entry
             // is answered inline — batch size 1, no forward, never
@@ -802,6 +952,21 @@ impl Server {
                 let us = duration_us(latency);
                 batcher_hist.lock().expect("histogram poisoned").record(us);
                 ingress.record_answered([(entry.client, us)]);
+                if let Some(rec) = &batcher_rec {
+                    rec.record(EventKind::InlineAnswer, entry.payload.seeds.len() as u64, 0);
+                }
+                if let (Some(hub), Some(tel)) = (&batcher_slo, &batcher_tel) {
+                    // An inline answer reflects the epoch sampled at the
+                    // top of this probe; the engine may already be ahead.
+                    let lag = batcher_engine.epoch().saturating_sub(epoch);
+                    hub.observe_answers(
+                        tel.now_us(),
+                        &[AnswerObs {
+                            latency_us: us,
+                            epoch_lag: lag,
+                        }],
+                    );
+                }
                 if let Some(tel) = &batcher_tel {
                     // Inline answer: no batch, so batch-wait is zero and
                     // service is the cache-row assembly since the pop.
@@ -887,6 +1052,13 @@ impl Server {
                         None => {}
                     }
                 }
+                if let Some(rec) = &batcher_rec {
+                    let seeds: usize = batch
+                        .iter()
+                        .map(|item| item.entry.payload.seeds.len())
+                        .sum();
+                    rec.record(EventKind::BatchFormed, batch.len() as u64, seeds as u64);
+                }
                 // Flush the in-flight batch even when shutting down.
                 if batch_tx.send(batch).is_err() || stop {
                     break;
@@ -904,6 +1076,7 @@ impl Server {
             let cache = cache.clone();
             let telemetry = telemetry.clone();
             let adaptive = adaptive.clone();
+            let slo = slo.clone();
             workers.push(executor.spawn_worker(&format!("maxk-worker-{w}"), move || {
                 loop {
                     // The guard is held across the blocking recv: waiting
@@ -1005,6 +1178,20 @@ impl Server {
                         .iter()
                         .map(|(client, _, answer)| (*client, duration_us(answer.latency)))
                         .collect();
+                    if let (Some(hub), Some(tel)) = (&slo, &telemetry) {
+                        // Every answer in this batch carries the same
+                        // staleness: the gap between the epoch it was
+                        // computed against and the engine's current one.
+                        let lag = engine.epoch().saturating_sub(epoch);
+                        let rows: Vec<AnswerObs> = outcomes
+                            .iter()
+                            .map(|&(_, us)| AnswerObs {
+                                latency_us: us,
+                                epoch_lag: lag,
+                            })
+                            .collect();
+                        hub.observe_answers(tel.now_us(), &rows);
+                    }
                     {
                         let mut hist = hist.lock().expect("histogram poisoned");
                         for &(_, us) in &outcomes {
@@ -1024,11 +1211,106 @@ impl Server {
             }));
         }
 
+        // The SLO monitor: owns the counter-diffing (availability and
+        // cache-mass feeds), evaluates every tracker on its tick, and
+        // runs the incident lifecycle — breach transition → recorder
+        // trigger → (post-trigger window) → bundle finalize — plus the
+        // breach→admission feedback loop.
+        let monitor_stop = Arc::new(AtomicBool::new(false));
+        let mut monitor = Vec::new();
+        if let (Some(hub), Some(rec), Some(tel)) = (&slo, &recorder, &telemetry) {
+            let hub = Arc::clone(hub);
+            let rec = Arc::clone(rec);
+            let tel = Arc::clone(tel);
+            let queue = Arc::clone(&queue);
+            let cache = cache.clone();
+            let adaptive = adaptive.clone();
+            let stop = Arc::clone(&monitor_stop);
+            let slo_cfg = *hub.config();
+            let tick = slo_cfg.tick.max(Duration::from_millis(1));
+            monitor.push(executor.spawn_worker("maxk-slo", move || {
+                let mut prev = queue.totals();
+                let mut prev_cache = (0u64, 0u64, 0u64);
+                let mut prev_replans = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    let now_us = tel.now_us();
+                    // Availability bad-mass: rejections and sheds since
+                    // the last tick (answers arrive event-driven from
+                    // the batcher and workers).
+                    let totals = queue.totals();
+                    let rejected = totals.rejected.saturating_sub(prev.rejected);
+                    let shed = totals.shed.saturating_sub(prev.shed);
+                    prev = totals;
+                    if rejected > 0 {
+                        rec.record_at(now_us, EventKind::Rejected, rejected, 0);
+                    }
+                    if shed > 0 {
+                        rec.record_at(now_us, EventKind::ShedBurst, shed, 0);
+                    }
+                    if rejected + shed > 0 {
+                        hub.observe_unserved(now_us, rejected + shed);
+                    }
+                    if let Some(c) = &cache {
+                        let snap = c.snapshot();
+                        let hits = snap.hits.saturating_sub(prev_cache.0);
+                        let misses = snap.misses.saturating_sub(prev_cache.1);
+                        let evictions = snap.evictions.saturating_sub(prev_cache.2);
+                        prev_cache = (snap.hits, snap.misses, snap.evictions);
+                        if hits + misses > 0 {
+                            hub.observe_cache(now_us, hits, misses);
+                        }
+                        if evictions > 0 {
+                            rec.record_at(now_us, EventKind::EvictionChurn, evictions, 0);
+                        }
+                    }
+                    if let Some(ctrl) = &adaptive {
+                        let replans = ctrl.snapshot().replans;
+                        if replans > prev_replans {
+                            rec.record_at(now_us, EventKind::Replan, replans - prev_replans, 0);
+                        }
+                        prev_replans = replans;
+                    }
+                    for e in hub.evaluate(now_us) {
+                        rec.record_at(
+                            now_us,
+                            EventKind::SloTransition,
+                            e.to.rank(),
+                            (e.fast_burn * 1000.0) as u64,
+                        );
+                        if e.to == SloState::Breach {
+                            rec.trigger(&format!("slo:{}", e.name), breach_context(&hub));
+                        }
+                    }
+                    if slo_cfg.feedback {
+                        if let Some(ctrl) = &adaptive {
+                            // Breach ⇒ tighten the derived deadline so
+                            // DeadlineShed drops load harder; recovery
+                            // restores the full budget.
+                            ctrl.set_deadline_tighten(if hub.any_breached() {
+                                slo_cfg.tighten
+                            } else {
+                                1.0
+                            });
+                        }
+                    }
+                    rec.finalize_due(false);
+                }
+                // A breach close to shutdown still emits its bundle.
+                rec.finalize_due(true);
+            }));
+        }
+
         // Stage order is the shutdown protocol: the batcher exits first
-        // (dropping `batch_tx`), which disconnects the workers' recv.
+        // (dropping `batch_tx`), which disconnects the workers' recv;
+        // the monitor joins last so every answer is observed before the
+        // final evaluate/finalize.
         let mut barrier = ShutdownBarrier::new();
         barrier.add_stage("batcher", vec![batcher]);
         barrier.add_stage("workers", workers);
+        if !monitor.is_empty() {
+            barrier.add_stage("slo-monitor", monitor);
+        }
 
         Server {
             queue,
@@ -1037,6 +1319,10 @@ impl Server {
             hist,
             cache,
             telemetry,
+            slo,
+            recorder,
+            monitor_stop,
+            build,
             started: Instant::now(),
             num_nodes,
         }
@@ -1063,6 +1349,26 @@ impl Server {
         self.telemetry.as_ref()
     }
 
+    /// The SLO engine, when objectives are configured
+    /// ([`ServerBuilder::slo`]).
+    pub fn slo(&self) -> Option<&Arc<SloHub>> {
+        self.slo.as_ref()
+    }
+
+    /// The always-on flight recorder (present whenever telemetry is —
+    /// which includes any server with configured SLOs).
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Every incident bundle finalized so far (also written to the
+    /// [`ServerBuilder::incident_sink`] directory, when one is set).
+    pub fn incidents(&self) -> Vec<IncidentReport> {
+        self.recorder
+            .as_ref()
+            .map_or_else(Vec::new, |r| r.incidents())
+    }
+
     /// A cloneable read-side of this server: stats snapshots plus the
     /// Prometheus and JSON exports, detached from the server's lifetime
     /// (safe to hand to a scrape thread).
@@ -1073,6 +1379,9 @@ impl Server {
             hist: Arc::clone(&self.hist),
             cache: self.cache.clone(),
             telemetry: self.telemetry.clone(),
+            slo: self.slo.clone(),
+            recorder: self.recorder.clone(),
+            build: self.build,
             started: self.started,
         }
     }
@@ -1105,7 +1414,10 @@ impl Server {
         // admitted, then exits, dropping its batch sender, which
         // unblocks the workers — the barrier joins the stages in
         // exactly that order (idempotent, so Drop after shutdown is a
-        // no-op).
+        // no-op). The monitor stop flag lands first so its stage (the
+        // last one) exits within a tick and force-finalizes any open
+        // incident on the way out.
+        self.monitor_stop.store(true, Ordering::Relaxed);
         self.queue.close();
         self.barrier.join_all();
     }
@@ -1127,6 +1439,9 @@ pub struct StatsSource {
     hist: Arc<Mutex<LatencyHistogram>>,
     cache: Option<Arc<LogitCache>>,
     telemetry: Option<Arc<Telemetry>>,
+    slo: Option<Arc<SloHub>>,
+    recorder: Option<Arc<FlightRecorder>>,
+    build: BuildInfo,
     started: Instant,
 }
 
@@ -1190,16 +1505,143 @@ impl StatsSource {
             stages: self.telemetry.as_ref().map(|t| t.stage_breakdown()),
             adaptive: admission.adaptive,
             classes: admission.classes,
+            slo: self.slo.as_ref().map_or_else(Vec::new, |h| h.statuses()),
+            incidents: self
+                .recorder
+                .as_ref()
+                .map_or(0, |r| r.incidents().len() as u64),
         }
+    }
+
+    /// The readiness checks behind `GET /healthz`: ingress open, queue
+    /// depth below the effective capacity, and no breached objective.
+    /// Degraded (any failed check) answers HTTP 503 on the endpoint.
+    pub fn healthz(&self) -> HealthReport {
+        if let Some(rec) = &self.recorder {
+            rec.record(EventKind::Scrape, 1, 0);
+        }
+        let totals = self.queue.totals();
+        let capacity = self.queue.effective_capacity() as u64;
+        let closed = self.queue.is_closed();
+        let mut checks = vec![
+            HealthCheck::new(
+                "engine",
+                true,
+                format!("{} shard(s) bound", self.build.shards),
+            ),
+            HealthCheck::new(
+                "ingress",
+                !closed,
+                if closed {
+                    "admission queue closed".to_string()
+                } else {
+                    "accepting queries".to_string()
+                },
+            ),
+            HealthCheck::new(
+                "queue",
+                totals.depth < capacity,
+                format!("depth {} of {}", totals.depth, capacity),
+            ),
+        ];
+        if let Some(hub) = &self.slo {
+            let breached: Vec<&str> = hub
+                .statuses()
+                .iter()
+                .filter(|s| s.state == SloState::Breach)
+                .map(|s| s.name)
+                .collect();
+            checks.push(HealthCheck::new(
+                "slo",
+                breached.is_empty(),
+                if breached.is_empty() {
+                    "all objectives ok".to_string()
+                } else {
+                    format!("breached: {}", breached.join(", "))
+                },
+            ));
+        }
+        HealthReport::new(checks)
+    }
+
+    /// The live-introspection dump behind `GET /debug/state`: build
+    /// identity, the top-line serving books, cache and adaptive state,
+    /// per-objective SLO status and the incident ledger, as one JSON
+    /// object.
+    pub fn debug_state(&self) -> String {
+        if let Some(rec) = &self.recorder {
+            rec.record(EventKind::Scrape, 2, 0);
+        }
+        let stats = self.snapshot();
+        let mut o = JsonObj::new();
+        o.str("version", self.build.version)
+            .num("shards", self.build.shards)
+            .str("overload_policy", self.build.policy)
+            .num("workers", self.build.workers)
+            .float("uptime_s", stats.uptime_s)
+            .num("queries", stats.queries)
+            .num("batches", stats.batches)
+            .num("submitted", stats.submitted)
+            .num("rejected", stats.rejected)
+            .num("shed", stats.shed)
+            .num("deadline_misses", stats.deadline_misses)
+            .num("queue_depth", stats.queue_depth)
+            .num("queue_capacity", self.queue.effective_capacity())
+            .bool("ingress_closed", self.queue.is_closed())
+            .num("incidents", stats.incidents)
+            .bool(
+                "incident_open",
+                self.recorder.as_ref().is_some_and(|r| r.incident_open()),
+            );
+        if let Some(c) = &stats.cache {
+            let mut cache = JsonObj::new();
+            cache
+                .num("hits", c.hits)
+                .num("misses", c.misses)
+                .num("coalesced", c.coalesced)
+                .num("evictions", c.evictions)
+                .num("invalidated", c.invalidated)
+                .num("resident_rows", c.resident_rows);
+            o.raw("cache", cache.render());
+        }
+        if let Some(a) = &stats.adaptive {
+            let mut adaptive = JsonObj::new();
+            adaptive
+                .num("ewma_us", a.ewma_us)
+                .num("derived_capacity", a.derived_capacity)
+                .num("derived_deadline_us", a.derived_deadline_us)
+                .num("replans", a.replans)
+                .num("tighten_permille", a.tighten_permille);
+            o.raw("adaptive", adaptive.render());
+        }
+        o.raw(
+            "slo",
+            json_array(stats.slo.iter().map(|s| {
+                let mut s_obj = JsonObj::new();
+                s_obj
+                    .str("name", s.name)
+                    .str("kind", s.kind)
+                    .str("state", s.state.label())
+                    .float("fast_burn", s.fast_burn)
+                    .float("slow_burn", s.slow_burn)
+                    .num("transitions", s.transitions)
+                    .num("breaches", s.breaches);
+                s_obj.render()
+            })),
+        );
+        o.render()
     }
 
     /// One Prometheus text-format scrape body: the stats-derived series
     /// (`stat_samples`) plus every registry family (stage histograms,
     /// kernel/forward/shard counters) when telemetry is enabled.
     pub fn prometheus(&self) -> String {
+        if let Some(rec) = &self.recorder {
+            rec.record(EventKind::Scrape, 0, 0);
+        }
         let stats = self.snapshot();
         let hist = self.hist.lock().expect("histogram poisoned").clone();
-        let (samples, hists) = stat_samples(&stats, hist);
+        let (samples, hists) = stat_samples(&stats, hist, Some(self.build));
         let registry = self.telemetry.as_ref().map(|t| t.registry().snapshot());
         export::render_prometheus(&samples, &hists, registry.as_ref())
     }
@@ -1207,9 +1649,12 @@ impl StatsSource {
     /// The same series as [`StatsSource::prometheus`], rendered as one
     /// JSON document (`{"metrics": [...], "histograms": [...]}`).
     pub fn metrics_json(&self) -> String {
+        if let Some(rec) = &self.recorder {
+            rec.record(EventKind::Scrape, 0, 0);
+        }
         let stats = self.snapshot();
         let hist = self.hist.lock().expect("histogram poisoned").clone();
-        let (samples, hists) = stat_samples(&stats, hist);
+        let (samples, hists) = stat_samples(&stats, hist, Some(self.build));
         let registry = self.telemetry.as_ref().map(|t| t.registry().snapshot());
         export::render_metrics_json(&samples, &hists, registry.as_ref())
     }
@@ -1223,13 +1668,25 @@ impl ScrapeSource for StatsSource {
     fn metrics_json(&self) -> String {
         StatsSource::metrics_json(self)
     }
+
+    fn healthz(&self) -> HealthReport {
+        StatsSource::healthz(self)
+    }
+
+    fn debug_state(&self) -> String {
+        StatsSource::debug_state(self)
+    }
 }
 
 /// Renders a [`StatsSnapshot`] (plus the full latency histogram backing
 /// its summary) as exportable samples — the one mapping between the
 /// stats read-out and the `maxk_serve_*` metric names, used by both the
 /// Prometheus and JSON exports so they cannot drift apart.
-fn stat_samples(stats: &StatsSnapshot, hist: LatencyHistogram) -> (Vec<Sample>, Vec<HistSample>) {
+fn stat_samples(
+    stats: &StatsSnapshot,
+    hist: LatencyHistogram,
+    build: Option<BuildInfo>,
+) -> (Vec<Sample>, Vec<HistSample>) {
     let mut samples = vec![
         Sample::counter(
             "maxk_serve_queries_total",
@@ -1287,6 +1744,19 @@ fn stat_samples(stats: &StatsSnapshot, hist: LatencyHistogram) -> (Vec<Sample>, 
             "Seconds since the server started",
         ),
     ];
+    if let Some(b) = build {
+        samples.push(
+            Sample::gauge(
+                "maxk_serve_build_info",
+                1.0,
+                "Build/config identity (value is always 1; the labels carry the information)",
+            )
+            .with_label("version", b.version)
+            .with_label("shards", b.shards)
+            .with_label("policy", b.policy)
+            .with_label("workers", b.workers),
+        );
+    }
     for (s, &n) in stats.shard_batches.iter().enumerate() {
         samples.push(
             Sample::counter(
@@ -2201,5 +2671,196 @@ mod tests {
                 c.name
             );
         }
+    }
+
+    #[test]
+    fn slo_statuses_surface_in_stats_and_stay_ok_under_light_load() {
+        use crate::telemetry::SloState;
+        let server = Server::builder()
+            .slo_latency(Duration::from_secs(5))
+            .start(engine());
+        let handle = server.handle();
+        for i in 0..4u32 {
+            let _ = answer(handle.query(&[i]));
+        }
+        assert!(server.slo().is_some());
+        assert!(server.flight_recorder().is_some());
+        let stats = server.stats();
+        assert_eq!(stats.slo.len(), 2);
+        let names: Vec<&str> = stats.slo.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"latency") && names.contains(&"availability"));
+        for s in &stats.slo {
+            assert_eq!(s.state, SloState::Ok, "objective {} breached", s.name);
+        }
+        assert_eq!(stats.incidents, 0);
+        assert!(server.incidents().is_empty());
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn healthz_flips_degraded_when_ingress_closes() {
+        let server = Server::builder()
+            .slo_latency(Duration::from_secs(5))
+            .start(engine());
+        let source = server.metrics_source();
+        let report = source.healthz();
+        assert!(report.ready(), "fresh server must be ready: {report:?}");
+        let _ = server.shutdown();
+        let report = source.healthz();
+        assert!(!report.ready(), "closed ingress must degrade /healthz");
+        assert!(report.checks.iter().any(|c| c.name == "ingress" && !c.ok));
+    }
+
+    #[test]
+    fn build_info_and_debug_state_exported() {
+        let server = Server::builder()
+            .workers(3)
+            .overload_policy(OverloadPolicy::DeadlineShed)
+            .slo_latency(Duration::from_secs(5))
+            .start(engine());
+        let _ = answer(server.handle().query(&[2]));
+        let source = server.metrics_source();
+        // The state gauges land on the monitor's first evaluate; poll
+        // past that tick instead of racing it.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut prom = source.prometheus();
+        while !prom.contains("maxk_serve_slo_state{") && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+            prom = source.prometheus();
+        }
+        assert!(prom.contains("maxk_serve_build_info{"));
+        assert!(prom.contains(concat!("version=\"", env!("CARGO_PKG_VERSION"), "\"")));
+        assert!(prom.contains("policy=\"deadline-shed\""));
+        assert!(prom.contains("workers=\"3\""));
+        assert!(prom.contains("maxk_serve_slo_state{"));
+        let dump = source.debug_state();
+        assert!(dump.contains("\"overload_policy\":\"deadline-shed\""));
+        assert!(dump.contains("\"slo\":["));
+        assert!(dump.contains("\"name\":\"latency\""));
+        assert!(dump.contains("\"incident_open\":false"));
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn injected_fault_breaches_slo_and_emits_exactly_one_incident() {
+        use crate::engine::FaultInjector;
+        use crate::telemetry::{SloSpec, SloSpecSet};
+        // Aggressive windows so a sub-second test observes the full
+        // trigger → finalize lifecycle; an hour of cooldown proves the
+        // sustained breach cannot re-trigger.
+        let slo = SloConfig {
+            specs: SloSpecSet::new().with_spec(SloSpec::latency(
+                "latency",
+                Duration::from_micros(300),
+                0.05,
+            )),
+            fast_window: Duration::from_millis(400),
+            slow_window: Duration::from_millis(800),
+            tick: Duration::from_millis(5),
+            min_events: 4,
+            recorder: crate::RecorderConfig {
+                post_trigger: Duration::from_millis(50),
+                cooldown: Duration::from_secs(3600),
+                ..crate::RecorderConfig::default()
+            },
+            ..SloConfig::default()
+        };
+        let inner = Arc::try_unwrap(engine()).unwrap_or_else(|_| panic!("sole owner"));
+        let faulty = Arc::new(FaultInjector::new(inner));
+        faulty.set_forward_delay(Duration::from_millis(5));
+        let server = Server::builder()
+            .batch_window(Duration::ZERO)
+            .workers(1)
+            .slo(slo)
+            .start(Arc::clone(&faulty));
+        let handle = server.handle();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while server.incidents().is_empty() && Instant::now() < deadline {
+            for i in 0..8u32 {
+                let _ = answer(handle.query(&[i % 16]));
+            }
+        }
+        let incidents = server.incidents();
+        assert_eq!(
+            incidents.len(),
+            1,
+            "sustained breach must emit exactly one bundle"
+        );
+        let report = &incidents[0];
+        assert_eq!(report.reason, "slo:latency");
+        assert!(
+            report
+                .events
+                .iter()
+                .any(|e| e.kind == crate::EventKind::BatchFormed),
+            "ring evidence must include the offending batches"
+        );
+        assert!(
+            !report.spans.is_empty(),
+            "boosted post-trigger window must contribute spans"
+        );
+        // The breach shows up in /healthz while hot.
+        let stats = server.stats();
+        assert_eq!(stats.incidents, 1);
+        assert!(stats.slo.iter().any(|s| s.breaches >= 1));
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn slo_breach_tightens_adaptive_deadline_and_recovery_restores_it() {
+        use crate::engine::FaultInjector;
+        use crate::telemetry::{SloSpec, SloSpecSet};
+        let slo = SloConfig {
+            specs: SloSpecSet::new().with_spec(SloSpec::latency(
+                "latency",
+                Duration::from_micros(300),
+                0.05,
+            )),
+            fast_window: Duration::from_millis(300),
+            slow_window: Duration::from_millis(600),
+            tick: Duration::from_millis(5),
+            min_events: 4,
+            tighten: 0.5,
+            ..SloConfig::default()
+        };
+        let inner = Arc::try_unwrap(engine()).unwrap_or_else(|_| panic!("sole owner"));
+        let faulty = Arc::new(FaultInjector::new(inner));
+        faulty.set_forward_delay(Duration::from_millis(5));
+        let server = Server::builder()
+            .batch_window(Duration::ZERO)
+            .workers(1)
+            .adaptive_admission()
+            .slo(slo)
+            .start(Arc::clone(&faulty));
+        let handle = server.handle();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut tightened = false;
+        while !tightened && Instant::now() < deadline {
+            for i in 0..8u32 {
+                let _ = answer(handle.query(&[i]));
+            }
+            tightened = server
+                .stats()
+                .adaptive
+                .is_some_and(|a| a.tighten_permille < 1000);
+        }
+        assert!(tightened, "breach must feed back into the derived deadline");
+        // Clear the fault; burn decays within the fast window and the
+        // monitor restores the full budget.
+        faulty.set_forward_delay(Duration::ZERO);
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut restored = false;
+        while !restored && Instant::now() < deadline {
+            for i in 0..8u32 {
+                let _ = answer(handle.query(&[i]));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            restored = server
+                .stats()
+                .adaptive
+                .is_some_and(|a| a.tighten_permille == 1000);
+        }
+        assert!(restored, "recovery must restore the full deadline budget");
+        let _ = server.shutdown();
     }
 }

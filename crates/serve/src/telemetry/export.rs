@@ -10,16 +10,17 @@
 //!
 //! [exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
 
+use super::health::HealthReport;
 use super::registry::RegistrySnapshot;
 use super::trace::SpanRecord;
 use crate::metrics::LatencyHistogram;
 use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Escapes a Prometheus label value (backslash, quote, newline).
 fn escape_label(v: &str) -> String {
@@ -45,6 +46,12 @@ fn escape_json(v: &str) -> String {
         }
     }
     out
+}
+
+/// Crate-internal alias for [`escape_json`] (the recorder and health
+/// modules hand-roll JSON too).
+pub(crate) fn escape_json_str(v: &str) -> String {
+    escape_json(v)
 }
 
 fn finite(v: f64) -> f64 {
@@ -344,11 +351,24 @@ pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
 
 /// What the scrape endpoint serves: implemented by the server's stats
 /// source (a cloneable bundle of the live counter/histogram handles).
-pub trait ScrapeSource: Send + 'static {
+/// `Sync` because one source answers concurrent scrapes from multiple
+/// connection threads.
+pub trait ScrapeSource: Send + Sync + 'static {
     /// The Prometheus text exposition body (`GET /metrics`).
     fn prometheus(&self) -> String;
     /// The JSON metrics dump body (`GET /metrics.json`).
     fn metrics_json(&self) -> String;
+    /// The readiness report behind `GET /healthz` (`200` when ready,
+    /// `503` when degraded). Defaults to an empty — always ready —
+    /// report for sources without health wiring.
+    fn healthz(&self) -> HealthReport {
+        HealthReport::default()
+    }
+    /// The live-state dump behind `GET /debug/state` (admission, cache,
+    /// shards, epoch, SLO). Defaults to an empty object.
+    fn debug_state(&self) -> String {
+        "{}".to_string()
+    }
 }
 
 /// A running scrape endpoint: one listener thread answering
@@ -386,7 +406,20 @@ impl Drop for MetricsExporter {
     }
 }
 
-/// Binds `addr` and serves scrapes from `source` on a background thread.
+/// Concurrent scrape connections answered on their own threads; excess
+/// connections are answered serially on the listener thread (bounded by
+/// the head-read deadline), so a scrape storm degrades to serial
+/// service instead of unbounded thread growth.
+const MAX_SCRAPE_THREADS: usize = 32;
+
+/// Overall deadline for reading one request head: a client that
+/// trickles bytes (or sends nothing) is cut off here, so it can never
+/// pin a scrape thread past this bound.
+const SCRAPE_HEAD_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Binds `addr` and serves scrapes from `source` on a background
+/// listener thread, with a bounded number of concurrent
+/// per-connection threads.
 ///
 /// # Errors
 ///
@@ -400,13 +433,34 @@ pub fn serve_scrape<S: ScrapeSource>(
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
+    let source: Arc<S> = Arc::new(source);
     let handle = std::thread::spawn(move || {
+        let active = Arc::new(AtomicUsize::new(0));
         while !stop_flag.load(Ordering::Relaxed) {
             match listener.accept() {
                 Ok((stream, _)) => {
                     // A malformed or hung client only loses its own
                     // scrape; the endpoint keeps serving.
-                    let _ = answer_scrape(stream, &source);
+                    if active.load(Ordering::Relaxed) < MAX_SCRAPE_THREADS {
+                        active.fetch_add(1, Ordering::Relaxed);
+                        let src = Arc::clone(&source);
+                        let worker_active = Arc::clone(&active);
+                        let spawned = std::thread::Builder::new()
+                            .name("maxk-scrape".to_string())
+                            .spawn(move || {
+                                let _ = answer_scrape(stream, &*src);
+                                worker_active.fetch_sub(1, Ordering::Relaxed);
+                            });
+                        if let Err(_e) = spawned {
+                            active.fetch_sub(1, Ordering::Relaxed);
+                            // Thread spawn failed (resource pressure):
+                            // the stream was moved into the closure and
+                            // dropped with it; the client sees a reset
+                            // and retries.
+                        }
+                    } else {
+                        let _ = answer_scrape(stream, &*source);
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -422,28 +476,59 @@ pub fn serve_scrape<S: ScrapeSource>(
     })
 }
 
-/// Reads one HTTP request head and writes the matching response.
-fn answer_scrape<S: ScrapeSource>(mut stream: TcpStream, source: &S) -> io::Result<()> {
+/// Reads one HTTP request head (under [`SCRAPE_HEAD_DEADLINE`]) and
+/// writes the matching response.
+fn answer_scrape<S: ScrapeSource + ?Sized>(mut stream: TcpStream, source: &S) -> io::Result<()> {
     stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_millis(1000)))?;
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
     stream.set_write_timeout(Some(Duration::from_millis(1000)))?;
+    let started = Instant::now();
     let mut head = Vec::with_capacity(1024);
     let mut buf = [0u8; 1024];
-    // Read until the end of the request head (or a sane cap).
+    // Read until the end of the request head (or a sane cap), giving up
+    // entirely at the overall deadline.
     while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 16 * 1024 {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            break;
+        if started.elapsed() >= SCRAPE_HEAD_DEADLINE {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request head deadline exceeded",
+            ));
         }
-        head.extend_from_slice(&buf[..n]);
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            // Per-read timeout: loop to re-check the overall deadline.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => continue,
+            Err(e) => return Err(e),
+        }
     }
     let request = String::from_utf8_lossy(&head);
-    let path = request
-        .lines()
-        .next()
-        .and_then(|line| line.split_whitespace().nth(1))
-        .unwrap_or("/");
-    let (status, ctype, body) = if path.starts_with("/metrics.json") {
+    let mut first = request.lines().next().unwrap_or("").split_whitespace();
+    let method = first.next().unwrap_or("GET");
+    let path = first.next().unwrap_or("/");
+    let mut allow = "";
+    let (status, ctype, body) = if method != "GET" {
+        allow = "Allow: GET\r\n";
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else if path.starts_with("/healthz") {
+        let report = source.healthz();
+        (
+            if report.ready() {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            },
+            "application/json",
+            report.render_json(),
+        )
+    } else if path.starts_with("/debug/state") {
+        ("200 OK", "application/json", source.debug_state())
+    } else if path.starts_with("/metrics.json") {
         ("200 OK", "application/json", source.metrics_json())
     } else if path == "/" || path.starts_with("/metrics") {
         (
@@ -459,7 +544,7 @@ fn answer_scrape<S: ScrapeSource>(mut stream: TcpStream, source: &S) -> io::Resu
         )
     };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\n{allow}Connection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())?;
@@ -578,5 +663,123 @@ mod tests {
     fn json_escaping_is_safe() {
         assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\n");
         assert_eq!(escape_label("x\"y"), "x\\\"y");
+    }
+
+    struct Fixture;
+    impl ScrapeSource for Fixture {
+        fn prometheus(&self) -> String {
+            "x 1\n".to_string()
+        }
+        fn metrics_json(&self) -> String {
+            "{\"metrics\":[]}".to_string()
+        }
+        fn healthz(&self) -> HealthReport {
+            HealthReport::new(vec![super::super::health::HealthCheck::new(
+                "always", true, "fixture",
+            )])
+        }
+        fn debug_state(&self) -> String {
+            "{\"depth\":0}".to_string()
+        }
+    }
+
+    fn fetch_raw(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).expect("read");
+        body
+    }
+
+    #[test]
+    fn non_get_methods_rejected_with_405() {
+        let exporter = serve_scrape(Fixture, ("127.0.0.1", 0)).expect("bind");
+        let addr = exporter.local_addr();
+        let resp = fetch_raw(addr, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 405"));
+        assert!(resp.contains("Allow: GET"));
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn healthz_and_debug_state_routes_answer() {
+        let exporter = serve_scrape(Fixture, ("127.0.0.1", 0)).expect("bind");
+        let addr = exporter.local_addr();
+        let health = fetch_raw(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200"));
+        assert!(health.contains("application/json"));
+        assert!(health.contains("\"status\":\"ok\""));
+        let state = fetch_raw(addr, "GET /debug/state HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(state.starts_with("HTTP/1.1 200"));
+        assert!(state.contains("\"depth\":0"));
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn degraded_source_answers_503() {
+        struct Degraded;
+        impl ScrapeSource for Degraded {
+            fn prometheus(&self) -> String {
+                String::new()
+            }
+            fn metrics_json(&self) -> String {
+                String::new()
+            }
+            fn healthz(&self) -> HealthReport {
+                HealthReport::new(vec![super::super::health::HealthCheck::new(
+                    "slo", false, "breached",
+                )])
+            }
+        }
+        let exporter = serve_scrape(Degraded, ("127.0.0.1", 0)).expect("bind");
+        let resp = fetch_raw(
+            exporter.local_addr(),
+            "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 503"));
+        assert!(resp.contains("\"status\":\"degraded\""));
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn stalled_client_does_not_block_other_scrapes() {
+        let exporter = serve_scrape(Fixture, ("127.0.0.1", 0)).expect("bind");
+        let addr = exporter.local_addr();
+        // Connect and send nothing — this client holds its connection
+        // open while real scrapes proceed on their own threads.
+        let stalled = TcpStream::connect(addr).expect("connect");
+        let start = Instant::now();
+        let resp = fetch_raw(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"));
+        assert!(
+            start.elapsed() < SCRAPE_HEAD_DEADLINE,
+            "scrape waited behind a stalled client"
+        );
+        drop(stalled);
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_answer() {
+        let exporter = serve_scrape(Fixture, ("127.0.0.1", 0)).expect("bind");
+        let addr = exporter.local_addr();
+        let handles: Vec<_> = (0..24)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let path = match i % 4 {
+                        0 => "/metrics",
+                        1 => "/metrics.json",
+                        2 => "/healthz",
+                        _ => "/debug/state",
+                    };
+                    fetch_raw(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+                })
+            })
+            .collect();
+        for h in handles {
+            let resp = h.join().expect("scrape thread");
+            assert!(resp.starts_with("HTTP/1.1 200"), "got: {resp}");
+        }
+        exporter.shutdown();
     }
 }

@@ -28,13 +28,22 @@
 //! against `--telemetry-off`.
 
 pub mod export;
+pub mod health;
+pub mod recorder;
 pub mod registry;
+pub mod slo;
 pub mod trace;
 
 pub use export::{
     chrome_trace_json, serve_scrape, HistSample, MetricsExporter, Sample, ScrapeSource,
 };
+pub use health::{HealthCheck, HealthReport};
+pub use recorder::{EventKind, FlightEvent, FlightRecorder, IncidentReport, RecorderConfig};
 pub use registry::{Counter, Gauge, Histogram, MetricSample, Registry, RegistrySnapshot};
+pub use slo::{
+    AnswerObs, SloConfig, SloEvent, SloHub, SloKind, SloSpec, SloSpecSet, SloState, SloStatus,
+    SloTracker,
+};
 pub use trace::{SpanRecord, Stage, TraceContext, TraceRing};
 
 use maxk_nn::plan::KernelKind;
@@ -111,6 +120,11 @@ pub struct Telemetry {
     /// Trace every `sample_every`-th query; 0 disables tracing.
     sample_every: u64,
     sample_ctr: AtomicU64,
+    /// Trace-sampling boost deadline (µs on the telemetry clock): while
+    /// `now < boost_until`, every query traces regardless of the
+    /// configured rate. 0 means no boost. Set by the flight recorder on
+    /// an incident trigger.
+    boost_until_us: AtomicU64,
     next_trace_id: AtomicU64,
     next_batch_id: AtomicU64,
     stage_queue: Histogram,
@@ -146,6 +160,7 @@ impl Telemetry {
             ring: TraceRing::new(cfg.ring_capacity),
             sample_every,
             sample_ctr: AtomicU64::new(0),
+            boost_until_us: AtomicU64::new(0),
             next_trace_id: AtomicU64::new(1),
             next_batch_id: AtomicU64::new(1),
             registry,
@@ -173,22 +188,47 @@ impl Telemetry {
         at.saturating_duration_since(self.epoch).as_micros() as u64
     }
 
+    /// Microseconds since the telemetry epoch, now. The flight recorder
+    /// and SLO engine share this clock so incident events and spans line
+    /// up on one timebase.
+    pub fn now_us(&self) -> u64 {
+        self.us_since_epoch(Instant::now())
+    }
+
+    /// Boosts trace sampling to 100% until `until_us` on the telemetry
+    /// clock (monotone: never shrinks an already-later deadline). The
+    /// flight recorder calls this on an incident trigger so the
+    /// post-trigger window is fully traced.
+    pub fn boost_sampling_until(&self, until_us: u64) {
+        self.boost_until_us.fetch_max(until_us, Ordering::Relaxed);
+    }
+
+    fn boosted(&self) -> bool {
+        let until = self.boost_until_us.load(Ordering::Relaxed);
+        until != 0 && self.now_us() < until
+    }
+
     /// True when span recording is on at any rate (batch-level spans are
-    /// recorded per batch whenever it is).
+    /// recorded per batch whenever it is), including during an incident
+    /// boost window.
     pub fn spans_enabled(&self) -> bool {
-        self.sample_every > 0
+        self.sample_every > 0 || self.boosted()
     }
 
     /// Sampler: hands out a [`TraceContext`] for every
     /// ⌈1/sampling⌉-th query, `None` otherwise. The unsampled path costs
-    /// one relaxed atomic increment.
+    /// one relaxed atomic increment (plus one load for the boost
+    /// deadline); during an incident boost window every query traces.
     pub fn begin_trace(&self, client: u64, seeds: usize) -> Option<Box<TraceContext>> {
         if self.sample_every == 0 {
-            return None;
-        }
-        let n = self.sample_ctr.fetch_add(1, Ordering::Relaxed);
-        if n % self.sample_every != 0 {
-            return None;
+            if !self.boosted() {
+                return None;
+            }
+        } else {
+            let n = self.sample_ctr.fetch_add(1, Ordering::Relaxed);
+            if n % self.sample_every != 0 && !self.boosted() {
+                return None;
+            }
         }
         let id = self.next_trace_id.fetch_add(1, Ordering::Relaxed);
         Some(Box::new(TraceContext::new(id, client, seeds as u64)))

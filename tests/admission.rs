@@ -233,7 +233,7 @@ fn admitted_queries_identical_across_single_and_sharded_paths() {
         let stats = server.shutdown();
         (answered, stats.queries)
     };
-    let (single_answered, single_served) = run(builder.start(single));
+    let (single_answered, single_served) = run(builder.clone().start(single));
     let (sharded_answered, sharded_served) = run(builder.start(sharded));
     assert_eq!(single_answered, single_served);
     assert_eq!(sharded_answered, sharded_served);

@@ -600,3 +600,146 @@ proptest! {
         prop_assert!(parts >= e2e - 3 * stats.queries as i64 - 1);
     }
 }
+
+/// One raw HTTP/1.1 exchange; returns the full response (status line,
+/// headers and body) without asserting a status.
+fn http_exchange(addr: std::net::SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to scrape endpoint");
+    stream.write_all(request.as_bytes()).expect("write request");
+    stream.flush().expect("flush request");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read response");
+    buf
+}
+
+/// Endpoint hardening over real TCP: non-GET methods answer 405 with an
+/// `Allow: GET` header, every route declares its Content-Type (and a
+/// Content-Length matching the body), and unknown paths answer 404 —
+/// a misconfigured Prometheus client can't wedge or misread the
+/// exporter.
+#[test]
+fn scrape_endpoint_rejects_non_get_and_declares_content_types() {
+    let server = Server::builder().start(engine(40, 6, 12, 3));
+    let _ = server.handle().query(&[0, 1]).unwrap();
+    let exporter = server.serve_metrics("127.0.0.1:0").expect("bind scrape");
+    let addr = exporter.local_addr();
+
+    let post = http_exchange(
+        addr,
+        "POST /metrics HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    assert!(post.starts_with("HTTP/1.1 405"), "got: {post}");
+    assert!(post.contains("Allow: GET\r\n"));
+
+    for (path, ctype) in [
+        ("/metrics", "text/plain; version=0.0.4; charset=utf-8"),
+        ("/metrics.json", "application/json"),
+        ("/healthz", "application/json"),
+        ("/debug/state", "application/json"),
+    ] {
+        let resp = http_exchange(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+        );
+        assert!(resp.starts_with("HTTP/1.1 200"), "{path} got: {resp}");
+        assert!(
+            resp.contains(&format!("Content-Type: {ctype}\r\n")),
+            "{path} missing Content-Type {ctype}: {resp}"
+        );
+        let (head, body) = resp.split_once("\r\n\r\n").expect("header/body split");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length declared")
+            .parse()
+            .expect("numeric Content-Length");
+        assert_eq!(len, body.len(), "{path} Content-Length mismatch");
+        if ctype == "application/json" {
+            assert_valid_json(body);
+        }
+    }
+
+    let missing = http_exchange(
+        addr,
+        "GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert!(missing.starts_with("HTTP/1.1 404"), "got: {missing}");
+
+    exporter.shutdown();
+    server.shutdown();
+}
+
+/// Live introspection routes through the public API: `/healthz` reports
+/// ok with per-subsystem checks on a healthy server, and `/debug/state`
+/// carries the build/version identity, the admission books and queue
+/// capacity as one JSON object.
+#[test]
+fn healthz_and_debug_state_reflect_a_healthy_server() {
+    let server = Server::builder()
+        .cache_capacity(64)
+        .start(engine(40, 6, 12, 3));
+    for i in 0..4u32 {
+        let _ = server.handle().query(&[i]).unwrap();
+    }
+    let exporter = server.serve_metrics("127.0.0.1:0").expect("bind scrape");
+    let addr = exporter.local_addr();
+
+    let health = http_get(addr, "/healthz");
+    assert_valid_json(&health);
+    assert!(health.contains("\"status\":\"ok\""));
+    for check in ["engine", "ingress", "queue"] {
+        assert!(
+            health.contains(&format!("\"name\":\"{check}\"")),
+            "{health}"
+        );
+    }
+
+    let dump = http_get(addr, "/debug/state");
+    assert_valid_json(&dump);
+    assert!(dump.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))));
+    assert!(dump.contains("\"queries\":4"));
+    assert!(dump.contains("\"queue_capacity\""));
+    assert!(dump.contains("\"ingress_closed\":false"));
+
+    // The build-info gauge rides the Prometheus scrape with the same
+    // version label.
+    let prom = http_get(addr, "/metrics");
+    assert!(prom.contains("maxk_serve_build_info{"));
+    assert!(prom.contains(&format!("version=\"{}\"", env!("CARGO_PKG_VERSION"))));
+
+    exporter.shutdown();
+    server.shutdown();
+}
+
+/// Concurrent-scrape stress over real TCP: a burst of parallel clients
+/// across every route all answer coherently while the server keeps
+/// serving queries.
+#[test]
+fn concurrent_scrapes_across_routes_all_answer() {
+    let server = Server::builder().start(engine(40, 6, 12, 3));
+    let _ = server.handle().query(&[0]).unwrap();
+    let exporter = server.serve_metrics("127.0.0.1:0").expect("bind scrape");
+    let addr = exporter.local_addr();
+
+    let paths = ["/metrics", "/metrics.json", "/healthz", "/debug/state"];
+    let mut clients = Vec::new();
+    for round in 0..24usize {
+        let path = paths[round % paths.len()];
+        clients.push(std::thread::spawn(move || {
+            let resp = http_exchange(
+                addr,
+                &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+            );
+            assert!(resp.starts_with("HTTP/1.1 200"), "{path} got: {resp}");
+        }));
+    }
+    for _ in 0..8u32 {
+        let _ = server.handle().query(&[1, 2]).unwrap();
+    }
+    for c in clients {
+        c.join().expect("scrape client panicked");
+    }
+
+    exporter.shutdown();
+    server.shutdown();
+}
